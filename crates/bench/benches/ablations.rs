@@ -1,0 +1,122 @@
+//! Ablations of Chopim design choices called out in `DESIGN.md` §6:
+//!
+//! * launch-packet cost (control writes per NDA instruction) — the knob
+//!   behind the Fig. 10 shape;
+//! * NDA instruction-queue depth — how much asynchrony the launch pipeline
+//!   can exploit;
+//! * write-buffer capacity sensitivity is covered indirectly via the
+//!   policies bench (Fig. 12): drains are the throttling window.
+
+use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_core::prelude::*;
+
+fn measure(cfg: ChopimConfig, granularity: u64) -> (f64, f64) {
+    let mut sys = ChopimSystem::new(cfg);
+    let (x, _) = vec_pair(&mut sys, 1 << 17);
+    sys.run_relaunching(window(), |rt| {
+        rt.launch_elementwise(
+            Opcode::Nrm2,
+            vec![],
+            vec![x],
+            None,
+            LaunchOpts { granularity_lines: Some(granularity), barrier_per_chunk: false },
+        )
+    });
+    let r = sys.report();
+    (r.host_ipc, r.nda_bw_utilization)
+}
+
+fn main() {
+    header(
+        "Ablation: launch-packet cost (NRM2 @ 64 blocks/instr, mix1)",
+        &["ctrl writes per launch", "host IPC", "NDA BW util"],
+    );
+    for k in [1u32, 2, 4, 8] {
+        let mut cfg = paper_cfg();
+        cfg.mix = Some(MixId::new(1).unwrap());
+        cfg.launch_writes_per_instr = k;
+        cfg.nda_queue_cap = 32;
+        let (ipc, util) = measure(cfg, 64);
+        row(&[k.to_string(), f3(ipc), f3(util)]);
+    }
+
+    header(
+        "Ablation: NDA instruction-queue depth (NRM2 @ 64 blocks/instr, mix1)",
+        &["queue depth", "host IPC", "NDA BW util"],
+    );
+    for q in [1usize, 4, 16, 64] {
+        let mut cfg = paper_cfg();
+        cfg.mix = Some(MixId::new(1).unwrap());
+        cfg.nda_queue_cap = q;
+        let (ipc, util) = measure(cfg, 64);
+        row(&[q.to_string(), f3(ipc), f3(util)]);
+    }
+
+    header(
+        "Ablation: host scheduler / page policy (NRM2 @ 64 blocks/instr, mix1)",
+        &["scheduler", "page policy", "host IPC", "NDA BW util"],
+    );
+    for (sched, page) in [
+        (SchedulerKind::FrFcfs, PagePolicy::Open),
+        (SchedulerKind::Fcfs, PagePolicy::Open),
+        (SchedulerKind::FrFcfs, PagePolicy::Closed),
+    ] {
+        let mut cfg = paper_cfg();
+        cfg.mix = Some(MixId::new(1).unwrap());
+        cfg.scheduler = sched;
+        cfg.page_policy = page;
+        cfg.nda_queue_cap = 32;
+        let (ipc, util) = measure(cfg, 64);
+        row(&[format!("{sched:?}"), format!("{page:?}"), f3(ipc), f3(util)]);
+    }
+
+    header(
+        "Ablation: memory interface — DDR4 (replicated FSMs) vs packetized (HMC-like)",
+        &["interface", "host IPC", "avg read latency", "NDA BW util"],
+    );
+    for (name, pkt) in [("DDR4 (Chopim)", 0u32), ("packetized +20cyc/dir", 20), ("packetized +40cyc/dir", 40)] {
+        let mut cfg = paper_cfg();
+        cfg.mix = Some(MixId::new(1).unwrap());
+        cfg.packetized_latency = pkt;
+        cfg.nda_queue_cap = 32;
+        let mut sys = ChopimSystem::new(cfg);
+        let (x, _) = vec_pair(&mut sys, 1 << 17);
+        sys.run_relaunching(window(), |rt| {
+            rt.launch_elementwise(
+                Opcode::Nrm2,
+                vec![],
+                vec![x],
+                None,
+                LaunchOpts { granularity_lines: Some(1024), barrier_per_chunk: false },
+            )
+        });
+        let r = sys.report();
+        row(&[name.to_string(), f3(r.host_ipc), f3(r.avg_read_latency), f3(r.nda_bw_utilization)]);
+    }
+
+    header(
+        "Ablation: NDA operand walk — Chopim contiguous-column layout vs PA-order (Fig. 3's naive-layout argument)",
+        &["walk", "banks mode", "NDA BW util"],
+    );
+    for (name, reserved, pa_order) in [
+        ("contiguous-column (Chopim)", 0usize, false),
+        ("contiguous-column (Chopim)", 1, false),
+        ("PA-order (naive)", 0, true),
+    ] {
+        let mut cfg = paper_cfg();
+        cfg.reserved_banks = reserved;
+        cfg.nda_pa_order_walk = pa_order;
+        let mut sys = ChopimSystem::new(cfg);
+        let (x, y) = vec_pair(&mut sys, 1 << 17);
+        sys.run_relaunching(window(), |rt| {
+            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+        });
+        let mode = if reserved > 0 { "partitioned" } else { "shared" };
+        row(&[name.to_string(), mode.to_string(), f3(sys.report().nda_bw_utilization)]);
+    }
+    println!(
+        "\nThe PA-order walk keeps every bank's row buffer live at once, so any \
+         interleaving (even the NDA's own two operand streams) thrashes rows — \
+         the collapse Chopim's data layout exists to prevent (paper Fig. 3)."
+    );
+}

@@ -1,0 +1,88 @@
+//! **Fig. 11** — Concurrent access to different memory regions: shared vs
+//! partitioned banks, for the read-intensive DOT and write-intensive COPY
+//! extremes, across mix0..mix8.
+//!
+//! Reported per mix: host IPC under each mode and NDA bandwidth
+//! utilization (1.0 = idealized: every host-idle rank cycle). Expected
+//! shape: partitioning substantially lifts NDA utilization (row-conflict
+//! shielding), most visibly for DOT; COPY additionally depresses host IPC
+//! via write turnarounds (addressed by Fig. 12's throttling).
+
+use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_core::prelude::*;
+
+struct Point {
+    ipc: f64,
+    util: f64,
+}
+
+fn run_point(mix: MixId, reserved: usize, op: Opcode) -> Point {
+    let mut cfg = paper_cfg();
+    cfg.mix = Some(mix);
+    cfg.reserved_banks = reserved;
+    // Fig. 11 isolates bank-conflict effects: the aggressive issue-if-idle
+    // policy runs here; write throttling is evaluated in Fig. 12.
+    cfg.policy = WriteIssuePolicy::IssueIfIdle;
+    let mut sys = ChopimSystem::new(cfg);
+    let (x, y) = vec_pair(&mut sys, 1 << 17);
+    sys.run_relaunching(window(), |rt| match op {
+        Opcode::Dot => {
+            rt.launch_elementwise(Opcode::Dot, vec![], vec![x, y], None, LaunchOpts::default())
+        }
+        _ => rt.launch_elementwise(
+            Opcode::Copy,
+            vec![],
+            vec![x],
+            Some(y),
+            LaunchOpts::default(),
+        ),
+    });
+    let r = sys.report();
+    Point { ipc: r.host_ipc, util: r.nda_bw_utilization }
+}
+
+fn main() {
+    header(
+        "Fig. 11: shared vs partitioned banks (host IPC / NDA BW utilization)",
+        &[
+            "mix",
+            "Shared+DOT ipc",
+            "Shared+DOT util",
+            "Part+DOT ipc",
+            "Part+DOT util",
+            "Shared+COPY ipc",
+            "Shared+COPY util",
+            "Part+COPY ipc",
+            "Part+COPY util",
+        ],
+    );
+    let mut gain_sum = 0.0;
+    let mut n = 0.0;
+    for mix in MixId::ALL {
+        let sd = run_point(mix, 0, Opcode::Dot);
+        let pd = run_point(mix, 1, Opcode::Dot);
+        let sc = run_point(mix, 0, Opcode::Copy);
+        let pc = run_point(mix, 1, Opcode::Copy);
+        row(&[
+            mix.to_string(),
+            f3(sd.ipc),
+            f3(sd.util),
+            f3(pd.ipc),
+            f3(pd.util),
+            f3(sc.ipc),
+            f3(sc.util),
+            f3(pc.ipc),
+            f3(pc.util),
+        ]);
+        if sd.util > 0.0 {
+            gain_sum += pd.util / sd.util;
+            n += 1.0;
+        }
+    }
+    println!(
+        "\nTakeaway 2: bank partitioning increases row-buffer locality and \
+         substantially improves NDA performance (paper: 1.5-2x for DOT). \
+         Measured mean DOT utilization gain: {:.2}x.",
+        gain_sum / n
+    );
+}

@@ -1,0 +1,61 @@
+//! Shared harness utilities for the figure-regeneration benches.
+//!
+//! Every bench target under `benches/` prints the rows/series of one paper
+//! table or figure (see `DESIGN.md` §5 for the index and `EXPERIMENTS.md`
+//! for recorded outputs). Window lengths trade fidelity for harness
+//! runtime; set `CHOPIM_BENCH_CYCLES` to override the default window.
+
+use chopim_core::prelude::*;
+
+/// Default measurement window in DRAM cycles per configuration point.
+pub const DEFAULT_WINDOW: u64 = 200_000;
+
+/// The measurement window (override with `CHOPIM_BENCH_CYCLES`).
+pub fn window() -> u64 {
+    std::env::var("CHOPIM_BENCH_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_WINDOW)
+}
+
+/// The paper's base configuration (Table II, bank partitioning on,
+/// next-rank prediction, refresh off for run-to-run determinism of the
+/// microbenchmark figures).
+pub fn paper_cfg() -> ChopimConfig {
+    ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        ..ChopimConfig::default()
+    }
+}
+
+/// Allocate a shared vector pair of `len` f32, x initialized.
+pub fn vec_pair(sys: &mut ChopimSystem, len: usize) -> (VecId, VecId) {
+    let x = sys.runtime.vector(len, Sharing::Shared);
+    let y = sys.runtime.vector(len, Sharing::Shared);
+    let data: Vec<f32> = (0..len).map(|i| (i % 101) as f32 * 0.5 - 25.0).collect();
+    sys.runtime.write_vector(x, &data);
+    sys.runtime.write_vector(y, &data);
+    (x, y)
+}
+
+/// Print a Markdown-ish table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n## {title}");
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Print one table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}

@@ -1,0 +1,34 @@
+//! Diagnostic probe: run the most memory-intensive mix host-only and dump
+//! the machine's vital signs every window — useful when tuning profiles
+//! or investigating scheduler behavior.
+//!
+//! ```sh
+//! cargo run --release -p chopim-core --example probe
+//! ```
+
+use chopim_core::prelude::*;
+
+fn main() {
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        mix: Some(MixId::new(1).expect("mix1")),
+        ..ChopimConfig::default()
+    });
+    for k in 0..5 {
+        sys.run(20_000);
+        let r = sys.report();
+        eprintln!(
+            "[{k}] ipc={:.3} reads={} writes={} acts={} lat={:.1} hit={:.2}",
+            r.host_ipc,
+            r.dram.reads_host,
+            r.dram.writes_host,
+            r.dram.acts,
+            r.avg_read_latency,
+            r.host_row_hit_rate
+        );
+        eprintln!("    {}", sys.debug_state());
+        if k == 4 {
+            eprintln!("{}", sys.explain_mc(0));
+        }
+    }
+}

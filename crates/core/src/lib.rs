@@ -1,0 +1,56 @@
+//! # chopim-core
+//!
+//! The integrated Chopim system — the paper's primary contribution — built
+//! on the workspace substrates:
+//!
+//! * [`sched`] — per-channel FR-FCFS host memory controller with write
+//!   drain and refresh;
+//! * [`policy`] — NDA write-issue policies: issue-if-idle, stochastic
+//!   issue, next-rank prediction (paper §III-B);
+//! * [`system`] — the cycle-accurate machine: multi-core host, host MCs,
+//!   per-rank NDA controllers, and host-side *shadow FSMs* kept
+//!   bit-identical to demonstrate the replicated-FSM coordination of
+//!   §III-D;
+//! * [`runtime`] — the §V runtime/API: colored system-row allocation,
+//!   coarse-grain op launches (with the Fig.-10 granularity knob), macro
+//!   ops, host-mediated reduction;
+//! * [`energy`] — the Table-II energy model;
+//! * [`report`] — the metrics the figures plot.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use chopim_core::prelude::*;
+//!
+//! let mut sys = ChopimSystem::new(ChopimConfig::default());
+//! let x = sys.runtime.vector(1 << 12, Sharing::Shared);
+//! let y = sys.runtime.vector(1 << 12, Sharing::Shared);
+//! sys.runtime.write_vector(x, &vec![2.0; 1 << 12]);
+//! let op = sys.runtime.launch_elementwise(
+//!     Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
+//! sys.run_until_op(op, 2_000_000);
+//! assert_eq!(sys.runtime.read_vector(y)[0], 2.0);
+//! ```
+
+pub mod energy;
+pub mod policy;
+pub mod report;
+pub mod runtime;
+pub mod sched;
+pub mod system;
+
+/// Everything needed to build and run experiments.
+pub mod prelude {
+    pub use crate::energy::{EnergyParams, EnergyReport, PeActivity};
+    pub use crate::policy::WriteIssuePolicy;
+    pub use crate::report::SimReport;
+    pub use crate::runtime::{LaunchOpts, MatId, OpId, Runtime, Sharing, VecId};
+    pub use crate::sched::{PagePolicy, SchedulerKind};
+    pub use crate::system::{ChopimConfig, ChopimSystem};
+    pub use chopim_dram::{DramConfig, IdleBucket, TimingParams};
+    pub use chopim_mapping::color::Color;
+    pub use chopim_host::{CoreConfig, MixId, WorkloadProfile};
+    pub use chopim_nda::isa::Opcode;
+}
+
+pub use prelude::*;

@@ -1,0 +1,110 @@
+//! NDA write-issue policies (paper §III-B).
+//!
+//! NDA *reads* always issue opportunistically; *writes* cause expensive
+//! write→read turnarounds on the rank I/O, so Chopim throttles them:
+//!
+//! * [`WriteIssuePolicy::IssueIfIdle`] — the aggressive baseline: issue
+//!   whenever the rank can take the command;
+//! * [`WriteIssuePolicy::Stochastic`] — flip a weighted coin per attempt
+//!   (no signaling needed; the coin weight trades host vs NDA throughput);
+//! * [`WriteIssuePolicy::NextRankPredict`] — inhibit writes to the rank
+//!   targeted by the *oldest outstanding host read* in that channel's
+//!   transaction queue (the paper's recommended mechanism).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How NDA writes are gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteIssuePolicy {
+    /// Issue whenever the rank is free (no throttling).
+    IssueIfIdle,
+    /// Issue with probability `num/den` per attempt.
+    Stochastic {
+        /// Numerator of the issue probability.
+        num: u32,
+        /// Denominator of the issue probability.
+        den: u32,
+    },
+    /// Stall writes to the rank the oldest queued host read targets.
+    NextRankPredict,
+}
+
+impl WriteIssuePolicy {
+    /// The paper's evaluated stochastic settings (1/4 and 1/16).
+    pub fn stochastic(num: u32, den: u32) -> Self {
+        assert!(num <= den && den > 0, "probability must be in [0, 1]");
+        WriteIssuePolicy::Stochastic { num, den }
+    }
+
+    /// Decide whether a write to `rank` may issue now.
+    ///
+    /// `oldest_read_rank` is the rank of the oldest host read transaction
+    /// queued on the channel (the next-rank predictor's input), and only
+    /// applies while the write buffer is draining.
+    pub fn allow_write(
+        &self,
+        oldest_read_rank: Option<usize>,
+        rank: usize,
+        rng: &mut StdRng,
+    ) -> bool {
+        match *self {
+            WriteIssuePolicy::IssueIfIdle => true,
+            WriteIssuePolicy::Stochastic { num, den } => rng.gen_ratio(num, den),
+            WriteIssuePolicy::NextRankPredict => oldest_read_rank != Some(rank),
+        }
+    }
+
+    /// Short display name as used in the paper's figure legends.
+    pub fn label(&self) -> String {
+        match *self {
+            WriteIssuePolicy::IssueIfIdle => "Issue_if_idle".to_string(),
+            WriteIssuePolicy::Stochastic { num, den } => {
+                format!("Stochastic_issue ({num}/{den})")
+            }
+            WriteIssuePolicy::NextRankPredict => "Predict_next_rank".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn issue_if_idle_always_allows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(WriteIssuePolicy::IssueIfIdle.allow_write(Some(0), 0, &mut rng));
+    }
+
+    #[test]
+    fn next_rank_blocks_only_predicted_rank() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = WriteIssuePolicy::NextRankPredict;
+        assert!(!p.allow_write(Some(1), 1, &mut rng));
+        assert!(p.allow_write(Some(1), 0, &mut rng));
+        assert!(p.allow_write(None, 1, &mut rng), "no queued reads: no inhibit");
+    }
+
+    #[test]
+    fn stochastic_rate_approximates_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = WriteIssuePolicy::stochastic(1, 4);
+        let allowed =
+            (0..40_000).filter(|_| p.allow_write(None, 0, &mut rng)).count() as f64 / 40_000.0;
+        assert!((allowed - 0.25).abs() < 0.02, "measured {allowed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = WriteIssuePolicy::stochastic(5, 4);
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(WriteIssuePolicy::stochastic(1, 16).label(), "Stochastic_issue (1/16)");
+        assert_eq!(WriteIssuePolicy::NextRankPredict.label(), "Predict_next_rank");
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulation metrics: the quantities the paper's figures plot.
+
+use chopim_dram::{Cycle, DramStats, IdleHistogram};
+
+use crate::energy::EnergyReport;
+
+/// Metrics for one simulation window.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// DRAM cycles simulated.
+    pub cycles: Cycle,
+    /// CPU cycles simulated.
+    pub cpu_cycles: u64,
+    /// Aggregate host IPC (sum over cores), the paper's host metric.
+    pub host_ipc: f64,
+    /// Per-core IPC.
+    pub per_core_ipc: Vec<f64>,
+    /// Bytes moved by NDAs (rank-internal).
+    pub nda_bytes: u64,
+    /// NDA bandwidth in GB/s.
+    pub nda_bw_gbs: f64,
+    /// Host bandwidth in GB/s (all host-issued traffic incl. launches).
+    pub host_bw_gbs: f64,
+    /// Core-attributable bandwidth in GB/s (excludes NDA launch packets).
+    pub core_bw_gbs: f64,
+    /// Fraction of host-idle rank bandwidth the NDAs captured (the
+    /// "NDA BW Utilization" axis of Figs. 10-13; 1.0 = idealized).
+    pub nda_bw_utilization: f64,
+    /// Idle-gap histogram per global rank (Fig. 2).
+    pub idle_histograms: Vec<IdleHistogram>,
+    /// Raw DRAM counters.
+    pub dram: DramStats,
+    /// Host row-buffer hit rate over column commands.
+    pub host_row_hit_rate: f64,
+    /// Mean host read latency (cycles, arrival to data).
+    pub avg_read_latency: f64,
+    /// Energy/power breakdown.
+    pub energy: EnergyReport,
+    /// NDA instructions completed.
+    pub nda_instrs_completed: u64,
+}
+
+impl SimReport {
+    /// Combined idle histogram over all ranks.
+    pub fn idle_histogram_total(&self) -> IdleHistogram {
+        let mut h = IdleHistogram::new();
+        for r in &self.idle_histograms {
+            h.merge(r);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles            : {}", self.cycles)?;
+        writeln!(f, "host IPC (agg)    : {:.3}", self.host_ipc)?;
+        writeln!(f, "host BW           : {:.2} GB/s", self.host_bw_gbs)?;
+        writeln!(f, "NDA BW            : {:.2} GB/s", self.nda_bw_gbs)?;
+        writeln!(f, "NDA BW utilization: {:.3}", self.nda_bw_utilization)?;
+        writeln!(f, "row hit rate      : {:.3}", self.host_row_hit_rate)?;
+        writeln!(f, "avg read latency  : {:.1} cycles", self.avg_read_latency)?;
+        writeln!(f, "turnarounds       : {}", self.dram.turnarounds)?;
+        write!(f, "avg power         : {:.2} W", self.energy.avg_power_w())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = SimReport::default();
+        assert!(!format!("{r}").is_empty());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = IdleHistogram::new();
+        a.record_busy(10);
+        let mut b = IdleHistogram::new();
+        b.record_gap(5);
+        let r = SimReport { idle_histograms: vec![a, b], ..Default::default() };
+        assert_eq!(r.idle_histogram_total().total(), 15);
+    }
+}

@@ -1,0 +1,862 @@
+//! The Chopim runtime and API (paper §V, Fig. 8).
+//!
+//! The runtime owns array allocation (colored, system-row-granular, via
+//! the OS model), splits API calls into per-rank coarse-grain NDA
+//! instructions, tracks completion, and executes the numerics functionally
+//! on the `f32` backing store when an operation completes (the
+//! function/timing split documented in `DESIGN.md`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use chopim_dram::DramConfig;
+use chopim_mapping::color::{Color, ColoredAllocator, Region};
+use chopim_mapping::{AddressMapper, PartitionedMapping};
+use chopim_nda::isa::{NdaInstr, Opcode};
+use chopim_nda::operand::OperandLayout;
+use chopim_nda::pe;
+
+use crate::energy::PeActivity;
+
+/// Handle to a runtime-managed vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecId(pub(crate) usize);
+
+/// Handle to a runtime-managed row-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatId(pub(crate) usize);
+
+/// Handle to a launched (possibly multi-instruction, multi-rank) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) usize);
+
+/// How an array is distributed (paper Fig. 8: `nda::SHARED` vs
+/// `nda::PRIVATE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// Striped across all NDAs, colored for rank alignment.
+    Shared,
+    /// One full copy per NDA (e.g. the `a_pvt` accumulators of Fig. 8).
+    Private,
+}
+
+/// Options controlling how an API call splits into NDA instructions.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchOpts {
+    /// Cache blocks per NDA instruction per rank (`None` = one
+    /// instruction covering the whole per-rank share). This is the
+    /// coarse-grain knob of Fig. 10.
+    pub granularity_lines: Option<u64>,
+    /// Blocking semantics: wait for every rank to finish a chunk before
+    /// launching the next (paper's default). `false` = asynchronous macro
+    /// op launch.
+    pub barrier_per_chunk: bool,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        Self { granularity_lines: None, barrier_per_chunk: true }
+    }
+}
+
+#[derive(Debug)]
+struct ArrayData {
+    backing: Vec<f32>,
+    /// Per-NDA copies for `Sharing::Private`.
+    private: Option<Vec<Vec<f32>>>,
+    /// Rank-local traversal per NDA index.
+    layouts: Vec<Arc<OperandLayout>>,
+    /// Lines of payload per NDA rank.
+    lines_per_rank: u64,
+    /// Region backing the array (kept for ownership queries).
+    region: Option<Region>,
+    len: usize,
+    shape: Option<(usize, usize)>,
+    color: Color,
+}
+
+/// A queued instruction launch (becomes control-register writes on the
+/// channel).
+#[derive(Debug, Clone)]
+pub struct PendingLaunch {
+    /// Index into the system's NDA-rank list.
+    pub nda_idx: usize,
+    /// The instruction to deliver.
+    pub instr: NdaInstr,
+    /// Owning operation.
+    pub op: OpId,
+    /// Chunk index within the operation (for barriers).
+    pub chunk: usize,
+}
+
+#[derive(Debug)]
+enum OpKind {
+    Elementwise { op: Opcode, scalars: Vec<f32>, inputs: Vec<VecId>, output: Option<VecId> },
+    Gemv { y: VecId, a: MatId, x: VecId },
+    /// `parallel_for` macro op: per-sample `a_pvt += alpha_i * X[i]`.
+    MacroAxpyRows { a_pvt: VecId, alphas: Vec<f32>, x: MatId },
+}
+
+#[derive(Debug)]
+struct OpState {
+    kind: OpKind,
+    pending: VecDeque<PendingLaunch>,
+    total_instrs: u64,
+    completed_instrs: u64,
+    chunk_sizes: Vec<u32>,
+    chunk_completed: Vec<u32>,
+    released_chunks: usize,
+    barrier: bool,
+    result: Option<f32>,
+    done: bool,
+    /// This op's launches are held until the dependency completes
+    /// (runtime-inserted realignment copies, paper §V).
+    depends_on: Option<OpId>,
+    /// Cycle at which the op finished (set by the system).
+    pub finished_at: Option<u64>,
+}
+
+/// The Chopim runtime: arrays, colored allocation, op splitting, and
+/// functional execution.
+#[derive(Debug)]
+pub struct Runtime {
+    arrays: Vec<ArrayData>,
+    ops: Vec<OpState>,
+    instr_map: HashMap<u64, (OpId, usize)>,
+    next_instr: u64,
+    /// Number of NDA ranks (one NDA per rank).
+    n_ndas: usize,
+    allocator: ColoredAllocator,
+    mapper: Arc<PartitionedMapping>,
+    cfg: DramConfig,
+    /// NDA-rank list as `(channel, rank)` — all ranks in Chopim mode, the
+    /// upper half in rank-partitioning mode.
+    nda_ranks: Vec<(usize, usize)>,
+    /// Rank-partition mode: layouts synthesized on dedicated ranks.
+    rank_partition: bool,
+    /// Ablation: walk operands in physical-address order (lines rotating
+    /// across banks) instead of Chopim's contiguous-column layout walk.
+    /// Collapses row locality exactly as Fig. 3's naive layout argument
+    /// predicts.
+    pub pa_order_walk: bool,
+    rp_next_row: Vec<u32>,
+    /// Accumulated PE activity (energy accounting).
+    pub pe_activity: PeActivity,
+    /// Analytic cycle cost of host-mediated steps (reduce/broadcast).
+    pub host_comm_cycles: u64,
+    /// Realignment copies the runtime inserted for color mismatches.
+    pub realignment_copies: u64,
+    default_color: Color,
+}
+
+impl Runtime {
+    /// Build a runtime over the shared mapper and OS allocator.
+    pub fn new(
+        cfg: DramConfig,
+        mapper: Arc<PartitionedMapping>,
+        allocator: ColoredAllocator,
+        nda_ranks: Vec<(usize, usize)>,
+        rank_partition: bool,
+    ) -> Self {
+        let n = nda_ranks.len();
+        Self {
+            arrays: Vec::new(),
+            ops: Vec::new(),
+            instr_map: HashMap::new(),
+            next_instr: 0,
+            n_ndas: n,
+            allocator,
+            mapper,
+            cfg,
+            nda_ranks,
+            rank_partition,
+            pa_order_walk: false,
+            rp_next_row: vec![0; n],
+            pe_activity: PeActivity::default(),
+            host_comm_cycles: 0,
+            realignment_copies: 0,
+            default_color: Color(0),
+        }
+    }
+
+    /// The NDA ranks as `(channel, rank)` pairs.
+    pub fn nda_ranks(&self) -> &[(usize, usize)] {
+        &self.nda_ranks
+    }
+
+    /// Build per-NDA layouts for `lines` payload lines in a colored
+    /// region.
+    fn build_layouts(
+        &mut self,
+        lines: u64,
+        color: Color,
+    ) -> (Vec<Arc<OperandLayout>>, u64, Option<Region>) {
+        let lpc = self.cfg.lines_per_row() as u64; // lines per chunk (128)
+        let ranks = self.n_ndas as u64;
+        let lines_per_rank = lines.div_ceil(ranks).div_ceil(lpc) * lpc;
+        if self.rank_partition {
+            // Dedicated ranks: synthesize bank-rotating layouts directly.
+            let chunks = (lines_per_rank / lpc) as usize;
+            let banks = self.cfg.banks_per_rank() as u16;
+            let rows_needed = chunks.div_ceil(banks as usize) as u32;
+            let mut layouts = Vec::with_capacity(self.n_ndas);
+            for i in 0..self.n_ndas {
+                let base = self.rp_next_row[i];
+                self.rp_next_row[i] += rows_needed;
+                layouts.push(OperandLayout::rotating(banks, base, chunks, lpc as u32));
+            }
+            return (layouts, lines_per_rank, None);
+        }
+        // Shared mode: allocate colored system rows and derive each rank's
+        // chunk walk from the real mapping.
+        let row_lines = self.cfg.system_row_bytes() / 64;
+        let rows_needed = (lines_per_rank * ranks).div_ceil(row_lines) as usize;
+        // With bank partitioning the shared pool is the reserved address
+        // space; without it (reserved_banks = 0) NDA arrays live in
+        // ordinary colored memory.
+        let region = self
+            .allocator
+            .alloc_shared(color, rows_needed)
+            .or_else(|| self.allocator.alloc_host_colored(color, rows_needed))
+            .expect("memory exhausted for NDA operands");
+        let mut chunk_lists: Vec<Vec<(u16, u32)>> = vec![Vec::new(); self.n_ndas];
+        let bpg = self.cfg.banks_per_group;
+        let rpc = self.cfg.ranks_per_channel;
+        for sysrow in &region.rows {
+            // Collect each rank's (bank, row) chunks for this system row.
+            let mut seen: HashMap<(usize, u16, u32), ()> = HashMap::new();
+            let base_pa = u64::from(sysrow.index) * self.cfg.system_row_bytes();
+            for l in 0..row_lines {
+                let d = self.mapper.map_pa(base_pa + l * 64);
+                let g = d.channel * rpc + d.rank;
+                let idx = self
+                    .nda_ranks
+                    .iter()
+                    .position(|&(c, r)| (c, r) == (d.channel, d.rank));
+                let Some(idx) = idx else { continue };
+                let key = (g, d.flat_bank(bpg) as u16, d.row);
+                if seen.insert(key, ()).is_none() {
+                    chunk_lists[idx].push((d.flat_bank(bpg) as u16, d.row));
+                }
+            }
+        }
+        // Chopim's layout lets the microcode stream contiguous columns of
+        // one bank row per 1 KB-per-chip batch (Fig. 3/Fig. 9). The
+        // `pa_order_walk` ablation instead rotates lines across all banks
+        // of the rank (the walk a naive layout would force), destroying
+        // row locality under host interference.
+        let group = (row_lines / ranks / lpc).max(1) as u32;
+        let layouts = chunk_lists
+            .into_iter()
+            .map(|c| {
+                if self.pa_order_walk && (c.len() as u32).is_multiple_of(group) {
+                    OperandLayout::with_interleave(c, lpc as u32, group)
+                } else {
+                    OperandLayout::new(c, lpc as u32)
+                }
+            })
+            .collect();
+        (layouts, lines_per_rank, Some(region))
+    }
+
+    /// Allocate a host-only footprint region of `rows` system rows,
+    /// halving on exhaustion (small test pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics when host memory is completely exhausted.
+    pub fn alloc_host_region(&mut self, rows: usize) -> Region {
+        let mut rows = rows.max(1);
+        loop {
+            if let Some(r) = self.allocator.alloc_host(rows) {
+                return r;
+            }
+            rows /= 2;
+            assert!(rows > 0, "host memory exhausted");
+        }
+    }
+
+    /// Allocate a vector of `len` f32 elements in the default color.
+    pub fn vector(&mut self, len: usize, sharing: Sharing) -> VecId {
+        self.vector_colored(len, sharing, self.default_color)
+    }
+
+    /// Allocate a vector in an explicit shared-region color (paper §III-A:
+    /// operands of one instruction must share a color; the runtime inserts
+    /// realignment copies otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the color is out of range.
+    pub fn vector_colored(&mut self, len: usize, sharing: Sharing, color: Color) -> VecId {
+        assert!(len > 0, "empty vector");
+        assert!((color.0 as usize) < self.allocator.num_colors(), "color out of range");
+        let (layouts, lines_per_rank, region, private);
+        match sharing {
+            Sharing::Shared => {
+                let total_lines = ((len * 4) as u64).div_ceil(64);
+                let (l, lpr, r) = self.build_layouts(total_lines, color);
+                layouts = l;
+                lines_per_rank = lpr;
+                region = r;
+                private = None;
+            }
+            Sharing::Private => {
+                // A full copy per NDA, each within its own rank share.
+                let per_copy_lines = ((len * 4) as u64).div_ceil(64);
+                let (l, lpr, r) =
+                    self.build_layouts(per_copy_lines * self.n_ndas as u64, color);
+                layouts = l;
+                lines_per_rank = lpr;
+                region = r;
+                private = Some(vec![vec![0.0; len]; self.n_ndas]);
+            }
+        }
+        self.arrays.push(ArrayData {
+            backing: vec![0.0; len],
+            private,
+            layouts,
+            lines_per_rank,
+            region,
+            len,
+            shape: None,
+            color,
+        });
+        VecId(self.arrays.len() - 1)
+    }
+
+    /// The shared-region color of an array.
+    pub fn color_of(&self, v: VecId) -> Color {
+        self.arrays[v.0].color
+    }
+
+    /// Number of available colors (8 for Table II, paper §III-A).
+    pub fn num_colors(&self) -> usize {
+        self.allocator.num_colors()
+    }
+
+    /// Allocate a row-major `rows x cols` shared matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cols` is a multiple of 16 (rows must be cache-line
+    /// aligned so each line belongs to one sample).
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> MatId {
+        assert!(cols.is_multiple_of(16), "cols must be a multiple of 16 (line-aligned rows)");
+        let total_lines = ((rows * cols * 4) as u64).div_ceil(64);
+        let color = self.default_color;
+        let (layouts, lines_per_rank, region) = self.build_layouts(total_lines, color);
+        self.arrays.push(ArrayData {
+            backing: vec![0.0; rows * cols],
+            private: None,
+            layouts,
+            lines_per_rank,
+            region,
+            len: rows * cols,
+            shape: Some((rows, cols)),
+            color,
+        });
+        MatId(self.arrays.len() - 1)
+    }
+
+    /// Overwrite a vector's contents.
+    pub fn write_vector(&mut self, v: VecId, data: &[f32]) {
+        let a = &mut self.arrays[v.0];
+        assert_eq!(a.len, data.len(), "length mismatch");
+        a.backing.copy_from_slice(data);
+    }
+
+    /// Read a vector's contents.
+    pub fn read_vector(&self, v: VecId) -> &[f32] {
+        &self.arrays[v.0].backing
+    }
+
+    /// Read one NDA's private copy.
+    pub fn read_private(&self, v: VecId, nda: usize) -> &[f32] {
+        &self.arrays[v.0].private.as_ref().expect("private array")[nda]
+    }
+
+    /// Overwrite a matrix's contents (row-major).
+    pub fn write_matrix(&mut self, m: MatId, data: &[f32]) {
+        let a = &mut self.arrays[m.0];
+        assert_eq!(a.len, data.len(), "length mismatch");
+        a.backing.copy_from_slice(data);
+    }
+
+    /// Matrix contents (row-major).
+    pub fn read_matrix(&self, m: MatId) -> &[f32] {
+        &self.arrays[m.0].backing
+    }
+
+    fn vec_lines(&self, v: VecId) -> u64 {
+        ((self.arrays[v.0].len * 4) as u64).div_ceil(64)
+    }
+
+    /// Per-rank payload lines of a shared vector.
+    fn vec_lines_per_rank(&self, v: VecId) -> u64 {
+        self.vec_lines(v).div_ceil(self.n_ndas as u64)
+    }
+
+    fn new_instr_id(&mut self, op: OpId, chunk: usize) -> u64 {
+        let id = self.next_instr;
+        self.next_instr += 1;
+        self.instr_map.insert(id, (op, chunk));
+        id
+    }
+
+    /// Launch an elementwise Table-I operation.
+    ///
+    /// `inputs` are read operands; `output` (if any) is the written
+    /// operand (in-place ops pass the same id in both). All operands must
+    /// be shared vectors of one length.
+    pub fn launch_elementwise(
+        &mut self,
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+        opts: LaunchOpts,
+    ) -> OpId {
+        // Color check: all operands of one instruction must share a color
+        // (paper §III-A). When inputs disagree with the base color, the
+        // runtime inserts realignment copies into same-colored temporaries
+        // and chains the main op behind them (paper §V).
+        let base_color = output
+            .or_else(|| inputs.first().copied())
+            .map(|v| self.arrays[v.0].color)
+            .expect("needs operands");
+        let mut inputs = inputs;
+        let mut realign: Option<OpId> = None;
+        for v in inputs.iter_mut() {
+            if self.arrays[v.0].color != base_color && self.arrays[v.0].private.is_none() {
+                let len = self.arrays[v.0].len;
+                let tmp = self.vector_colored(len, Sharing::Shared, base_color);
+                self.realignment_copies += 1;
+                let cp = self.launch_elementwise_inner(
+                    Opcode::Copy,
+                    vec![],
+                    vec![*v],
+                    Some(tmp),
+                    LaunchOpts::default(),
+                    realign,
+                );
+                realign = Some(cp);
+                *v = tmp;
+            }
+        }
+        self.launch_elementwise_inner(op, scalars, inputs, output, opts, realign)
+    }
+
+    fn launch_elementwise_inner(
+        &mut self,
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+        opts: LaunchOpts,
+        depends: Option<OpId>,
+    ) -> OpId {
+        let probe = *inputs.first().or(output.as_ref()).expect("needs operands");
+        let len = self.arrays[probe.0].len;
+        for v in inputs.iter().chain(output.iter()) {
+            assert_eq!(self.arrays[v.0].len, len, "operand length mismatch");
+        }
+        let per_rank = self.vec_lines_per_rank(probe);
+        let g = opts.granularity_lines.unwrap_or(per_rank).max(1);
+        let chunks = per_rank.div_ceil(g) as usize;
+        let op_id = OpId(self.ops.len());
+        let mut pending = VecDeque::new();
+        let mut chunk_sizes = vec![0u32; chunks];
+        // In-place read-modify-write ops stream their output operand in
+        // as well (Table I: AXPY and SCAL update y/x in place).
+        let rmw = matches!(op, Opcode::Axpy | Opcode::Scal);
+        #[allow(clippy::needless_range_loop)]
+        for chunk in 0..chunks {
+            let start = chunk as u64 * g;
+            let lines = g.min(per_rank - start);
+            for nda in 0..self.n_ndas {
+                let id = self.new_instr_id(op_id, chunk);
+                let mut reads: Vec<_> = inputs
+                    .iter()
+                    .map(|v| (self.arrays[v.0].layouts[nda].clone(), start))
+                    .collect();
+                if rmw {
+                    reads.extend(
+                        output.iter().map(|v| (self.arrays[v.0].layouts[nda].clone(), start)),
+                    );
+                }
+                let writes: Vec<_> = output
+                    .iter()
+                    .map(|v| (self.arrays[v.0].layouts[nda].clone(), start))
+                    .collect();
+                let instr = NdaInstr::elementwise(op, lines, reads, writes, id);
+                pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk });
+                chunk_sizes[chunk] += 1;
+            }
+        }
+        let total = pending.len() as u64;
+        self.ops.push(OpState {
+            kind: OpKind::Elementwise { op, scalars, inputs, output },
+            pending,
+            total_instrs: total,
+            completed_instrs: 0,
+            chunk_completed: vec![0; chunks],
+            chunk_sizes,
+            released_chunks: 0,
+            barrier: opts.barrier_per_chunk,
+            result: None,
+            done: false,
+            depends_on: depends,
+            finished_at: None,
+        });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Launch `y = A x` (one instruction per rank; A streams, x/y live in
+    /// the scratchpad).
+    pub fn launch_gemv(&mut self, y: VecId, a: MatId, x: VecId, opts: LaunchOpts) -> OpId {
+        let (rows, cols) = self.arrays[a.0].shape.expect("matrix");
+        assert_eq!(self.arrays[x.0].len, cols, "x length != cols");
+        assert_eq!(self.arrays[y.0].len, rows, "y length != rows");
+        let a_per_rank = self.arrays[a.0].lines_per_rank.min(
+            ((rows * cols * 4) as u64).div_ceil(64).div_ceil(self.n_ndas as u64),
+        );
+        let x_per_rank = self.vec_lines_per_rank(x).max(1);
+        let y_per_rank = self.vec_lines_per_rank(y).max(1);
+        let op_id = OpId(self.ops.len());
+        let mut pending = VecDeque::new();
+        for nda in 0..self.n_ndas {
+            let id = self.new_instr_id(op_id, 0);
+            let instr = NdaInstr::gemv(
+                (self.arrays[a.0].layouts[nda].clone(), 0, a_per_rank),
+                (self.arrays[x.0].layouts[nda].clone(), 0, x_per_rank),
+                (self.arrays[y.0].layouts[nda].clone(), 0, y_per_rank),
+                id,
+            );
+            pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk: 0 });
+        }
+        let total = pending.len() as u64;
+        self.ops.push(OpState {
+            kind: OpKind::Gemv { y, a, x },
+            pending,
+            total_instrs: total,
+            completed_instrs: 0,
+            chunk_completed: vec![0],
+            chunk_sizes: vec![total as u32],
+            released_chunks: 0,
+            barrier: opts.barrier_per_chunk,
+            result: None,
+            done: false,
+            depends_on: None,
+            finished_at: None,
+        });
+        op_id
+    }
+
+    /// The `parallel_for` macro operation of Fig. 8: for each sample `i`,
+    /// every NDA accumulates its local share of row `i` into its private
+    /// copy of `a_pvt` (`a_pvt += alphas[i] * X[i]`).
+    ///
+    /// `samples_per_instr` batches consecutive samples into one NDA
+    /// instruction — the paper's *macro NDA operation*, which amortizes
+    /// launch packets over loop iterations (§V, load-imbalance
+    /// optimization).
+    pub fn launch_macro_axpy_rows(
+        &mut self,
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+        opts: LaunchOpts,
+    ) -> OpId {
+        let (rows, cols) = self.arrays[x.0].shape.expect("matrix");
+        assert!(alphas.len() <= rows, "more alphas than rows");
+        assert!(self.arrays[a_pvt.0].private.is_some(), "a_pvt must be PRIVATE");
+        assert_eq!(self.arrays[a_pvt.0].len, cols, "a_pvt length != cols");
+        assert!(samples_per_instr > 0, "need at least one sample per instruction");
+        let row_lines = ((cols * 4) as u64).div_ceil(64);
+        let row_lines_per_rank = row_lines.div_ceil(self.n_ndas as u64).max(1);
+        let op_id = OpId(self.ops.len());
+        let n = alphas.len();
+        let k = samples_per_instr;
+        let n_batches = n.div_ceil(k);
+        let mut pending = VecDeque::new();
+        let mut chunk_sizes = vec![0u32; n_batches];
+        #[allow(clippy::needless_range_loop)]
+        for batch in 0..n_batches {
+            let first = batch * k;
+            let count = k.min(n - first) as u64;
+            let start = first as u64 * row_lines_per_rank;
+            let span = count * row_lines_per_rank;
+            for nda in 0..self.n_ndas {
+                let id = self.new_instr_id(op_id, batch);
+                let x_l = self.arrays[x.0].layouts[nda].clone();
+                let a_l = self.arrays[a_pvt.0].layouts[nda].clone();
+                // Timing walk: the rank-share span of rows
+                // [first, first+count) in X, plus the private accumulator
+                // (read-modify-write, wrapped within its padded layout).
+                let x_start = start.min(x_layout_guard(&self.arrays[x.0], span));
+                let a_span = span.min(a_l.lines());
+                let instr = NdaInstr::elementwise(
+                    Opcode::Axpy,
+                    a_span.min(span).max(1),
+                    vec![(x_l, x_start), (a_l.clone(), 0)],
+                    vec![(a_l, 0)],
+                    id,
+                );
+                pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk: batch });
+                chunk_sizes[batch] += 1;
+            }
+        }
+        let total = pending.len() as u64;
+        self.ops.push(OpState {
+            kind: OpKind::MacroAxpyRows { a_pvt, alphas, x },
+            pending,
+            total_instrs: total,
+            completed_instrs: 0,
+            chunk_completed: vec![0; n_batches],
+            chunk_sizes,
+            released_chunks: 0,
+            barrier: opts.barrier_per_chunk,
+            result: None,
+            done: false,
+            depends_on: None,
+            finished_at: None,
+        });
+        op_id
+    }
+
+    /// Pop launches that are ready to go to the channel (respects chunk
+    /// barriers). The system calls this each cycle with available FSM
+    /// queue space per NDA.
+    pub fn next_launches(&mut self, space: impl Fn(usize) -> usize, max: usize) -> Vec<PendingLaunch> {
+        let mut out = Vec::new();
+        let done_flags: Vec<bool> = self.ops.iter().map(|o| o.done).collect();
+        for op in self.ops.iter_mut() {
+            if op.done {
+                continue;
+            }
+            // NDA operations are blocking by default (paper §V): an op's
+            // launches are held until every earlier op has fully completed
+            // (instruction *issue* is FIFO per rank, but completion is
+            // not — buffered writes drain lazily — so overlapping ops
+            // would break read-after-write across launches).
+            if op.pending.is_empty() {
+                break; // launched but still executing: hold later ops
+            }
+            if let Some(dep) = op.depends_on {
+                if !done_flags[dep.0] {
+                    break; // realignment copy still in flight
+                }
+            }
+            while out.len() < max {
+                let Some(head) = op.pending.front() else { break };
+                if op.barrier && head.chunk > op.released_chunks {
+                    break; // previous chunk not fully complete
+                }
+                if space(head.nda_idx) == 0 {
+                    break;
+                }
+                out.push(op.pending.pop_front().expect("checked"));
+            }
+            break; // strict op order: never release from later ops
+        }
+        out
+    }
+
+    /// Record the completion of NDA instruction `id`, finalizing its op
+    /// when it is the last one. Returns the op if it just finished.
+    pub fn complete_instr(&mut self, id: u64, now: u64) -> Option<OpId> {
+        let (op_id, chunk) = self.instr_map.remove(&id).expect("unknown instr id");
+        let finished = {
+            let op = &mut self.ops[op_id.0];
+            op.completed_instrs += 1;
+            op.chunk_completed[chunk] += 1;
+            if op.chunk_completed[chunk] == op.chunk_sizes[chunk]
+                && chunk == op.released_chunks
+            {
+                // Advance the barrier over all fully-completed chunks.
+                while op.released_chunks < op.chunk_sizes.len()
+                    && op.chunk_completed[op.released_chunks]
+                        == op.chunk_sizes[op.released_chunks]
+                {
+                    op.released_chunks += 1;
+                }
+            }
+            op.completed_instrs == op.total_instrs
+        };
+        if finished {
+            self.finalize(op_id);
+            self.ops[op_id.0].finished_at = Some(now);
+            Some(op_id)
+        } else {
+            None
+        }
+    }
+
+    /// Functionally execute the finished op on the backing store.
+    fn finalize(&mut self, op_id: OpId) {
+        let kind = std::mem::replace(
+            &mut self.ops[op_id.0].kind,
+            OpKind::Elementwise {
+                op: Opcode::Copy,
+                scalars: vec![],
+                inputs: vec![],
+                output: None,
+            },
+        );
+        match &kind {
+            OpKind::Elementwise { op, scalars, inputs, output } => {
+                let input_data: Vec<Vec<f32>> =
+                    inputs.iter().map(|v| self.arrays[v.0].backing.clone()).collect();
+                let input_refs: Vec<&[f32]> = input_data.iter().map(|v| v.as_slice()).collect();
+                let stats = match output {
+                    Some(o) => pe::execute(
+                        *op,
+                        scalars,
+                        &input_refs,
+                        Some(&mut self.arrays[o.0].backing),
+                    ),
+                    None => pe::execute(*op, scalars, &input_refs, None),
+                };
+                self.ops[op_id.0].result = stats.reduction;
+                self.add_activity(stats);
+            }
+            OpKind::Gemv { y, a, x } => {
+                let (rows, cols) = self.arrays[a.0].shape.expect("matrix");
+                let a_data = self.arrays[a.0].backing.clone();
+                let x_data = self.arrays[x.0].backing.clone();
+                let stats = pe::execute_gemv(
+                    &a_data,
+                    &x_data,
+                    &mut self.arrays[y.0].backing,
+                    rows,
+                    cols,
+                );
+                self.add_activity(stats);
+            }
+            OpKind::MacroAxpyRows { a_pvt, alphas, x } => {
+                let (_, cols) = self.arrays[x.0].shape.expect("matrix");
+                let x_data = self.arrays[x.0].backing.clone();
+                let owners = self.line_owners(*x, cols);
+                let lines_per_row = cols / 16;
+                let privates =
+                    self.arrays[a_pvt.0].private.as_mut().expect("private array");
+                let mut fmas = 0u64;
+                for (i, &alpha) in alphas.iter().enumerate() {
+                    let row = &x_data[i * cols..(i + 1) * cols];
+                    for l in 0..lines_per_row {
+                        let owner = owners[(i * lines_per_row + l) % owners.len()];
+                        let dst = &mut privates[owner];
+                        for e in 0..16 {
+                            let j = l * 16 + e;
+                            dst[j] += alpha * row[j];
+                            fmas += 1;
+                        }
+                    }
+                }
+                self.pe_activity.fmas += fmas;
+                self.pe_activity.buffer_accesses += fmas / 2;
+            }
+        }
+        self.ops[op_id.0].kind = kind;
+        self.ops[op_id.0].done = true;
+    }
+
+    /// Which NDA owns each cache line of a shared array (exact, via the
+    /// mapping), cycled for timing-padded tails.
+    fn line_owners(&self, m: MatId, _cols: usize) -> Vec<usize> {
+        let a = &self.arrays[m.0];
+        match &a.region {
+            Some(region) => {
+                let lines = ((a.len * 4) as u64).div_ceil(64);
+                let rpc = self.cfg.ranks_per_channel;
+                (0..lines)
+                    .map(|l| {
+                        let d = self.mapper.map_pa(region.pa_of(l * 64));
+                        self.nda_ranks
+                            .iter()
+                            .position(|&(c, r)| (c, r) == (d.channel, d.rank))
+                            .unwrap_or((d.channel * rpc + d.rank) % self.n_ndas)
+                    })
+                    .collect()
+            }
+            // Rank-partition mode: round-robin striping.
+            None => (0..self.n_ndas).collect(),
+        }
+    }
+
+    fn add_activity(&mut self, s: pe::ExecStats) {
+        self.pe_activity.fmas += s.fmas;
+        self.pe_activity.buffer_accesses += s.buffer_accesses;
+        self.pe_activity.scratch_accesses += s.scratch_accesses;
+    }
+
+    /// True when the op has fully completed (results visible).
+    pub fn op_done(&self, op: OpId) -> bool {
+        self.ops[op.0].done
+    }
+
+    /// Reduction result of a completed DOT/NRM2.
+    pub fn op_result(&self, op: OpId) -> Option<f32> {
+        self.ops[op.0].result
+    }
+
+    /// Cycle at which the op completed.
+    pub fn op_finished_at(&self, op: OpId) -> Option<u64> {
+        self.ops[op.0].finished_at
+    }
+
+    /// Host-side reduction of a private array into a shared vector
+    /// (`host::reduce` of Fig. 8): functional sum over NDA copies plus an
+    /// analytic host-traffic cycle charge.
+    pub fn host_reduce(&mut self, dst: VecId, src: VecId) {
+        let len = self.arrays[dst.0].len;
+        assert_eq!(self.arrays[src.0].len, len);
+        let privates = self.arrays[src.0].private.as_ref().expect("private source").clone();
+        let out = &mut self.arrays[dst.0].backing;
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for copy in &privates {
+            for (o, v) in out.iter_mut().zip(copy) {
+                *o += *v;
+            }
+        }
+        // Host reads n_ndas copies and writes one: bytes / peak BW.
+        let bytes = (len * 4 * (self.n_ndas + 1)) as f64;
+        let bw = self.cfg.channel_bytes_per_cycle() * self.cfg.channels as f64;
+        self.host_comm_cycles += (bytes / bw).ceil() as u64;
+    }
+
+    /// Zero every private copy of a private vector.
+    pub fn clear_private(&mut self, v: VecId) {
+        for copy in self.arrays[v.0].private.as_mut().expect("private array") {
+            copy.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Host-side elementwise sigmoid (`host::sigmoid` of Fig. 8).
+    pub fn host_sigmoid(&mut self, v: VecId) {
+        for x in &mut self.arrays[v.0].backing {
+            *x = 1.0 / (1.0 + (-*x).exp());
+        }
+        let bytes = (self.arrays[v.0].len * 8) as f64;
+        let bw = self.cfg.channel_bytes_per_cycle() * self.cfg.channels as f64;
+        self.host_comm_cycles += (bytes / bw).ceil() as u64;
+    }
+
+    /// Remaining queued launches across all ops.
+    pub fn pending_launches(&self) -> usize {
+        self.ops.iter().map(|o| o.pending.len()).sum()
+    }
+
+    /// All ops completed and nothing pending.
+    pub fn quiescent(&self) -> bool {
+        self.ops.iter().all(|o| o.done)
+    }
+}
+
+/// Clamp a start line so timing walks never run past a layout (padding
+/// tails reuse the final span; functional results are exact regardless).
+fn x_layout_guard(a: &ArrayData, span: u64) -> u64 {
+    a.layouts[0].lines().saturating_sub(span)
+}

@@ -1,0 +1,665 @@
+//! The integrated Chopim system: multi-core host + FR-FCFS controllers on
+//! one side of the channels, per-rank NDA controllers with host-side
+//! shadow FSMs on the other, sharing the same DRAM devices cycle by cycle.
+//!
+//! Arbitration follows the paper (§III-B, §III-D):
+//!
+//! * host commands always take priority — NDA controllers only use cycles
+//!   (and ranks) the host leaves free, enforced by the device model;
+//! * NDA writes are gated by the configured [`WriteIssuePolicy`];
+//! * every NDA launch travels over the channel as control-register write
+//!   transactions issued by the host controller (the Fig.-10 launch cost);
+//! * a shadow copy of every rank's NDA FSM lives host-side and is stepped
+//!   from observable events only; [`ChopimSystem::fsm_in_sync`] asserts
+//!   bit-equality, demonstrating the replicated-FSM mechanism.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use chopim_dram::{CommandKind, Cycle, DramConfig, DramSystem};
+use chopim_host::{CoreConfig, MixId, OooCore};
+use chopim_mapping::color::{ColoredAllocator, Region};
+use chopim_mapping::{presets, AddressMapper, PartitionedMapping};
+use chopim_nda::controller::{NdaRankController, NdaTickResult};
+use chopim_nda::fsm::NdaFsm;
+use chopim_nda::isa::NdaInstr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::energy::{self, EnergyParams};
+use crate::policy::WriteIssuePolicy;
+use crate::report::SimReport;
+use crate::runtime::{PendingLaunch, Runtime};
+use crate::sched::{HostMc, HostTransaction, Issued, PagePolicy, SchedulerKind, TxMeta};
+
+/// CPU cycles per DRAM cycle, as a rational (4 GHz / 1.2 GHz = 10/3).
+const CPU_CLOCK_NUM: u32 = 10;
+const CPU_CLOCK_DEN: u32 = 3;
+
+/// Shared LLC miss-status registers (Table II: 48).
+const LLC_MSHRS: usize = 48;
+
+/// Top-level configuration.
+#[derive(Debug, Clone)]
+pub struct ChopimConfig {
+    /// Memory geometry/timing (Table II defaults).
+    pub dram: DramConfig,
+    /// Banks per rank reserved for the shared/NDA region (paper: 1;
+    /// 0 = fully shared banks).
+    pub reserved_banks: usize,
+    /// NDA write-issue policy.
+    pub policy: WriteIssuePolicy,
+    /// Host application mix (None = no host traffic).
+    pub mix: Option<MixId>,
+    /// Explicit per-core profiles, overriding `mix` (used by the ML time
+    /// model to run an SVRG-shaped host alongside the NDAs).
+    pub custom_profiles: Option<Vec<chopim_host::WorkloadProfile>>,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// RNG seed (cores, policy coins).
+    pub seed: u64,
+    /// Control-register write transactions per NDA instruction launch.
+    pub launch_writes_per_instr: u32,
+    /// Per-rank NDA instruction queue depth.
+    pub nda_queue_cap: usize,
+    /// Rank-partitioning baseline (Fig. 14): dedicate the upper half of
+    /// each channel's ranks to NDAs and hide them from the host mapping.
+    pub rank_partition: bool,
+    /// Assert shadow-FSM equality while running (cheap; on by default).
+    pub verify_fsm: bool,
+    /// Ablation: NDA operands walked in physical-address order instead of
+    /// Chopim's contiguous-column layout (see `Runtime::pa_order_walk`).
+    pub nda_pa_order_walk: bool,
+    /// Host transaction scheduling discipline (ablation).
+    pub scheduler: SchedulerKind,
+    /// Host row-buffer policy (ablation).
+    pub page_policy: PagePolicy,
+    /// Packetized memory interface (HMC-like): host requests pay an extra
+    /// per-direction serialization latency of this many DRAM cycles, but
+    /// the memory-side controller owns all scheduling so no replicated
+    /// FSMs or host-side signaling are needed (paper §III intro, §VIII:
+    /// packetized DRAM suffers 2-4x idle latency). `0` = traditional DDR.
+    pub packetized_latency: u32,
+}
+
+impl Default for ChopimConfig {
+    fn default() -> Self {
+        Self {
+            dram: DramConfig::table_ii(),
+            reserved_banks: 1,
+            policy: WriteIssuePolicy::NextRankPredict,
+            mix: None,
+            custom_profiles: None,
+            core: CoreConfig::default(),
+            seed: 1,
+            launch_writes_per_instr: 2,
+            nda_queue_cap: 16,
+            rank_partition: false,
+            verify_fsm: true,
+            nda_pa_order_walk: false,
+            scheduler: SchedulerKind::default(),
+            page_policy: PagePolicy::default(),
+            packetized_latency: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LaunchInFlight {
+    instr: NdaInstr,
+    nda_idx: usize,
+    writes_remaining: u32,
+}
+
+/// The complete simulated machine.
+pub struct ChopimSystem {
+    /// The configuration the system was built with.
+    pub cfg: ChopimConfig,
+    mem: DramSystem,
+    mapper: Arc<PartitionedMapping>,
+    cores: Vec<OooCore>,
+    core_regions: Vec<Region>,
+    mcs: Vec<HostMc>,
+    ndas: Vec<NdaRankController>,
+    shadows: Vec<NdaFsm>,
+    /// The runtime/API (allocate arrays, launch ops).
+    pub runtime: Runtime,
+    now: Cycle,
+    cpu_accum: u32,
+    cpu_cycles: u64,
+    llc_outstanding: usize,
+    fills: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
+    /// Packetized-mode ingress: transactions in flight toward the
+    /// memory-side controller.
+    ingress: VecDeque<(Cycle, HostTransaction)>,
+    launch_stage: VecDeque<PendingLaunch>,
+    launches: HashMap<u64, LaunchInFlight>,
+    launch_events: BinaryHeap<Reverse<(Cycle, u64)>>,
+    launch_inflight: Vec<usize>,
+    next_launch: u64,
+    policy_rng: StdRng,
+    nda_instrs_completed: u64,
+    finalized: bool,
+}
+
+impl ChopimSystem {
+    /// Build the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (these are programmer inputs).
+    pub fn new(cfg: ChopimConfig) -> Self {
+        cfg.dram.validate().expect("invalid DRAM config");
+        assert!(
+            !(cfg.rank_partition && cfg.reserved_banks > 0),
+            "rank partitioning and bank partitioning are alternative modes"
+        );
+        let mem = DramSystem::new(cfg.dram.clone());
+
+        // Host mapping: full geometry in Chopim mode; the lower half of
+        // each channel's ranks in rank-partitioning mode.
+        let (host_geom, nda_ranks): (DramConfig, Vec<(usize, usize)>) = if cfg.rank_partition {
+            let half = (cfg.dram.ranks_per_channel / 2).max(1);
+            let geom = cfg.dram.clone().with_ranks(half);
+            let ndas = (0..cfg.dram.channels)
+                .flat_map(|c| (half..cfg.dram.ranks_per_channel).map(move |r| (c, r)))
+                .collect();
+            (geom, ndas)
+        } else {
+            let ndas = (0..cfg.dram.channels)
+                .flat_map(|c| (0..cfg.dram.ranks_per_channel).map(move |r| (c, r)))
+                .collect();
+            (cfg.dram.clone(), ndas)
+        };
+        let inner = presets::skylake_like(&host_geom);
+        let reserved = if cfg.rank_partition { 0 } else { cfg.reserved_banks };
+        let mapper = Arc::new(PartitionedMapping::new(&host_geom, inner, reserved));
+
+        // OS allocator: host rows below the shared boundary.
+        let host_rows = (host_geom.rows as u64 * (host_geom.banks_per_rank() - reserved) as u64
+            / host_geom.banks_per_rank() as u64) as u32;
+        let allocator = ColoredAllocator::new(&host_geom, mapper.inner(), host_rows);
+
+        let mut runtime = Runtime::new(
+            cfg.dram.clone(),
+            mapper.clone(),
+            allocator,
+            nda_ranks.clone(),
+            cfg.rank_partition,
+        );
+        runtime.pa_order_walk = cfg.nda_pa_order_walk;
+
+        // Host cores and their footprints.
+        let mut cores = Vec::new();
+        let mut core_regions = Vec::new();
+        let profiles = cfg
+            .custom_profiles
+            .clone()
+            .or_else(|| cfg.mix.map(|m| m.profiles()));
+        if let Some(profiles) = profiles {
+            for (i, profile) in profiles.into_iter().enumerate() {
+                let rows = (profile.footprint_bytes / host_geom.system_row_bytes()).max(1);
+                let region = runtime_alloc_host(&mut runtime, rows as usize);
+                cores.push(OooCore::new(cfg.core, profile, cfg.seed ^ (i as u64) << 8));
+                core_regions.push(region);
+            }
+        }
+
+        let mcs = (0..cfg.dram.channels)
+            .map(|c| {
+                let mut mc = HostMc::new(
+                    c,
+                    cfg.dram.ranks_per_channel,
+                    cfg.dram.banks_per_group,
+                    cfg.dram.timing.refi,
+                );
+                mc.set_scheduler(cfg.scheduler);
+                mc.set_page_policy(cfg.page_policy);
+                mc
+            })
+            .collect();
+        let ndas: Vec<NdaRankController> = nda_ranks
+            .iter()
+            .map(|&(c, r)| {
+                NdaRankController::new(c, r, cfg.dram.banks_per_group, cfg.nda_queue_cap)
+            })
+            .collect();
+        let shadows = ndas.iter().map(|_| NdaFsm::new(cfg.nda_queue_cap)).collect();
+        let n = ndas.len();
+        Self {
+            policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            cfg,
+            mem,
+            mapper,
+            cores,
+            core_regions,
+            mcs,
+            ndas,
+            shadows,
+            runtime,
+            now: 0,
+            cpu_accum: 0,
+            cpu_cycles: 0,
+            llc_outstanding: 0,
+            fills: BinaryHeap::new(),
+            ingress: VecDeque::new(),
+            launch_stage: VecDeque::new(),
+            launches: HashMap::new(),
+            launch_events: BinaryHeap::new(),
+            launch_inflight: vec![0; n],
+            next_launch: 0,
+            nda_instrs_completed: 0,
+            finalized: false,
+        }
+    }
+
+    /// Current DRAM cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The device model (stats inspection).
+    pub fn mem(&self) -> &DramSystem {
+        &self.mem
+    }
+
+    /// The host address mapper.
+    pub fn mapper(&self) -> &PartitionedMapping {
+        &self.mapper
+    }
+
+    /// Record every DRAM command for offline validation with
+    /// [`chopim_dram::TimingChecker`].
+    pub fn enable_mem_trace(&mut self) {
+        self.mem.enable_trace();
+    }
+
+    /// Take the recorded command trace.
+    pub fn take_mem_trace(
+        &mut self,
+    ) -> Vec<(usize, Cycle, chopim_dram::Command, chopim_dram::Issuer)> {
+        self.mem.take_trace()
+    }
+
+    /// Aggregate host IPC so far.
+    pub fn host_ipc(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc()).sum()
+    }
+
+    /// Scheduler queue dump for one channel (debugging aid).
+    pub fn explain_mc(&self, ch: usize) -> String {
+        self.mcs[ch].explain(&self.mem, self.now)
+    }
+
+    /// One-line internal state summary (debugging aid).
+    pub fn debug_state(&self) -> String {
+        format!(
+            "llc={} fills={} core_out={:?} rq={:?} wq={:?} stage={} launches={}",
+            self.llc_outstanding,
+            self.fills.len(),
+            self.cores.iter().map(|c| c.outstanding_misses()).collect::<Vec<_>>(),
+            self.mcs.iter().map(|m| m.read_queue_len()).collect::<Vec<_>>(),
+            self.mcs.iter().map(|m| m.write_queue_len()).collect::<Vec<_>>(),
+            self.launch_stage.len(),
+            self.launches.len(),
+        )
+    }
+
+    /// Advance one DRAM cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. Launch deliveries whose control writes completed.
+        while let Some(&Reverse((t, id))) = self.launch_events.peek() {
+            if t > now {
+                break;
+            }
+            self.launch_events.pop();
+            let lf = self.launches.get_mut(&id).expect("launch record");
+            lf.writes_remaining -= 1;
+            if lf.writes_remaining == 0 {
+                let lf = self.launches.remove(&id).expect("present");
+                self.launch_inflight[lf.nda_idx] -= 1;
+                self.shadows[lf.nda_idx]
+                    .launch(lf.instr.clone())
+                    .unwrap_or_else(|_| panic!("shadow queue overflow"));
+                self.ndas[lf.nda_idx]
+                    .launch(lf.instr)
+                    .unwrap_or_else(|_| panic!("NDA queue overflow"));
+            }
+        }
+
+        // 2. Read fills due at the cores.
+        while let Some(&Reverse((t, core, req))) = self.fills.peek() {
+            if t > now {
+                break;
+            }
+            self.fills.pop();
+            self.cores[core].fill(req);
+            self.llc_outstanding -= 1;
+        }
+
+        // 3. CPU cycles (4 GHz vs 1.2 GHz bus).
+        self.cpu_accum += CPU_CLOCK_NUM;
+        while self.cpu_accum >= CPU_CLOCK_DEN {
+            self.cpu_accum -= CPU_CLOCK_DEN;
+            self.cpu_cycles += 1;
+            self.cpu_step(now);
+        }
+
+        // 4. Stage at most one NDA instruction launch per cycle.
+        if self.launch_stage.is_empty() {
+            let ndas = &self.ndas;
+            let inflight = &self.launch_inflight;
+            let space =
+                |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
+            self.launch_stage.extend(self.runtime.next_launches(space, 1));
+        }
+        if let Some(head) = self.launch_stage.front() {
+            let (ch, rank) = self.runtime.nda_ranks()[head.nda_idx];
+            let k = self.cfg.launch_writes_per_instr.max(1);
+            #[allow(clippy::collapsible_if)]
+            if self.mcs[ch].read_queue_len() + k as usize <= 32 {
+                let head = self.launch_stage.pop_front().expect("checked");
+                let id = self.next_launch;
+                self.next_launch += 1;
+                // Control-register writes: a fixed row in the top bank.
+                let ctrl_row = (self.cfg.dram.rows - 1) as u32;
+                let flat = self.cfg.dram.banks_per_rank() - 1;
+                for w in 0..k {
+                    let addr = chopim_dram::DramAddress {
+                        channel: ch,
+                        rank,
+                        bankgroup: flat / self.cfg.dram.banks_per_group,
+                        bank: flat % self.cfg.dram.banks_per_group,
+                        row: ctrl_row,
+                        col: (id as u32 * k + w) % self.cfg.dram.lines_per_row() as u32,
+                    };
+                    let ok = self.mcs[ch].try_push(HostTransaction {
+                        addr,
+                        is_write: true,
+                        meta: TxMeta::Launch { launch: id },
+                        arrival: now,
+                    });
+                    assert!(ok, "checked space above");
+                }
+                self.launch_inflight[head.nda_idx] += 1;
+                self.launches.insert(
+                    id,
+                    LaunchInFlight {
+                        instr: head.instr,
+                        nda_idx: head.nda_idx,
+                        writes_remaining: k,
+                    },
+                );
+            }
+        }
+
+        // 4b. Packetized ingress: requests reach the memory-side
+        // controller after the serialization latency.
+        while let Some(&(ready, _)) = self.ingress.front() {
+            if ready > now {
+                break;
+            }
+            let (_, tx) = self.ingress.pop_front().expect("checked");
+            if !self.mcs[tx.addr.channel].try_push(tx) {
+                // Controller full: retry next cycle (keeps order).
+                self.ingress.push_front((now + 1, tx));
+                break;
+            }
+        }
+
+        // 5. Host memory controllers (priority on the channel).
+        for ch in 0..self.mcs.len() {
+            if let Some(Issued { data, completed: Some(tx), .. }) =
+                self.mcs[ch].tick(&mut self.mem, now)
+            {
+                {
+                    match tx.meta {
+                        TxMeta::CoreRead { core, req } => {
+                            // Packetized responses pay the return-path
+                            // serialization latency too.
+                            let ready = data.end.expect("read")
+                                + Cycle::from(self.cfg.packetized_latency);
+                            self.fills.push(Reverse((ready, core, req)));
+                        }
+                        TxMeta::Launch { launch } => {
+                            self.launch_events
+                                .push(Reverse((data.end.expect("write"), launch)));
+                        }
+                        TxMeta::CoreWrite => {}
+                    }
+                }
+            }
+        }
+
+        // 6. NDA controllers (one per rank, independent command paths).
+        for i in 0..self.ndas.len() {
+            let (ch, rank) = (self.ndas[i].channel(), self.ndas[i].rank());
+            let oldest = self.mcs[ch].oldest_read_rank();
+            let allow =
+                self.cfg.policy.allow_write(oldest, rank, &mut self.policy_rng);
+            let result = self.ndas[i].tick(&mut self.mem, now, allow);
+            // Mirror onto the host-side shadow FSM: identical peek (write
+            // absorption) and, for column grants, identical commit.
+            let want = self.shadows[i].next_access();
+            if let NdaTickResult::Issued(cmd) = result {
+                if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                    let acc = want.expect("shadow must want an access too");
+                    debug_assert_eq!(
+                        (acc.write, acc.row, acc.col),
+                        (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
+                        "shadow diverged from NDA controller"
+                    );
+                    self.shadows[i].commit(acc);
+                }
+            }
+            // Completions (both sides pop identically).
+            while let Some(id) = self.ndas[i].fsm_mut().pop_completed() {
+                let sid = self.shadows[i].pop_completed();
+                debug_assert_eq!(sid, Some(id));
+                self.nda_instrs_completed += 1;
+                let _ = self.runtime.complete_instr(id, now);
+            }
+        }
+
+        // 7. Replicated-FSM equality check.
+        if self.cfg.verify_fsm && now.is_multiple_of(1024) {
+            assert!(self.fsm_in_sync(), "replicated FSMs diverged at cycle {now}");
+        }
+
+        self.now += 1;
+    }
+
+    fn cpu_step(&mut self, now: Cycle) {
+        let Self { cores, core_regions, mcs, mapper, llc_outstanding, ingress, cfg, .. } = self;
+        let pkt = Cycle::from(cfg.packetized_latency);
+        for (i, core) in cores.iter_mut().enumerate() {
+            let region = &core_regions[i];
+            let mut sink = |req: chopim_host::MemRequest| -> bool {
+                let offset = (req.line * 64) % region.len_bytes();
+                let d = mapper.map_pa(region.pa_of(offset));
+                let tx = if req.is_write {
+                    HostTransaction {
+                        addr: d,
+                        is_write: true,
+                        meta: TxMeta::CoreWrite,
+                        arrival: now,
+                    }
+                } else {
+                    if *llc_outstanding >= LLC_MSHRS {
+                        return false;
+                    }
+                    HostTransaction {
+                        addr: d,
+                        is_write: false,
+                        meta: TxMeta::CoreRead { core: i, req: req.id },
+                        arrival: now,
+                    }
+                };
+                let ok = if pkt > 0 {
+                    // Packetized link: bounded in-flight window, then the
+                    // serialization delay before the memory-side queue.
+                    if ingress.len() >= 64 {
+                        false
+                    } else {
+                        ingress.push_back((now + pkt, tx));
+                        true
+                    }
+                } else {
+                    mcs[d.channel].try_push(tx)
+                };
+                if ok && !tx.is_write {
+                    *llc_outstanding += 1;
+                }
+                ok
+            };
+            core.cpu_cycle(&mut sink);
+        }
+    }
+
+    /// Run for `cycles` DRAM cycles.
+    pub fn run(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Run until every launched op has completed (or `max` cycles).
+    /// Returns the cycles consumed.
+    pub fn run_until_quiescent(&mut self, max: Cycle) -> Cycle {
+        let start = self.now;
+        while self.now - start < max {
+            if self.runtime.quiescent()
+                && self.launch_stage.is_empty()
+                && self.launches.is_empty()
+                && self.ndas.iter().all(|n| n.fsm().is_idle())
+            {
+                break;
+            }
+            self.tick();
+        }
+        self.now - start
+    }
+
+    /// Run for `cycles`, relaunching the NDA workload whenever it
+    /// completes so concurrent access persists for the whole window — the
+    /// paper's methodology (§VI). Returns the number of completions.
+    pub fn run_relaunching(
+        &mut self,
+        cycles: Cycle,
+        mut make: impl FnMut(&mut Runtime) -> crate::runtime::OpId,
+    ) -> u64 {
+        let end = self.now + cycles;
+        let mut op = make(&mut self.runtime);
+        let mut completions = 0;
+        while self.now < end {
+            if self.runtime.op_done(op) {
+                completions += 1;
+                op = make(&mut self.runtime);
+            }
+            self.tick();
+        }
+        completions
+    }
+
+    /// Run until `op` completes (or `max` cycles). Returns cycles consumed.
+    pub fn run_until_op(&mut self, op: crate::runtime::OpId, max: Cycle) -> Cycle {
+        let start = self.now;
+        while !self.runtime.op_done(op) && self.now - start < max {
+            self.tick();
+        }
+        self.now - start
+    }
+
+    /// True while every host-side shadow FSM matches its rank's FSM.
+    pub fn fsm_in_sync(&self) -> bool {
+        self.ndas
+            .iter()
+            .zip(&self.shadows)
+            .all(|(n, s)| n.fsm().fingerprint() == s.fingerprint())
+    }
+
+    /// NDA instructions completed so far.
+    pub fn nda_instrs_completed(&self) -> u64 {
+        self.nda_instrs_completed
+    }
+
+    /// Build the metrics report for the window `[0, now)`.
+    pub fn report(&mut self) -> SimReport {
+        if !self.finalized {
+            self.mem.finalize(self.now);
+            self.finalized = true;
+        }
+        let dram = self.mem.stats();
+        let per_core_ipc: Vec<f64> = self.cores.iter().map(|c| c.ipc()).collect();
+        let host_ipc = per_core_ipc.iter().sum();
+        let seconds = self.now as f64 / 1.2e9;
+        let nda_bytes = (dram.reads_nda + dram.writes_nda) * 64;
+        let host_bytes = (dram.reads_host + dram.writes_host) * 64;
+        let core_bytes: u64 =
+            self.cores.iter().map(|c| (c.reads_sent() + c.writes_sent()) * 64).sum();
+
+        // Idealized NDA bandwidth: all rank cycles the host leaves idle.
+        let mut ideal_cycles = 0u64;
+        let mut idle_histograms = Vec::new();
+        for &(c, r) in self.runtime.nda_ranks() {
+            let rs = &self.mem.channel(c).stats.ranks[r];
+            ideal_cycles += self.now.saturating_sub(rs.host_data_cycles);
+            idle_histograms.push(rs.idle.clone());
+        }
+        // Each busy data cycle moves `line_bytes / bl` bytes; utilization
+        // is the cycle ratio.
+        let nda_bw_utilization = if ideal_cycles == 0 {
+            0.0
+        } else {
+            dram.nda_data_cycles as f64 / ideal_cycles as f64
+        };
+
+        let n_pes = self.cfg.dram.chips_per_rank * self.runtime.nda_ranks().len();
+        let energy = energy::compute(
+            &EnergyParams::default(),
+            &dram,
+            &self.runtime.pe_activity,
+            self.now,
+            self.cfg.dram.line_bytes(),
+            n_pes,
+        );
+        let (hits, misses) = self
+            .mcs
+            .iter()
+            .fold((0, 0), |(h, m), mc| (h + mc.row_hits(), m + mc.row_misses));
+        let (lat, nreads) = self
+            .mcs
+            .iter()
+            .fold((0, 0), |(l, n), mc| (l + mc.read_latency_sum, n + mc.reads_completed));
+        SimReport {
+            cycles: self.now,
+            cpu_cycles: self.cpu_cycles,
+            host_ipc,
+            per_core_ipc,
+            nda_bytes,
+            nda_bw_gbs: if seconds > 0.0 { nda_bytes as f64 / seconds / 1e9 } else { 0.0 },
+            host_bw_gbs: if seconds > 0.0 { host_bytes as f64 / seconds / 1e9 } else { 0.0 },
+            core_bw_gbs: if seconds > 0.0 { core_bytes as f64 / seconds / 1e9 } else { 0.0 },
+            nda_bw_utilization,
+            idle_histograms,
+            host_row_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            avg_read_latency: if nreads > 0 { lat as f64 / nreads as f64 } else { 0.0 },
+            dram,
+            energy,
+            nda_instrs_completed: self.nda_instrs_completed,
+        }
+    }
+}
+
+/// Allocate a host footprint, shrinking on exhaustion (tests use small
+/// pools).
+fn runtime_alloc_host(runtime: &mut Runtime, rows: usize) -> Region {
+    runtime.alloc_host_region(rows)
+}

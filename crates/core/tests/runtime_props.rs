@@ -1,0 +1,254 @@
+//! Property tests of the runtime/API through the full simulated machine:
+//! numerics must match host references for every op, length, granularity
+//! and launch mode — the function/timing split must never corrupt values.
+
+use chopim_core::prelude::*;
+use proptest::prelude::*;
+
+fn sys() -> ChopimSystem {
+    ChopimSystem::new(ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        ..ChopimConfig::default()
+    })
+}
+
+fn data(len: usize, salt: u64) -> Vec<f32> {
+    (0..len).map(|i| ((i as u64 ^ salt) % 31) as f32 * 0.25 - 3.5).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// AXPBY through the machine equals the host reference for random
+    /// shapes, scalars, granularities, and launch modes.
+    #[test]
+    fn prop_axpby_matches_reference(
+        len in 64usize..3000,
+        a in -4.0f32..4.0,
+        b in -4.0f32..4.0,
+        gran in prop::option::of(1u64..600),
+        barrier in any::<bool>(),
+    ) {
+        let mut sys = sys();
+        let x = sys.runtime.vector(len, Sharing::Shared);
+        let y = sys.runtime.vector(len, Sharing::Shared);
+        let z = sys.runtime.vector(len, Sharing::Shared);
+        let xd = data(len, 1);
+        let yd = data(len, 2);
+        sys.runtime.write_vector(x, &xd);
+        sys.runtime.write_vector(y, &yd);
+        let op = sys.runtime.launch_elementwise(
+            Opcode::Axpby,
+            vec![a, b],
+            vec![x, y],
+            Some(z),
+            LaunchOpts { granularity_lines: gran, barrier_per_chunk: barrier },
+        );
+        let cycles = sys.run_until_op(op, 80_000_000);
+        prop_assert!(sys.runtime.op_done(op), "did not finish in {cycles}");
+        for i in (0..len).step_by(41) {
+            let expect = a * xd[i] + b * yd[i];
+            prop_assert_eq!(sys.runtime.read_vector(z)[i], expect, "elem {}", i);
+        }
+    }
+
+    /// DOT reduction equals the host reference exactly (same summation
+    /// order), for any length and granularity.
+    #[test]
+    fn prop_dot_matches_reference(
+        len in 64usize..4000,
+        gran in prop::option::of(16u64..512),
+    ) {
+        let mut sys = sys();
+        let x = sys.runtime.vector(len, Sharing::Shared);
+        let y = sys.runtime.vector(len, Sharing::Shared);
+        let xd = data(len, 3);
+        let yd = data(len, 4);
+        sys.runtime.write_vector(x, &xd);
+        sys.runtime.write_vector(y, &yd);
+        let op = sys.runtime.launch_elementwise(
+            Opcode::Dot,
+            vec![],
+            vec![x, y],
+            None,
+            LaunchOpts { granularity_lines: gran, barrier_per_chunk: true },
+        );
+        sys.run_until_op(op, 80_000_000);
+        prop_assert!(sys.runtime.op_done(op));
+        let expect: f32 = xd.iter().zip(&yd).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(sys.runtime.op_result(op), Some(expect));
+    }
+
+    /// In-place ops (SCAL) preserve untouched prefix state and match the
+    /// reference, under concurrent host traffic.
+    #[test]
+    fn prop_scal_in_place_under_host_load(
+        len in 64usize..2000,
+        alpha in -2.0f32..2.0,
+        mix in 0usize..9,
+    ) {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+            mix: Some(MixId::new(mix).unwrap()),
+            ..ChopimConfig::default()
+        });
+        let x = sys.runtime.vector(len, Sharing::Shared);
+        let xd = data(len, 5);
+        sys.runtime.write_vector(x, &xd);
+        let op = sys.runtime.launch_elementwise(
+            Opcode::Scal,
+            vec![alpha],
+            vec![],
+            Some(x),
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(op, 120_000_000);
+        prop_assert!(sys.runtime.op_done(op));
+        for i in (0..len).step_by(29) {
+            prop_assert_eq!(sys.runtime.read_vector(x)[i], alpha * xd[i]);
+        }
+        prop_assert!(sys.fsm_in_sync());
+    }
+
+    /// Chained ops see each other's results (read-after-write across
+    /// launches).
+    #[test]
+    fn prop_chained_ops_are_ordered(len in 128usize..1500) {
+        let mut sys = sys();
+        let x = sys.runtime.vector(len, Sharing::Shared);
+        let y = sys.runtime.vector(len, Sharing::Shared);
+        let xd = data(len, 8);
+        sys.runtime.write_vector(x, &xd);
+        // y = x; then y *= 2; then c = y . y
+        let c1 = sys.runtime.launch_elementwise(
+            Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
+        sys.run_until_op(c1, 50_000_000);
+        let c2 = sys.runtime.launch_elementwise(
+            Opcode::Scal, vec![2.0], vec![], Some(y), LaunchOpts::default());
+        sys.run_until_op(c2, 50_000_000);
+        let c3 = sys.runtime.launch_elementwise(
+            Opcode::Dot, vec![], vec![y, y], None, LaunchOpts::default());
+        sys.run_until_op(c3, 50_000_000);
+        prop_assert!(sys.runtime.op_done(c3));
+        let expect: f32 = xd.iter().map(|v| (2.0 * v) * (2.0 * v)).sum();
+        prop_assert_eq!(sys.runtime.op_result(c3), Some(expect));
+    }
+}
+
+/// Granularity must not change results, only timing.
+#[test]
+fn granularity_is_timing_only() {
+    let len = 4096;
+    let mut results = Vec::new();
+    for gran in [None, Some(8u64), Some(128), Some(1024)] {
+        let mut sys = sys();
+        let x = sys.runtime.vector(len, Sharing::Shared);
+        let y = sys.runtime.vector(len, Sharing::Shared);
+        sys.runtime.write_vector(x, &data(len, 6));
+        sys.runtime.write_vector(y, &data(len, 7));
+        let op = sys.runtime.launch_elementwise(
+            Opcode::Dot,
+            vec![],
+            vec![x, y],
+            None,
+            LaunchOpts { granularity_lines: gran, barrier_per_chunk: false },
+        );
+        sys.run_until_op(op, 80_000_000);
+        results.push(sys.runtime.op_result(op).unwrap());
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
+
+/// Private arrays are truly per-NDA: clearing and reducing work for any
+/// rank count.
+#[test]
+fn private_arrays_reduce_across_rank_counts() {
+    for ranks in [2usize, 4] {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            dram: DramConfig::table_ii()
+                .with_ranks(ranks)
+                .with_timing(TimingParams::ddr4_2400_no_refresh()),
+            ..ChopimConfig::default()
+        });
+        let d = 64;
+        let x = sys.runtime.matrix(8, d);
+        let xd = data(8 * d, 9);
+        sys.runtime.write_matrix(x, &xd);
+        let a_pvt = sys.runtime.vector(d, Sharing::Private);
+        let a = sys.runtime.vector(d, Sharing::Shared);
+        let alphas = vec![0.5f32; 8];
+        let op = sys.runtime.launch_macro_axpy_rows(
+            a_pvt,
+            alphas,
+            x,
+            2,
+            LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+        );
+        sys.run_until_op(op, 80_000_000);
+        assert!(sys.runtime.op_done(op));
+        sys.runtime.host_reduce(a, a_pvt);
+        for j in (0..d).step_by(13) {
+            let expect: f32 = (0..8).map(|i| 0.5 * xd[i * d + j]).sum();
+            let got = sys.runtime.read_vector(a)[j];
+            assert!((got - expect).abs() < 1e-4, "ranks={ranks} j={j}: {got} vs {expect}");
+        }
+        sys.runtime.clear_private(a_pvt);
+        for r in 0..sys.runtime.nda_ranks().len() {
+            assert!(sys.runtime.read_private(a_pvt, r).iter().all(|&v| v == 0.0));
+        }
+    }
+}
+
+/// Operands in different colors are realigned by runtime-inserted copies
+/// (paper §V): the result is still exact and the copy is accounted.
+#[test]
+fn color_mismatch_inserts_realignment_copy() {
+    let mut sys = sys();
+    let len = 2048;
+    let x = sys.runtime.vector_colored(len, Sharing::Shared, Color(1));
+    let y = sys.runtime.vector_colored(len, Sharing::Shared, Color(5));
+    let z = sys.runtime.vector_colored(len, Sharing::Shared, Color(5));
+    assert_eq!(sys.runtime.color_of(x), Color(1));
+    let xd = data(len, 21);
+    let yd = data(len, 22);
+    sys.runtime.write_vector(x, &xd);
+    sys.runtime.write_vector(y, &yd);
+    let op = sys.runtime.launch_elementwise(
+        Opcode::Axpby,
+        vec![2.0, 1.0],
+        vec![x, y],
+        Some(z),
+        LaunchOpts::default(),
+    );
+    sys.run_until_op(op, 100_000_000);
+    assert!(sys.runtime.op_done(op));
+    assert_eq!(
+        sys.runtime.realignment_copies, 1,
+        "x (color 1) must be copied into z's color 5"
+    );
+    for i in (0..len).step_by(37) {
+        assert_eq!(sys.runtime.read_vector(z)[i], 2.0 * xd[i] + yd[i], "elem {i}");
+    }
+    // Same-colored operands need no copies.
+    let op2 = sys.runtime.launch_elementwise(
+        Opcode::Dot,
+        vec![],
+        vec![y, z],
+        None,
+        LaunchOpts::default(),
+    );
+    sys.run_until_op(op2, 100_000_000);
+    assert_eq!(sys.runtime.realignment_copies, 1, "no new copies for same color");
+}
+
+/// Same-colored vectors share rank alignment: per-rank line counts agree
+/// for every color.
+#[test]
+fn colored_vectors_are_rank_aligned() {
+    let mut sys = sys();
+    assert_eq!(sys.runtime.num_colors(), 8, "Table II: 8 colors");
+    for c in 0..8u32 {
+        let v = sys.runtime.vector_colored(4096, Sharing::Shared, Color(c));
+        assert_eq!(sys.runtime.color_of(v), Color(c));
+    }
+}

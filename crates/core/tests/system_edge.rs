@@ -1,0 +1,138 @@
+//! Edge-case integration tests: backpressure, refresh interplay,
+//! quiescence, and report stability.
+
+use chopim_core::prelude::*;
+use chopim_dram::TimingChecker;
+
+fn cfg() -> ChopimConfig {
+    ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        ..ChopimConfig::default()
+    }
+}
+
+#[test]
+fn tiny_nda_queue_applies_backpressure_without_deadlock() {
+    // Queue depth 1 forces the launch pipeline to stall-and-go; every
+    // instruction must still complete, in order.
+    let mut sys = ChopimSystem::new(ChopimConfig { nda_queue_cap: 1, ..cfg() });
+    let x = sys.runtime.vector(1 << 14, Sharing::Shared);
+    let y = sys.runtime.vector(1 << 14, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![3.0; 1 << 14]);
+    let op = sys.runtime.launch_elementwise(
+        Opcode::Copy,
+        vec![],
+        vec![x],
+        Some(y),
+        LaunchOpts { granularity_lines: Some(64), barrier_per_chunk: false },
+    );
+    let cycles = sys.run_until_op(op, 30_000_000);
+    assert!(sys.runtime.op_done(op), "stalled after {cycles} cycles");
+    assert_eq!(sys.runtime.read_vector(y)[77], 3.0);
+    assert!(sys.fsm_in_sync());
+}
+
+#[test]
+fn refresh_and_nda_traffic_interleave_legally() {
+    // Refresh enabled + concurrent NDA COPY + host mix: the trace must
+    // still pass the independent checker, including tRFC blackouts.
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        dram: DramConfig::table_ii(), // refresh on
+        mix: Some(MixId::new(5).unwrap()),
+        ..ChopimConfig::default()
+    });
+    sys.enable_mem_trace();
+    let x = sys.runtime.vector(1 << 14, Sharing::Shared);
+    let y = sys.runtime.vector(1 << 14, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![1.0; 1 << 14]);
+    sys.run_relaunching(60_000, |rt| {
+        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+    });
+    let r = sys.report();
+    assert!(r.dram.refreshes > 10, "expected periodic refresh, got {}", r.dram.refreshes);
+    assert!(r.dram.reads_nda > 0);
+    let trace = sys.take_mem_trace();
+    let dcfg = DramConfig::table_ii();
+    for ch in 0..dcfg.channels {
+        let mut checker = TimingChecker::new(&dcfg);
+        for (c, at, cmd, issuer) in trace.iter().filter(|e| e.0 == ch) {
+            let _ = c;
+            checker.step(*at, cmd, *issuer).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn run_until_quiescent_drains_everything() {
+    let mut sys = ChopimSystem::new(cfg());
+    let x = sys.runtime.vector(1 << 13, Sharing::Shared);
+    let y = sys.runtime.vector(1 << 13, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![2.5; 1 << 13]);
+    // Three ops queued back to back.
+    let _ = sys.runtime.launch_elementwise(
+        Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
+    let _ = sys.runtime.launch_elementwise(
+        Opcode::Scal, vec![2.0], vec![], Some(y), LaunchOpts::default());
+    let d = sys.runtime.launch_elementwise(
+        Opcode::Dot, vec![], vec![y, y], None, LaunchOpts::default());
+    let used = sys.run_until_quiescent(50_000_000);
+    assert!(used < 50_000_000, "did not quiesce");
+    assert!(sys.runtime.quiescent());
+    let expect = 25.0f32 * (1 << 13) as f32;
+    assert_eq!(sys.runtime.op_result(d), Some(expect));
+}
+
+#[test]
+fn reports_are_monotone_across_windows() {
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        mix: Some(MixId::new(6).unwrap()),
+        ..cfg()
+    });
+    sys.run(40_000);
+    let r1 = sys.report();
+    sys.run(40_000);
+    let r2 = sys.report();
+    assert!(r2.cycles == 2 * r1.cycles);
+    assert!(r2.dram.reads_host > r1.dram.reads_host);
+    assert!(r2.cpu_cycles > r1.cpu_cycles);
+    // IPC is a rate: must stay within sane bounds across windows.
+    assert!(r2.host_ipc > 0.0 && r2.host_ipc < 8.0 * 4.0);
+}
+
+#[test]
+fn zero_host_zero_nda_machine_is_stable() {
+    let mut sys = ChopimSystem::new(cfg());
+    sys.run(10_000);
+    let r = sys.report();
+    assert_eq!(r.dram.reads_host + r.dram.reads_nda, 0);
+    assert_eq!(r.host_ipc, 0.0);
+    assert_eq!(r.nda_bw_utilization, 0.0);
+    assert!(sys.fsm_in_sync());
+}
+
+#[test]
+fn eight_rank_geometry_full_stack() {
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        dram: DramConfig::table_ii()
+            .with_ranks(8)
+            .with_timing(TimingParams::ddr4_2400_no_refresh()),
+        mix: Some(MixId::new(7).unwrap()),
+        nda_queue_cap: 32,
+        ..ChopimConfig::default()
+    });
+    assert_eq!(sys.runtime.nda_ranks().len(), 16, "2 ch x 8 rk = 16 NDAs");
+    let x = sys.runtime.vector(1 << 15, Sharing::Shared);
+    let y = sys.runtime.vector(1 << 15, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![1.0; 1 << 15]);
+    let op = sys.runtime.launch_elementwise(
+        Opcode::Copy,
+        vec![],
+        vec![x],
+        Some(y),
+        LaunchOpts::default(),
+    );
+    sys.run_until_op(op, 30_000_000);
+    assert!(sys.runtime.op_done(op));
+    assert_eq!(sys.runtime.read_vector(y)[1 << 14], 1.0);
+    assert!(sys.fsm_in_sync());
+}

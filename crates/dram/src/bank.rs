@@ -1,0 +1,104 @@
+//! Per-bank state machine and timing registers.
+
+use crate::Cycle;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BankState {
+    /// All rows precharged.
+    #[default]
+    Closed,
+    /// `row` is latched in the row buffer.
+    Opened {
+        /// The currently open row.
+        row: u32,
+    },
+}
+
+/// One DRAM bank: row-buffer state plus the earliest-allowed issue times of
+/// each command class that is constrained at bank scope.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle an ACT may issue (tRP after PRE, tRC after prior ACT).
+    pub next_act: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS after ACT, tRTP after RD,
+    /// write recovery after WR).
+    pub next_pre: Cycle,
+    /// Earliest cycle a RD may issue (tRCD after ACT).
+    pub next_rd: Cycle,
+    /// Earliest cycle a WR may issue (tRCD after ACT).
+    pub next_wr: Cycle,
+}
+
+impl Bank {
+    /// A freshly precharged bank with no timing debt.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current row-buffer state.
+    #[inline]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Opened { row } => Some(row),
+            BankState::Closed => None,
+        }
+    }
+
+    /// True if `row` is currently latched (a row hit for column commands).
+    #[inline]
+    pub fn is_row_hit(&self, row: u32) -> bool {
+        self.open_row() == Some(row)
+    }
+
+    /// Latch `row` (ACT). Caller must have validated state and timing.
+    pub(crate) fn do_activate(&mut self, row: u32) {
+        debug_assert!(matches!(self.state, BankState::Closed), "ACT to open bank");
+        self.state = BankState::Opened { row };
+    }
+
+    /// Precharge (PRE / PREA / REF prep).
+    pub(crate) fn do_precharge(&mut self) {
+        self.state = BankState::Closed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_closed() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Closed);
+        assert_eq!(b.open_row(), None);
+        assert!(!b.is_row_hit(0));
+    }
+
+    #[test]
+    fn activate_then_precharge() {
+        let mut b = Bank::new();
+        b.do_activate(17);
+        assert_eq!(b.open_row(), Some(17));
+        assert!(b.is_row_hit(17));
+        assert!(!b.is_row_hit(18));
+        b.do_precharge();
+        assert_eq!(b.state(), BankState::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "ACT to open bank")]
+    #[cfg(debug_assertions)]
+    fn double_activate_panics_in_debug() {
+        let mut b = Bank::new();
+        b.do_activate(1);
+        b.do_activate(2);
+    }
+}

@@ -1,0 +1,446 @@
+//! An independent JEDEC-timing validator.
+//!
+//! [`TimingChecker`] replays a command trace with a *separately written*
+//! rule set (different structure from [`crate::channel::Channel`]'s
+//! earliest-time registers) and reports the first violation. The simulator
+//! proper and the checker cross-validate each other: integration and
+//! property tests drive random host+NDA schedules through the channel
+//! model and then assert the accepted trace is violation free.
+//!
+//! Like the channel model, the checker is issuer aware: rank-internal
+//! constraints bind host and NDA commands to the same rank against each
+//! other, while external-bus constraints (tRTRS, channel read→write
+//! turnaround, one command per cycle on the C/A bus) bind host commands
+//! only.
+
+use crate::command::{Command, CommandKind, Issuer};
+use crate::config::DramConfig;
+use crate::Cycle;
+
+/// A timing/state violation found while replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Cycle of the offending command.
+    pub at: Cycle,
+    /// The offending command.
+    pub command: Command,
+    /// Human-readable rule description.
+    pub rule: String,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {} violates {}", self.at, self.command, self.rule)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankHist {
+    open_row: Option<u32>,
+    last_act: Option<Cycle>,
+    last_pre: Option<Cycle>,
+    /// Last column ops by any issuer (rank-internal rules).
+    last_rd: Option<Cycle>,
+    last_wr: Option<Cycle>,
+    /// Last column ops by the host (external-bus rules).
+    last_rd_host: Option<Cycle>,
+    last_wr_host: Option<Cycle>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankHist {
+    banks: Vec<BankHist>,
+    acts: Vec<Cycle>,
+    last_refresh: Option<Cycle>,
+    last_cmd_at: Option<Cycle>,
+}
+
+/// Replays one channel's command trace and checks every constraint.
+#[derive(Debug, Clone)]
+pub struct TimingChecker {
+    config: DramConfig,
+    ranks: Vec<RankHist>,
+    last_host_cmd: Option<Cycle>,
+    last_at: Option<Cycle>,
+    checked: u64,
+}
+
+macro_rules! rule {
+    ($cond:expr, $at:expr, $cmd:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(CheckError { at: $at, command: *$cmd, rule: format!($($fmt)*) });
+        }
+    };
+}
+
+impl TimingChecker {
+    /// A checker for one channel of `config`'s geometry.
+    pub fn new(config: &DramConfig) -> Self {
+        let ranks = (0..config.ranks_per_channel)
+            .map(|_| RankHist {
+                banks: vec![BankHist::default(); config.banks_per_rank()],
+                acts: Vec::new(),
+                last_refresh: None,
+                last_cmd_at: None,
+            })
+            .collect();
+        Self { config: config.clone(), ranks, last_host_cmd: None, last_at: None, checked: 0 }
+    }
+
+    /// Number of commands checked so far.
+    pub fn commands_checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// Validate and apply the next command of the trace (commands must be
+    /// fed in nondecreasing cycle order).
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, with the cycle and command.
+    pub fn step(&mut self, at: Cycle, cmd: &Command, issuer: Issuer) -> Result<(), CheckError> {
+        let t = self.config.timing;
+        let bpg = self.config.banks_per_group;
+        if let Some(prev) = self.last_at {
+            rule!(prev <= at, at, cmd, "trace must be in cycle order (prev {prev})");
+        }
+        self.last_at = Some(at);
+        match issuer {
+            Issuer::Host => {
+                rule!(
+                    self.last_host_cmd != Some(at),
+                    at,
+                    cmd,
+                    "one host command per cycle on the C/A bus"
+                );
+                rule!(
+                    self.ranks[cmd.rank].last_cmd_at != Some(at),
+                    at,
+                    cmd,
+                    "rank command mux conflict (host after NDA, same cycle)"
+                );
+                self.last_host_cmd = Some(at);
+            }
+            Issuer::Nda => {
+                rule!(
+                    self.ranks[cmd.rank].last_cmd_at != Some(at),
+                    at,
+                    cmd,
+                    "one command per rank per cycle (NDA)"
+                );
+            }
+        }
+        self.ranks[cmd.rank].last_cmd_at = Some(at);
+
+        let ge = |base: Option<Cycle>, d: u32| base.is_none_or(|b| at >= b + Cycle::from(d));
+        let flat = cmd.flat_bank(bpg);
+        let nbanks = self.config.banks_per_rank();
+        let host = issuer == Issuer::Host;
+
+        // Refresh blackout at rank scope.
+        if let Some(rt) = self.ranks[cmd.rank].last_refresh {
+            rule!(
+                at >= rt + Cycle::from(t.rfc) || cmd.kind == CommandKind::RefAb,
+                at,
+                cmd,
+                "tRFC: rank busy refreshing until {}",
+                rt + Cycle::from(t.rfc)
+            );
+        }
+
+        match cmd.kind {
+            CommandKind::Act => {
+                let rk = &self.ranks[cmd.rank];
+                let b = rk.banks[flat];
+                rule!(b.open_row.is_none(), at, cmd, "ACT requires a closed bank");
+                rule!(ge(b.last_pre, t.rp), at, cmd, "tRP after PRE");
+                rule!(ge(b.last_act, t.rc), at, cmd, "tRC after prior ACT");
+                for (i, ob) in rk.banks.iter().enumerate() {
+                    if i == flat {
+                        continue;
+                    }
+                    if i / bpg == flat / bpg {
+                        rule!(ge(ob.last_act, t.rrdl), at, cmd, "tRRD_L in bank group");
+                    } else {
+                        rule!(ge(ob.last_act, t.rrds), at, cmd, "tRRD_S in rank");
+                    }
+                }
+                let in_faw = rk.acts.iter().filter(|&&a| a + Cycle::from(t.faw) > at).count();
+                rule!(in_faw < 4, at, cmd, "tFAW: {} ACTs in window", in_faw);
+                let rk = &mut self.ranks[cmd.rank];
+                let horizon = Cycle::from(t.faw);
+                rk.acts.retain(|&a| a + horizon > at);
+                rk.acts.push(at);
+                let b = &mut rk.banks[flat];
+                b.open_row = Some(cmd.row);
+                b.last_act = Some(at);
+                b.last_rd = None;
+                b.last_wr = None;
+                b.last_rd_host = None;
+                b.last_wr_host = None;
+            }
+            CommandKind::Pre | CommandKind::PreAll => {
+                let targets: Vec<usize> = if cmd.kind == CommandKind::Pre {
+                    vec![flat]
+                } else {
+                    (0..nbanks).collect()
+                };
+                for i in targets {
+                    let b = self.ranks[cmd.rank].banks[i];
+                    if b.open_row.is_some() {
+                        rule!(ge(b.last_act, t.ras), at, cmd, "tRAS before PRE (bank {i})");
+                        rule!(ge(b.last_rd, t.rtp), at, cmd, "tRTP before PRE (bank {i})");
+                        rule!(
+                            ge(b.last_wr, t.write_to_pre()),
+                            at,
+                            cmd,
+                            "write recovery before PRE (bank {i})"
+                        );
+                    }
+                    let b = &mut self.ranks[cmd.rank].banks[i];
+                    if b.open_row.is_some() {
+                        b.open_row = None;
+                        b.last_pre = Some(at);
+                    } else if cmd.kind == CommandKind::Pre {
+                        b.last_pre = Some(at);
+                    }
+                }
+            }
+            CommandKind::Rd | CommandKind::Wr => {
+                let is_wr = cmd.kind == CommandKind::Wr;
+                let b = self.ranks[cmd.rank].banks[flat];
+                rule!(
+                    b.open_row == Some(cmd.row),
+                    at,
+                    cmd,
+                    "column command needs open row {} (have {:?})",
+                    cmd.row,
+                    b.open_row
+                );
+                rule!(ge(b.last_act, t.rcd), at, cmd, "tRCD after ACT");
+                for (ri, rk) in self.ranks.iter().enumerate() {
+                    for (bi, ob) in rk.banks.iter().enumerate() {
+                        let same_rank = ri == cmd.rank;
+                        let same_bg = same_rank && bi / bpg == flat / bpg;
+                        if same_rank {
+                            // Rank-internal rules: any issuer pair.
+                            if !is_wr {
+                                if same_bg {
+                                    rule!(ge(ob.last_rd, t.ccdl), at, cmd, "tCCD_L RD->RD");
+                                    rule!(
+                                        ge(ob.last_wr, t.write_to_read_same_rank(true)),
+                                        at,
+                                        cmd,
+                                        "tWTR_L WR->RD"
+                                    );
+                                } else {
+                                    rule!(ge(ob.last_rd, t.ccds), at, cmd, "tCCD_S RD->RD");
+                                    rule!(
+                                        ge(ob.last_wr, t.write_to_read_same_rank(false)),
+                                        at,
+                                        cmd,
+                                        "tWTR_S WR->RD"
+                                    );
+                                }
+                            } else {
+                                if same_bg {
+                                    rule!(ge(ob.last_wr, t.ccdl), at, cmd, "tCCD_L WR->WR");
+                                } else {
+                                    rule!(ge(ob.last_wr, t.ccds), at, cmd, "tCCD_S WR->WR");
+                                }
+                                rule!(
+                                    ge(ob.last_rd, t.read_to_write()),
+                                    at,
+                                    cmd,
+                                    "rank I/O RD->WR turnaround"
+                                );
+                            }
+                        } else if host {
+                            // External-bus rules: host command vs earlier
+                            // *host* commands in other ranks.
+                            if !is_wr {
+                                rule!(
+                                    ge(ob.last_rd_host, t.col_to_col_diff_rank()),
+                                    at,
+                                    cmd,
+                                    "tRTRS RD->RD cross-rank"
+                                );
+                                rule!(
+                                    ge(ob.last_wr_host, t.write_to_read_diff_rank()),
+                                    at,
+                                    cmd,
+                                    "bus WR->RD cross-rank"
+                                );
+                            } else {
+                                rule!(
+                                    ge(ob.last_wr_host, t.col_to_col_diff_rank()),
+                                    at,
+                                    cmd,
+                                    "tRTRS WR->WR cross-rank"
+                                );
+                                rule!(
+                                    ge(ob.last_rd_host, t.read_to_write()),
+                                    at,
+                                    cmd,
+                                    "RD->WR bus turnaround"
+                                );
+                            }
+                        }
+                    }
+                }
+                let b = &mut self.ranks[cmd.rank].banks[flat];
+                if is_wr {
+                    b.last_wr = Some(at);
+                    if host {
+                        b.last_wr_host = Some(at);
+                    }
+                } else {
+                    b.last_rd = Some(at);
+                    if host {
+                        b.last_rd_host = Some(at);
+                    }
+                }
+            }
+            CommandKind::RefAb => {
+                let rk = &self.ranks[cmd.rank];
+                rule!(
+                    rk.banks.iter().all(|b| b.open_row.is_none()),
+                    at,
+                    cmd,
+                    "REF requires all banks closed"
+                );
+                for (i, b) in rk.banks.iter().enumerate() {
+                    rule!(ge(b.last_pre, t.rp), at, cmd, "tRP before REF (bank {i})");
+                }
+                if let Some(rt) = rk.last_refresh {
+                    rule!(ge(Some(rt), t.rfc), at, cmd, "tRFC between refreshes");
+                }
+                self.ranks[cmd.rank].last_refresh = Some(at);
+            }
+        }
+        self.checked += 1;
+        Ok(())
+    }
+
+    /// Validate a whole trace of `(cycle, command, issuer)` entries.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn check_trace(
+        config: &DramConfig,
+        trace: impl IntoIterator<Item = (Cycle, Command, Issuer)>,
+    ) -> Result<u64, CheckError> {
+        let mut c = Self::new(config);
+        for (at, cmd, issuer) in trace {
+            c.step(at, &cmd, issuer)?;
+        }
+        Ok(c.checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Command;
+
+    fn cfg() -> DramConfig {
+        DramConfig::table_ii()
+    }
+
+    const H: Issuer = Issuer::Host;
+    const N: Issuer = Issuer::Nda;
+
+    #[test]
+    fn accepts_legal_sequence() {
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (16, Command::rd(0, 0, 0, 1, 0), H),
+            (22, Command::rd(0, 0, 0, 1, 1), H),
+            (60, Command::pre(0, 0, 0), H),
+            (76, Command::act(0, 0, 0, 2), H),
+        ];
+        assert_eq!(TimingChecker::check_trace(&cfg(), trace).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_rcd_violation() {
+        let trace =
+            vec![(0, Command::act(0, 0, 0, 1), H), (10, Command::rd(0, 0, 0, 1, 0), H)];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("tRCD"), "{err}");
+    }
+
+    #[test]
+    fn rejects_row_mismatch() {
+        let trace =
+            vec![(0, Command::act(0, 0, 0, 1), H), (20, Command::rd(0, 0, 0, 9, 0), H)];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("open row"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wtr_violation_even_cross_issuer() {
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (4, Command::act(0, 1, 0, 2), H),
+            (30, Command::wr(0, 0, 0, 1, 0), N),
+            // tWTR_S = cwl+bl+wtrs = 19; 30+18 is too early even though
+            // the write came from the NDA — the rank I/O is shared.
+            (48, Command::rd(0, 1, 0, 2, 0), H),
+        ];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("tWTR"), "{err}");
+    }
+
+    #[test]
+    fn nda_cross_rank_is_unconstrained() {
+        // Host read rank 0 at 60; NDA read rank 1 at 61 is fine (no
+        // tRTRS for internal accesses).
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (4, Command::act(1, 0, 0, 2), H),
+            (60, Command::rd(0, 0, 0, 1, 0), H),
+            (61, Command::rd(1, 0, 0, 2, 0), N),
+        ];
+        TimingChecker::check_trace(&cfg(), trace).unwrap();
+        // But the same command from the host violates tRTRS.
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (4, Command::act(1, 0, 0, 2), H),
+            (60, Command::rd(0, 0, 0, 1, 0), H),
+            (61, Command::rd(1, 0, 0, 2, 0), H),
+        ];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("tRTRS"), "{err}");
+    }
+
+    #[test]
+    fn rejects_faw_violation() {
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (4, Command::act(0, 1, 0, 1), H),
+            (8, Command::act(0, 2, 0, 1), H),
+            (12, Command::act(0, 3, 0, 1), H),
+            (16, Command::act(0, 0, 1, 1), H),
+        ];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("tFAW"), "{err}");
+    }
+
+    #[test]
+    fn rejects_same_cycle_host_commands_but_allows_nda_parallelism() {
+        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(1, 0, 0, 1), H)];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("one host command"), "{err}");
+        // Host to rank 0 and NDA to rank 1 in the same cycle are legal.
+        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(1, 0, 0, 1), N)];
+        TimingChecker::check_trace(&cfg(), trace).unwrap();
+        // NDA to the same rank as a host command is not.
+        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(0, 1, 0, 1), N)];
+        let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
+        assert!(err.rule.contains("per rank"), "{err}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-rank state: banks, bank-group and rank-scope timing registers,
+//! the four-activate window, and refresh bookkeeping.
+
+use std::collections::VecDeque;
+
+use crate::bank::Bank;
+use crate::config::DramConfig;
+use crate::Cycle;
+
+/// Timing registers scoped to one bank group (the `_L` constraints).
+#[derive(Debug, Clone, Default)]
+pub struct BankGroupTiming {
+    /// Earliest RD in this bank group (tCCD_L, tWTR_L).
+    pub next_rd: Cycle,
+    /// Earliest WR in this bank group (tCCD_L).
+    pub next_wr: Cycle,
+    /// Earliest ACT in this bank group (tRRD_L).
+    pub next_act: Cycle,
+}
+
+/// One physical rank: a set of banks that share command timing at rank
+/// scope (`_S` constraints, tFAW, refresh).
+#[derive(Debug, Clone)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    bankgroups: Vec<BankGroupTiming>,
+    banks_per_group: usize,
+    /// Earliest RD at rank scope — *internal* DRAM-die constraints
+    /// (tCCD_S, tWTR_S, read/write turnaround on the die I/O). Shared by
+    /// host and NDA accesses: the rank cannot serve both at once.
+    pub next_rd: Cycle,
+    /// Earliest WR at rank scope (internal).
+    pub next_wr: Cycle,
+    /// Earliest ACT at rank scope (tRRD_S, tRFC after refresh).
+    pub next_act: Cycle,
+    /// Earliest *host* RD: external channel-bus constraints (tRTRS after
+    /// other ranks' bursts). NDA accesses never touch the channel bus and
+    /// ignore this.
+    pub ext_next_rd: Cycle,
+    /// Earliest host WR (external bus constraints).
+    pub ext_next_wr: Cycle,
+    /// Cycle of the last host command addressed to this rank (the die's
+    /// command mux can take one command per cycle).
+    pub last_host_cmd_at: Option<Cycle>,
+    /// Cycle of the last NDA-controller command to this rank.
+    pub last_nda_cmd_at: Option<Cycle>,
+    /// Issue times of the most recent ACTs, for the tFAW window.
+    faw_window: VecDeque<Cycle>,
+    /// Cycle at which an in-progress refresh completes (0 if none).
+    pub refresh_done_at: Cycle,
+    /// Number of all-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+impl Rank {
+    /// Build a rank for `config`'s geometry.
+    pub fn new(config: &DramConfig) -> Self {
+        Self {
+            banks: (0..config.banks_per_rank()).map(|_| Bank::new()).collect(),
+            bankgroups: (0..config.bankgroups).map(|_| BankGroupTiming::default()).collect(),
+            banks_per_group: config.banks_per_group,
+            next_rd: 0,
+            next_wr: 0,
+            next_act: 0,
+            ext_next_rd: 0,
+            ext_next_wr: 0,
+            last_host_cmd_at: None,
+            last_nda_cmd_at: None,
+            faw_window: VecDeque::with_capacity(4),
+            refresh_done_at: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Access a bank by (bankgroup, bank-in-group).
+    #[inline]
+    pub fn bank(&self, bankgroup: usize, bank: usize) -> &Bank {
+        &self.banks[bankgroup * self.banks_per_group + bank]
+    }
+
+    /// Mutable access to a bank by (bankgroup, bank-in-group).
+    #[inline]
+    pub fn bank_mut(&mut self, bankgroup: usize, bank: usize) -> &mut Bank {
+        &mut self.banks[bankgroup * self.banks_per_group + bank]
+    }
+
+    /// All banks, flat-indexed.
+    #[inline]
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// All banks, flat-indexed, mutable.
+    #[inline]
+    pub fn banks_mut(&mut self) -> &mut [Bank] {
+        &mut self.banks
+    }
+
+    /// Bank-group timing registers.
+    #[inline]
+    pub fn bankgroup_timing(&self, bankgroup: usize) -> &BankGroupTiming {
+        &self.bankgroups[bankgroup]
+    }
+
+    /// Bank-group timing registers, mutable.
+    #[inline]
+    pub fn bankgroup_timing_mut(&mut self, bankgroup: usize) -> &mut BankGroupTiming {
+        &mut self.bankgroups[bankgroup]
+    }
+
+    /// True when every bank in the rank is precharged (refresh precondition).
+    pub fn all_banks_closed(&self) -> bool {
+        self.banks.iter().all(|b| b.open_row().is_none())
+    }
+
+    /// Earliest cycle at which a new ACT satisfies the four-activate window.
+    pub fn faw_ready_at(&self, faw: u32) -> Cycle {
+        if self.faw_window.len() < 4 {
+            0
+        } else {
+            self.faw_window.front().copied().unwrap_or(0) + Cycle::from(faw)
+        }
+    }
+
+    /// Record an ACT at `now` in the tFAW window.
+    pub(crate) fn record_act(&mut self, now: Cycle) {
+        if self.faw_window.len() == 4 {
+            self.faw_window.pop_front();
+        }
+        self.faw_window.push_back(now);
+    }
+
+    /// True while an all-bank refresh is in progress at `now`.
+    #[inline]
+    pub fn refreshing(&self, now: Cycle) -> bool {
+        now < self.refresh_done_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let r = Rank::new(&DramConfig::table_ii());
+        assert_eq!(r.banks().len(), 16);
+        assert!(r.all_banks_closed());
+    }
+
+    #[test]
+    fn faw_window_tracks_last_four() {
+        let mut r = Rank::new(&DramConfig::table_ii());
+        let faw = 26;
+        assert_eq!(r.faw_ready_at(faw), 0);
+        for t in [10, 20, 30] {
+            r.record_act(t);
+            assert_eq!(r.faw_ready_at(faw), 0, "fewer than 4 ACTs never blocks");
+        }
+        r.record_act(40);
+        assert_eq!(r.faw_ready_at(faw), 10 + 26);
+        r.record_act(50);
+        // Window slides: oldest is now 20.
+        assert_eq!(r.faw_ready_at(faw), 20 + 26);
+    }
+
+    #[test]
+    fn bank_addressing_is_group_major() {
+        let mut r = Rank::new(&DramConfig::table_ii());
+        r.bank_mut(3, 1).do_activate(5);
+        assert_eq!(r.banks()[3 * 4 + 1].open_row(), Some(5));
+        assert!(!r.all_banks_closed());
+    }
+}

@@ -1,0 +1,216 @@
+//! Top-level multi-channel DRAM system.
+
+use crate::channel::Channel;
+use crate::command::{Command, Issuer};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+use crate::Cycle;
+
+/// Result of a column command: the interval the data burst occupies on the
+/// bus. For a read, `end` is also the fill-completion time at the
+/// controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataReady {
+    /// First cycle of the burst (tCL/tCWL after the command).
+    pub start: Option<Cycle>,
+    /// One past the last cycle of the burst.
+    pub end: Option<Cycle>,
+}
+
+impl DataReady {
+    /// No data movement (row commands).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A burst over `[start, end)`.
+    pub fn burst(start: Cycle, end: Cycle) -> Self {
+        Self { start: Some(start), end: Some(end) }
+    }
+}
+
+/// Why a command could not issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// Channel/rank/bank indices out of range.
+    BadAddress,
+    /// ACT to an already-open bank, or REF with open banks.
+    BankOpen,
+    /// Column command to a closed bank.
+    BankClosed,
+    /// Column command row differs from the open row.
+    RowMismatch,
+    /// A timing constraint is not yet satisfied.
+    TooEarly,
+    /// The command/address bus already carried a command this cycle.
+    CmdBusBusy,
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IssueError::BadAddress => "address out of range",
+            IssueError::BankOpen => "bank already open",
+            IssueError::BankClosed => "bank is closed",
+            IssueError::RowMismatch => "different row is open",
+            IssueError::TooEarly => "timing constraint not satisfied",
+            IssueError::CmdBusBusy => "command bus already used this cycle",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// The complete simulated memory system: `config.channels` independent
+/// channels, each with its ranks, banks, and timing state.
+#[derive(Debug, Clone)]
+pub struct DramSystem {
+    config: DramConfig,
+    channels: Vec<Channel>,
+    trace: Option<Vec<(usize, Cycle, Command, Issuer)>>,
+}
+
+impl DramSystem {
+    /// Build a system for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails — configurations are programmer
+    /// inputs, not runtime data.
+    pub fn new(config: DramConfig) -> Self {
+        config.validate().expect("invalid DRAM configuration");
+        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        Self { config, channels, trace: None }
+    }
+
+    /// Record every successfully issued command (for offline validation
+    /// with [`crate::TimingChecker`]). Costs memory; meant for tests.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (entries are `(channel, cycle, command,
+    /// issuer)`).
+    pub fn take_trace(&mut self) -> Vec<(usize, Cycle, Command, Issuer)> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The configuration this system was built with.
+    #[inline]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// All channels.
+    #[inline]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// One channel.
+    #[inline]
+    pub fn channel(&self, ch: usize) -> &Channel {
+        &self.channels[ch]
+    }
+
+    /// One channel, mutable (controllers drive it directly).
+    #[inline]
+    pub fn channel_mut(&mut self, ch: usize) -> &mut Channel {
+        &mut self.channels[ch]
+    }
+
+    /// True if `cmd` from `issuer` may issue on channel `ch` at `now`.
+    pub fn can_issue(&self, ch: usize, cmd: &Command, issuer: Issuer, now: Cycle) -> bool {
+        self.channels[ch].can_issue(cmd, issuer, now)
+    }
+
+    /// Issue `cmd` on channel `ch` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// See [`IssueError`].
+    pub fn issue(
+        &mut self,
+        ch: usize,
+        cmd: &Command,
+        issuer: Issuer,
+        now: Cycle,
+    ) -> Result<DataReady, IssueError> {
+        let r = self.channels[ch].issue(cmd, issuer, now);
+        if r.is_ok() {
+            if let Some(t) = &mut self.trace {
+                t.push((ch, now, *cmd, issuer));
+            }
+        }
+        r
+    }
+
+    /// Close idle-gap histograms at simulation end.
+    pub fn finalize(&mut self, end: Cycle) {
+        for ch in &mut self.channels {
+            ch.stats.finalize(end);
+        }
+    }
+
+    /// Aggregate statistics across channels and ranks.
+    pub fn stats(&self) -> DramStats {
+        let mut s = DramStats::default();
+        for ch in &self.channels {
+            s.turnarounds += ch.stats.turnarounds();
+            for r in &ch.stats.ranks {
+                s.reads_host += r.reads_host;
+                s.writes_host += r.writes_host;
+                s.reads_nda += r.reads_nda;
+                s.writes_nda += r.writes_nda;
+                s.acts += r.acts_host + r.acts_nda;
+                s.acts_nda += r.acts_nda;
+                s.refreshes += r.refreshes;
+                s.host_data_cycles += r.host_data_cycles;
+                s.nda_data_cycles += r.nda_data_cycles;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Command;
+
+    #[test]
+    fn channels_are_independent() {
+        let mut m = DramSystem::new(DramConfig::table_ii());
+        // Same cycle on different channels is fine.
+        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
+        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
+        // Same channel same cycle is not.
+        assert!(!m.can_issue(0, &Command::act(1, 0, 0, 1), Issuer::Host, 0));
+    }
+
+    #[test]
+    fn stats_aggregate_over_channels() {
+        let mut m = DramSystem::new(DramConfig::table_ii());
+        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
+        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Nda, 0).unwrap();
+        let rcd = u64::from(m.config().timing.rcd);
+        m.issue(0, &Command::rd(0, 0, 0, 1, 0), Issuer::Host, rcd).unwrap();
+        m.issue(1, &Command::wr(0, 0, 0, 1, 0), Issuer::Nda, rcd).unwrap();
+        let s = m.stats();
+        assert_eq!(s.acts, 2);
+        assert_eq!(s.acts_nda, 1);
+        assert_eq!(s.reads_host, 1);
+        assert_eq!(s.writes_nda, 1);
+        assert_eq!(s.host_data_cycles, 4);
+        assert_eq!(s.nda_data_cycles, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = DramConfig::table_ii();
+        cfg.rows = 1000;
+        let _ = DramSystem::new(cfg);
+    }
+}

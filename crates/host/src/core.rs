@@ -1,0 +1,391 @@
+//! The out-of-order core model.
+//!
+//! A classic ROB-window abstraction: instructions dispatch in order into a
+//! reorder buffer at `issue_width` per cycle, LLC misses occupy an entry
+//! (and an MSHR) until their fill returns, and retirement is in-order at
+//! `retire_width`. Memory-level parallelism, bandwidth/latency sensitivity,
+//! and the bursty rank-idle structure of Fig. 2 all emerge from the window
+//! mechanics — which is what the Chopim mechanisms interact with.
+
+use std::collections::{HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::WorkloadProfile;
+
+/// Core microarchitecture parameters (Table II defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Dispatch width (instructions per CPU cycle).
+    pub issue_width: usize,
+    /// Retire width.
+    pub retire_width: usize,
+    /// Outstanding LLC misses per core (L1/L2 MSHRs).
+    pub mshrs: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        // 4 GHz OoO x86: Fetch/Issue 8, ROB 224, 12 MSHRs (Table II).
+        Self { rob_entries: 224, issue_width: 8, retire_width: 8, mshrs: 12 }
+    }
+}
+
+/// A memory request leaving the core: a cache-line index *within the
+/// core's footprint* (the system maps it to a physical address), plus a
+/// unique id for read fills. Writes are posted writebacks and receive no
+/// fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Line index within the core's working set.
+    pub line: u64,
+    /// True for a dirty writeback.
+    pub is_write: bool,
+    /// Core-unique request id (reads only need it).
+    pub id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RobSlot {
+    /// A batch of non-memory instructions.
+    Insts(u32),
+    /// An LLC miss waiting for its fill.
+    Miss { id: u64 },
+}
+
+/// One out-of-order core running a synthetic workload profile.
+#[derive(Debug, Clone)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    profile: WorkloadProfile,
+    rng: StdRng,
+    rob: VecDeque<RobSlot>,
+    rob_occupancy: usize,
+    filled: HashSet<u64>,
+    outstanding: usize,
+    next_id: u64,
+    until_next_miss: u64,
+    stream_pos: u64,
+    stream_left: u64,
+    pending_wb: Option<MemRequest>,
+    retired: u64,
+    cycles: u64,
+    reads_sent: u64,
+    writes_sent: u64,
+    dispatch_stall_cycles: u64,
+}
+
+impl OooCore {
+    /// A core running `profile`, with deterministic behavior per `seed`.
+    pub fn new(cfg: CoreConfig, profile: WorkloadProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+        let first_gap = Self::sample_exp(&mut rng, profile.instructions_per_miss());
+        Self {
+            cfg,
+            profile,
+            rng,
+            rob: VecDeque::with_capacity(64),
+            rob_occupancy: 0,
+            filled: HashSet::new(),
+            outstanding: 0,
+            next_id: 0,
+            until_next_miss: first_gap,
+            stream_pos: 0,
+            stream_left: 0,
+            pending_wb: None,
+            retired: 0,
+            cycles: 0,
+            reads_sent: 0,
+            writes_sent: 0,
+            dispatch_stall_cycles: 0,
+        }
+    }
+
+    fn sample_exp(rng: &mut StdRng, mean: f64) -> u64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        (-u.ln() * mean) as u64
+    }
+
+    fn next_line(&mut self) -> u64 {
+        let footprint = self.profile.footprint_lines().max(1);
+        if self.stream_left == 0 {
+            self.stream_pos = self.rng.gen_range(0..footprint);
+            let run = Self::sample_exp(&mut self.rng, self.profile.run_length).max(1);
+            self.stream_left = run;
+        }
+        let line = self.stream_pos % footprint;
+        self.stream_pos += 1;
+        self.stream_left -= 1;
+        line
+    }
+
+    /// Advance the core by one CPU cycle. `try_send` is the memory
+    /// subsystem's admission function: it returns `false` when queues are
+    /// full, stalling dispatch.
+    pub fn cpu_cycle(&mut self, try_send: &mut dyn FnMut(MemRequest) -> bool) {
+        self.cycles += 1;
+
+        // Retry a deferred writeback before anything else.
+        if let Some(wb) = self.pending_wb.take() {
+            if !try_send(wb) {
+                self.pending_wb = Some(wb);
+            } else {
+                self.writes_sent += 1;
+            }
+        }
+
+        // In-order retire.
+        let mut budget = self.cfg.retire_width as u32;
+        while budget > 0 {
+            match self.rob.front_mut() {
+                Some(RobSlot::Insts(n)) => {
+                    let k = (*n).min(budget);
+                    *n -= k;
+                    budget -= k;
+                    self.retired += u64::from(k);
+                    self.rob_occupancy -= k as usize;
+                    if *n == 0 {
+                        self.rob.pop_front();
+                    }
+                }
+                Some(RobSlot::Miss { id }) => {
+                    let id = *id;
+                    if self.filled.contains(&id) {
+                        self.filled.remove(&id);
+                        self.rob.pop_front();
+                        self.rob_occupancy -= 1;
+                        self.retired += 1;
+                        budget -= 1;
+                    } else {
+                        break; // head-of-ROB miss stalls retirement
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // In-order dispatch.
+        let mut budget = self.cfg.issue_width as u32;
+        let mut stalled = false;
+        while budget > 0 && self.rob_occupancy < self.cfg.rob_entries {
+            if self.until_next_miss == 0 {
+                if self.outstanding >= self.cfg.mshrs {
+                    stalled = true;
+                    break;
+                }
+                let line = self.next_line();
+                let id = self.next_id;
+                if !try_send(MemRequest { line, is_write: false, id }) {
+                    stalled = true;
+                    break;
+                }
+                self.next_id += 1;
+                self.reads_sent += 1;
+                self.outstanding += 1;
+                self.rob.push_back(RobSlot::Miss { id });
+                self.rob_occupancy += 1;
+                budget -= 1;
+                self.until_next_miss =
+                    Self::sample_exp(&mut self.rng, self.profile.instructions_per_miss());
+                // Dirty eviction trails the read stream.
+                if self.pending_wb.is_none()
+                    && self.rng.gen_bool(self.profile.writeback_ratio)
+                {
+                    let footprint = self.profile.footprint_lines().max(1);
+                    let wb_line = line.wrapping_sub(128) % footprint;
+                    let wb =
+                        MemRequest { line: wb_line, is_write: true, id: u64::MAX };
+                    if try_send(wb) {
+                        self.writes_sent += 1;
+                    } else {
+                        self.pending_wb = Some(wb);
+                    }
+                }
+            } else {
+                let space = (self.cfg.rob_entries - self.rob_occupancy) as u64;
+                let k = u64::from(budget).min(self.until_next_miss).min(space) as u32;
+                if let Some(RobSlot::Insts(n)) = self.rob.back_mut() {
+                    *n += k;
+                } else {
+                    self.rob.push_back(RobSlot::Insts(k));
+                }
+                self.rob_occupancy += k as usize;
+                self.until_next_miss -= u64::from(k);
+                budget -= k;
+            }
+        }
+        if stalled && self.rob_occupancy >= self.cfg.rob_entries / 2 {
+            self.dispatch_stall_cycles += 1;
+        }
+    }
+
+    /// Deliver the fill for read request `id`.
+    pub fn fill(&mut self, id: u64) {
+        let inserted = self.filled.insert(id);
+        debug_assert!(inserted, "duplicate fill for id {id}");
+        debug_assert!(self.outstanding > 0);
+        self.outstanding -= 1;
+    }
+
+    /// Instructions retired so far.
+    pub fn retired_instructions(&self) -> u64 {
+        self.retired
+    }
+
+    /// CPU cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misses currently in flight.
+    pub fn outstanding_misses(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Reads sent to memory.
+    pub fn reads_sent(&self) -> u64 {
+        self.reads_sent
+    }
+
+    /// Writebacks sent to memory.
+    pub fn writes_sent(&self) -> u64 {
+        self.writes_sent
+    }
+
+    /// The profile this core runs.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `core` against a fixed-latency memory for `cycles` cycles.
+    fn run_fixed_latency(profile: WorkloadProfile, latency: u64, cycles: u64) -> OooCore {
+        let mut core = OooCore::new(CoreConfig::default(), profile, 7);
+        let mut in_flight: VecDeque<(u64, u64)> = VecDeque::new();
+        for now in 0..cycles {
+            while let Some(&(ready, id)) = in_flight.front() {
+                if ready <= now {
+                    in_flight.pop_front();
+                    core.fill(id);
+                } else {
+                    break;
+                }
+            }
+            let mut sink = |r: MemRequest| {
+                if !r.is_write {
+                    in_flight.push_back((now + latency, r.id));
+                }
+                true
+            };
+            core.cpu_cycle(&mut sink);
+        }
+        core
+    }
+
+    #[test]
+    fn low_mpki_core_approaches_issue_width() {
+        let core = run_fixed_latency(WorkloadProfile::exchange2_r(), 200, 20_000);
+        assert!(core.ipc() > 4.0, "ipc = {}", core.ipc());
+    }
+
+    #[test]
+    fn high_mpki_core_is_memory_bound() {
+        let fast = run_fixed_latency(WorkloadProfile::mcf_r(), 50, 20_000);
+        let slow = run_fixed_latency(WorkloadProfile::mcf_r(), 400, 20_000);
+        assert!(fast.ipc() > 1.5 * slow.ipc(), "{} vs {}", fast.ipc(), slow.ipc());
+        assert!(slow.ipc() < 1.0);
+    }
+
+    #[test]
+    fn mpki_ordering_preserved_in_ipc() {
+        let heavy = run_fixed_latency(WorkloadProfile::mcf_r(), 150, 20_000);
+        let light = run_fixed_latency(WorkloadProfile::leela_r(), 150, 20_000);
+        assert!(light.ipc() > heavy.ipc());
+    }
+
+    #[test]
+    fn mlp_bounded_by_mshrs() {
+        let mut core = OooCore::new(CoreConfig::default(), WorkloadProfile::mcf_r(), 3);
+        // Memory that never fills: outstanding must saturate at mshrs.
+        for _ in 0..5_000 {
+            core.cpu_cycle(&mut |_| true);
+            assert!(core.outstanding_misses() <= CoreConfig::default().mshrs);
+        }
+        assert_eq!(core.outstanding_misses(), CoreConfig::default().mshrs);
+    }
+
+    #[test]
+    fn writeback_fraction_tracks_profile() {
+        let core = run_fixed_latency(WorkloadProfile::lbm_r(), 100, 100_000);
+        let ratio = core.writes_sent() as f64 / core.reads_sent() as f64;
+        let expect = WorkloadProfile::lbm_r().writeback_ratio;
+        assert!(
+            (ratio - expect).abs() < 0.1,
+            "measured {ratio}, profile {expect}"
+        );
+    }
+
+    #[test]
+    fn rejected_requests_stall_but_do_not_lose_work() {
+        let mut core = OooCore::new(CoreConfig::default(), WorkloadProfile::mcf_r(), 11);
+        // Memory rejects everything: no requests recorded, no panic.
+        for _ in 0..1_000 {
+            core.cpu_cycle(&mut |_| false);
+        }
+        assert_eq!(core.reads_sent(), 0);
+        assert_eq!(core.outstanding_misses(), 0);
+        // IPC limited: eventually the pending miss blocks the window.
+        assert!(core.ipc() < 8.0);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = run_fixed_latency(WorkloadProfile::milc(), 100, 10_000);
+        let b = run_fixed_latency(WorkloadProfile::milc(), 100, 10_000);
+        assert_eq!(a.retired_instructions(), b.retired_instructions());
+        assert_eq!(a.reads_sent(), b.reads_sent());
+    }
+
+    #[test]
+    fn streaming_profile_produces_sequential_lines() {
+        let mut core = OooCore::new(CoreConfig::default(), WorkloadProfile::bwaves_r(), 5);
+        let mut lines = Vec::new();
+        for _ in 0..4_000 {
+            let mut sink = |r: MemRequest| {
+                if !r.is_write {
+                    lines.push(r.line);
+                }
+                true
+            };
+            core.cpu_cycle(&mut sink);
+            // Fill instantly to keep the stream going.
+            while core.outstanding_misses() > 0 {
+                let id = core.next_id - core.outstanding_misses() as u64;
+                core.fill(id);
+            }
+        }
+        assert!(lines.len() > 50);
+        let sequential = lines.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            sequential as f64 / lines.len() as f64 > 0.7,
+            "streaming workload should be mostly sequential ({sequential}/{})",
+            lines.len()
+        );
+    }
+}

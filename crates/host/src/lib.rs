@@ -1,0 +1,34 @@
+//! # chopim-host
+//!
+//! The host side of the Chopim reproduction: an out-of-order multi-core
+//! model whose memory behavior is shaped per-benchmark to recreate the
+//! SPEC2006/2017 application mixes of the paper's Table II.
+//!
+//! The paper ran gem5 with SimPoint traces; as documented in `DESIGN.md`,
+//! we substitute a *ROB-window core model* fed by synthetic address
+//! generators: each core dispatches instructions into a 224-entry reorder
+//! buffer at 8-wide, LLC misses occupy entries until their fill returns
+//! (bounded by per-core MSHRs), and retirement is in-order. This preserves
+//! what the memory system sees — miss rate, memory-level parallelism,
+//! read/write mix, and row locality — which is what Chopim's mechanisms
+//! interact with.
+//!
+//! ```
+//! use chopim_host::{CoreConfig, MixId, OooCore};
+//!
+//! let mix = MixId::new(1).unwrap();
+//! let profiles = mix.profiles();
+//! assert_eq!(profiles.len(), 4);
+//! let mut core = OooCore::new(CoreConfig::default(), profiles[0], 42);
+//! // Drive one CPU cycle with a memory system that accepts everything.
+//! let mut reqs = Vec::new();
+//! core.cpu_cycle(&mut |r| { reqs.push(r); true });
+//! ```
+
+pub mod core;
+pub mod mix;
+pub mod profile;
+
+pub use crate::core::{CoreConfig, MemRequest, OooCore};
+pub use crate::mix::MixId;
+pub use crate::profile::{MemIntensity, WorkloadProfile};

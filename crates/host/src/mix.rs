@@ -1,0 +1,113 @@
+//! The nine application mixes of Table II.
+
+use crate::profile::WorkloadProfile;
+
+/// Identifier of one of the paper's application mixes (`mix0`..`mix8`).
+///
+/// `mix0` runs 8 cores to model under-provisioned bandwidth; all others
+/// run 4 cores (paper §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MixId(usize);
+
+impl MixId {
+    /// All mixes in paper order.
+    pub const ALL: [MixId; 9] = [
+        MixId(0),
+        MixId(1),
+        MixId(2),
+        MixId(3),
+        MixId(4),
+        MixId(5),
+        MixId(6),
+        MixId(7),
+        MixId(8),
+    ];
+
+    /// Construct from an index in `0..9`.
+    pub fn new(i: usize) -> Option<Self> {
+        (i < 9).then_some(MixId(i))
+    }
+
+    /// The mix index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The per-core workload profiles of this mix (Table II rows).
+    pub fn profiles(self) -> Vec<WorkloadProfile> {
+        use WorkloadProfile as P;
+        match self.0 {
+            0 => vec![
+                P::mcf_r(),
+                P::lbm_r(),
+                P::omnetpp_r(),
+                P::gems_fdtd(),
+                P::bwaves_r(),
+                P::milc(),
+                P::soplex(),
+                P::leslie3d(),
+            ],
+            1 => vec![P::mcf_r(), P::lbm_r(), P::omnetpp_r(), P::gems_fdtd()],
+            2 => vec![P::mcf_r(), P::lbm_r(), P::gems_fdtd(), P::soplex()],
+            3 => vec![P::lbm_r(), P::omnetpp_r(), P::gems_fdtd(), P::soplex()],
+            4 => vec![P::omnetpp_r(), P::gems_fdtd(), P::soplex(), P::milc()],
+            5 => vec![P::gems_fdtd(), P::soplex(), P::milc(), P::bwaves_r()],
+            6 => vec![P::soplex(), P::milc(), P::bwaves_r(), P::leslie3d()],
+            7 => vec![P::milc(), P::bwaves_r(), P::astar(), P::cactus_bssn_r()],
+            8 => vec![P::leslie3d(), P::leela_r(), P::deepsjeng_r(), P::exchange2_r()],
+            _ => unreachable!("MixId constructor bounds"),
+        }
+    }
+
+    /// Number of cores this mix runs (8 for mix0, else 4).
+    pub fn cores(self) -> usize {
+        self.profiles().len()
+    }
+
+    /// Aggregate MPKI across cores, a proxy for mix memory intensity.
+    pub fn total_mpki(self) -> f64 {
+        self.profiles().iter().map(|p| p.mpki).sum()
+    }
+}
+
+impl std::fmt::Display for MixId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mix{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix0_has_eight_cores_others_four() {
+        assert_eq!(MixId::new(0).unwrap().cores(), 8);
+        for i in 1..9 {
+            assert_eq!(MixId::new(i).unwrap().cores(), 4, "mix{i}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(MixId::new(9).is_none());
+        assert!(MixId::new(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn intensity_declines_from_mix0_to_mix8() {
+        // The paper orders mixes from most (mix0) to least (mix8)
+        // memory-intensive; aggregate MPKI must be monotonically
+        // non-increasing along mix1..mix8 and mix0 the largest.
+        let mpkis: Vec<f64> = MixId::ALL.iter().map(|m| m.total_mpki()).collect();
+        assert!(mpkis[0] > mpkis[1]);
+        for w in mpkis[1..].windows(2) {
+            assert!(w[0] >= w[1], "mix order violates intensity: {mpkis:?}");
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(MixId::new(3).unwrap().to_string(), "mix3");
+    }
+}

@@ -1,0 +1,179 @@
+//! Synthetic per-benchmark memory profiles.
+//!
+//! Each SPEC application in Table II is represented by the parameters that
+//! matter to the memory system: LLC misses per kilo-instruction (the
+//! paper's H/M/L classes), writebacks per miss, average row-streaming run
+//! length, and footprint. The absolute values are synthetic (we do not
+//! replay SimPoints); the classes and relative orderings follow the
+//! published characterizations of these benchmarks.
+
+/// Memory-intensity class used in Table II's mix descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemIntensity {
+    /// Low (< 2 MPKI).
+    Low,
+    /// Medium.
+    Medium,
+    /// High (> 15 MPKI).
+    High,
+}
+
+impl std::fmt::Display for MemIntensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MemIntensity::Low => "L",
+            MemIntensity::Medium => "M",
+            MemIntensity::High => "H",
+        })
+    }
+}
+
+/// The memory-system-visible behavior of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (SPEC short name).
+    pub name: &'static str,
+    /// LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Dirty writebacks per LLC miss.
+    pub writeback_ratio: f64,
+    /// Mean consecutive cache lines touched before jumping (row streaming
+    /// run length; 1.0 ≈ random access).
+    pub run_length: f64,
+    /// Working-set size in bytes.
+    pub footprint_bytes: u64,
+    /// Table II intensity class.
+    pub intensity: MemIntensity,
+}
+
+impl WorkloadProfile {
+    const fn new(
+        name: &'static str,
+        mpki: f64,
+        writeback_ratio: f64,
+        run_length: f64,
+        footprint_mib: u64,
+        intensity: MemIntensity,
+    ) -> Self {
+        Self {
+            name,
+            mpki,
+            writeback_ratio,
+            run_length,
+            footprint_bytes: footprint_mib << 20,
+            intensity,
+        }
+    }
+
+    /// `mcf_r` — pointer-chasing, the most memory-bound SPEC int code.
+    pub const fn mcf_r() -> Self {
+        Self::new("mcf_r", 42.0, 0.25, 1.4, 1024, MemIntensity::High)
+    }
+    /// `lbm_r` — lattice-Boltzmann streaming with heavy writebacks.
+    pub const fn lbm_r() -> Self {
+        Self::new("lbm_r", 30.0, 0.72, 14.0, 512, MemIntensity::High)
+    }
+    /// `omnetpp_r` — discrete-event simulation, scattered heap traffic.
+    pub const fn omnetpp_r() -> Self {
+        Self::new("omnetpp_r", 24.0, 0.30, 1.8, 256, MemIntensity::High)
+    }
+    /// `gemsFDTD` — finite-difference stencils, streaming.
+    pub const fn gems_fdtd() -> Self {
+        Self::new("gemsFDTD", 21.0, 0.42, 8.0, 512, MemIntensity::High)
+    }
+    /// `soplex` — sparse LP solver.
+    pub const fn soplex() -> Self {
+        Self::new("soplex", 18.0, 0.28, 2.5, 256, MemIntensity::High)
+    }
+    /// `milc` — lattice QCD, medium streaming.
+    pub const fn milc() -> Self {
+        Self::new("milc", 13.0, 0.40, 4.0, 512, MemIntensity::Medium)
+    }
+    /// `bwaves_r` — blast-wave CFD, long streams.
+    pub const fn bwaves_r() -> Self {
+        Self::new("bwaves_r", 11.0, 0.35, 16.0, 512, MemIntensity::Medium)
+    }
+    /// `leslie3d` — combustion CFD.
+    pub const fn leslie3d() -> Self {
+        Self::new("leslie3d", 9.0, 0.38, 8.0, 256, MemIntensity::Medium)
+    }
+    /// `astar` — path-finding.
+    pub const fn astar() -> Self {
+        Self::new("astar", 6.0, 0.20, 1.6, 128, MemIntensity::Medium)
+    }
+    /// `cactusBSSN_r` — numerical relativity stencils.
+    pub const fn cactus_bssn_r() -> Self {
+        Self::new("cactusBSSN_r", 7.0, 0.45, 6.0, 512, MemIntensity::Medium)
+    }
+    /// `leela_r` — game tree search, cache resident.
+    pub const fn leela_r() -> Self {
+        Self::new("leela_r", 0.8, 0.15, 1.5, 64, MemIntensity::Low)
+    }
+    /// `deepsjeng_r` — chess, cache resident.
+    pub const fn deepsjeng_r() -> Self {
+        Self::new("deepsjeng_r", 1.0, 0.15, 1.5, 64, MemIntensity::Low)
+    }
+    /// `exchange2_r` — nearly no LLC misses.
+    pub const fn exchange2_r() -> Self {
+        Self::new("exchange2_r", 0.3, 0.10, 1.2, 32, MemIntensity::Low)
+    }
+
+    /// Footprint in cache lines.
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_bytes / 64
+    }
+
+    /// Mean instructions between LLC misses.
+    pub fn instructions_per_miss(&self) -> f64 {
+        1000.0 / self.mpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_classes_are_ordered_by_mpki() {
+        let all = [
+            WorkloadProfile::mcf_r(),
+            WorkloadProfile::lbm_r(),
+            WorkloadProfile::omnetpp_r(),
+            WorkloadProfile::gems_fdtd(),
+            WorkloadProfile::soplex(),
+            WorkloadProfile::milc(),
+            WorkloadProfile::bwaves_r(),
+            WorkloadProfile::leslie3d(),
+            WorkloadProfile::astar(),
+            WorkloadProfile::cactus_bssn_r(),
+            WorkloadProfile::leela_r(),
+            WorkloadProfile::deepsjeng_r(),
+            WorkloadProfile::exchange2_r(),
+        ];
+        for p in &all {
+            match p.intensity {
+                MemIntensity::High => assert!(p.mpki >= 15.0, "{}", p.name),
+                MemIntensity::Medium => {
+                    assert!((2.0..30.0).contains(&p.mpki), "{}", p.name)
+                }
+                MemIntensity::Low => assert!(p.mpki < 2.0, "{}", p.name),
+            }
+            assert!(p.run_length >= 1.0);
+            assert!((0.0..=1.0).contains(&p.writeback_ratio));
+            assert!(p.footprint_lines() > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_codes_have_long_runs() {
+        assert!(WorkloadProfile::lbm_r().run_length > 8.0);
+        assert!(WorkloadProfile::bwaves_r().run_length > 8.0);
+        assert!(WorkloadProfile::mcf_r().run_length < 2.0);
+    }
+
+    #[test]
+    fn instructions_per_miss_inverts_mpki() {
+        let p = WorkloadProfile::mcf_r();
+        assert!((p.instructions_per_miss() - 1000.0 / 42.0).abs() < 1e-9);
+    }
+}

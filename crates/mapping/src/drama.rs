@@ -1,0 +1,185 @@
+//! DRAMA-style reverse engineering of address mappings.
+//!
+//! Chopim's OS coloring needs to know which physical-address bits feed the
+//! rank/channel hashes; the paper notes these "can be reverse engineered
+//! if necessary \[67\]". This module implements the software analogue: given
+//! only an address→coordinate oracle, recover the XOR masks of every
+//! output bit and verify the mapping is actually linear (the class the
+//! paper's mechanisms assume).
+//!
+//! For a GF(2)-linear map `f`, `f(x) = f(0) ⊕ ⊕_{i∈x} (f(2^i) ⊕ f(0))`,
+//! so probing the zero address and each power of two recovers the full
+//! bit matrix; random probes then confirm linearity (a partitioned
+//! mapping's conditional swap, for example, is detected as non-linear).
+
+use chopim_dram::DramAddress;
+
+use crate::linear::OutField;
+
+/// The recovered mapping: per output field, one XOR mask per bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredMapping {
+    /// Masks for `(field, bit)` pairs, in field order.
+    pub masks: Vec<(OutField, u32, u64)>,
+    /// Line-address bits probed.
+    pub line_bits: u32,
+}
+
+impl RecoveredMapping {
+    /// The mask of one output bit, if recovered.
+    pub fn mask_of(&self, field: OutField, bit: u32) -> Option<u64> {
+        self.masks
+            .iter()
+            .find(|(f, b, _)| *f == field && *b == bit)
+            .map(|(_, _, m)| *m)
+    }
+
+    /// OR of all masks feeding `field`.
+    pub fn field_mask(&self, field: OutField) -> u64 {
+        self.masks
+            .iter()
+            .filter(|(f, _, _)| *f == field)
+            .fold(0, |acc, (_, _, m)| acc | m)
+    }
+
+    /// The page-coloring mask the OS needs: row-region bits that also
+    /// feed channel or rank (paper §III-A). `row_region` is the OR of the
+    /// row-field masks.
+    pub fn color_mask(&self) -> u64 {
+        let row_region = self.field_mask(OutField::Row);
+        (self.field_mask(OutField::Channel) | self.field_mask(OutField::Rank)) & row_region
+    }
+}
+
+/// Why recovery failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// A random probe contradicted linearity at this line address.
+    NotLinear {
+        /// The offending probe.
+        line: u64,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NotLinear { line } => {
+                write!(f, "mapping is not GF(2)-linear (probe {line:#x} deviates)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Field/bit decomposition of a coordinate into probe-comparable bits.
+fn bits_of(d: &DramAddress) -> Vec<(OutField, u32, bool)> {
+    let mut out = Vec::with_capacity(40);
+    for bit in 0..8u32 {
+        out.push((OutField::Channel, bit, d.channel >> bit & 1 == 1));
+        out.push((OutField::Rank, bit, d.rank >> bit & 1 == 1));
+        out.push((OutField::BankGroup, bit, d.bankgroup >> bit & 1 == 1));
+        out.push((OutField::Bank, bit, d.bank >> bit & 1 == 1));
+    }
+    for bit in 0..32u32 {
+        out.push((OutField::Row, bit, d.row >> bit & 1 == 1));
+        out.push((OutField::Col, bit, d.col >> bit & 1 == 1));
+    }
+    out
+}
+
+/// Recover the XOR masks of `oracle` over `line_bits` of line address,
+/// validating linearity with `probes` pseudo-random checks.
+///
+/// # Errors
+///
+/// [`RecoverError::NotLinear`] when a probe deviates from the recovered
+/// linear model (e.g. a bank-partitioned mapping).
+pub fn recover(
+    oracle: impl Fn(u64) -> DramAddress,
+    line_bits: u32,
+    probes: u32,
+) -> Result<RecoveredMapping, RecoverError> {
+    let zero = bits_of(&oracle(0));
+    // Basis probes: which output bits toggle per input bit.
+    let mut masks: Vec<(OutField, u32, u64)> =
+        zero.iter().map(|&(f, b, _)| (f, b, 0u64)).collect();
+    for i in 0..line_bits {
+        let probe = bits_of(&oracle(1u64 << i));
+        for (slot, (z, p)) in masks.iter_mut().zip(zero.iter().zip(probe.iter())) {
+            debug_assert_eq!((z.0, z.1), (p.0, p.1));
+            if z.2 != p.2 {
+                slot.2 |= 1u64 << i;
+            }
+        }
+    }
+    // Linearity validation on deterministic pseudo-random lines.
+    let predict = |line: u64| -> Vec<bool> {
+        masks
+            .iter()
+            .zip(zero.iter())
+            .map(|(&(_, _, m), &(_, _, z))| z ^ ((line & m).count_ones() & 1 == 1))
+            .collect()
+    };
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    for _ in 0..probes {
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let line = x.wrapping_mul(0x2545_f491_4f6c_dd1d) & ((1u64 << line_bits) - 1);
+        let actual: Vec<bool> = bits_of(&oracle(line)).iter().map(|&(_, _, v)| v).collect();
+        if actual != predict(line) {
+            return Err(RecoverError::NotLinear { line });
+        }
+    }
+    // Drop all-zero masks of bits that never toggled (absent fields).
+    let masks = masks.into_iter().filter(|&(_, _, m)| m != 0).collect();
+    Ok(RecoveredMapping { masks, line_bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{presets, AddressMapper, PartitionedMapping};
+    use chopim_dram::DramConfig;
+
+    #[test]
+    fn recovers_skylake_masks_exactly() {
+        let cfg = DramConfig::table_ii();
+        let m = presets::skylake_like(&cfg);
+        let rec = recover(|l| m.map_line(l), m.line_bits(), 256).expect("linear");
+        // Every recovered mask must predict the real mapping — check the
+        // color mask, the paper's actually-needed output.
+        assert_eq!(rec.color_mask(), m.rank_channel_row_mask());
+        // Channel gets 1 bit, rank 1 bit, 16 row bits, 7 col bits...
+        assert_eq!(rec.masks.len() as u32, m.line_bits());
+    }
+
+    #[test]
+    fn recovers_naive_mapping() {
+        let cfg = DramConfig::table_ii();
+        let m = presets::naive(&cfg);
+        let rec = recover(|l| m.map_line(l), m.line_bits(), 128).expect("linear");
+        // Naive mapping: no hashed color bits at all.
+        assert_eq!(rec.color_mask(), 0);
+        // Column bit 0 is line bit 0.
+        assert_eq!(rec.mask_of(OutField::Col, 0), Some(1));
+    }
+
+    #[test]
+    fn detects_partitioned_mapping_as_nonlinear() {
+        let cfg = DramConfig::table_ii();
+        let m = PartitionedMapping::new(&cfg, presets::skylake_like(&cfg), 2);
+        let err = recover(|l| m.map_pa(l << 6), m.line_bits(), 512).unwrap_err();
+        assert!(matches!(err, RecoverError::NotLinear { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_reserved_partition_is_linear_again() {
+        let cfg = DramConfig::table_ii();
+        let m = PartitionedMapping::new(&cfg, presets::skylake_like(&cfg), 0);
+        assert!(recover(|l| m.map_pa(l << 6), m.line_bits(), 256).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Data layout across the DRAM chips of a rank (paper §III-A, "Data
+//! layout across DRAM chips").
+//!
+//! A 64 B cache line spans the 8 chips of a rank. In the baseline layout
+//! each 4-byte word is *striped* bytewise across chips, so no chip holds a
+//! whole word and a per-chip PE cannot compute on its local bytes. Chopim
+//! places each word wholly within one chip (8 contiguous bytes per chip
+//! per burst), which is invisible to the host (ECC protects bits, not
+//! their interpretation) but makes every word PE-local.
+
+/// How words of a cache line are spread over the chips of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChipLayout {
+    /// Baseline: consecutive bytes rotate across chips, so a 4-byte word
+    /// spans 4 chips.
+    Striped,
+    /// Chopim: each chip holds contiguous 8-byte sub-blocks, so every
+    /// 4-byte word lives in exactly one chip.
+    #[default]
+    WordPerChip,
+}
+
+/// Where one byte of a cache line lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordLocation {
+    /// Chip within the rank.
+    pub chip: usize,
+    /// Byte offset within that chip's burst payload.
+    pub offset: usize,
+}
+
+impl ChipLayout {
+    /// Location of byte `byte` (0..64) of a line, for `chips` chips each
+    /// contributing `64/chips` bytes per burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte >= 64` or `chips` does not divide 64.
+    pub fn locate_byte(self, byte: usize, chips: usize) -> WordLocation {
+        assert!(byte < 64, "cache lines are 64 B");
+        assert!(64 % chips == 0, "chips must divide the line");
+        let per_chip = 64 / chips;
+        match self {
+            ChipLayout::Striped => {
+                WordLocation { chip: byte % chips, offset: byte / chips }
+            }
+            ChipLayout::WordPerChip => {
+                WordLocation { chip: byte / per_chip, offset: byte % per_chip }
+            }
+        }
+    }
+
+    /// The chip holding the whole 4-byte word `word` (0..16) of a line, or
+    /// `None` if the layout splits words across chips.
+    pub fn chip_of_word(self, word: usize, chips: usize) -> Option<usize> {
+        assert!(word < 16, "16 words per 64 B line");
+        let locs: Vec<usize> =
+            (0..4).map(|b| self.locate_byte(word * 4 + b, chips).chip).collect();
+        if locs.iter().all(|&c| c == locs[0]) {
+            Some(locs[0])
+        } else {
+            None
+        }
+    }
+
+    /// Number of whole f32 words per chip per line (0 when words are
+    /// split).
+    pub fn words_per_chip_line(self, chips: usize) -> usize {
+        (0..16).filter(|&w| self.chip_of_word(w, chips).is_some()).count() / chips
+    }
+}
+
+/// Split a line-sized f32 slice (16 values) into the per-chip streams the
+/// PEs see under `layout`. Returns `chips` vectors of the word indices
+/// local to each chip (empty under [`ChipLayout::Striped`]).
+pub fn per_chip_words(layout: ChipLayout, chips: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); chips];
+    for w in 0..16 {
+        if let Some(c) = layout.chip_of_word(w, chips) {
+            out[c].push(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_splits_every_word() {
+        for w in 0..16 {
+            assert_eq!(ChipLayout::Striped.chip_of_word(w, 8), None);
+        }
+        assert_eq!(ChipLayout::Striped.words_per_chip_line(8), 0);
+    }
+
+    #[test]
+    fn word_per_chip_keeps_words_local() {
+        // 8 chips x 8 B: chip c holds words 2c and 2c+1.
+        for w in 0..16 {
+            assert_eq!(ChipLayout::WordPerChip.chip_of_word(w, 8), Some(w / 2));
+        }
+        assert_eq!(ChipLayout::WordPerChip.words_per_chip_line(8), 2);
+    }
+
+    #[test]
+    fn byte_locations_partition_the_line() {
+        for layout in [ChipLayout::Striped, ChipLayout::WordPerChip] {
+            let mut seen = std::collections::HashSet::new();
+            for b in 0..64 {
+                let loc = layout.locate_byte(b, 8);
+                assert!(loc.chip < 8 && loc.offset < 8);
+                assert!(seen.insert((loc.chip, loc.offset)), "collision at byte {b}");
+            }
+            assert_eq!(seen.len(), 64);
+        }
+    }
+
+    #[test]
+    fn per_chip_word_lists_cover_all_words() {
+        let lists = per_chip_words(ChipLayout::WordPerChip, 8);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert_eq!(total, 16);
+        for (c, l) in lists.iter().enumerate() {
+            assert_eq!(l, &vec![2 * c, 2 * c + 1]);
+        }
+        // Striped: nothing is chip-local.
+        let striped = per_chip_words(ChipLayout::Striped, 8);
+        assert!(striped.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache lines are 64 B")]
+    fn byte_out_of_range_panics() {
+        let _ = ChipLayout::WordPerChip.locate_byte(64, 8);
+    }
+}

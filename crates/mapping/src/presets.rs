@@ -1,0 +1,160 @@
+//! Ready-made address mappings.
+
+use chopim_dram::DramConfig;
+
+use crate::linear::{LinearMapping, OutBit, OutField};
+
+/// A Skylake-like hashed interleaving (paper Fig. 4a):
+///
+/// * channels interleave at cache-line granularity, hashed with row bits;
+/// * bank group / bank / rank are XOR hashes of dedicated low bits and row
+///   bits (permutation-based interleaving);
+/// * the most significant physical-address bits feed *only* the row — the
+///   property the bank-partition remap of Fig. 4b requires;
+/// * the row bits feeding channel+rank hashes form the OS page-coloring
+///   mask. For Table II geometry that is 3 bits → 8 colors of 4 GiB,
+///   matching the paper.
+///
+/// # Panics
+///
+/// Panics if `config` is not a valid power-of-two geometry (programmer
+/// error).
+pub fn skylake_like(config: &DramConfig) -> LinearMapping {
+    let n_col = config.lines_per_row().trailing_zeros();
+    let n_ch = config.channels.trailing_zeros();
+    let n_bg = config.bankgroups.trailing_zeros();
+    let n_bk = config.banks_per_group.trailing_zeros();
+    let n_rk = config.ranks_per_channel.trailing_zeros();
+    let n_row = config.rows.trailing_zeros();
+
+    let mut bits = Vec::new();
+    let mut next = 0u32; // next primary (identity) line bit to assign
+    let take = |n: &mut u32| {
+        let b = *n;
+        *n += 1;
+        b
+    };
+
+    // Three lowest column bits first: consecutive lines share a row before
+    // hitting the channel hash (open-page friendliness).
+    for bit in 0..3.min(n_col) {
+        bits.push(OutBit { field: OutField::Col, bit, mask: 1 << take(&mut next) });
+    }
+    // Channel bits: primary low bit + two row-region bits (assigned below,
+    // patched afterwards). Record primaries now.
+    let ch_primary: Vec<u32> = (0..n_ch).map(|_| take(&mut next)).collect();
+    // Remaining column bits.
+    for bit in 3.min(n_col)..n_col {
+        bits.push(OutBit { field: OutField::Col, bit, mask: 1 << take(&mut next) });
+    }
+    let bg_primary: Vec<u32> = (0..n_bg).map(|_| take(&mut next)).collect();
+    let bk_primary: Vec<u32> = (0..n_bk).map(|_| take(&mut next)).collect();
+    let rk_primary: Vec<u32> = (0..n_rk).map(|_| take(&mut next)).collect();
+    let row_base = next;
+
+    // Row bits are identity on the top of the line address.
+    for bit in 0..n_row {
+        bits.push(OutBit { field: OutField::Row, bit, mask: 1 << (row_base + bit) });
+    }
+
+    // Hash extras, all drawn from the *low* row region — never the top
+    // `bank_bits` row bits, which the partition remap (Fig. 4b) requires to
+    // be pure pass-throughs of the physical-address MSBs.
+    // Channel/rank extras define the color mask and are kept minimal:
+    // 2 bits per channel bit, 1 per rank bit, distinct when geometry allows.
+    let avail = n_row.saturating_sub(n_bg + n_bk + 1).max(1);
+    let mut extra = 0u32;
+    let row_bit = |i: &mut u32| {
+        let b = row_base + 1 + (*i % avail);
+        *i += 1;
+        b
+    };
+    for (i, &p) in ch_primary.iter().enumerate() {
+        let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
+        bits.push(OutBit { field: OutField::Channel, bit: i as u32, mask: m });
+    }
+    for (i, &p) in rk_primary.iter().enumerate() {
+        let m = (1u64 << p) | (1 << row_bit(&mut extra));
+        bits.push(OutBit { field: OutField::Rank, bit: i as u32, mask: m });
+    }
+    for (i, &p) in bg_primary.iter().enumerate() {
+        let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
+        bits.push(OutBit { field: OutField::BankGroup, bit: i as u32, mask: m });
+    }
+    for (i, &p) in bk_primary.iter().enumerate() {
+        let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
+        bits.push(OutBit { field: OutField::Bank, bit: i as u32, mask: m });
+    }
+
+    LinearMapping::new(config, bits).expect("skylake_like preset must be bijective")
+}
+
+/// The naive direct mapping `row : rank : bank : bankgroup : channel : col`
+/// with no hashing — the "any linear mapping" baseline used in ablations
+/// and tests.
+///
+/// # Panics
+///
+/// Panics if `config` is not a valid power-of-two geometry.
+pub fn naive(config: &DramConfig) -> LinearMapping {
+    let n_col = config.lines_per_row().trailing_zeros();
+    let n_ch = config.channels.trailing_zeros();
+    let n_bg = config.bankgroups.trailing_zeros();
+    let n_bk = config.banks_per_group.trailing_zeros();
+    let n_rk = config.ranks_per_channel.trailing_zeros();
+    let n_row = config.rows.trailing_zeros();
+
+    let mut bits = Vec::new();
+    let mut next = 0u32;
+    let field = |f: OutField, n: u32, bits: &mut Vec<OutBit>, next: &mut u32| {
+        for bit in 0..n {
+            bits.push(OutBit { field: f, bit, mask: 1 << *next });
+            *next += 1;
+        }
+    };
+    field(OutField::Col, n_col, &mut bits, &mut next);
+    field(OutField::Channel, n_ch, &mut bits, &mut next);
+    field(OutField::BankGroup, n_bg, &mut bits, &mut next);
+    field(OutField::Bank, n_bk, &mut bits, &mut next);
+    field(OutField::Rank, n_rk, &mut bits, &mut next);
+    field(OutField::Row, n_row, &mut bits, &mut next);
+    LinearMapping::new(config, bits).expect("naive preset must be bijective")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_for_all_paper_geometries() {
+        for ranks in [2, 4, 8] {
+            let cfg = DramConfig::table_ii().with_ranks(ranks);
+            let _ = skylake_like(&cfg);
+            let _ = naive(&cfg);
+        }
+    }
+
+    #[test]
+    fn naive_maps_low_bits_to_columns() {
+        let cfg = DramConfig::table_ii();
+        let m = naive(&cfg);
+        let d0 = m.map_line(0);
+        let d1 = m.map_line(1);
+        assert_eq!(d1.col, d0.col + 1);
+        assert_eq!(d0.channel, d1.channel);
+    }
+
+    #[test]
+    fn skylake_spreads_banks_within_a_system_row_worth_of_lines() {
+        let cfg = DramConfig::table_ii();
+        let m = skylake_like(&cfg);
+        let mut banks = std::collections::HashSet::new();
+        // One system row of lines covers every (channel, rank, bank).
+        for line in 0..(cfg.system_row_bytes() / 64) {
+            let d = m.map_line(line);
+            banks.insert((d.channel, d.rank, d.bankgroup, d.bank));
+        }
+        // All 64 (channel, rank, bank) combinations get touched.
+        assert_eq!(banks.len(), cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank());
+    }
+}

@@ -1,0 +1,144 @@
+//! Conjugate gradient on the NDA runtime — one of the paper's "app"
+//! workloads (Table II: CG 16K x 16K; scaled here).
+//!
+//! Each iteration is the classic op sequence GEMV + 2xDOT + 3xAXPY-class
+//! updates, launched through the public runtime API, so its read/write
+//! intensity lands between DOT and COPY exactly as Fig. 14 expects.
+
+use chopim_core::prelude::*;
+
+/// Result of a CG run.
+#[derive(Debug, Clone, Copy)]
+pub struct CgResult {
+    /// DRAM cycles consumed by the NDA op stream.
+    pub cycles: u64,
+    /// Final residual norm ‖b − Ax‖.
+    pub residual: f32,
+    /// Iterations executed.
+    pub iters: usize,
+}
+
+/// Run `iters` CG iterations for a synthetic SPD system of size `n`.
+///
+/// Returns the cycles consumed and the final residual (which must shrink —
+/// the numerics are exact, see `DESIGN.md` on the function/timing split).
+///
+/// # Panics
+///
+/// Panics if an op fails to complete within a generous cycle budget.
+pub fn run_cg(sys: &mut ChopimSystem, n: usize, iters: usize) -> CgResult {
+    assert!(n.is_multiple_of(16), "n must be line aligned");
+    // SPD matrix: A = L + n*I with small symmetric off-diagonals.
+    let a = sys.runtime.matrix(n, n);
+    let mut a_data = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let v = 1.0 / (1.0 + (i as f32 - j as f32).abs());
+            a_data[i * n + j] = v;
+        }
+        a_data[i * n + i] += n as f32 * 0.05;
+    }
+    sys.runtime.write_matrix(a, &a_data);
+
+    let b = sys.runtime.vector(n, Sharing::Shared);
+    let xv = sys.runtime.vector(n, Sharing::Shared);
+    let r = sys.runtime.vector(n, Sharing::Shared);
+    let p = sys.runtime.vector(n, Sharing::Shared);
+    let ap = sys.runtime.vector(n, Sharing::Shared);
+    let b_data: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) - 8.0).collect();
+    sys.runtime.write_vector(b, &b_data);
+    // x = 0, r = b, p = b.
+    sys.runtime.write_vector(r, &b_data);
+    sys.runtime.write_vector(p, &b_data);
+
+    let start = sys.now();
+    let budget = 500_000_000;
+    let mut rsold = {
+        let op = sys.runtime.launch_elementwise(
+            Opcode::Dot,
+            vec![],
+            vec![r, r],
+            None,
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(op, budget);
+        sys.runtime.op_result(op).expect("dot result")
+    };
+    let mut done = 0;
+    for _ in 0..iters {
+        done += 1;
+        let g = sys.runtime.launch_gemv(ap, a, p, LaunchOpts::default());
+        sys.run_until_op(g, budget);
+        let d = sys.runtime.launch_elementwise(
+            Opcode::Dot,
+            vec![],
+            vec![p, ap],
+            None,
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(d, budget);
+        let p_ap = sys.runtime.op_result(d).expect("dot");
+        let alpha = rsold / p_ap;
+        // x += alpha p ; r -= alpha Ap.
+        for (dst, src, coef) in [(xv, p, alpha), (r, ap, -alpha)] {
+            let opx = sys.runtime.launch_elementwise(
+                Opcode::Axpy,
+                vec![coef],
+                vec![src],
+                Some(dst),
+                LaunchOpts::default(),
+            );
+            sys.run_until_op(opx, budget);
+        }
+        let d2 = sys.runtime.launch_elementwise(
+            Opcode::Dot,
+            vec![],
+            vec![r, r],
+            None,
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(d2, budget);
+        let rsnew = sys.runtime.op_result(d2).expect("dot");
+        if rsnew.sqrt() < 1e-4 {
+            rsold = rsnew;
+            break;
+        }
+        // p = r + (rsnew/rsold) p.
+        let beta = rsnew / rsold;
+        let opp = sys.runtime.launch_elementwise(
+            Opcode::Axpby,
+            vec![1.0, beta],
+            vec![r, p],
+            Some(p),
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(opp, budget);
+        rsold = rsnew;
+    }
+    CgResult { cycles: sys.now() - start, residual: rsold.sqrt(), iters: done }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_converges_on_the_simulator() {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+            ..ChopimConfig::default()
+        });
+        let b_norm = {
+            let b: Vec<f32> = (0..64).map(|i| ((i % 17) as f32) - 8.0).collect();
+            b.iter().map(|v| v * v).sum::<f32>().sqrt()
+        };
+        let res = run_cg(&mut sys, 64, 12);
+        assert!(res.cycles > 0);
+        assert!(
+            res.residual < 0.05 * b_norm,
+            "CG must reduce the residual: {} vs ||b||={}",
+            res.residual,
+            b_norm
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Synthetic multi-class dataset (the cifar10 stand-in; see `DESIGN.md`).
+//!
+//! Samples are drawn from class-dependent Gaussian clusters so the
+//! logistic-regression objective is non-trivially conditioned: SVRG's
+//! epoch-size/staleness trade-offs (Fig. 15) appear exactly as in real
+//! data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n x d` features, row-major.
+    pub x: Vec<f32>,
+    /// Labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Samples.
+    pub n: usize,
+    /// Features (multiple of 16 so rows are cache-line aligned).
+    pub d: usize,
+    /// Classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Generate `n` samples of `d` features over `classes` Gaussian
+    /// clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d` is a multiple of 16 (the runtime's line-aligned
+    /// matrix requirement).
+    pub fn synthetic(n: usize, d: usize, classes: usize, seed: u64) -> Self {
+        assert!(d.is_multiple_of(16), "d must be a multiple of 16");
+        assert!(classes >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Class centers on a scaled simplex-ish arrangement.
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..d).map(|_| normal(&mut rng) * 0.8).collect())
+            .collect();
+        let mut x = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.gen_range(0..classes);
+            y.push(c);
+            for cj in centers[c].iter() {
+                x.push(cj + normal(&mut rng));
+            }
+        }
+        Self { x, y, n, d, classes }
+    }
+
+    /// One sample's feature row.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Bytes of the feature matrix.
+    pub fn bytes(&self) -> u64 {
+        (self.n * self.d * 4) as u64
+    }
+}
+
+/// Standard normal via Box-Muller.
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let ds = Dataset::synthetic(100, 32, 10, 7);
+        assert_eq!(ds.x.len(), 100 * 32);
+        assert_eq!(ds.y.len(), 100);
+        assert!(ds.y.iter().all(|&c| c < 10));
+        assert_eq!(ds.row(3).len(), 32);
+        assert_eq!(ds.bytes(), 100 * 32 * 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::synthetic(50, 16, 3, 1);
+        let b = Dataset::synthetic(50, 16, 3, 1);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        let c = Dataset::synthetic(50, 16, 3, 2);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn clusters_are_separable_enough() {
+        // A nearest-center classifier should beat random guessing by a
+        // lot — otherwise SVRG convergence curves are meaningless.
+        let ds = Dataset::synthetic(400, 64, 4, 3);
+        let mut centers = vec![vec![0.0f32; 64]; 4];
+        let mut counts = [0usize; 4];
+        for i in 0..ds.n {
+            counts[ds.y[i]] += 1;
+            for (cj, xj) in centers[ds.y[i]].iter_mut().zip(ds.row(i)) {
+                *cj += xj;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            for v in center.iter_mut() {
+                *v /= counts[c].max(1) as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..ds.n {
+            let best = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 =
+                        ds.row(i).iter().zip(&centers[a]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let db: f32 =
+                        ds.row(i).iter().zip(&centers[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == ds.y[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct > ds.n / 2, "only {correct}/{} correct", ds.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn unaligned_d_rejected() {
+        let _ = Dataset::synthetic(10, 15, 2, 0);
+    }
+}

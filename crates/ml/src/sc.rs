@@ -1,0 +1,84 @@
+//! A streamcluster-style kernel (Table II: SC 2M x 128; scaled here):
+//! distance evaluation of a point set against candidate centers.
+//!
+//! Per center the NDAs run GEMV (dot products of every point with the
+//! center), XMY (squared terms), and an AXPY accumulation — a moderately
+//! write-intensive stream that lands between DOT and COPY in Fig. 14.
+
+use chopim_core::prelude::*;
+
+/// Result of one clustering round.
+#[derive(Debug, Clone, Copy)]
+pub struct ScResult {
+    /// DRAM cycles consumed.
+    pub cycles: u64,
+    /// Index of the closest center to the point mass (sanity output).
+    pub best_center: usize,
+}
+
+/// Evaluate `centers` candidate centers against an `n x d` point set.
+///
+/// # Panics
+///
+/// Panics if ops fail to finish within a generous budget.
+pub fn run_sc(sys: &mut ChopimSystem, n: usize, d: usize, centers: usize) -> ScResult {
+    assert!(d.is_multiple_of(16));
+    let points = sys.runtime.matrix(n, d);
+    let pts: Vec<f32> = (0..n * d).map(|i| ((i % 23) as f32) * 0.1 - 1.1).collect();
+    sys.runtime.write_matrix(points, &pts);
+    let center = sys.runtime.vector(d, Sharing::Shared);
+    let dots = sys.runtime.vector(n, Sharing::Shared);
+    let acc = sys.runtime.vector(n, Sharing::Shared);
+
+    let start = sys.now();
+    let budget = 500_000_000;
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for c in 0..centers {
+        let cdata: Vec<f32> = (0..d).map(|j| (((j + c * 7) % 13) as f32) * 0.2 - 1.2).collect();
+        sys.runtime.write_vector(center, &cdata);
+        // dots = P . center  (read-dominant stream over the whole set)
+        let g = sys.runtime.launch_gemv(dots, points, center, LaunchOpts::default());
+        sys.run_until_op(g, budget);
+        // acc = dots ⊙ dots   (writes)
+        let x = sys.runtime.launch_elementwise(
+            Opcode::Xmy,
+            vec![],
+            vec![dots, dots],
+            Some(acc),
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(x, budget);
+        // total affinity = Σ dots (via DOT with itself in acc).
+        let s = sys.runtime.launch_elementwise(
+            Opcode::Nrm2,
+            vec![],
+            vec![dots],
+            None,
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(s, budget);
+        let score = sys.runtime.op_result(s).expect("nrm2");
+        if score > best.1 {
+            best = (c, score);
+        }
+    }
+    ScResult { cycles: sys.now() - start, best_center: best.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_runs_and_scores_centers() {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+            ..ChopimConfig::default()
+        });
+        let res = run_sc(&mut sys, 128, 32, 3);
+        assert!(res.cycles > 0);
+        assert!(res.best_center < 3);
+        // The NDA side must have moved real data.
+        assert!(sys.mem().stats().reads_nda > 0);
+    }
+}

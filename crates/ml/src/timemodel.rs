@@ -1,0 +1,219 @@
+//! Wall-clock costs of SVRG steps, measured on the Chopim simulator.
+//!
+//! The paper measures convergence against wall-clock seconds on its
+//! simulated machine. Running 50 000-sample epochs through a cycle
+//! simulator end-to-end is infeasible, so we do what the paper's
+//! evaluation effectively does: measure the *rates* (NDA summarization
+//! bandwidth with and without host interference, host streaming bandwidth
+//! with and without NDA interference) on representative windows, then
+//! compose per-step times. All rates come from real simulation of the
+//! average-gradient kernel (Fig. 8) — not hand-picked constants.
+
+use chopim_core::prelude::*;
+
+/// DRAM bus frequency (Table II).
+const CLOCK_HZ: f64 = 1.2e9;
+
+/// Per-step wall-clock costs for the SVRG variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvrgTimeModel {
+    /// Host inner-loop iteration, no NDA interference (s).
+    pub host_iter_s: f64,
+    /// Host inner-loop iteration while NDAs summarize (s).
+    pub host_iter_concurrent_s: f64,
+    /// Host-only full-dataset summarization (s).
+    pub host_summarize_s: f64,
+    /// NDA summarization, host otherwise idle (s).
+    pub nda_summarize_s: f64,
+    /// NDA summarization under a live host inner loop (s).
+    pub nda_summarize_concurrent_s: f64,
+    /// Host↔NDA exchange of the correction term and weights (s).
+    pub exchange_s: f64,
+}
+
+impl SvrgTimeModel {
+    /// A fixed, simulator-free model for unit tests (values in the right
+    /// ratios: NDA summarization ~4x faster than host, ~20% mutual
+    /// slowdown when concurrent).
+    pub fn analytic_default() -> Self {
+        Self {
+            host_iter_s: 2.0e-6,
+            host_iter_concurrent_s: 2.4e-6,
+            host_summarize_s: 4.0e-3,
+            nda_summarize_s: 1.0e-3,
+            nda_summarize_concurrent_s: 1.25e-3,
+            exchange_s: 2.0e-5,
+        }
+    }
+
+    /// The host profile standing in for the SVRG inner loop: streams one
+    /// sample (d features) per iteration with modest writeback traffic.
+    pub fn svrg_host_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "svrg_inner",
+            mpki: 24.0,
+            writeback_ratio: 0.05,
+            run_length: 12.0,
+            footprint_bytes: 64 << 20,
+            intensity: chopim_host::MemIntensity::High,
+        }
+    }
+
+    /// Measure the model on the simulator for a dataset of `n x d` and a
+    /// machine with `ranks` ranks per channel.
+    ///
+    /// `n_probe` samples are actually simulated (cost is linear in n, so
+    /// the per-sample rate transfers; see module docs).
+    pub fn measure(n: usize, d: usize, classes: usize, ranks: usize) -> Self {
+        let n_probe = 96.min(n);
+        let mk_cfg = |profiles: Option<Vec<WorkloadProfile>>| ChopimConfig {
+            dram: DramConfig::table_ii()
+                .with_ranks(ranks)
+                .with_timing(TimingParams::ddr4_2400_no_refresh()),
+            custom_profiles: profiles,
+            nda_queue_cap: 32,
+            ..ChopimConfig::default()
+        };
+
+        // --- NDA summarization rate, host idle. ---
+        let serial = Self::summarize_cycles(mk_cfg(None), n_probe, d);
+        // --- NDA summarization rate, host inner loop live. ---
+        let concurrent =
+            Self::summarize_cycles(mk_cfg(Some(vec![Self::svrg_host_profile()])), n_probe, d);
+
+        let per_sample_serial = serial as f64 / n_probe as f64 / CLOCK_HZ;
+        let per_sample_concurrent = concurrent as f64 / n_probe as f64 / CLOCK_HZ;
+
+        // --- Host streaming bandwidth (for host-only summarization and
+        // the inner loop's sample fetch), measured host-only. ---
+        let (host_bw, host_bw_concurrent) = Self::host_bandwidth(mk_cfg, n_probe, d);
+
+        let sample_bytes = (d * 4) as f64;
+        let flops_per_sample = (2 * classes * d) as f64;
+        // 4-core host at 8 FLOPs/cycle/core, 4 GHz.
+        let host_flops = 4.0 * 8.0 * 4.0e9;
+        let host_iter_s = sample_bytes / host_bw + flops_per_sample / host_flops;
+        let host_iter_concurrent_s =
+            sample_bytes / host_bw_concurrent + flops_per_sample / host_flops;
+        let host_summarize_s =
+            n as f64 * (sample_bytes / host_bw + 3.0 * flops_per_sample / host_flops);
+        let exchange_bytes = (2 * classes * d * 4) as f64;
+        let peak = 2.0 * 16.0 * CLOCK_HZ; // 2 channels x 16 B/cycle
+
+        Self {
+            host_iter_s,
+            host_iter_concurrent_s,
+            host_summarize_s,
+            nda_summarize_s: per_sample_serial * n as f64,
+            nda_summarize_concurrent_s: per_sample_concurrent * n as f64,
+            exchange_s: exchange_bytes / peak + 1.0e-6,
+        }
+    }
+
+    /// Cycles to run the average-gradient kernel (Fig. 8) over `n_probe`
+    /// samples on the simulator.
+    fn summarize_cycles(cfg: ChopimConfig, n_probe: usize, d: usize) -> u64 {
+        let mut sys = ChopimSystem::new(cfg);
+        let x = sys.runtime.matrix(n_probe, d);
+        let w = sys.runtime.vector(d, Sharing::Shared);
+        let y = sys.runtime.vector(n_probe, Sharing::Shared);
+        let v = sys.runtime.vector(n_probe, Sharing::Shared);
+        let a_pvt = sys.runtime.vector(d, Sharing::Private);
+        sys.runtime.write_vector(w, &vec![0.01; d]);
+        sys.runtime.write_vector(v, &vec![1.0; n_probe]);
+        let start = sys.now();
+        // gemv(y = X w); xmy(v = v*y); host sigmoid; xmy; scal; then the
+        // per-sample macro AXPY (Fig. 8).
+        let g1 = sys.runtime.launch_gemv(y, x, w, LaunchOpts::default());
+        sys.run_until_op(g1, 80_000_000);
+        let g2 = sys.runtime.launch_elementwise(
+            Opcode::Xmy,
+            vec![],
+            vec![v, y],
+            Some(v),
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(g2, 80_000_000);
+        sys.runtime.host_sigmoid(v);
+        let g3 = sys.runtime.launch_elementwise(
+            Opcode::Scal,
+            vec![1.0 / n_probe as f32],
+            vec![],
+            Some(v),
+            LaunchOpts::default(),
+        );
+        sys.run_until_op(g3, 80_000_000);
+        let alphas = sys.runtime.read_vector(v).to_vec();
+        let g4 = sys.runtime.launch_macro_axpy_rows(
+            a_pvt,
+            alphas,
+            x,
+            8,
+            LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+        );
+        sys.run_until_op(g4, 200_000_000);
+        assert!(sys.runtime.op_done(g4), "summarization kernel did not finish");
+        sys.now() - start + sys.runtime.host_comm_cycles
+    }
+
+    /// Achieved host streaming bandwidth (bytes/s) without and with a
+    /// concurrent NDA summarization kernel.
+    fn host_bandwidth(
+        mk_cfg: impl Fn(Option<Vec<WorkloadProfile>>) -> ChopimConfig,
+        n_probe: usize,
+        d: usize,
+    ) -> (f64, f64) {
+        // Host alone.
+        let mut sys = ChopimSystem::new(mk_cfg(Some(vec![Self::svrg_host_profile()])));
+        sys.run(150_000);
+        let alone = sys.report().core_bw_gbs * 1e9;
+
+        // Host with the NDA macro kernel running.
+        let mut sys = ChopimSystem::new(mk_cfg(Some(vec![Self::svrg_host_profile()])));
+        let x = sys.runtime.matrix(n_probe, d);
+        let a_pvt = sys.runtime.vector(d, Sharing::Private);
+        let alphas = vec![0.5f32; n_probe];
+        sys.run_relaunching(150_000, |rt| {
+            rt.launch_macro_axpy_rows(
+                a_pvt,
+                alphas.clone(),
+                x,
+                8,
+                LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+            )
+        });
+        let with_nda = sys.report().core_bw_gbs * 1e9;
+        (alone.max(1.0), with_nda.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_default_has_sane_ratios() {
+        let t = SvrgTimeModel::analytic_default();
+        assert!(t.nda_summarize_s < t.host_summarize_s);
+        assert!(t.host_iter_concurrent_s >= t.host_iter_s);
+        assert!(t.nda_summarize_concurrent_s >= t.nda_summarize_s);
+        assert!(t.exchange_s < t.nda_summarize_s);
+    }
+
+    #[test]
+    fn measured_model_is_consistent() {
+        // Small probe to keep test time bounded.
+        let t = SvrgTimeModel::measure(2048, 256, 10, 2);
+        assert!(t.nda_summarize_s > 0.0);
+        assert!(t.host_iter_s > 0.0);
+        assert!(
+            t.nda_summarize_s < t.host_summarize_s,
+            "NDAs must summarize faster than the host: {t:?}"
+        );
+        assert!(
+            t.nda_summarize_concurrent_s >= t.nda_summarize_s * 0.99,
+            "interference should not speed NDAs up: {t:?}"
+        );
+        assert!(t.host_iter_concurrent_s >= t.host_iter_s * 0.99, "{t:?}");
+    }
+}

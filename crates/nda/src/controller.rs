@@ -1,0 +1,215 @@
+//! The rank-local NDA memory controller.
+//!
+//! Sits between the FSM's desired access stream and the DRAM device:
+//! opens/closes rows as needed (ACT/PRE), issues the column command when
+//! timing allows, and defers writes when the issue policy says so (the
+//! throttling hook of paper §III-B). It shares the channel's bank/timing
+//! state with the host controller — in hardware via the replicated FSMs,
+//! in the simulator via the common [`DramSystem`].
+
+use chopim_dram::{Command, CommandKind, Cycle, DramSystem, Issuer};
+
+use crate::fsm::NdaFsm;
+use crate::isa::NdaInstr;
+
+/// What the controller did in a cycle it was offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdaTickResult {
+    /// Nothing to do (FSM idle).
+    Idle,
+    /// Wanted to issue but was blocked (timing, or writes throttled).
+    Blocked,
+    /// Issued this command.
+    Issued(Command),
+}
+
+/// One rank's NDA memory controller.
+#[derive(Debug, Clone)]
+pub struct NdaRankController {
+    channel: usize,
+    rank: usize,
+    banks_per_group: usize,
+    fsm: NdaFsm,
+    /// Row commands issued (ACT + PRE), for stats.
+    pub row_cmds: u64,
+    /// Cycles the controller was offered the bus but throttled on a write.
+    pub write_throttle_stalls: u64,
+}
+
+impl NdaRankController {
+    /// A controller for `(channel, rank)` with an instruction queue of
+    /// `queue_cap`.
+    pub fn new(channel: usize, rank: usize, banks_per_group: usize, queue_cap: usize) -> Self {
+        Self {
+            channel,
+            rank,
+            banks_per_group,
+            fsm: NdaFsm::new(queue_cap),
+            row_cmds: 0,
+            write_throttle_stalls: 0,
+        }
+    }
+
+    /// The channel this controller's rank is on.
+    pub fn channel(&self) -> usize {
+        self.channel
+    }
+
+    /// The rank within the channel.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The sequencer FSM (read access, e.g. for fingerprint checks).
+    pub fn fsm(&self) -> &NdaFsm {
+        &self.fsm
+    }
+
+    /// Mutable FSM access (completion draining).
+    pub fn fsm_mut(&mut self) -> &mut NdaFsm {
+        &mut self.fsm
+    }
+
+    /// Launch an instruction on this rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns the instruction back when the queue is full.
+    pub fn launch(&mut self, instr: NdaInstr) -> Result<(), NdaInstr> {
+        self.fsm.launch(instr)
+    }
+
+    /// Offer the controller a chance to issue one command at `now`.
+    ///
+    /// The caller (the system arbiter) must only offer cycles where the
+    /// host controller left the channel's command bus free — host commands
+    /// always take priority (paper §III-B). `allow_write` carries the
+    /// write-throttling decision for this rank.
+    pub fn tick(&mut self, mem: &mut DramSystem, now: Cycle, allow_write: bool) -> NdaTickResult {
+        let Some(acc) = self.fsm.next_access() else {
+            return NdaTickResult::Idle;
+        };
+        if acc.write && !allow_write {
+            self.write_throttle_stalls += 1;
+            return NdaTickResult::Blocked;
+        }
+        let bg = acc.bank as usize / self.banks_per_group;
+        let bank = acc.bank as usize % self.banks_per_group;
+        let open = mem.channel(self.channel).rank(self.rank).bank(bg, bank).open_row();
+        let cmd = match open {
+            Some(row) if row == acc.row => match acc.write {
+                false => Command::rd(self.rank, bg, bank, acc.row, acc.col),
+                true => Command::wr(self.rank, bg, bank, acc.row, acc.col),
+            },
+            Some(_) => Command::pre(self.rank, bg, bank),
+            None => Command::act(self.rank, bg, bank, acc.row),
+        };
+        if !mem.can_issue(self.channel, &cmd, Issuer::Nda, now) {
+            return NdaTickResult::Blocked;
+        }
+        mem.issue(self.channel, &cmd, Issuer::Nda, now)
+            .expect("can_issue implies issue succeeds");
+        match cmd.kind {
+            CommandKind::Rd | CommandKind::Wr => self.fsm.commit(acc),
+            _ => self.row_cmds += 1,
+        }
+        NdaTickResult::Issued(cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Opcode;
+    use crate::operand::OperandLayout;
+    use chopim_dram::{DramConfig, TimingParams};
+
+    fn setup() -> (DramSystem, NdaRankController) {
+        let cfg = DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh());
+        let mem = DramSystem::new(cfg);
+        let ctl = NdaRankController::new(0, 1, 4, 8);
+        (mem, ctl)
+    }
+
+    fn copy_instr(lines: u64, id: u64) -> NdaInstr {
+        let x = OperandLayout::rotating(16, 0, 64, 128);
+        let y = OperandLayout::rotating(16, 100, 64, 128);
+        NdaInstr::elementwise(Opcode::Copy, lines, vec![(x, 0)], vec![(y, 0)], id)
+    }
+
+    #[test]
+    fn idle_controller_reports_idle() {
+        let (mut mem, mut ctl) = setup();
+        assert_eq!(ctl.tick(&mut mem, 0, true), NdaTickResult::Idle);
+    }
+
+    #[test]
+    fn runs_instruction_to_completion_on_idle_memory() {
+        let (mut mem, mut ctl) = setup();
+        ctl.launch(copy_instr(256, 42)).unwrap();
+        let mut issued = 0u64;
+        for now in 0..200_000u64 {
+            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, true) {
+                issued += 1;
+            }
+            if ctl.fsm().completed_count() > 0 {
+                break;
+            }
+        }
+        assert_eq!(ctl.fsm_mut().pop_completed(), Some(42));
+        // 256 reads + 256 writes + row commands.
+        assert!(issued >= 512, "issued only {issued}");
+        let s = mem.stats();
+        assert_eq!(s.reads_nda, 256);
+        assert_eq!(s.writes_nda, 256);
+        assert!(s.acts_nda > 0);
+    }
+
+    #[test]
+    fn write_throttling_blocks_drain() {
+        let (mut mem, mut ctl) = setup();
+        ctl.launch(copy_instr(128, 0)).unwrap();
+        // Never allow writes: the read phase completes, then it blocks.
+        let mut blocked = false;
+        for now in 0..50_000u64 {
+            match ctl.tick(&mut mem, now, false) {
+                NdaTickResult::Blocked if ctl.write_throttle_stalls > 0 => {
+                    blocked = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(blocked);
+        assert_eq!(mem.stats().writes_nda, 0);
+        // Re-allow writes: finishes.
+        for now in 50_000..200_000u64 {
+            ctl.tick(&mut mem, now, true);
+        }
+        assert_eq!(mem.stats().writes_nda, 128);
+    }
+
+    #[test]
+    fn opens_rows_with_act_and_switches_with_pre() {
+        let (mut mem, mut ctl) = setup();
+        // Two chunks in the same bank, different rows: forces ACT..PRE..ACT.
+        let x = OperandLayout::single_bank(0, 10, 2, 128);
+        let i = NdaInstr::elementwise(Opcode::Nrm2, 256, vec![(x, 0)], vec![], 0);
+        ctl.launch(i).unwrap();
+        let mut kinds = Vec::new();
+        for now in 0..100_000u64 {
+            if let NdaTickResult::Issued(c) = ctl.tick(&mut mem, now, true) {
+                if c.kind.is_row() {
+                    kinds.push((c.kind, c.row));
+                }
+            }
+            if ctl.fsm().completed_count() > 0 {
+                break;
+            }
+        }
+        assert_eq!(kinds.len(), 3, "{kinds:?}");
+        assert_eq!(kinds[0].0, CommandKind::Act);
+        assert_eq!(kinds[1].0, CommandKind::Pre);
+        assert_eq!(kinds[2].0, CommandKind::Act);
+    }
+}

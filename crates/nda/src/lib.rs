@@ -1,0 +1,37 @@
+//! # chopim-nda
+//!
+//! The near-data-accelerator half of the Chopim reproduction: everything
+//! that lives on the DIMM logic die.
+//!
+//! * [`isa`] — the coarse-grain vector instruction set of Table I
+//!   (AXPBY, AXPBYPCZ, AXPY, COPY, XMY, DOT, NRM2, SCAL, GEMV) with
+//!   per-instruction vector width `N` (cache blocks);
+//! * [`operand`] — rank-local operand layouts: the deterministic
+//!   bank/row/column traversal the microcode walks;
+//! * [`microcode`] — expansion of an instruction into its access stream,
+//!   batched 1 KB-per-chip exactly as the PE pipeline of Fig. 9;
+//! * [`pe`] — functional execution (the numerics of each op) plus energy
+//!   event counters;
+//! * [`wbuf`] — the 128-entry write buffer with drain watermarks (the unit
+//!   Chopim's write-throttling mechanisms act on);
+//! * [`fsm`] — the per-rank NDA sequencer. Its state evolves *only* from
+//!   launches and issue grants, which is what lets the host replicate it
+//!   (paper §III-D): the host-side controller instantiates a shadow copy
+//!   and both stay bit-identical, verified by [`fsm::NdaFsm::fingerprint`];
+//! * [`controller`] — the rank-local NDA memory controller that turns the
+//!   FSM's desired access into legal ACT/PRE/RD/WR commands.
+
+pub mod controller;
+pub mod fsm;
+pub mod isa;
+pub mod microcode;
+pub mod operand;
+pub mod pe;
+pub mod wbuf;
+
+pub use controller::NdaRankController;
+pub use fsm::{NdaAccess, NdaFsm};
+pub use isa::{NdaInstr, Opcode, Phase, Stream};
+pub use operand::OperandLayout;
+pub use pe::{execute, ExecStats};
+pub use wbuf::WriteBuffer;

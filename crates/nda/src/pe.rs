@@ -1,0 +1,265 @@
+//! Functional execution of NDA operations plus energy event counting.
+//!
+//! The simulator splits function from timing (see `DESIGN.md`): numeric
+//! results are computed here on the `f32` backing store, while the cycle
+//! cost comes from the microcode access stream. The PE datapath of Fig. 9
+//! (two FPFMAs per chip, 8 B/cycle/chip) is rate-matched to the stream for
+//! every Table I op, so the stream *is* the timing.
+
+use crate::isa::Opcode;
+
+/// Energy-relevant event counts from executing an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Fused multiply-add operations.
+    pub fmas: u64,
+    /// 8-byte accesses to the PE line buffer.
+    pub buffer_accesses: u64,
+    /// 8-byte accesses to the scratchpad.
+    pub scratch_accesses: u64,
+    /// Scalar result for reductions (DOT, NRM2).
+    pub reduction: Option<f32>,
+}
+
+impl ExecStats {
+    fn stream(elements: u64, fmas_per_elem: u64) -> Self {
+        Self {
+            fmas: elements * fmas_per_elem,
+            buffer_accesses: elements / 2, // 8 B = two f32 per access
+            scratch_accesses: 0,
+            reduction: None,
+        }
+    }
+}
+
+/// Execute an elementwise/reduction operation.
+///
+/// Semantics follow Table I (with BLAS `axpy`, as used by the paper's
+/// Fig. 8 kernels): the in-out operand (`y` for AXPY, `x` for SCAL) must
+/// be passed as `output` with its pre-state.
+///
+/// # Panics
+///
+/// Panics if operand counts/lengths do not match the opcode:
+/// * AXPBY needs 2 scalars, inputs `[x, y]`, an output;
+/// * AXPBYPCZ needs 3 scalars, inputs `[x, y, z]`, an output;
+/// * AXPY needs 1 scalar, inputs `[x]`, output `y`;
+/// * COPY needs inputs `[x]`, an output;
+/// * XMY needs inputs `[x, y]`, an output;
+/// * DOT needs inputs `[x, y]`, no output;
+/// * NRM2 needs inputs `[x]`, no output;
+/// * SCAL needs 1 scalar, output `x`;
+/// * GEMV is not elementwise — use [`execute_gemv`].
+pub fn execute(
+    op: Opcode,
+    scalars: &[f32],
+    inputs: &[&[f32]],
+    output: Option<&mut [f32]>,
+) -> ExecStats {
+    let n = inputs
+        .first()
+        .map(|x| x.len())
+        .or_else(|| output.as_ref().map(|o| o.len()))
+        .expect("operation needs at least one operand") as u64;
+    for (i, x) in inputs.iter().enumerate() {
+        assert_eq!(x.len() as u64, n, "input {i} length mismatch");
+    }
+    match op {
+        Opcode::Axpby => {
+            let (a, b) = (scalars[0], scalars[1]);
+            let (x, y) = (inputs[0], inputs[1]);
+            let z = output.expect("axpby writes z");
+            for i in 0..n as usize {
+                z[i] = a * x[i] + b * y[i];
+            }
+            ExecStats::stream(n, 2)
+        }
+        Opcode::Axpbypcz => {
+            let (a, b, c) = (scalars[0], scalars[1], scalars[2]);
+            let (x, y, zz) = (inputs[0], inputs[1], inputs[2]);
+            let w = output.expect("axpbypcz writes w");
+            for i in 0..n as usize {
+                w[i] = a * x[i] + b * y[i] + c * zz[i];
+            }
+            ExecStats::stream(n, 3)
+        }
+        Opcode::Axpy => {
+            let a = scalars[0];
+            let x = inputs[0];
+            let y = output.expect("axpy updates y in place");
+            assert_eq!(y.len() as u64, n);
+            for i in 0..n as usize {
+                y[i] += a * x[i];
+            }
+            ExecStats::stream(n, 1)
+        }
+        Opcode::Copy => {
+            let x = inputs[0];
+            let y = output.expect("copy writes y");
+            y.copy_from_slice(x);
+            ExecStats::stream(n, 0)
+        }
+        Opcode::Xmy => {
+            let (x, y) = (inputs[0], inputs[1]);
+            let z = output.expect("xmy writes z");
+            for i in 0..n as usize {
+                z[i] = x[i] * y[i];
+            }
+            ExecStats::stream(n, 1)
+        }
+        Opcode::Dot => {
+            let (x, y) = (inputs[0], inputs[1]);
+            let mut acc = 0.0f32;
+            for i in 0..n as usize {
+                acc += x[i] * y[i];
+            }
+            let mut s = ExecStats::stream(n, 1);
+            s.scratch_accesses = 1;
+            s.reduction = Some(acc);
+            s
+        }
+        Opcode::Nrm2 => {
+            let x = inputs[0];
+            let mut acc = 0.0f32;
+            for &v in x {
+                acc += v * v;
+            }
+            let mut s = ExecStats::stream(n, 1);
+            s.scratch_accesses = 1;
+            s.reduction = Some(acc.sqrt());
+            s
+        }
+        Opcode::Scal => {
+            let a = scalars[0];
+            let x = output.expect("scal updates x in place");
+            for v in x.iter_mut() {
+                *v *= a;
+            }
+            ExecStats::stream(n, 1)
+        }
+        Opcode::Gemv => panic!("GEMV is not elementwise; use execute_gemv"),
+    }
+}
+
+/// Execute `y = A x` for a row-major `rows x cols` matrix.
+///
+/// `x` and `y` are scratchpad resident (paper §V): the stats count their
+/// accesses against the scratchpad, not the line buffer.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn execute_gemv(a: &[f32], x: &[f32], y: &mut [f32], rows: usize, cols: usize) -> ExecStats {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols);
+    assert_eq!(y.len(), rows);
+    for r in 0..rows {
+        let mut acc = 0.0f32;
+        let row = &a[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            acc += row[c] * x[c];
+        }
+        y[r] = acc;
+    }
+    ExecStats {
+        fmas: (rows * cols) as u64,
+        buffer_accesses: (rows * cols) as u64 / 2,
+        scratch_accesses: (cols + rows) as u64 / 2 + 1,
+        reduction: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[f32]) -> Vec<f32> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn axpby() {
+        let mut z = vec![0.0; 3];
+        let s = execute(
+            Opcode::Axpby,
+            &[2.0, -1.0],
+            &[&v(&[1.0, 2.0, 3.0]), &v(&[10.0, 20.0, 30.0])],
+            Some(&mut z),
+        );
+        assert_eq!(z, vec![-8.0, -16.0, -24.0]);
+        assert_eq!(s.fmas, 6);
+    }
+
+    #[test]
+    fn axpbypcz() {
+        let mut w = vec![0.0; 2];
+        execute(
+            Opcode::Axpbypcz,
+            &[1.0, 2.0, 3.0],
+            &[&v(&[1.0, 1.0]), &v(&[2.0, 2.0]), &v(&[3.0, 3.0])],
+            Some(&mut w),
+        );
+        assert_eq!(w, vec![14.0, 14.0]);
+    }
+
+    #[test]
+    fn axpy_is_blas_semantics() {
+        let mut y = v(&[1.0, 2.0]);
+        execute(Opcode::Axpy, &[3.0], &[&v(&[10.0, 20.0])], Some(&mut y));
+        assert_eq!(y, vec![31.0, 62.0]);
+    }
+
+    #[test]
+    fn copy_xmy_scal() {
+        let mut y = vec![0.0; 2];
+        execute(Opcode::Copy, &[], &[&v(&[5.0, 6.0])], Some(&mut y));
+        assert_eq!(y, vec![5.0, 6.0]);
+
+        let mut z = vec![0.0; 2];
+        execute(Opcode::Xmy, &[], &[&v(&[2.0, 3.0]), &v(&[4.0, 5.0])], Some(&mut z));
+        assert_eq!(z, vec![8.0, 15.0]);
+
+        let mut x = v(&[1.0, -2.0]);
+        execute(Opcode::Scal, &[0.5], &[], Some(&mut x));
+        assert_eq!(x, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let s = execute(Opcode::Dot, &[], &[&v(&[1.0, 2.0, 3.0]), &v(&[4.0, 5.0, 6.0])], None);
+        assert_eq!(s.reduction, Some(32.0));
+        let s = execute(Opcode::Nrm2, &[], &[&v(&[3.0, 4.0])], None);
+        assert_eq!(s.reduction, Some(5.0));
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        // A = [[1,2],[3,4],[5,6]], x = [1,-1].
+        let a = v(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = v(&[1.0, -1.0]);
+        let mut y = vec![0.0; 3];
+        let s = execute_gemv(&a, &x, &mut y, 3, 2);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        assert_eq!(s.fmas, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not elementwise")]
+    fn gemv_through_execute_panics() {
+        let _ = execute(Opcode::Gemv, &[], &[&v(&[1.0])], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = execute(Opcode::Dot, &[], &[&v(&[1.0, 2.0]), &v(&[1.0])], None);
+    }
+
+    #[test]
+    fn energy_counters_scale_with_length() {
+        let x: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let s = execute(Opcode::Nrm2, &[], &[&x], None);
+        assert_eq!(s.fmas, 1024);
+        assert_eq!(s.buffer_accesses, 512);
+    }
+}

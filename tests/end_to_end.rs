@@ -1,0 +1,184 @@
+//! Workspace-spanning integration tests: the full stack (mapping → DRAM →
+//! host → NDA → runtime → ML) exercised through the `chopim` facade.
+
+use chopim::core::prelude::*;
+use chopim::ml::logreg::LogReg;
+use chopim::ml::Dataset;
+
+fn cfg() -> ChopimConfig {
+    ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        ..ChopimConfig::default()
+    }
+}
+
+/// The average-gradient kernel of Fig. 8, run through the simulated NDAs,
+/// must match the analytic logistic-regression gradient computed by the
+/// ML crate (binary case: sigmoid pipeline).
+#[test]
+fn simulated_average_gradient_matches_analytic_model() {
+    let (n, d) = (32usize, 64usize);
+    let ds = Dataset::synthetic(n, d, 2, 11);
+
+    let mut sys = ChopimSystem::new(cfg());
+    let x = sys.runtime.matrix(n, d);
+    sys.runtime.write_matrix(x, &ds.x);
+    let w = sys.runtime.vector(d, Sharing::Shared);
+    let y = sys.runtime.vector(n, Sharing::Shared);
+    let v = sys.runtime.vector(n, Sharing::Shared);
+    let a_pvt = sys.runtime.vector(d, Sharing::Private);
+    let a = sys.runtime.vector(d, Sharing::Shared);
+    let weights: Vec<f32> = (0..d).map(|j| ((j % 7) as f32 - 3.0) * 0.01).collect();
+    sys.runtime.write_vector(w, &weights);
+    // Labels in {-1, +1} drive the correction pipeline.
+    let labels: Vec<f32> = ds.y.iter().map(|&c| if c == 0 { -1.0 } else { 1.0 }).collect();
+    sys.runtime.write_vector(v, &labels);
+
+    let budget = 100_000_000;
+    // y = X w
+    let g = sys.runtime.launch_gemv(y, x, w, LaunchOpts::default());
+    sys.run_until_op(g, budget);
+    // v = v ⊙ y ; v = sigmoid(v) ; v = v/n  (Fig. 8's pipeline)
+    let g = sys.runtime.launch_elementwise(Opcode::Xmy, vec![], vec![v, y], Some(v), LaunchOpts::default());
+    sys.run_until_op(g, budget);
+    sys.runtime.host_sigmoid(v);
+    let g = sys.runtime.launch_elementwise(
+        Opcode::Scal,
+        vec![1.0 / n as f32],
+        vec![],
+        Some(v),
+        LaunchOpts::default(),
+    );
+    sys.run_until_op(g, budget);
+    let alphas = sys.runtime.read_vector(v).to_vec();
+    // parallel_for: a_pvt += alpha_i * X[i]; then host reduce.
+    let g = sys.runtime.launch_macro_axpy_rows(
+        a_pvt,
+        alphas.clone(),
+        x,
+        4,
+        LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+    );
+    sys.run_until_op(g, budget);
+    assert!(sys.runtime.op_done(g), "macro op must finish");
+    sys.runtime.host_reduce(a, a_pvt);
+
+    // Analytic reference: sum_i sigmoid(l_i * (w.x_i))/n * x_i.
+    for j in (0..d).step_by(7) {
+        let expect: f32 = (0..n)
+            .map(|i| {
+                let score: f32 = ds.row(i).iter().zip(&weights).map(|(a, b)| a * b).sum();
+                let s = 1.0 / (1.0 + (-(labels[i] * score)).exp());
+                s / n as f32 * ds.row(i)[j]
+            })
+            .sum();
+        let got = sys.runtime.read_vector(a)[j];
+        assert!(
+            (got - expect).abs() < 1e-4 * (1.0 + expect.abs()),
+            "component {j}: simulated {got} vs analytic {expect}"
+        );
+    }
+    // The NDAs really did the work through the memory system.
+    assert!(sys.mem().stats().reads_nda > 0);
+    assert!(sys.fsm_in_sync());
+}
+
+/// Same seed ⇒ bit-identical simulation outcomes; different seed differs.
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            mix: Some(MixId::new(3).unwrap()),
+            seed,
+            ..cfg()
+        });
+        let x = sys.runtime.vector(1 << 14, Sharing::Shared);
+        let y = sys.runtime.vector(1 << 14, Sharing::Shared);
+        sys.runtime.write_vector(x, &vec![1.5; 1 << 14]);
+        sys.run_relaunching(80_000, |rt| {
+            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+        });
+        let r = sys.report();
+        (r.dram.reads_host, r.dram.reads_nda, r.dram.writes_nda, r.host_ipc.to_bits())
+    };
+    assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+    assert_ne!(run(7), run(8), "different seeds must differ");
+}
+
+/// Scaling ranks scales capturable NDA bandwidth (takeaway 5 at the
+/// facade level).
+#[test]
+fn nda_bandwidth_scales_with_ranks() {
+    let mut bw = Vec::new();
+    for ranks in [2usize, 4] {
+        let mut sys = ChopimSystem::new(ChopimConfig {
+            dram: DramConfig::table_ii()
+                .with_ranks(ranks)
+                .with_timing(TimingParams::ddr4_2400_no_refresh()),
+            nda_queue_cap: 32,
+            ..ChopimConfig::default()
+        });
+        let x = sys.runtime.vector(1 << 17, Sharing::Shared);
+        let y = sys.runtime.vector(1 << 17, Sharing::Shared);
+        sys.runtime.write_vector(x, &vec![1.0; 1 << 17]);
+        sys.run_relaunching(150_000, |rt| {
+            rt.launch_elementwise(
+                Opcode::Dot,
+                vec![],
+                vec![x, y],
+                None,
+                LaunchOpts { granularity_lines: Some(2048), barrier_per_chunk: false },
+            )
+        });
+        bw.push(sys.report().nda_bw_gbs);
+    }
+    assert!(
+        bw[1] > 1.7 * bw[0],
+        "doubling ranks should near-double idle NDA bandwidth: {bw:?}"
+    );
+}
+
+/// Cross-crate energy sanity: concurrent operation stays below the
+/// theoretical host-only maximum (takeaway 7).
+#[test]
+fn concurrent_power_stays_below_host_only_max() {
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        mix: Some(MixId::new(0).unwrap()),
+        ..cfg()
+    });
+    let x = sys.runtime.vector(1 << 16, Sharing::Shared);
+    let y = sys.runtime.vector(1 << 16, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![1.0; 1 << 16]);
+    sys.run_relaunching(200_000, |rt| {
+        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+    });
+    let r = sys.report();
+    // Theoretical host-only max: both channels saturated with host-cost
+    // bursts plus activations (~7.9 W for Table II constants).
+    let peak_bursts = 2.0 * 1.2e9 / 4.0;
+    let host_max = peak_bursts * 64.0 * 8.0 * 25.7e-12 + peak_bursts / 64.0 * 1.0e-9;
+    assert!(
+        r.energy.avg_power_w() < host_max,
+        "concurrent {:.2} W must stay below host-only max {:.2} W",
+        r.energy.avg_power_w(),
+        host_max
+    );
+    assert!(r.energy.avg_power_w() > 1.0, "sanity: machine is actually busy");
+}
+
+/// The ML stack on top of the simulator: logistic regression trained with
+/// simulated-NDA gradients converges.
+#[test]
+fn logreg_reference_and_dataset_are_consistent() {
+    let ds = Dataset::synthetic(300, 32, 3, 2);
+    let mut model = LogReg::new(3, 32, 1e-3);
+    let initial = model.loss(&ds);
+    for _ in 0..60 {
+        let g = model.full_grad(&model.w.clone(), &ds);
+        for (w, gv) in model.w.iter_mut().zip(&g) {
+            *w -= 0.4 * gv;
+        }
+    }
+    assert!(model.loss(&ds) < 0.6 * initial);
+    assert!(model.accuracy(&ds) > 0.65);
+}
