@@ -4,115 +4,157 @@
 //!   behind the Fig. 10 shape;
 //! * NDA instruction-queue depth — how much asynchrony the launch pipeline
 //!   can exploit;
-//! * write-buffer capacity sensitivity is covered indirectly via the
-//!   policies bench (Fig. 12): drains are the throttling window.
+//! * host scheduler / page policy, the memory interface (replicated FSMs
+//!   vs packetized), and the NDA operand walk order.
+//!
+//! Each ablation is its own sweep over the paper base configuration.
 
-use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
-fn measure(cfg: ChopimConfig, granularity: u64) -> (f64, f64) {
-    let mut sys = ChopimSystem::new(cfg);
-    let (x, _) = vec_pair(&mut sys, 1 << 17);
-    sys.run_relaunching(window(), |rt| {
-        rt.launch_elementwise(
-            Opcode::Nrm2,
-            vec![],
-            vec![x],
-            None,
-            LaunchOpts { granularity_lines: Some(granularity), barrier_per_chunk: false },
-        )
-    });
-    let r = sys.report();
-    (r.host_ipc, r.nda_bw_utilization)
+/// NRM2 at a fixed granularity, the probe workload of the ablations.
+fn nrm2(granularity: u64) -> Workload {
+    Workload::elementwise_opts(
+        Opcode::Nrm2,
+        1 << 17,
+        LaunchOpts {
+            granularity_lines: Some(granularity),
+            barrier_per_chunk: false,
+        },
+    )
+}
+
+fn mix1_base(granularity: u64) -> ScenarioSpec {
+    let mut base = paper_spec();
+    base.cfg.mix = Some(MixId::new(1).unwrap());
+    base.cfg.nda_queue_cap = 32;
+    base.workload = nrm2(granularity);
+    base
 }
 
 fn main() {
+    let launch_cost = run_sweep(
+        "ablation_launch_cost",
+        &SweepBuilder::new(mix1_base(64))
+            .axis("ctrl_writes", labeled([1u32, 2, 4, 8]), |s, &k| {
+                s.cfg.launch_writes_per_instr = k
+            })
+            .build(),
+    );
     header(
         "Ablation: launch-packet cost (NRM2 @ 64 blocks/instr, mix1)",
         &["ctrl writes per launch", "host IPC", "NDA BW util"],
     );
-    for k in [1u32, 2, 4, 8] {
-        let mut cfg = paper_cfg();
-        cfg.mix = Some(MixId::new(1).unwrap());
-        cfg.launch_writes_per_instr = k;
-        cfg.nda_queue_cap = 32;
-        let (ipc, util) = measure(cfg, 64);
-        row(&[k.to_string(), f3(ipc), f3(util)]);
+    for p in launch_cost.iter() {
+        row(&[
+            p.spec.label.clone(),
+            f3(p.result.host_ipc),
+            f3(p.result.nda_bw_utilization),
+        ]);
     }
 
+    let queue_depth = run_sweep(
+        "ablation_queue_depth",
+        &SweepBuilder::new(mix1_base(64))
+            .axis("queue", labeled([1usize, 4, 16, 64]), |s, &q| {
+                s.cfg.nda_queue_cap = q
+            })
+            .build(),
+    );
     header(
         "Ablation: NDA instruction-queue depth (NRM2 @ 64 blocks/instr, mix1)",
         &["queue depth", "host IPC", "NDA BW util"],
     );
-    for q in [1usize, 4, 16, 64] {
-        let mut cfg = paper_cfg();
-        cfg.mix = Some(MixId::new(1).unwrap());
-        cfg.nda_queue_cap = q;
-        let (ipc, util) = measure(cfg, 64);
-        row(&[q.to_string(), f3(ipc), f3(util)]);
+    for p in queue_depth.iter() {
+        row(&[
+            p.spec.label.clone(),
+            f3(p.result.host_ipc),
+            f3(p.result.nda_bw_utilization),
+        ]);
     }
 
+    let sched = run_sweep(
+        "ablation_scheduler",
+        &SweepBuilder::new(mix1_base(64))
+            .axis(
+                "discipline",
+                [
+                    ("FrFcfs/Open", (SchedulerKind::FrFcfs, PagePolicy::Open)),
+                    ("Fcfs/Open", (SchedulerKind::Fcfs, PagePolicy::Open)),
+                    ("FrFcfs/Closed", (SchedulerKind::FrFcfs, PagePolicy::Closed)),
+                ],
+                |s, &(sched, page)| {
+                    s.cfg.scheduler = sched;
+                    s.cfg.page_policy = page;
+                },
+            )
+            .build(),
+    );
     header(
         "Ablation: host scheduler / page policy (NRM2 @ 64 blocks/instr, mix1)",
-        &["scheduler", "page policy", "host IPC", "NDA BW util"],
+        &["scheduler/page policy", "host IPC", "NDA BW util"],
     );
-    for (sched, page) in [
-        (SchedulerKind::FrFcfs, PagePolicy::Open),
-        (SchedulerKind::Fcfs, PagePolicy::Open),
-        (SchedulerKind::FrFcfs, PagePolicy::Closed),
-    ] {
-        let mut cfg = paper_cfg();
-        cfg.mix = Some(MixId::new(1).unwrap());
-        cfg.scheduler = sched;
-        cfg.page_policy = page;
-        cfg.nda_queue_cap = 32;
-        let (ipc, util) = measure(cfg, 64);
-        row(&[format!("{sched:?}"), format!("{page:?}"), f3(ipc), f3(util)]);
+    for p in sched.iter() {
+        row(&[
+            p.spec.label.clone(),
+            f3(p.result.host_ipc),
+            f3(p.result.nda_bw_utilization),
+        ]);
     }
 
+    let interface = run_sweep(
+        "ablation_interface",
+        &SweepBuilder::new(mix1_base(1024))
+            .axis(
+                "interface",
+                [
+                    ("DDR4 (Chopim)", 0u32),
+                    ("packetized +20cyc/dir", 20),
+                    ("packetized +40cyc/dir", 40),
+                ],
+                |s, &pkt| s.cfg.packetized_latency = pkt,
+            )
+            .build(),
+    );
     header(
         "Ablation: memory interface — DDR4 (replicated FSMs) vs packetized (HMC-like)",
         &["interface", "host IPC", "avg read latency", "NDA BW util"],
     );
-    for (name, pkt) in [("DDR4 (Chopim)", 0u32), ("packetized +20cyc/dir", 20), ("packetized +40cyc/dir", 40)] {
-        let mut cfg = paper_cfg();
-        cfg.mix = Some(MixId::new(1).unwrap());
-        cfg.packetized_latency = pkt;
-        cfg.nda_queue_cap = 32;
-        let mut sys = ChopimSystem::new(cfg);
-        let (x, _) = vec_pair(&mut sys, 1 << 17);
-        sys.run_relaunching(window(), |rt| {
-            rt.launch_elementwise(
-                Opcode::Nrm2,
-                vec![],
-                vec![x],
-                None,
-                LaunchOpts { granularity_lines: Some(1024), barrier_per_chunk: false },
-            )
-        });
-        let r = sys.report();
-        row(&[name.to_string(), f3(r.host_ipc), f3(r.avg_read_latency), f3(r.nda_bw_utilization)]);
+    for p in interface.iter() {
+        row(&[
+            p.spec.label.clone(),
+            f3(p.result.host_ipc),
+            f3(p.result.avg_read_latency),
+            f3(p.result.nda_bw_utilization),
+        ]);
     }
 
+    let mut walk_base = paper_spec();
+    walk_base.workload = Workload::elementwise(Opcode::Copy, 1 << 17);
+    let walk = run_sweep(
+        "ablation_operand_walk",
+        &SweepBuilder::new(walk_base)
+            .axis(
+                "walk",
+                [
+                    ("contiguous-column (Chopim), shared", (0usize, false)),
+                    ("contiguous-column (Chopim), partitioned", (1, false)),
+                    ("PA-order (naive), shared", (0, true)),
+                ],
+                |s, &(reserved, pa_order)| {
+                    s.cfg.reserved_banks = reserved;
+                    s.cfg.nda_pa_order_walk = pa_order;
+                },
+            )
+            .build(),
+    );
     header(
         "Ablation: NDA operand walk — Chopim contiguous-column layout vs PA-order (Fig. 3's naive-layout argument)",
-        &["walk", "banks mode", "NDA BW util"],
+        &["walk, banks mode", "NDA BW util"],
     );
-    for (name, reserved, pa_order) in [
-        ("contiguous-column (Chopim)", 0usize, false),
-        ("contiguous-column (Chopim)", 1, false),
-        ("PA-order (naive)", 0, true),
-    ] {
-        let mut cfg = paper_cfg();
-        cfg.reserved_banks = reserved;
-        cfg.nda_pa_order_walk = pa_order;
-        let mut sys = ChopimSystem::new(cfg);
-        let (x, y) = vec_pair(&mut sys, 1 << 17);
-        sys.run_relaunching(window(), |rt| {
-            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
-        });
-        let mode = if reserved > 0 { "partitioned" } else { "shared" };
-        row(&[name.to_string(), mode.to_string(), f3(sys.report().nda_bw_utilization)]);
+    for p in walk.iter() {
+        row(&[p.spec.label.clone(), f3(p.result.nda_bw_utilization)]);
     }
     println!(
         "\nThe PA-order walk keeps every bank's row buffer live at once, so any \

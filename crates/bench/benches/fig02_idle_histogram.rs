@@ -5,31 +5,29 @@
 //! gap. The paper's takeaway: the majority of idle periods are shorter
 //! than 100 cycles, so only fine-grain interleaving can exploit them.
 
-use chopim_bench::{header, paper_cfg, row, window};
+use chopim_bench::{header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 fn main() {
+    let specs = SweepBuilder::new(paper_spec())
+        .axis("mix", labeled(MixId::ALL), |s, &m| s.cfg.mix = Some(m))
+        .build();
+    let result = run_sweep("fig02_idle_histogram", &specs);
+
     header(
         "Fig. 2: rank idle-time breakdown (host-only, fraction of cycles)",
-        &["mix", "Busy", "1-10", "10-100", "100-250", "250-500", "500-1000", "1000-"],
+        &[
+            "mix", "Busy", "1-10", "10-100", "100-250", "250-500", "500-1000", "1000-",
+        ],
     );
     let mut short_gap_share = Vec::new();
-    for mix in MixId::ALL {
-        let mut sys = ChopimSystem::new(ChopimConfig { mix: Some(mix), ..paper_cfg() });
-        sys.run(window());
-        let r = sys.report();
-        let h = r.idle_histogram_total();
+    for p in result.iter() {
+        let h = p.result.idle_histogram_total();
         let f = h.fractions();
-        row(&[
-            mix.to_string(),
-            format!("{:.3}", f[0]),
-            format!("{:.3}", f[1]),
-            format!("{:.3}", f[2]),
-            format!("{:.3}", f[3]),
-            format!("{:.3}", f[4]),
-            format!("{:.3}", f[5]),
-            format!("{:.3}", f[6]),
-        ]);
+        let mut cells = vec![p.spec.label.clone()];
+        cells.extend(f.iter().map(|v| format!("{v:.3}")));
+        row(&cells);
         let idle: f64 = f[1..].iter().sum();
         if idle > 0.0 {
             // Fraction of idle time in gaps under 250 cycles.

@@ -9,34 +9,47 @@
 //! contending with host transactions), and more ranks need coarser ops to
 //! reach the same utilization.
 
-use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 fn main() {
-    let granularities: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
-    for ranks in [2usize, 4, 8] {
+    let mut base = paper_spec();
+    base.cfg.mix = Some(MixId::new(1).unwrap());
+    base.cfg.nda_queue_cap = 32;
+    let specs = SweepBuilder::new(base)
+        .axis("ranks", labeled([2usize, 4, 8]), |s, &r| {
+            s.cfg.dram = s.cfg.dram.clone().with_ranks(r)
+        })
+        .axis(
+            "blocks",
+            labeled([1u64, 4, 16, 64, 256, 1024, 4096]),
+            |s, &g| {
+                s.workload = Workload::elementwise_opts(
+                    Opcode::Nrm2,
+                    1 << 17,
+                    LaunchOpts {
+                        granularity_lines: Some(g),
+                        barrier_per_chunk: false,
+                    },
+                )
+            },
+        )
+        .build();
+    let result = run_sweep("fig10_coarse_grain", &specs);
+
+    for ranks in result.tag_values("ranks") {
         header(
             &format!("Fig. 10: coarse-grain NDA ops — 2 ch x {ranks} ranks (mix1, NRM2, async)"),
             &["blocks/instr", "host IPC", "NDA BW util"],
         );
-        for g in granularities {
-            let mut cfg = paper_cfg();
-            cfg.dram = cfg.dram.with_ranks(ranks);
-            cfg.mix = Some(MixId::new(1).unwrap());
-            cfg.nda_queue_cap = 32;
-            let mut sys = ChopimSystem::new(cfg);
-            let (x, _) = vec_pair(&mut sys, 1 << 17);
-            sys.run_relaunching(window(), |rt| {
-                rt.launch_elementwise(
-                    Opcode::Nrm2,
-                    vec![],
-                    vec![x],
-                    None,
-                    LaunchOpts { granularity_lines: Some(g), barrier_per_chunk: false },
-                )
-            });
-            let r = sys.report();
-            row(&[g.to_string(), f3(r.host_ipc), f3(r.nda_bw_utilization)]);
+        for p in result.select(&[("ranks", &ranks)]) {
+            let r = &p.result;
+            row(&[
+                p.spec.tag("blocks").unwrap().to_string(),
+                f3(r.host_ipc),
+                f3(r.nda_bw_utilization),
+            ]);
         }
     }
     println!(

@@ -3,45 +3,33 @@
 //! extremes, across mix0..mix8.
 //!
 //! Reported per mix: host IPC under each mode and NDA bandwidth
-//! utilization (1.0 = idealized: every host-idle rank cycle). Expected
-//! shape: partitioning substantially lifts NDA utilization (row-conflict
-//! shielding), most visibly for DOT; COPY additionally depresses host IPC
-//! via write turnarounds (addressed by Fig. 12's throttling).
+//! utilization (1.0 = idealized). Expected shape: partitioning
+//! substantially lifts NDA utilization (row-conflict shielding), most
+//! visibly for DOT; COPY additionally depresses host IPC via write
+//! turnarounds (addressed by Fig. 12's throttling).
 
-use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
-
-struct Point {
-    ipc: f64,
-    util: f64,
-}
-
-fn run_point(mix: MixId, reserved: usize, op: Opcode) -> Point {
-    let mut cfg = paper_cfg();
-    cfg.mix = Some(mix);
-    cfg.reserved_banks = reserved;
-    // Fig. 11 isolates bank-conflict effects: the aggressive issue-if-idle
-    // policy runs here; write throttling is evaluated in Fig. 12.
-    cfg.policy = WriteIssuePolicy::IssueIfIdle;
-    let mut sys = ChopimSystem::new(cfg);
-    let (x, y) = vec_pair(&mut sys, 1 << 17);
-    sys.run_relaunching(window(), |rt| match op {
-        Opcode::Dot => {
-            rt.launch_elementwise(Opcode::Dot, vec![], vec![x, y], None, LaunchOpts::default())
-        }
-        _ => rt.launch_elementwise(
-            Opcode::Copy,
-            vec![],
-            vec![x],
-            Some(y),
-            LaunchOpts::default(),
-        ),
-    });
-    let r = sys.report();
-    Point { ipc: r.host_ipc, util: r.nda_bw_utilization }
-}
+use chopim_exp::prelude::*;
 
 fn main() {
+    // Fig. 11 isolates bank-conflict effects: the aggressive issue-if-idle
+    // policy runs here; write throttling is evaluated in Fig. 12.
+    let mut base = paper_spec();
+    base.cfg.policy = WriteIssuePolicy::IssueIfIdle;
+    let specs = SweepBuilder::new(base)
+        .axis("mix", labeled(MixId::ALL), |s, &m| s.cfg.mix = Some(m))
+        .axis("banks", [("Shared", 0usize), ("Part", 1)], |s, &r| {
+            s.cfg.reserved_banks = r
+        })
+        .axis(
+            "op",
+            [("DOT", Opcode::Dot), ("COPY", Opcode::Copy)],
+            |s, &op| s.workload = Workload::elementwise(op, 1 << 17),
+        )
+        .build();
+    let result = run_sweep("fig11_bank_partitioning", &specs);
+
     header(
         "Fig. 11: shared vs partitioned banks (host IPC / NDA BW utilization)",
         &[
@@ -58,24 +46,26 @@ fn main() {
     );
     let mut gain_sum = 0.0;
     let mut n = 0.0;
-    for mix in MixId::ALL {
-        let sd = run_point(mix, 0, Opcode::Dot);
-        let pd = run_point(mix, 1, Opcode::Dot);
-        let sc = run_point(mix, 0, Opcode::Copy);
-        let pc = run_point(mix, 1, Opcode::Copy);
-        row(&[
-            mix.to_string(),
-            f3(sd.ipc),
-            f3(sd.util),
-            f3(pd.ipc),
-            f3(pd.util),
-            f3(sc.ipc),
-            f3(sc.util),
-            f3(pc.ipc),
-            f3(pc.util),
-        ]);
-        if sd.util > 0.0 {
-            gain_sum += pd.util / sd.util;
+    for mix in result.tag_values("mix") {
+        let mut cells = vec![mix.clone()];
+        for op in ["DOT", "COPY"] {
+            for banks in ["Shared", "Part"] {
+                let r = &result
+                    .get(&[("mix", &mix), ("banks", banks), ("op", op)])
+                    .result;
+                cells.push(f3(r.host_ipc));
+                cells.push(f3(r.nda_bw_utilization));
+            }
+        }
+        row(&cells);
+        let sd = &result
+            .get(&[("mix", &mix), ("banks", "Shared"), ("op", "DOT")])
+            .result;
+        let pd = &result
+            .get(&[("mix", &mix), ("banks", "Part"), ("op", "DOT")])
+            .result;
+        if sd.nda_bw_utilization > 0.0 {
+            gain_sum += pd.nda_bw_utilization / sd.nda_bw_utilization;
             n += 1.0;
         }
     }

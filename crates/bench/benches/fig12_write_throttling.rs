@@ -7,8 +7,9 @@
 //! for the other with its coin weight; next-rank prediction sits near the
 //! best of both without tuning (paper takeaway 3).
 
-use chopim_bench::{f3, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 fn main() {
     let policies = [
@@ -17,33 +18,29 @@ fn main() {
         WriteIssuePolicy::NextRankPredict,
         WriteIssuePolicy::IssueIfIdle,
     ];
+    let mut base = paper_spec();
+    base.workload = Workload::elementwise(Opcode::Copy, 1 << 17);
+    let specs = SweepBuilder::new(base)
+        .axis("mix", labeled(MixId::ALL), |s, &m| s.cfg.mix = Some(m))
+        .axis("policy", policies.map(|p| (p.label(), p)), |s, &p| {
+            s.cfg.policy = p
+        })
+        .build();
+    let result = run_sweep("fig12_write_throttling", &specs);
+
     let mut cols = vec!["mix".to_string()];
-    for p in &policies {
-        cols.push(format!("{} ipc", p.label()));
-        cols.push(format!("{} util", p.label()));
+    for p in result.tag_values("policy") {
+        cols.push(format!("{p} ipc"));
+        cols.push(format!("{p} util"));
     }
     header(
         "Fig. 12: NDA write throttling under COPY (host IPC / NDA BW utilization)",
         &cols.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    for mix in MixId::ALL {
-        let mut cells = vec![mix.to_string()];
-        for policy in policies {
-            let mut cfg = paper_cfg();
-            cfg.mix = Some(mix);
-            cfg.policy = policy;
-            let mut sys = ChopimSystem::new(cfg);
-            let (x, y) = vec_pair(&mut sys, 1 << 17);
-            sys.run_relaunching(window(), |rt| {
-                rt.launch_elementwise(
-                    Opcode::Copy,
-                    vec![],
-                    vec![x],
-                    Some(y),
-                    LaunchOpts::default(),
-                )
-            });
-            let r = sys.report();
+    for mix in result.tag_values("mix") {
+        let mut cells = vec![mix.clone()];
+        for policy in result.tag_values("policy") {
+            let r = &result.get(&[("mix", &mix), ("policy", &policy)]).result;
             cells.push(f3(r.host_ipc));
             cells.push(f3(r.nda_bw_utilization));
         }

@@ -9,8 +9,9 @@
 //! imbalance; async launch recovers most of the small-input loss
 //! (takeaway 4).
 
-use chopim_bench::{f3, header, paper_cfg, row, window};
+use chopim_bench::{f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Size {
@@ -55,84 +56,53 @@ fn main() {
         Opcode::Scal,
     ];
     let sizes = [Size::Small, Size::Medium, Size::Large, Size::SmallAsync];
+
+    let mut base = paper_spec();
+    base.cfg.mix = Some(MixId::new(1).unwrap());
+    base.cfg.nda_queue_cap = 32;
+    let total_ranks = base.cfg.dram.channels * base.cfg.dram.ranks_per_channel;
+
+    // Ops repeatedly launch over a large resident vector; the size axis
+    // sets the per-launch width, and blocking launches put a barrier
+    // between consecutive launches (paper §V). GEMV instead derives its
+    // shape from the per-launch width (128 rows, columns sized to match,
+    // capped to keep harness memory bounded).
+    let specs = SweepBuilder::new(base)
+        .axis("op", ops.map(|op| (op.to_string(), op)), |_, _| {})
+        .axis("size", sizes.map(|sz| (sz.label(), sz)), |_, _| {})
+        .finish(move |spec| {
+            let op = *spec.value::<Opcode>("op").expect("op axis");
+            let size = *spec.value::<Size>("size").expect("size axis");
+            spec.workload = if op == Opcode::Gemv {
+                let rows = 128usize;
+                let gemv_elems = size.lines_per_launch() as usize * 16 * total_ranks;
+                let cols = (gemv_elems / rows).clamp(16, 65_536) / 16 * 16;
+                Workload::Gemv { rows, cols }
+            } else {
+                Workload::elementwise_opts(
+                    op,
+                    (8 << 20) * total_ranks / 4,
+                    LaunchOpts {
+                        granularity_lines: Some(size.lines_per_launch()),
+                        barrier_per_chunk: size.barrier(),
+                    },
+                )
+            };
+        })
+        .build();
+    let result = run_sweep("fig13_op_sweep", &specs);
+
     header(
         "Fig. 13: NDA op x operand size (mix1, next-rank prediction) — host IPC / NDA BW util",
         &["op", "size", "host IPC", "NDA BW util"],
     );
-    for op in ops {
-        for size in sizes {
-            let mut cfg = paper_cfg();
-            cfg.mix = Some(MixId::new(1).unwrap());
-            cfg.nda_queue_cap = 32;
-            let mut sys = ChopimSystem::new(cfg);
-            let total_ranks = sys.runtime.nda_ranks().len();
-            // Ops repeatedly launch over a large resident vector; the size
-            // axis sets the per-launch width, and blocking launches put a
-            // barrier between consecutive launches (paper §V).
-            let elems = (8 << 20) * total_ranks / 4;
-            let opts = LaunchOpts {
-                granularity_lines: Some(size.lines_per_launch()),
-                barrier_per_chunk: size.barrier(),
-            };
-            let r = if op == Opcode::Gemv {
-                // 128 rows, columns = per-launch vector size (paper's GEMV
-                // shapes), capped to keep harness memory bounded.
-                let rows = 128usize;
-                let gemv_elems = size.lines_per_launch() as usize * 16 * total_ranks;
-                let cols = (gemv_elems / rows).clamp(16, 65_536) / 16 * 16;
-                let a = sys.runtime.matrix(rows, cols);
-                let x = sys.runtime.vector(cols, Sharing::Shared);
-                let y = sys.runtime.vector(rows, Sharing::Shared);
-                sys.runtime.write_vector(x, &vec![1.0; cols]);
-                let _ = a;
-                sys.run_relaunching(window(), |rt| {
-                    rt.launch_gemv(y, a, x, LaunchOpts::default())
-                });
-                sys.report()
-            } else {
-                let x = sys.runtime.vector(elems, Sharing::Shared);
-                let y = sys.runtime.vector(elems, Sharing::Shared);
-                let z = sys.runtime.vector(elems, Sharing::Shared);
-                sys.runtime.write_vector(x, &vec![1.0; elems]);
-                sys.runtime.write_vector(y, &vec![2.0; elems]);
-                sys.run_relaunching(window(), |rt| match op {
-                    Opcode::Axpby => rt.launch_elementwise(
-                        op,
-                        vec![2.0, -1.0],
-                        vec![x, y],
-                        Some(z),
-                        opts,
-                    ),
-                    Opcode::Axpbypcz => rt.launch_elementwise(
-                        op,
-                        vec![2.0, -1.0, 0.5],
-                        vec![x, y, z],
-                        Some(z),
-                        opts,
-                    ),
-                    Opcode::Axpy => {
-                        rt.launch_elementwise(op, vec![0.5], vec![x], Some(y), opts)
-                    }
-                    Opcode::Copy => rt.launch_elementwise(op, vec![], vec![x], Some(y), opts),
-                    Opcode::Xmy => {
-                        rt.launch_elementwise(op, vec![], vec![x, y], Some(z), opts)
-                    }
-                    Opcode::Dot => rt.launch_elementwise(op, vec![], vec![x, y], None, opts),
-                    Opcode::Nrm2 => rt.launch_elementwise(op, vec![], vec![x], None, opts),
-                    Opcode::Scal => {
-                        rt.launch_elementwise(op, vec![0.99], vec![], Some(x), opts)
-                    }
-                    Opcode::Gemv => unreachable!(),
-                });
-                sys.report()
-            };
-            row(&[
-                op.to_string(),
-                size.label().to_string(),
-                f3(r.host_ipc),
-                f3(r.nda_bw_utilization),
-            ]);
-        }
+    for p in result.iter() {
+        row(&[
+            p.spec.tag("op").unwrap().to_string(),
+            p.spec.tag("size").unwrap().to_string(),
+            f3(p.result.host_ipc),
+            f3(p.result.nda_bw_utilization),
+        ]);
     }
     println!(
         "\nTakeaway 4: performance is inversely related to write intensity; \

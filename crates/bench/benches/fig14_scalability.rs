@@ -9,140 +9,96 @@
 //! and scales better when ranks double because short idle slots grow with
 //! rank count (takeaway 5).
 
-use chopim_bench::{f2, f3, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f2, f3, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
-
-#[derive(Clone, Copy)]
-enum App {
-    Dot,
-    Copy,
-    Svrg,
-    Cg,
-    Sc,
-}
-
-impl App {
-    fn label(self) -> &'static str {
-        match self {
-            App::Dot => "DOT",
-            App::Copy => "COPY",
-            App::Svrg => "SVRG",
-            App::Cg => "CG",
-            App::Sc => "SC",
-        }
-    }
-}
-
-fn run_app(ranks: usize, rank_partition: bool, app: App) -> (f64, f64) {
-    let mut cfg = paper_cfg();
-    cfg.dram = cfg.dram.with_ranks(ranks);
-    cfg.mix = Some(MixId::new(1).unwrap());
-    cfg.rank_partition = rank_partition;
-    if rank_partition {
-        cfg.reserved_banks = 0;
-    }
-    cfg.nda_queue_cap = 32;
-    let mut sys = ChopimSystem::new(cfg);
-    let (x, y) = vec_pair(&mut sys, 1 << 17);
-    let opts = LaunchOpts { granularity_lines: Some(2048), barrier_per_chunk: false };
-    match app {
-        App::Dot => {
-            sys.run_relaunching(window(), |rt| {
-                rt.launch_elementwise(Opcode::Dot, vec![], vec![x, y], None, opts)
-            });
-        }
-        App::Copy => {
-            sys.run_relaunching(window(), |rt| {
-                rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), opts)
-            });
-        }
-        App::Svrg => {
-            // The average-gradient macro stream (Fig. 8): per-sample AXPY
-            // into per-NDA private accumulators.
-            let d = 3072;
-            let xs = sys.runtime.matrix(64, d);
-            let a_pvt = sys.runtime.vector(d, Sharing::Private);
-            let alphas = vec![0.01f32; 64];
-            sys.run_relaunching(window(), |rt| {
-                rt.launch_macro_axpy_rows(a_pvt, alphas.clone(), xs, 8, opts)
-            });
-        }
-        App::Cg => {
-            // GEMV + DOT + AXPY + AXPBY iteration stream (CG shapes).
-            let (rows, n) = (128usize, 2048usize);
-            let a = sys.runtime.matrix(rows, n);
-            let p = sys.runtime.vector(n, Sharing::Shared);
-            let ap = sys.runtime.vector(rows, Sharing::Shared);
-            let r = sys.runtime.vector(n, Sharing::Shared);
-            sys.runtime.write_vector(p, &vec![1.0; n]);
-            sys.runtime.write_vector(r, &vec![1.0; n]);
-            let mut phase = 0usize;
-            sys.run_relaunching(window(), move |rt| {
-                phase = (phase + 1) % 4;
-                match phase {
-                    0 => rt.launch_gemv(ap, a, p, LaunchOpts::default()),
-                    1 => rt.launch_elementwise(Opcode::Dot, vec![], vec![ap, ap], None, opts),
-                    2 => rt.launch_elementwise(
-                        Opcode::Axpy,
-                        vec![0.5],
-                        vec![p],
-                        Some(r),
-                        opts,
-                    ),
-                    _ => rt.launch_elementwise(
-                        Opcode::Axpby,
-                        vec![1.0, 0.5],
-                        vec![r, p],
-                        Some(p),
-                        opts,
-                    ),
-                }
-            });
-        }
-        App::Sc => {
-            // GEMV + XMY + NRM2 distance-evaluation stream.
-            let (n, d) = (1024, 128);
-            let pts = sys.runtime.matrix(n, d);
-            let c = sys.runtime.vector(d, Sharing::Shared);
-            let dots = sys.runtime.vector(n, Sharing::Shared);
-            let acc = sys.runtime.vector(n, Sharing::Shared);
-            sys.runtime.write_vector(c, &vec![1.0; d]);
-            let mut phase = 0usize;
-            sys.run_relaunching(window(), move |rt| {
-                phase = (phase + 1) % 3;
-                match phase {
-                    0 => rt.launch_gemv(dots, pts, c, LaunchOpts::default()),
-                    1 => rt.launch_elementwise(
-                        Opcode::Xmy,
-                        vec![],
-                        vec![dots, dots],
-                        Some(acc),
-                        opts,
-                    ),
-                    _ => rt.launch_elementwise(Opcode::Nrm2, vec![], vec![dots], None, opts),
-                }
-            });
-        }
-    }
-    let rep = sys.report();
-    (rep.host_ipc, rep.nda_bw_gbs)
-}
+use chopim_exp::prelude::*;
 
 fn main() {
-    for ranks in [2usize, 4] {
+    let opts = LaunchOpts {
+        granularity_lines: Some(2048),
+        barrier_per_chunk: false,
+    };
+    let apps: [(&str, Workload); 5] = [
+        (
+            "DOT",
+            Workload::elementwise_opts(Opcode::Dot, 1 << 17, opts),
+        ),
+        (
+            "COPY",
+            Workload::elementwise_opts(Opcode::Copy, 1 << 17, opts),
+        ),
+        // The average-gradient macro stream (Fig. 8): per-sample AXPY
+        // into per-NDA private accumulators.
+        (
+            "SVRG",
+            Workload::MacroAxpyRows {
+                rows: 64,
+                d: 3072,
+                rows_per_instr: 8,
+                opts,
+            },
+        ),
+        // GEMV + DOT + AXPY + AXPBY iteration stream (CG shapes).
+        (
+            "CG",
+            Workload::CgStream {
+                rows: 128,
+                n: 2048,
+                opts,
+            },
+        ),
+        // GEMV + XMY + NRM2 distance-evaluation stream.
+        (
+            "SC",
+            Workload::ScStream {
+                n: 1024,
+                d: 128,
+                opts,
+            },
+        ),
+    ];
+
+    let mut base = paper_spec();
+    base.cfg.mix = Some(MixId::new(1).unwrap());
+    base.cfg.nda_queue_cap = 32;
+    let specs = SweepBuilder::new(base)
+        .axis("ranks", labeled([2usize, 4]), |s, &r| {
+            s.cfg.dram = s.cfg.dram.clone().with_ranks(r)
+        })
+        .axis("arch", [("RP", true), ("Chopim", false)], |s, &rp| {
+            s.cfg.rank_partition = rp;
+            if rp {
+                s.cfg.reserved_banks = 0;
+            }
+        })
+        .axis("app", apps, |s, w| s.workload = w.clone())
+        .build();
+    let result = run_sweep("fig14_scalability", &specs);
+
+    for ranks in result.tag_values("ranks") {
         header(
             &format!("Fig. 14: Chopim vs rank partitioning — 2 ch x {ranks} ranks (mix1)"),
-            &["workload", "RP host IPC", "RP NDA GB/s", "Chopim host IPC", "Chopim NDA GB/s"],
+            &[
+                "workload",
+                "RP host IPC",
+                "RP NDA GB/s",
+                "Chopim host IPC",
+                "Chopim NDA GB/s",
+            ],
         );
-        for app in [App::Dot, App::Copy, App::Svrg, App::Cg, App::Sc] {
-            let (rp_ipc, rp_bw) = run_app(ranks, true, app);
-            let (ch_ipc, ch_bw) = run_app(ranks, false, app);
+        for app in result.tag_values("app") {
+            let rp = &result
+                .get(&[("ranks", &ranks), ("arch", "RP"), ("app", &app)])
+                .result;
+            let ch = &result
+                .get(&[("ranks", &ranks), ("arch", "Chopim"), ("app", &app)])
+                .result;
             row(&[
-                app.label().to_string(),
-                f3(rp_ipc),
-                f2(rp_bw),
-                f3(ch_ipc),
-                f2(ch_bw),
+                app.clone(),
+                f3(rp.host_ipc),
+                f2(rp.nda_bw_gbs),
+                f3(ch.host_ipc),
+                f2(ch.nda_bw_gbs),
             ]);
         }
     }

@@ -6,60 +6,64 @@
 //! maximum. This harness reproduces each row from the Table II energy
 //! constants and simulated event counts.
 
-use chopim_bench::{f2, header, paper_cfg, row, vec_pair, window};
+use chopim_bench::{f2, header, paper_spec, row, run_sweep};
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 fn main() {
+    // NDA-only maximum-intensity kernel: the average-gradient macro
+    // stream (Fig. 8 shapes).
+    let avg_gradient = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 3072,
+        rows_per_instr: 8,
+        opts: LaunchOpts {
+            granularity_lines: None,
+            barrier_per_chunk: false,
+        },
+    };
+    let scenarios: [(&str, Option<usize>, Workload); 3] = [
+        ("host-only (mix0)", Some(0), Workload::HostOnly),
+        ("NDA-only (avg-gradient)", None, avg_gradient),
+        (
+            "concurrent (mix0 + COPY)",
+            Some(0),
+            Workload::elementwise(Opcode::Copy, 1 << 17),
+        ),
+    ];
+    let specs = SweepBuilder::new(paper_spec())
+        .axis(
+            "scenario",
+            scenarios.map(|(l, m, w)| (l, (m, w))),
+            |s, (mix, w)| {
+                s.cfg.mix = mix.map(|i| MixId::new(i).unwrap());
+                s.workload = w.clone();
+            },
+        )
+        .build();
+    let result = run_sweep("power_table", &specs);
+
     header(
         "Memory power under concurrent access (Table II energy constants)",
         &["scenario", "avg power (W)", "NDA share (W)"],
     );
-
-    // Host-only, most memory-intensive mix.
-    let mut sys = ChopimSystem::new(ChopimConfig {
-        mix: Some(MixId::new(0).unwrap()),
-        ..paper_cfg()
-    });
-    sys.run(window());
-    let r = sys.report();
-    row(&["host-only (mix0)".into(), f2(r.energy.avg_power_w()), f2(r.energy.nda_power_w())]);
-
-    // NDA-only, maximum-intensity kernel (average-gradient macro stream).
-    let mut sys = ChopimSystem::new(paper_cfg());
-    let d = 3072;
-    let xs = sys.runtime.matrix(64, d);
-    let a_pvt = sys.runtime.vector(d, Sharing::Private);
-    let alphas = vec![0.01f32; 64];
-    sys.run_relaunching(window(), |rt| {
-        rt.launch_macro_axpy_rows(
-            a_pvt,
-            alphas.clone(),
-            xs,
-            8,
-            LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
-        )
-    });
-    let r = sys.report();
-    row(&["NDA-only (avg-gradient)".into(), f2(r.energy.avg_power_w()), f2(r.energy.nda_power_w())]);
-
-    // Concurrent: mix0 host + write-intensive COPY on the NDAs.
-    let mut sys = ChopimSystem::new(ChopimConfig {
-        mix: Some(MixId::new(0).unwrap()),
-        ..paper_cfg()
-    });
-    let (x, y) = vec_pair(&mut sys, 1 << 17);
-    sys.run_relaunching(window(), |rt| {
-        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
-    });
-    let r = sys.report();
-    let combined = r.energy.avg_power_w();
-    row(&["concurrent (mix0 + COPY)".into(), f2(combined), f2(r.energy.nda_power_w())]);
+    for p in result.iter() {
+        row(&[
+            p.spec.label.clone(),
+            f2(p.result.energy.avg_power_w()),
+            f2(p.result.energy.nda_power_w()),
+        ]);
+    }
 
     // Theoretical host-only maximum: both channels saturated.
     let peak_bursts_per_s = 2.0 * 1.2e9 / 4.0;
     let host_w = peak_bursts_per_s * 64.0 * 8.0 * 25.7e-12;
     let act_w = peak_bursts_per_s / 64.0 * 1.0e-9;
-    row(&["theoretical host-only max".into(), f2(host_w + act_w), f2(0.0)]);
+    row(&[
+        "theoretical host-only max".into(),
+        f2(host_w + act_w),
+        f2(0.0),
+    ]);
 
     println!(
         "\nTakeaway 7: operating multiple ranks for concurrent access does not \

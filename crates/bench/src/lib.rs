@@ -1,11 +1,15 @@
 //! Shared harness utilities for the figure-regeneration benches.
 //!
-//! Every bench target under `benches/` prints the rows/series of one paper
-//! table or figure (see `DESIGN.md` §5 for the index and `EXPERIMENTS.md`
-//! for recorded outputs). Window lengths trade fidelity for harness
-//! runtime; set `CHOPIM_BENCH_CYCLES` to override the default window.
+//! Every bench target under `benches/` declares one paper table or figure
+//! as a [`chopim_exp`] sweep: a [`ScenarioSpec`] base plus named axes,
+//! executed by [`SweepRunner`] across cores, then printed as the figure's
+//! rows/series. Window lengths trade fidelity for harness runtime; set
+//! `CHOPIM_BENCH_CYCLES` to override the default window. Set
+//! `CHOPIM_SWEEP_OUT=<dir>` to also dump each sweep as `<dir>/<name>.csv`,
+//! and `CHOPIM_SWEEP_THREADS` to pin the worker count.
 
 use chopim_core::prelude::*;
+use chopim_exp::prelude::*;
 
 /// Default measurement window in DRAM cycles per configuration point.
 pub const DEFAULT_WINDOW: u64 = 200_000;
@@ -28,6 +32,61 @@ pub fn paper_cfg() -> ChopimConfig {
     }
 }
 
+/// The shared sweep base: paper configuration, `window()` cycles,
+/// host-only until an axis installs a workload.
+pub fn paper_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::with_window(window());
+    spec.cfg = paper_cfg();
+    spec
+}
+
+/// Run a figure sweep with the standard executor: parallel across cores,
+/// then optionally dumped to `$CHOPIM_SWEEP_OUT/<name>.csv`.
+pub fn run_sweep(name: &str, specs: &[ScenarioSpec]) -> SweepResult<SimReport> {
+    let result = SweepRunner::parallel().run(specs, run_scenario);
+    dump_csv(name, &result);
+    result
+}
+
+/// Run a figure sweep whose points need a custom executor (e.g. the SVRG
+/// convergence figures, which run the optimizer rather than a plain
+/// simulation window).
+pub fn run_sweep_with<R, F>(specs: &[ScenarioSpec], f: F) -> SweepResult<R>
+where
+    R: Send,
+    F: Fn(&ScenarioSpec) -> R + Sync,
+{
+    SweepRunner::parallel().run(specs, f)
+}
+
+/// If `CHOPIM_SWEEP_OUT` is set, write the sweep as `<dir>/<name>.csv`.
+pub fn dump_csv<R: Metrics>(name: &str, result: &SweepResult<R>) {
+    if let Ok(dir) = std::env::var("CHOPIM_SWEEP_OUT") {
+        write_out(&dir, name, result.to_csv());
+    }
+}
+
+/// `dump_csv` for custom-executor sweeps whose results don't reduce to
+/// [`Metrics`]: the bench shapes its own header/rows (fig15a/b).
+pub fn dump_rows_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    if let Ok(dir) = std::env::var("CHOPIM_SWEEP_OUT") {
+        write_out(&dir, name, rows_to_csv(header, rows));
+    }
+}
+
+fn write_out(dir: &str, name: &str, csv: String) {
+    let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+    let res = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .unwrap_or(Ok(()))
+        .and_then(|()| std::fs::write(&path, csv));
+    match res {
+        Ok(()) => eprintln!("[sweep] wrote {}", path.display()),
+        Err(e) => eprintln!("[sweep] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Allocate a shared vector pair of `len` f32, x initialized.
 pub fn vec_pair(sys: &mut ChopimSystem, len: usize) -> (VecId, VecId) {
     let x = sys.runtime.vector(len, Sharing::Shared);
@@ -42,7 +101,10 @@ pub fn vec_pair(sys: &mut ChopimSystem, len: usize) -> (VecId, VecId) {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n## {title}");
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Print one table row.

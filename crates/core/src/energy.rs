@@ -96,8 +96,7 @@ impl EnergyReport {
         if self.seconds == 0.0 {
             0.0
         } else {
-            (self.nda_access_j + self.pe_compute_j + self.buffer_j + self.leakage_j)
-                / self.seconds
+            (self.nda_access_j + self.pe_compute_j + self.buffer_j + self.leakage_j) / self.seconds
         }
     }
 }
@@ -121,9 +120,7 @@ pub fn compute(
         host_access_j: (dram.reads_host + dram.writes_host) as f64
             * bits_per_burst
             * params.host_bit_j,
-        nda_access_j: (dram.reads_nda + dram.writes_nda) as f64
-            * bits_per_burst
-            * params.pe_bit_j,
+        nda_access_j: (dram.reads_nda + dram.writes_nda) as f64 * bits_per_burst * params.pe_bit_j,
         pe_compute_j: pe.fmas as f64 * params.fma_j,
         buffer_j: (pe.buffer_accesses + pe.scratch_accesses) as f64 * params.buffer_access_j,
         // Buffer + scratchpad leakage, per PE.
@@ -139,7 +136,10 @@ mod tests {
     #[test]
     fn host_bits_cost_more_than_nda_bits() {
         let p = EnergyParams::default();
-        assert!(p.host_bit_j > p.pe_bit_j, "NDA proximity must save transfer energy");
+        assert!(
+            p.host_bit_j > p.pe_bit_j,
+            "NDA proximity must save transfer energy"
+        );
     }
 
     #[test]
@@ -153,15 +153,15 @@ mod tests {
             writes_nda: 2000,
             ..Default::default()
         };
-        let pe = PeActivity { fmas: 100_000, buffer_accesses: 50_000, scratch_accesses: 100 };
+        let pe = PeActivity {
+            fmas: 100_000,
+            buffer_accesses: 50_000,
+            scratch_accesses: 100,
+        };
         let r = compute(&p, &dram, &pe, 1_200_000, 64, 32);
         assert!((r.seconds - 1e-3).abs() < 1e-12);
-        let explicit = r.act_j
-            + r.host_access_j
-            + r.nda_access_j
-            + r.pe_compute_j
-            + r.buffer_j
-            + r.leakage_j;
+        let explicit =
+            r.act_j + r.host_access_j + r.nda_access_j + r.pe_compute_j + r.buffer_j + r.leakage_j;
         assert!((r.total_j() - explicit).abs() < 1e-18);
         assert!(r.avg_power_w() > 0.0);
         assert!(r.nda_power_w() < r.avg_power_w());
@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn host_only_window_has_zero_nda_dynamic_energy() {
         let p = EnergyParams::default();
-        let dram = DramStats { acts: 10, reads_host: 100, ..Default::default() };
+        let dram = DramStats {
+            acts: 10,
+            reads_host: 100,
+            ..Default::default()
+        };
         let r = compute(&p, &dram, &PeActivity::default(), 1_200, 64, 32);
         assert_eq!(r.nda_access_j, 0.0);
         assert_eq!(r.pe_compute_j, 0.0);
@@ -191,6 +195,9 @@ mod tests {
         };
         let r = compute(&p, &dram, &PeActivity::default(), cycles, 64, 32);
         let w = r.avg_power_w();
-        assert!((1.0..20.0).contains(&w), "host-max power {w} W out of plausible range");
+        assert!(
+            (1.0..20.0).contains(&w),
+            "host-max power {w} W out of plausible range"
+        );
     }
 }

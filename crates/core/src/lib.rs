@@ -48,8 +48,8 @@ pub mod prelude {
     pub use crate::sched::{PagePolicy, SchedulerKind};
     pub use crate::system::{ChopimConfig, ChopimSystem};
     pub use chopim_dram::{DramConfig, IdleBucket, TimingParams};
-    pub use chopim_mapping::color::Color;
     pub use chopim_host::{CoreConfig, MixId, WorkloadProfile};
+    pub use chopim_mapping::color::Color;
     pub use chopim_nda::isa::Opcode;
 }
 

@@ -84,15 +84,20 @@ mod tests {
         let p = WriteIssuePolicy::NextRankPredict;
         assert!(!p.allow_write(Some(1), 1, &mut rng));
         assert!(p.allow_write(Some(1), 0, &mut rng));
-        assert!(p.allow_write(None, 1, &mut rng), "no queued reads: no inhibit");
+        assert!(
+            p.allow_write(None, 1, &mut rng),
+            "no queued reads: no inhibit"
+        );
     }
 
     #[test]
     fn stochastic_rate_approximates_probability() {
         let mut rng = StdRng::seed_from_u64(7);
         let p = WriteIssuePolicy::stochastic(1, 4);
-        let allowed =
-            (0..40_000).filter(|_| p.allow_write(None, 0, &mut rng)).count() as f64 / 40_000.0;
+        let allowed = (0..40_000)
+            .filter(|_| p.allow_write(None, 0, &mut rng))
+            .count() as f64
+            / 40_000.0;
         assert!((allowed - 0.25).abs() < 0.02, "measured {allowed}");
     }
 
@@ -104,7 +109,13 @@ mod tests {
 
     #[test]
     fn labels_match_figure_legends() {
-        assert_eq!(WriteIssuePolicy::stochastic(1, 16).label(), "Stochastic_issue (1/16)");
-        assert_eq!(WriteIssuePolicy::NextRankPredict.label(), "Predict_next_rank");
+        assert_eq!(
+            WriteIssuePolicy::stochastic(1, 16).label(),
+            "Stochastic_issue (1/16)"
+        );
+        assert_eq!(
+            WriteIssuePolicy::NextRankPredict.label(),
+            "Predict_next_rank"
+        );
     }
 }

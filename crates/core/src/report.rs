@@ -5,7 +5,7 @@ use chopim_dram::{Cycle, DramStats, IdleHistogram};
 use crate::energy::EnergyReport;
 
 /// Metrics for one simulation window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// DRAM cycles simulated.
     pub cycles: Cycle,
@@ -81,7 +81,10 @@ mod tests {
         a.record_busy(10);
         let mut b = IdleHistogram::new();
         b.record_gap(5);
-        let r = SimReport { idle_histograms: vec![a, b], ..Default::default() };
+        let r = SimReport {
+            idle_histograms: vec![a, b],
+            ..Default::default()
+        };
         assert_eq!(r.idle_histogram_total().total(), 15);
     }
 }

@@ -55,7 +55,10 @@ pub struct LaunchOpts {
 
 impl Default for LaunchOpts {
     fn default() -> Self {
-        Self { granularity_lines: None, barrier_per_chunk: true }
+        Self {
+            granularity_lines: None,
+            barrier_per_chunk: true,
+        }
     }
 }
 
@@ -91,10 +94,23 @@ pub struct PendingLaunch {
 
 #[derive(Debug)]
 enum OpKind {
-    Elementwise { op: Opcode, scalars: Vec<f32>, inputs: Vec<VecId>, output: Option<VecId> },
-    Gemv { y: VecId, a: MatId, x: VecId },
+    Elementwise {
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+    },
+    Gemv {
+        y: VecId,
+        a: MatId,
+        x: VecId,
+    },
     /// `parallel_for` macro op: per-sample `a_pvt += alpha_i * X[i]`.
-    MacroAxpyRows { a_pvt: VecId, alphas: Vec<f32>, x: MatId },
+    MacroAxpyRows {
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+    },
 }
 
 #[derive(Debug)]
@@ -290,7 +306,10 @@ impl Runtime {
     /// Panics if `len == 0` or the color is out of range.
     pub fn vector_colored(&mut self, len: usize, sharing: Sharing, color: Color) -> VecId {
         assert!(len > 0, "empty vector");
-        assert!((color.0 as usize) < self.allocator.num_colors(), "color out of range");
+        assert!(
+            (color.0 as usize) < self.allocator.num_colors(),
+            "color out of range"
+        );
         let (layouts, lines_per_rank, region, private);
         match sharing {
             Sharing::Shared => {
@@ -304,8 +323,7 @@ impl Runtime {
             Sharing::Private => {
                 // A full copy per NDA, each within its own rank share.
                 let per_copy_lines = ((len * 4) as u64).div_ceil(64);
-                let (l, lpr, r) =
-                    self.build_layouts(per_copy_lines * self.n_ndas as u64, color);
+                let (l, lpr, r) = self.build_layouts(per_copy_lines * self.n_ndas as u64, color);
                 layouts = l;
                 lines_per_rank = lpr;
                 region = r;
@@ -342,7 +360,10 @@ impl Runtime {
     /// Panics unless `cols` is a multiple of 16 (rows must be cache-line
     /// aligned so each line belongs to one sample).
     pub fn matrix(&mut self, rows: usize, cols: usize) -> MatId {
-        assert!(cols.is_multiple_of(16), "cols must be a multiple of 16 (line-aligned rows)");
+        assert!(
+            cols.is_multiple_of(16),
+            "cols must be a multiple of 16 (line-aligned rows)"
+        );
         let total_lines = ((rows * cols * 4) as u64).div_ceil(64);
         let color = self.default_color;
         let (layouts, lines_per_rank, region) = self.build_layouts(total_lines, color);
@@ -482,7 +503,9 @@ impl Runtime {
                     .collect();
                 if rmw {
                     reads.extend(
-                        output.iter().map(|v| (self.arrays[v.0].layouts[nda].clone(), start)),
+                        output
+                            .iter()
+                            .map(|v| (self.arrays[v.0].layouts[nda].clone(), start)),
                     );
                 }
                 let writes: Vec<_> = output
@@ -490,13 +513,23 @@ impl Runtime {
                     .map(|v| (self.arrays[v.0].layouts[nda].clone(), start))
                     .collect();
                 let instr = NdaInstr::elementwise(op, lines, reads, writes, id);
-                pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk });
+                pending.push_back(PendingLaunch {
+                    nda_idx: nda,
+                    instr,
+                    op: op_id,
+                    chunk,
+                });
                 chunk_sizes[chunk] += 1;
             }
         }
         let total = pending.len() as u64;
         self.ops.push(OpState {
-            kind: OpKind::Elementwise { op, scalars, inputs, output },
+            kind: OpKind::Elementwise {
+                op,
+                scalars,
+                inputs,
+                output,
+            },
             pending,
             total_instrs: total,
             completed_instrs: 0,
@@ -519,7 +552,9 @@ impl Runtime {
         assert_eq!(self.arrays[x.0].len, cols, "x length != cols");
         assert_eq!(self.arrays[y.0].len, rows, "y length != rows");
         let a_per_rank = self.arrays[a.0].lines_per_rank.min(
-            ((rows * cols * 4) as u64).div_ceil(64).div_ceil(self.n_ndas as u64),
+            ((rows * cols * 4) as u64)
+                .div_ceil(64)
+                .div_ceil(self.n_ndas as u64),
         );
         let x_per_rank = self.vec_lines_per_rank(x).max(1);
         let y_per_rank = self.vec_lines_per_rank(y).max(1);
@@ -533,7 +568,12 @@ impl Runtime {
                 (self.arrays[y.0].layouts[nda].clone(), 0, y_per_rank),
                 id,
             );
-            pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk: 0 });
+            pending.push_back(PendingLaunch {
+                nda_idx: nda,
+                instr,
+                op: op_id,
+                chunk: 0,
+            });
         }
         let total = pending.len() as u64;
         self.ops.push(OpState {
@@ -571,9 +611,15 @@ impl Runtime {
     ) -> OpId {
         let (rows, cols) = self.arrays[x.0].shape.expect("matrix");
         assert!(alphas.len() <= rows, "more alphas than rows");
-        assert!(self.arrays[a_pvt.0].private.is_some(), "a_pvt must be PRIVATE");
+        assert!(
+            self.arrays[a_pvt.0].private.is_some(),
+            "a_pvt must be PRIVATE"
+        );
         assert_eq!(self.arrays[a_pvt.0].len, cols, "a_pvt length != cols");
-        assert!(samples_per_instr > 0, "need at least one sample per instruction");
+        assert!(
+            samples_per_instr > 0,
+            "need at least one sample per instruction"
+        );
         let row_lines = ((cols * 4) as u64).div_ceil(64);
         let row_lines_per_rank = row_lines.div_ceil(self.n_ndas as u64).max(1);
         let op_id = OpId(self.ops.len());
@@ -604,7 +650,12 @@ impl Runtime {
                     vec![(a_l, 0)],
                     id,
                 );
-                pending.push_back(PendingLaunch { nda_idx: nda, instr, op: op_id, chunk: batch });
+                pending.push_back(PendingLaunch {
+                    nda_idx: nda,
+                    instr,
+                    op: op_id,
+                    chunk: batch,
+                });
                 chunk_sizes[batch] += 1;
             }
         }
@@ -629,7 +680,11 @@ impl Runtime {
     /// Pop launches that are ready to go to the channel (respects chunk
     /// barriers). The system calls this each cycle with available FSM
     /// queue space per NDA.
-    pub fn next_launches(&mut self, space: impl Fn(usize) -> usize, max: usize) -> Vec<PendingLaunch> {
+    pub fn next_launches(
+        &mut self,
+        space: impl Fn(usize) -> usize,
+        max: usize,
+    ) -> Vec<PendingLaunch> {
         let mut out = Vec::new();
         let done_flags: Vec<bool> = self.ops.iter().map(|o| o.done).collect();
         for op in self.ops.iter_mut() {
@@ -650,7 +705,9 @@ impl Runtime {
                 }
             }
             while out.len() < max {
-                let Some(head) = op.pending.front() else { break };
+                let Some(head) = op.pending.front() else {
+                    break;
+                };
                 if op.barrier && head.chunk > op.released_chunks {
                     break; // previous chunk not fully complete
                 }
@@ -672,13 +729,10 @@ impl Runtime {
             let op = &mut self.ops[op_id.0];
             op.completed_instrs += 1;
             op.chunk_completed[chunk] += 1;
-            if op.chunk_completed[chunk] == op.chunk_sizes[chunk]
-                && chunk == op.released_chunks
-            {
+            if op.chunk_completed[chunk] == op.chunk_sizes[chunk] && chunk == op.released_chunks {
                 // Advance the barrier over all fully-completed chunks.
                 while op.released_chunks < op.chunk_sizes.len()
-                    && op.chunk_completed[op.released_chunks]
-                        == op.chunk_sizes[op.released_chunks]
+                    && op.chunk_completed[op.released_chunks] == op.chunk_sizes[op.released_chunks]
                 {
                     op.released_chunks += 1;
                 }
@@ -706,9 +760,16 @@ impl Runtime {
             },
         );
         match &kind {
-            OpKind::Elementwise { op, scalars, inputs, output } => {
-                let input_data: Vec<Vec<f32>> =
-                    inputs.iter().map(|v| self.arrays[v.0].backing.clone()).collect();
+            OpKind::Elementwise {
+                op,
+                scalars,
+                inputs,
+                output,
+            } => {
+                let input_data: Vec<Vec<f32>> = inputs
+                    .iter()
+                    .map(|v| self.arrays[v.0].backing.clone())
+                    .collect();
                 let input_refs: Vec<&[f32]> = input_data.iter().map(|v| v.as_slice()).collect();
                 let stats = match output {
                     Some(o) => pe::execute(
@@ -726,13 +787,8 @@ impl Runtime {
                 let (rows, cols) = self.arrays[a.0].shape.expect("matrix");
                 let a_data = self.arrays[a.0].backing.clone();
                 let x_data = self.arrays[x.0].backing.clone();
-                let stats = pe::execute_gemv(
-                    &a_data,
-                    &x_data,
-                    &mut self.arrays[y.0].backing,
-                    rows,
-                    cols,
-                );
+                let stats =
+                    pe::execute_gemv(&a_data, &x_data, &mut self.arrays[y.0].backing, rows, cols);
                 self.add_activity(stats);
             }
             OpKind::MacroAxpyRows { a_pvt, alphas, x } => {
@@ -740,8 +796,10 @@ impl Runtime {
                 let x_data = self.arrays[x.0].backing.clone();
                 let owners = self.line_owners(*x, cols);
                 let lines_per_row = cols / 16;
-                let privates =
-                    self.arrays[a_pvt.0].private.as_mut().expect("private array");
+                let privates = self.arrays[a_pvt.0]
+                    .private
+                    .as_mut()
+                    .expect("private array");
                 let mut fmas = 0u64;
                 for (i, &alpha) in alphas.iter().enumerate() {
                     let row = &x_data[i * cols..(i + 1) * cols];
@@ -813,7 +871,11 @@ impl Runtime {
     pub fn host_reduce(&mut self, dst: VecId, src: VecId) {
         let len = self.arrays[dst.0].len;
         assert_eq!(self.arrays[src.0].len, len);
-        let privates = self.arrays[src.0].private.as_ref().expect("private source").clone();
+        let privates = self.arrays[src.0]
+            .private
+            .as_ref()
+            .expect("private source")
+            .clone();
         let out = &mut self.arrays[dst.0].backing;
         out.iter_mut().for_each(|v| *v = 0.0);
         for copy in &privates {

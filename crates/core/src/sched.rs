@@ -4,9 +4,7 @@
 
 use std::collections::VecDeque;
 
-use chopim_dram::{
-    Command, CommandKind, Cycle, DataReady, DramAddress, DramSystem, Issuer,
-};
+use chopim_dram::{Command, CommandKind, Cycle, DataReady, DramAddress, DramSystem, Issuer};
 
 /// Transaction scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,7 +183,10 @@ impl HostMc {
     /// The rank targeted by the oldest queued host *read* — the next-rank
     /// predictor's input (paper §III-B).
     pub fn oldest_read_rank(&self) -> Option<usize> {
-        self.read_q.iter().find(|t| !t.is_write).map(|t| t.addr.rank)
+        self.read_q
+            .iter()
+            .find(|t| !t.is_write)
+            .map(|t| t.addr.rank)
     }
 
     /// Column commands that hit an already-open row (columns minus ACTs).
@@ -239,17 +240,28 @@ impl HostMc {
             if mem.channel(self.channel).rank(rank).all_banks_closed() {
                 let cmd = Command::ref_ab(rank);
                 if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data = mem.issue(self.channel, &cmd, Issuer::Host, now).expect("ref");
+                    let data = mem
+                        .issue(self.channel, &cmd, Issuer::Host, now)
+                        .expect("ref");
                     self.refresh_pending[rank] = false;
                     self.refresh_due[rank] += refi;
-                    return Some(Issued { cmd, data, completed: None });
+                    return Some(Issued {
+                        cmd,
+                        data,
+                        completed: None,
+                    });
                 }
             } else {
                 let cmd = Command::pre_all(rank);
                 if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data =
-                        mem.issue(self.channel, &cmd, Issuer::Host, now).expect("prea");
-                    return Some(Issued { cmd, data, completed: None });
+                    let data = mem
+                        .issue(self.channel, &cmd, Issuer::Host, now)
+                        .expect("prea");
+                    return Some(Issued {
+                        cmd,
+                        data,
+                        completed: None,
+                    });
                 }
             }
             // Rank is blocked preparing refresh; don't schedule new work
@@ -294,25 +306,28 @@ impl HostMc {
             for bg in 0..mem.config().bankgroups {
                 for bk in 0..mem.config().banks_per_group {
                     let bank = mem.channel(self.channel).rank(rank).bank(bg, bk);
-                    let Some(open) = bank.open_row() else { continue };
-                    let wanted = self
-                        .read_q
-                        .iter()
-                        .chain(self.write_q.iter())
-                        .any(|t| {
-                            t.addr.rank == rank
-                                && t.addr.bankgroup == bg
-                                && t.addr.bank == bk
-                                && t.addr.row == open
-                        });
+                    let Some(open) = bank.open_row() else {
+                        continue;
+                    };
+                    let wanted = self.read_q.iter().chain(self.write_q.iter()).any(|t| {
+                        t.addr.rank == rank
+                            && t.addr.bankgroup == bg
+                            && t.addr.bank == bk
+                            && t.addr.row == open
+                    });
                     if wanted {
                         continue;
                     }
                     let cmd = Command::pre(rank, bg, bk);
                     if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                        let data =
-                            mem.issue(self.channel, &cmd, Issuer::Host, now).expect("pre");
-                        return Some(Issued { cmd, data, completed: None });
+                        let data = mem
+                            .issue(self.channel, &cmd, Issuer::Host, now)
+                            .expect("pre");
+                        return Some(Issued {
+                            cmd,
+                            data,
+                            completed: None,
+                        });
                     }
                 }
             }
@@ -351,7 +366,11 @@ impl HostMc {
             }
         }
         if let Some(i) = hit_idx {
-            let q = if writes { &mut self.write_q } else { &mut self.read_q };
+            let q = if writes {
+                &mut self.write_q
+            } else {
+                &mut self.read_q
+            };
             let tx = q.remove(i).expect("index valid");
             let (bg, bk) = (tx.addr.bankgroup, tx.addr.bank);
             let cmd = if tx.is_write {
@@ -359,13 +378,19 @@ impl HostMc {
             } else {
                 Command::rd(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
             };
-            let data = mem.issue(self.channel, &cmd, Issuer::Host, now).expect("checked");
+            let data = mem
+                .issue(self.channel, &cmd, Issuer::Host, now)
+                .expect("checked");
             self.cols_issued += 1;
             if !tx.is_write {
                 self.reads_completed += 1;
                 self.read_latency_sum += data.end.expect("read burst") - tx.arrival;
             }
-            return Some(Issued { cmd, data, completed: Some(tx) });
+            return Some(Issued {
+                cmd,
+                data,
+                completed: Some(tx),
+            });
         }
 
         // Precompute banks with a pending hit on their open row, so we
@@ -405,11 +430,17 @@ impl HostMc {
                 Some(_) => continue, // row already open; col blocked on timing
             };
             if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                let data = mem.issue(self.channel, &cmd, Issuer::Host, now).expect("checked");
+                let data = mem
+                    .issue(self.channel, &cmd, Issuer::Host, now)
+                    .expect("checked");
                 if cmd.kind == CommandKind::Act {
                     self.row_misses += 1;
                 }
-                return Some(Issued { cmd, data, completed: None });
+                return Some(Issued {
+                    cmd,
+                    data,
+                    completed: None,
+                });
             }
         }
         None
@@ -423,13 +454,32 @@ mod tests {
 
     fn setup() -> (DramSystem, HostMc) {
         let cfg = DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh());
-        let mc = HostMc::new(0, cfg.ranks_per_channel, cfg.banks_per_group, cfg.timing.refi);
+        let mc = HostMc::new(
+            0,
+            cfg.ranks_per_channel,
+            cfg.banks_per_group,
+            cfg.timing.refi,
+        );
         (DramSystem::new(cfg), mc)
     }
 
-    fn read_tx(rank: usize, bg: usize, bank: usize, row: u32, col: u32, at: Cycle) -> HostTransaction {
+    fn read_tx(
+        rank: usize,
+        bg: usize,
+        bank: usize,
+        row: u32,
+        col: u32,
+        at: Cycle,
+    ) -> HostTransaction {
         HostTransaction {
-            addr: DramAddress { channel: 0, rank, bankgroup: bg, bank, row, col },
+            addr: DramAddress {
+                channel: 0,
+                rank,
+                bankgroup: bg,
+                bank,
+                row,
+                col,
+            },
             is_write: false,
             meta: TxMeta::CoreRead { core: 0, req: 0 },
             arrival: at,
@@ -438,7 +488,14 @@ mod tests {
 
     fn write_tx(rank: usize, row: u32, col: u32, at: Cycle) -> HostTransaction {
         HostTransaction {
-            addr: DramAddress { channel: 0, rank, bankgroup: 0, bank: 0, row, col },
+            addr: DramAddress {
+                channel: 0,
+                rank,
+                bankgroup: 0,
+                bank: 0,
+                row,
+                col,
+            },
             is_write: true,
             meta: TxMeta::CoreWrite,
             arrival: at,
@@ -523,7 +580,11 @@ mod tests {
     fn oldest_read_rank_skips_launches_and_writes() {
         let (_, mut mc) = setup();
         let launch = HostTransaction {
-            addr: DramAddress { channel: 0, rank: 0, ..Default::default() },
+            addr: DramAddress {
+                channel: 0,
+                rank: 0,
+                ..Default::default()
+            },
             is_write: true,
             meta: TxMeta::Launch { launch: 0 },
             arrival: 0,
@@ -538,7 +599,12 @@ mod tests {
     fn refresh_is_scheduled_periodically() {
         let cfg = DramConfig::table_ii(); // refresh on
         let mut mem = DramSystem::new(cfg.clone());
-        let mut mc = HostMc::new(0, cfg.ranks_per_channel, cfg.banks_per_group, cfg.timing.refi);
+        let mut mc = HostMc::new(
+            0,
+            cfg.ranks_per_channel,
+            cfg.banks_per_group,
+            cfg.timing.refi,
+        );
         // Keep a stream of reads flowing while refreshes must interleave.
         let mut refreshes = 0;
         for now in 0..40_000u64 {

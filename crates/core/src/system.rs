@@ -173,7 +173,11 @@ impl ChopimSystem {
             (cfg.dram.clone(), ndas)
         };
         let inner = presets::skylake_like(&host_geom);
-        let reserved = if cfg.rank_partition { 0 } else { cfg.reserved_banks };
+        let reserved = if cfg.rank_partition {
+            0
+        } else {
+            cfg.reserved_banks
+        };
         let mapper = Arc::new(PartitionedMapping::new(&host_geom, inner, reserved));
 
         // OS allocator: host rows below the shared boundary.
@@ -225,7 +229,10 @@ impl ChopimSystem {
                 NdaRankController::new(c, r, cfg.dram.banks_per_group, cfg.nda_queue_cap)
             })
             .collect();
-        let shadows = ndas.iter().map(|_| NdaFsm::new(cfg.nda_queue_cap)).collect();
+        let shadows = ndas
+            .iter()
+            .map(|_| NdaFsm::new(cfg.nda_queue_cap))
+            .collect();
         let n = ndas.len();
         Self {
             policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
@@ -298,9 +305,18 @@ impl ChopimSystem {
             "llc={} fills={} core_out={:?} rq={:?} wq={:?} stage={} launches={}",
             self.llc_outstanding,
             self.fills.len(),
-            self.cores.iter().map(|c| c.outstanding_misses()).collect::<Vec<_>>(),
-            self.mcs.iter().map(|m| m.read_queue_len()).collect::<Vec<_>>(),
-            self.mcs.iter().map(|m| m.write_queue_len()).collect::<Vec<_>>(),
+            self.cores
+                .iter()
+                .map(|c| c.outstanding_misses())
+                .collect::<Vec<_>>(),
+            self.mcs
+                .iter()
+                .map(|m| m.read_queue_len())
+                .collect::<Vec<_>>(),
+            self.mcs
+                .iter()
+                .map(|m| m.write_queue_len())
+                .collect::<Vec<_>>(),
             self.launch_stage.len(),
             self.launches.len(),
         )
@@ -352,9 +368,9 @@ impl ChopimSystem {
         if self.launch_stage.is_empty() {
             let ndas = &self.ndas;
             let inflight = &self.launch_inflight;
-            let space =
-                |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
-            self.launch_stage.extend(self.runtime.next_launches(space, 1));
+            let space = |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
+            self.launch_stage
+                .extend(self.runtime.next_launches(space, 1));
         }
         if let Some(head) = self.launch_stage.front() {
             let (ch, rank) = self.runtime.nda_ranks()[head.nda_idx];
@@ -412,16 +428,19 @@ impl ChopimSystem {
 
         // 5. Host memory controllers (priority on the channel).
         for ch in 0..self.mcs.len() {
-            if let Some(Issued { data, completed: Some(tx), .. }) =
-                self.mcs[ch].tick(&mut self.mem, now)
+            if let Some(Issued {
+                data,
+                completed: Some(tx),
+                ..
+            }) = self.mcs[ch].tick(&mut self.mem, now)
             {
                 {
                     match tx.meta {
                         TxMeta::CoreRead { core, req } => {
                             // Packetized responses pay the return-path
                             // serialization latency too.
-                            let ready = data.end.expect("read")
-                                + Cycle::from(self.cfg.packetized_latency);
+                            let ready =
+                                data.end.expect("read") + Cycle::from(self.cfg.packetized_latency);
                             self.fills.push(Reverse((ready, core, req)));
                         }
                         TxMeta::Launch { launch } => {
@@ -438,8 +457,10 @@ impl ChopimSystem {
         for i in 0..self.ndas.len() {
             let (ch, rank) = (self.ndas[i].channel(), self.ndas[i].rank());
             let oldest = self.mcs[ch].oldest_read_rank();
-            let allow =
-                self.cfg.policy.allow_write(oldest, rank, &mut self.policy_rng);
+            let allow = self
+                .cfg
+                .policy
+                .allow_write(oldest, rank, &mut self.policy_rng);
             let result = self.ndas[i].tick(&mut self.mem, now, allow);
             // Mirror onto the host-side shadow FSM: identical peek (write
             // absorption) and, for column grants, identical commit.
@@ -466,14 +487,26 @@ impl ChopimSystem {
 
         // 7. Replicated-FSM equality check.
         if self.cfg.verify_fsm && now.is_multiple_of(1024) {
-            assert!(self.fsm_in_sync(), "replicated FSMs diverged at cycle {now}");
+            assert!(
+                self.fsm_in_sync(),
+                "replicated FSMs diverged at cycle {now}"
+            );
         }
 
         self.now += 1;
     }
 
     fn cpu_step(&mut self, now: Cycle) {
-        let Self { cores, core_regions, mcs, mapper, llc_outstanding, ingress, cfg, .. } = self;
+        let Self {
+            cores,
+            core_regions,
+            mcs,
+            mapper,
+            llc_outstanding,
+            ingress,
+            cfg,
+            ..
+        } = self;
         let pkt = Cycle::from(cfg.packetized_latency);
         for (i, core) in cores.iter_mut().enumerate() {
             let region = &core_regions[i];
@@ -494,7 +527,10 @@ impl ChopimSystem {
                     HostTransaction {
                         addr: d,
                         is_write: false,
-                        meta: TxMeta::CoreRead { core: i, req: req.id },
+                        meta: TxMeta::CoreRead {
+                            core: i,
+                            req: req.id,
+                        },
                         arrival: now,
                     }
                 };
@@ -598,8 +634,11 @@ impl ChopimSystem {
         let seconds = self.now as f64 / 1.2e9;
         let nda_bytes = (dram.reads_nda + dram.writes_nda) * 64;
         let host_bytes = (dram.reads_host + dram.writes_host) * 64;
-        let core_bytes: u64 =
-            self.cores.iter().map(|c| (c.reads_sent() + c.writes_sent()) * 64).sum();
+        let core_bytes: u64 = self
+            .cores
+            .iter()
+            .map(|c| (c.reads_sent() + c.writes_sent()) * 64)
+            .sum();
 
         // Idealized NDA bandwidth: all rank cycles the host leaves idle.
         let mut ideal_cycles = 0u64;
@@ -630,19 +669,30 @@ impl ChopimSystem {
             .mcs
             .iter()
             .fold((0, 0), |(h, m), mc| (h + mc.row_hits(), m + mc.row_misses));
-        let (lat, nreads) = self
-            .mcs
-            .iter()
-            .fold((0, 0), |(l, n), mc| (l + mc.read_latency_sum, n + mc.reads_completed));
+        let (lat, nreads) = self.mcs.iter().fold((0, 0), |(l, n), mc| {
+            (l + mc.read_latency_sum, n + mc.reads_completed)
+        });
         SimReport {
             cycles: self.now,
             cpu_cycles: self.cpu_cycles,
             host_ipc,
             per_core_ipc,
             nda_bytes,
-            nda_bw_gbs: if seconds > 0.0 { nda_bytes as f64 / seconds / 1e9 } else { 0.0 },
-            host_bw_gbs: if seconds > 0.0 { host_bytes as f64 / seconds / 1e9 } else { 0.0 },
-            core_bw_gbs: if seconds > 0.0 { core_bytes as f64 / seconds / 1e9 } else { 0.0 },
+            nda_bw_gbs: if seconds > 0.0 {
+                nda_bytes as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
+            host_bw_gbs: if seconds > 0.0 {
+                host_bytes as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
+            core_bw_gbs: if seconds > 0.0 {
+                core_bytes as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
             nda_bw_utilization,
             idle_histograms,
             host_row_hit_rate: if hits + misses > 0 {
@@ -650,7 +700,11 @@ impl ChopimSystem {
             } else {
                 0.0
             },
-            avg_read_latency: if nreads > 0 { lat as f64 / nreads as f64 } else { 0.0 },
+            avg_read_latency: if nreads > 0 {
+                lat as f64 / nreads as f64
+            } else {
+                0.0
+            },
             dram,
             energy,
             nda_instrs_completed: self.nda_instrs_completed,

@@ -13,7 +13,9 @@ fn sys() -> ChopimSystem {
 }
 
 fn data(len: usize, salt: u64) -> Vec<f32> {
-    (0..len).map(|i| ((i as u64 ^ salt) % 31) as f32 * 0.25 - 3.5).collect()
+    (0..len)
+        .map(|i| ((i as u64 ^ salt) % 31) as f32 * 0.25 - 3.5)
+        .collect()
 }
 
 proptest! {
@@ -151,7 +153,10 @@ fn granularity_is_timing_only() {
             vec![],
             vec![x, y],
             None,
-            LaunchOpts { granularity_lines: gran, barrier_per_chunk: false },
+            LaunchOpts {
+                granularity_lines: gran,
+                barrier_per_chunk: false,
+            },
         );
         sys.run_until_op(op, 80_000_000);
         results.push(sys.runtime.op_result(op).unwrap());
@@ -182,7 +187,10 @@ fn private_arrays_reduce_across_rank_counts() {
             alphas,
             x,
             2,
-            LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+            LaunchOpts {
+                granularity_lines: None,
+                barrier_per_chunk: false,
+            },
         );
         sys.run_until_op(op, 80_000_000);
         assert!(sys.runtime.op_done(op));
@@ -190,7 +198,10 @@ fn private_arrays_reduce_across_rank_counts() {
         for j in (0..d).step_by(13) {
             let expect: f32 = (0..8).map(|i| 0.5 * xd[i * d + j]).sum();
             let got = sys.runtime.read_vector(a)[j];
-            assert!((got - expect).abs() < 1e-4, "ranks={ranks} j={j}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-4,
+                "ranks={ranks} j={j}: {got} vs {expect}"
+            );
         }
         sys.runtime.clear_private(a_pvt);
         for r in 0..sys.runtime.nda_ranks().len() {
@@ -227,7 +238,11 @@ fn color_mismatch_inserts_realignment_copy() {
         "x (color 1) must be copied into z's color 5"
     );
     for i in (0..len).step_by(37) {
-        assert_eq!(sys.runtime.read_vector(z)[i], 2.0 * xd[i] + yd[i], "elem {i}");
+        assert_eq!(
+            sys.runtime.read_vector(z)[i],
+            2.0 * xd[i] + yd[i],
+            "elem {i}"
+        );
     }
     // Same-colored operands need no copies.
     let op2 = sys.runtime.launch_elementwise(
@@ -238,7 +253,10 @@ fn color_mismatch_inserts_realignment_copy() {
         LaunchOpts::default(),
     );
     sys.run_until_op(op2, 100_000_000);
-    assert_eq!(sys.runtime.realignment_copies, 1, "no new copies for same color");
+    assert_eq!(
+        sys.runtime.realignment_copies, 1,
+        "no new copies for same color"
+    );
 }
 
 /// Same-colored vectors share rank alignment: per-rank line counts agree

@@ -15,7 +15,10 @@ fn cfg() -> ChopimConfig {
 fn tiny_nda_queue_applies_backpressure_without_deadlock() {
     // Queue depth 1 forces the launch pipeline to stall-and-go; every
     // instruction must still complete, in order.
-    let mut sys = ChopimSystem::new(ChopimConfig { nda_queue_cap: 1, ..cfg() });
+    let mut sys = ChopimSystem::new(ChopimConfig {
+        nda_queue_cap: 1,
+        ..cfg()
+    });
     let x = sys.runtime.vector(1 << 14, Sharing::Shared);
     let y = sys.runtime.vector(1 << 14, Sharing::Shared);
     sys.runtime.write_vector(x, &vec![3.0; 1 << 14]);
@@ -24,7 +27,10 @@ fn tiny_nda_queue_applies_backpressure_without_deadlock() {
         vec![],
         vec![x],
         Some(y),
-        LaunchOpts { granularity_lines: Some(64), barrier_per_chunk: false },
+        LaunchOpts {
+            granularity_lines: Some(64),
+            barrier_per_chunk: false,
+        },
     );
     let cycles = sys.run_until_op(op, 30_000_000);
     assert!(sys.runtime.op_done(op), "stalled after {cycles} cycles");
@@ -46,10 +52,20 @@ fn refresh_and_nda_traffic_interleave_legally() {
     let y = sys.runtime.vector(1 << 14, Sharing::Shared);
     sys.runtime.write_vector(x, &vec![1.0; 1 << 14]);
     sys.run_relaunching(60_000, |rt| {
-        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+        rt.launch_elementwise(
+            Opcode::Copy,
+            vec![],
+            vec![x],
+            Some(y),
+            LaunchOpts::default(),
+        )
     });
     let r = sys.report();
-    assert!(r.dram.refreshes > 10, "expected periodic refresh, got {}", r.dram.refreshes);
+    assert!(
+        r.dram.refreshes > 10,
+        "expected periodic refresh, got {}",
+        r.dram.refreshes
+    );
     assert!(r.dram.reads_nda > 0);
     let trace = sys.take_mem_trace();
     let dcfg = DramConfig::table_ii();
@@ -57,7 +73,9 @@ fn refresh_and_nda_traffic_interleave_legally() {
         let mut checker = TimingChecker::new(&dcfg);
         for (c, at, cmd, issuer) in trace.iter().filter(|e| e.0 == ch) {
             let _ = c;
-            checker.step(*at, cmd, *issuer).unwrap_or_else(|e| panic!("{e}"));
+            checker
+                .step(*at, cmd, *issuer)
+                .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 }
@@ -70,11 +88,26 @@ fn run_until_quiescent_drains_everything() {
     sys.runtime.write_vector(x, &vec![2.5; 1 << 13]);
     // Three ops queued back to back.
     let _ = sys.runtime.launch_elementwise(
-        Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
+        Opcode::Copy,
+        vec![],
+        vec![x],
+        Some(y),
+        LaunchOpts::default(),
+    );
     let _ = sys.runtime.launch_elementwise(
-        Opcode::Scal, vec![2.0], vec![], Some(y), LaunchOpts::default());
+        Opcode::Scal,
+        vec![2.0],
+        vec![],
+        Some(y),
+        LaunchOpts::default(),
+    );
     let d = sys.runtime.launch_elementwise(
-        Opcode::Dot, vec![], vec![y, y], None, LaunchOpts::default());
+        Opcode::Dot,
+        vec![],
+        vec![y, y],
+        None,
+        LaunchOpts::default(),
+    );
     let used = sys.run_until_quiescent(50_000_000);
     assert!(used < 50_000_000, "did not quiesce");
     assert!(sys.runtime.quiescent());

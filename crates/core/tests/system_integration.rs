@@ -49,7 +49,10 @@ fn nda_captures_idle_bandwidth_without_host() {
         LaunchOpts::default(),
     );
     let cycles = sys.run_until_op(op, 3_000_000);
-    assert!(sys.runtime.op_done(op), "copy must finish (ran {cycles} cycles)");
+    assert!(
+        sys.runtime.op_done(op),
+        "copy must finish (ran {cycles} cycles)"
+    );
     let r = sys.report();
     assert!(
         r.nda_bw_utilization > 0.5,
@@ -92,9 +95,18 @@ fn concurrent_copy_with_host_keeps_fsm_in_sync_and_timing_legal() {
     sys.enable_mem_trace();
     let (x, y) = vec_pair(&mut sys, 1 << 15);
     sys.run_relaunching(150_000, |rt| {
-        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+        rt.launch_elementwise(
+            Opcode::Copy,
+            vec![],
+            vec![x],
+            Some(y),
+            LaunchOpts::default(),
+        )
     });
-    assert!(sys.fsm_in_sync(), "host-side shadow FSMs must track the NDAs");
+    assert!(
+        sys.fsm_in_sync(),
+        "host-side shadow FSMs must track the NDAs"
+    );
     let r = sys.report();
     assert!(r.host_ipc > 0.0);
     assert!(r.dram.reads_nda > 0, "NDA made progress under host load");
@@ -106,7 +118,9 @@ fn concurrent_copy_with_host_keeps_fsm_in_sync_and_timing_legal() {
         let mut checker = TimingChecker::new(&cfg);
         for (c, at, cmd, issuer) in trace.iter().filter(|e| e.0 == ch) {
             assert_eq!(*c, ch);
-            checker.step(*at, cmd, *issuer).unwrap_or_else(|e| panic!("channel {ch}: {e}"));
+            checker
+                .step(*at, cmd, *issuer)
+                .unwrap_or_else(|e| panic!("channel {ch}: {e}"));
         }
         assert!(checker.commands_checked() > 0);
     }
@@ -143,7 +157,10 @@ fn write_throttling_protects_host_reads() {
     // Takeaway 3: with the write-intensive COPY, next-rank prediction
     // recovers host IPC relative to unthrottled issue.
     let mut ipc = Vec::new();
-    for policy in [WriteIssuePolicy::IssueIfIdle, WriteIssuePolicy::NextRankPredict] {
+    for policy in [
+        WriteIssuePolicy::IssueIfIdle,
+        WriteIssuePolicy::NextRankPredict,
+    ] {
         let mut sys = ChopimSystem::new(ChopimConfig {
             mix: Some(MixId::new(1).unwrap()),
             policy,
@@ -151,7 +168,13 @@ fn write_throttling_protects_host_reads() {
         });
         let (x, y) = vec_pair(&mut sys, 1 << 16);
         sys.run_relaunching(250_000, |rt| {
-            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+            rt.launch_elementwise(
+                Opcode::Copy,
+                vec![],
+                vec![x],
+                Some(y),
+                LaunchOpts::default(),
+            )
         });
         ipc.push(sys.report().host_ipc);
     }
@@ -180,7 +203,10 @@ fn coarse_grain_operations_beat_fine_grain() {
                 vec![],
                 vec![x],
                 None,
-                LaunchOpts { granularity_lines: granularity, barrier_per_chunk: false },
+                LaunchOpts {
+                    granularity_lines: granularity,
+                    barrier_per_chunk: false,
+                },
             )
         });
         util.push(sys.report().nda_bw_utilization);
@@ -253,7 +279,10 @@ fn macro_axpy_rows_matches_reference_and_reduce() {
         alphas.clone(),
         x,
         4,
-        LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+        LaunchOpts {
+            granularity_lines: None,
+            barrier_per_chunk: false,
+        },
     );
     sys.run_until_op(op, 6_000_000);
     assert!(sys.runtime.op_done(op));
@@ -301,7 +330,13 @@ fn packetized_interface_costs_host_latency_but_works() {
         });
         let (x, y) = vec_pair(&mut sys, 1 << 14);
         sys.run_relaunching(150_000, |rt| {
-            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+            rt.launch_elementwise(
+                Opcode::Copy,
+                vec![],
+                vec![x],
+                Some(y),
+                LaunchOpts::default(),
+            )
         });
         let r = sys.report();
         assert!(r.host_ipc > 0.0);

@@ -60,7 +60,11 @@ mod tests {
     fn flat_bank_round_trip() {
         for bg in 0..4 {
             for bk in 0..4 {
-                let a = DramAddress { bankgroup: bg, bank: bk, ..Default::default() };
+                let a = DramAddress {
+                    bankgroup: bg,
+                    bank: bk,
+                    ..Default::default()
+                };
                 let flat = a.flat_bank(4);
                 let b = DramAddress::default().with_flat_bank(flat, 4);
                 assert_eq!((b.bankgroup, b.bank), (bg, bk));
@@ -70,7 +74,11 @@ mod tests {
 
     #[test]
     fn global_rank_indexing() {
-        let a = DramAddress { channel: 1, rank: 1, ..Default::default() };
+        let a = DramAddress {
+            channel: 1,
+            rank: 1,
+            ..Default::default()
+        };
         assert_eq!(a.global_rank(2), 3);
     }
 }

@@ -30,7 +30,11 @@ pub struct CheckError {
 
 impl std::fmt::Display for CheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cycle {}: {} violates {}", self.at, self.command, self.rule)
+        write!(
+            f,
+            "cycle {}: {} violates {}",
+            self.at, self.command, self.rule
+        )
     }
 }
 
@@ -86,7 +90,13 @@ impl TimingChecker {
                 last_cmd_at: None,
             })
             .collect();
-        Self { config: config.clone(), ranks, last_host_cmd: None, last_at: None, checked: 0 }
+        Self {
+            config: config.clone(),
+            ranks,
+            last_host_cmd: None,
+            last_at: None,
+            checked: 0,
+        }
     }
 
     /// Number of commands checked so far.
@@ -104,7 +114,12 @@ impl TimingChecker {
         let t = self.config.timing;
         let bpg = self.config.banks_per_group;
         if let Some(prev) = self.last_at {
-            rule!(prev <= at, at, cmd, "trace must be in cycle order (prev {prev})");
+            rule!(
+                prev <= at,
+                at,
+                cmd,
+                "trace must be in cycle order (prev {prev})"
+            );
         }
         self.last_at = Some(at);
         match issuer {
@@ -167,7 +182,11 @@ impl TimingChecker {
                         rule!(ge(ob.last_act, t.rrds), at, cmd, "tRRD_S in rank");
                     }
                 }
-                let in_faw = rk.acts.iter().filter(|&&a| a + Cycle::from(t.faw) > at).count();
+                let in_faw = rk
+                    .acts
+                    .iter()
+                    .filter(|&&a| a + Cycle::from(t.faw) > at)
+                    .count();
                 rule!(in_faw < 4, at, cmd, "tFAW: {} ACTs in window", in_faw);
                 let rk = &mut self.ranks[cmd.rank];
                 let horizon = Cycle::from(t.faw);
@@ -367,16 +386,20 @@ mod tests {
 
     #[test]
     fn rejects_rcd_violation() {
-        let trace =
-            vec![(0, Command::act(0, 0, 0, 1), H), (10, Command::rd(0, 0, 0, 1, 0), H)];
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (10, Command::rd(0, 0, 0, 1, 0), H),
+        ];
         let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
         assert!(err.rule.contains("tRCD"), "{err}");
     }
 
     #[test]
     fn rejects_row_mismatch() {
-        let trace =
-            vec![(0, Command::act(0, 0, 0, 1), H), (20, Command::rd(0, 0, 0, 9, 0), H)];
+        let trace = vec![
+            (0, Command::act(0, 0, 0, 1), H),
+            (20, Command::rd(0, 0, 0, 9, 0), H),
+        ];
         let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
         assert!(err.rule.contains("open row"), "{err}");
     }
@@ -432,14 +455,23 @@ mod tests {
 
     #[test]
     fn rejects_same_cycle_host_commands_but_allows_nda_parallelism() {
-        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(1, 0, 0, 1), H)];
+        let trace = vec![
+            (5, Command::act(0, 0, 0, 1), H),
+            (5, Command::act(1, 0, 0, 1), H),
+        ];
         let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
         assert!(err.rule.contains("one host command"), "{err}");
         // Host to rank 0 and NDA to rank 1 in the same cycle are legal.
-        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(1, 0, 0, 1), N)];
+        let trace = vec![
+            (5, Command::act(0, 0, 0, 1), H),
+            (5, Command::act(1, 0, 0, 1), N),
+        ];
         TimingChecker::check_trace(&cfg(), trace).unwrap();
         // NDA to the same rank as a host command is not.
-        let trace = vec![(5, Command::act(0, 0, 0, 1), H), (5, Command::act(0, 1, 0, 1), N)];
+        let trace = vec![
+            (5, Command::act(0, 0, 0, 1), H),
+            (5, Command::act(0, 1, 0, 1), N),
+        ];
         let err = TimingChecker::check_trace(&cfg(), trace).unwrap_err();
         assert!(err.rule.contains("per rank"), "{err}");
     }

@@ -27,7 +27,10 @@ impl CommandKind {
     /// True for row commands (activate / precharge family).
     #[inline]
     pub fn is_row(self) -> bool {
-        matches!(self, CommandKind::Act | CommandKind::Pre | CommandKind::PreAll)
+        matches!(
+            self,
+            CommandKind::Act | CommandKind::Pre | CommandKind::PreAll
+        )
     }
 }
 
@@ -66,17 +69,38 @@ pub struct Command {
 impl Command {
     /// Activate `row` in the addressed bank.
     pub fn act(rank: usize, bankgroup: usize, bank: usize, row: u32) -> Self {
-        Self { kind: CommandKind::Act, rank, bankgroup, bank, row, col: 0 }
+        Self {
+            kind: CommandKind::Act,
+            rank,
+            bankgroup,
+            bank,
+            row,
+            col: 0,
+        }
     }
 
     /// Precharge the addressed bank.
     pub fn pre(rank: usize, bankgroup: usize, bank: usize) -> Self {
-        Self { kind: CommandKind::Pre, rank, bankgroup, bank, row: 0, col: 0 }
+        Self {
+            kind: CommandKind::Pre,
+            rank,
+            bankgroup,
+            bank,
+            row: 0,
+            col: 0,
+        }
     }
 
     /// Precharge every bank in `rank`.
     pub fn pre_all(rank: usize) -> Self {
-        Self { kind: CommandKind::PreAll, rank, bankgroup: 0, bank: 0, row: 0, col: 0 }
+        Self {
+            kind: CommandKind::PreAll,
+            rank,
+            bankgroup: 0,
+            bank: 0,
+            row: 0,
+            col: 0,
+        }
     }
 
     /// Read one cache-line burst from the open row.
@@ -84,17 +108,38 @@ impl Command {
     /// `row` is carried for trace readability and checker cross-validation;
     /// the device uses the currently open row.
     pub fn rd(rank: usize, bankgroup: usize, bank: usize, row: u32, col: u32) -> Self {
-        Self { kind: CommandKind::Rd, rank, bankgroup, bank, row, col }
+        Self {
+            kind: CommandKind::Rd,
+            rank,
+            bankgroup,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// Write one cache-line burst to the open row.
     pub fn wr(rank: usize, bankgroup: usize, bank: usize, row: u32, col: u32) -> Self {
-        Self { kind: CommandKind::Wr, rank, bankgroup, bank, row, col }
+        Self {
+            kind: CommandKind::Wr,
+            rank,
+            bankgroup,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// All-bank refresh of `rank`.
     pub fn ref_ab(rank: usize) -> Self {
-        Self { kind: CommandKind::RefAb, rank, bankgroup: 0, bank: 0, row: 0, col: 0 }
+        Self {
+            kind: CommandKind::RefAb,
+            rank,
+            bankgroup: 0,
+            bank: 0,
+            row: 0,
+            col: 0,
+        }
     }
 
     /// Flat bank index within the rank (`bankgroup * banks_per_group + bank`).
@@ -108,9 +153,15 @@ impl std::fmt::Display for Command {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
             CommandKind::Act => {
-                write!(f, "ACT  r{} bg{} b{} row{}", self.rank, self.bankgroup, self.bank, self.row)
+                write!(
+                    f,
+                    "ACT  r{} bg{} b{} row{}",
+                    self.rank, self.bankgroup, self.bank, self.row
+                )
             }
-            CommandKind::Pre => write!(f, "PRE  r{} bg{} b{}", self.rank, self.bankgroup, self.bank),
+            CommandKind::Pre => {
+                write!(f, "PRE  r{} bg{} b{}", self.rank, self.bankgroup, self.bank)
+            }
             CommandKind::PreAll => write!(f, "PREA r{}", self.rank),
             CommandKind::Rd => write!(
                 f,

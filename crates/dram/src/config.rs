@@ -113,9 +113,7 @@ impl DramConfig {
     /// channel — the paper's coarse allocation granularity (§III-A).
     #[inline]
     pub fn system_row_bytes(&self) -> u64 {
-        self.row_bytes_per_rank() as u64
-            * self.banks_per_rank() as u64
-            * self.total_ranks() as u64
+        self.row_bytes_per_rank() as u64 * self.banks_per_rank() as u64 * self.total_ranks() as u64
     }
 
     /// Total capacity in bytes.

@@ -57,7 +57,9 @@ impl Rank {
     pub fn new(config: &DramConfig) -> Self {
         Self {
             banks: (0..config.banks_per_rank()).map(|_| Bank::new()).collect(),
-            bankgroups: (0..config.bankgroups).map(|_| BankGroupTiming::default()).collect(),
+            bankgroups: (0..config.bankgroups)
+                .map(|_| BankGroupTiming::default())
+                .collect(),
             banks_per_group: config.banks_per_group,
             next_rd: 0,
             next_wr: 0,

@@ -66,7 +66,7 @@ impl IdleBucket {
 
 /// Histogram of rank idle time, bucketed by the length of the idle gap the
 /// cycles belong to (Fig. 2).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IdleHistogram {
     cycles: [u64; 7],
 }
@@ -93,7 +93,10 @@ impl IdleHistogram {
     }
 
     fn index(b: IdleBucket) -> usize {
-        IdleBucket::ALL.iter().position(|x| *x == b).expect("bucket in ALL")
+        IdleBucket::ALL
+            .iter()
+            .position(|x| *x == b)
+            .expect("bucket in ALL")
     }
 
     /// Raw cycle count in `bucket`.
@@ -130,7 +133,7 @@ impl IdleHistogram {
 
 /// Per-rank counters: command/event counts by issuer and data-bus
 /// occupancy, plus host-activity tracking for the idle histogram.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankStats {
     /// ACT commands issued by the host.
     pub acts_host: u64,
@@ -190,7 +193,7 @@ impl RankStats {
 }
 
 /// Per-channel statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelStats {
     /// One entry per rank in the channel.
     pub ranks: Vec<RankStats>,
@@ -292,7 +295,7 @@ impl ChannelStats {
 }
 
 /// System-wide statistics view, aggregated over channels.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DramStats {
     /// Total host read bursts.
     pub reads_host: u64,

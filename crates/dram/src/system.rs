@@ -25,7 +25,10 @@ impl DataReady {
 
     /// A burst over `[start, end)`.
     pub fn burst(start: Cycle, end: Cycle) -> Self {
-        Self { start: Some(start), end: Some(end) }
+        Self {
+            start: Some(start),
+            end: Some(end),
+        }
     }
 }
 
@@ -80,8 +83,14 @@ impl DramSystem {
     /// inputs, not runtime data.
     pub fn new(config: DramConfig) -> Self {
         config.validate().expect("invalid DRAM configuration");
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
-        Self { config, channels, trace: None }
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(&config))
+            .collect();
+        Self {
+            config,
+            channels,
+            trace: None,
+        }
     }
 
     /// Record every successfully issued command (for offline validation
@@ -183,8 +192,10 @@ mod tests {
     fn channels_are_independent() {
         let mut m = DramSystem::new(DramConfig::table_ii());
         // Same cycle on different channels is fine.
-        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
-        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
+        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0)
+            .unwrap();
+        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Host, 0)
+            .unwrap();
         // Same channel same cycle is not.
         assert!(!m.can_issue(0, &Command::act(1, 0, 0, 1), Issuer::Host, 0));
     }
@@ -192,11 +203,15 @@ mod tests {
     #[test]
     fn stats_aggregate_over_channels() {
         let mut m = DramSystem::new(DramConfig::table_ii());
-        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0).unwrap();
-        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Nda, 0).unwrap();
+        m.issue(0, &Command::act(0, 0, 0, 1), Issuer::Host, 0)
+            .unwrap();
+        m.issue(1, &Command::act(0, 0, 0, 1), Issuer::Nda, 0)
+            .unwrap();
         let rcd = u64::from(m.config().timing.rcd);
-        m.issue(0, &Command::rd(0, 0, 0, 1, 0), Issuer::Host, rcd).unwrap();
-        m.issue(1, &Command::wr(0, 0, 0, 1, 0), Issuer::Nda, rcd).unwrap();
+        m.issue(0, &Command::rd(0, 0, 0, 1, 0), Issuer::Host, rcd)
+            .unwrap();
+        m.issue(1, &Command::wr(0, 0, 0, 1, 0), Issuer::Nda, rcd)
+            .unwrap();
         let s = m.stats();
         assert_eq!(s.acts, 2);
         assert_eq!(s.acts_nda, 1);

@@ -82,7 +82,10 @@ impl TimingParams {
     /// Same timing with refresh disabled — useful for microbenchmarks that
     /// want deterministic idle-gap structure.
     pub fn ddr4_2400_no_refresh() -> Self {
-        Self { refi: 0, ..Self::ddr4_2400() }
+        Self {
+            refi: 0,
+            ..Self::ddr4_2400()
+        }
     }
 
     /// Delay from a read command to the earliest write command on the same

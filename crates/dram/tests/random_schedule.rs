@@ -36,11 +36,21 @@ fn random_trace(seed: u64, cycles: u64, cfg: &DramConfig, with_nda: bool) -> Vec
             CommandKind::Act => Command::act(rank, bg, bank, row),
             CommandKind::Pre => Command::pre(rank, bg, bank),
             CommandKind::Rd => {
-                let open = mem.channel(0).rank(rank).bank(bg, bank).open_row().unwrap_or(row);
+                let open = mem
+                    .channel(0)
+                    .rank(rank)
+                    .bank(bg, bank)
+                    .open_row()
+                    .unwrap_or(row);
                 Command::rd(rank, bg, bank, open, col)
             }
             CommandKind::Wr => {
-                let open = mem.channel(0).rank(rank).bank(bg, bank).open_row().unwrap_or(row);
+                let open = mem
+                    .channel(0)
+                    .rank(rank)
+                    .bank(bg, bank)
+                    .open_row()
+                    .unwrap_or(row);
                 Command::wr(rank, bg, bank, open, col)
             }
             CommandKind::RefAb => Command::ref_ab(rank),
@@ -53,7 +63,8 @@ fn random_trace(seed: u64, cycles: u64, cfg: &DramConfig, with_nda: bool) -> Vec
             let rank = rng.gen_range(0..cfg.ranks_per_channel);
             let cmd = gen_cmd(&mut rng, &mem, rank);
             if mem.can_issue(0, &cmd, Issuer::Host, now) {
-                mem.issue(0, &cmd, Issuer::Host, now).expect("can_issue implies issue");
+                mem.issue(0, &cmd, Issuer::Host, now)
+                    .expect("can_issue implies issue");
                 trace.push((now, cmd, Issuer::Host));
                 break;
             }
@@ -70,7 +81,8 @@ fn random_trace(seed: u64, cycles: u64, cfg: &DramConfig, with_nda: bool) -> Vec
                     continue;
                 }
                 if mem.can_issue(0, &cmd, Issuer::Nda, now) {
-                    mem.issue(0, &cmd, Issuer::Nda, now).expect("can_issue implies issue");
+                    mem.issue(0, &cmd, Issuer::Nda, now)
+                        .expect("can_issue implies issue");
                     trace.push((now, cmd, Issuer::Nda));
                     break;
                 }
@@ -85,7 +97,10 @@ fn model_and_checker_agree_on_host_only_schedules() {
     let cfg = DramConfig::table_ii();
     for seed in 0..6u64 {
         let trace = random_trace(seed, 4000, &cfg, false);
-        assert!(trace.len() > 100, "generator should make progress (seed {seed})");
+        assert!(
+            trace.len() > 100,
+            "generator should make progress (seed {seed})"
+        );
         let n = TimingChecker::check_trace(&cfg, trace.iter().copied())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(n as usize, trace.len());
@@ -98,7 +113,10 @@ fn model_and_checker_agree_on_concurrent_schedules() {
     for seed in 0..6u64 {
         let trace = random_trace(seed, 4000, &cfg, true);
         let nda = trace.iter().filter(|e| e.2 == Issuer::Nda).count();
-        assert!(nda > 50, "NDA should get issue slots (seed {seed}, got {nda})");
+        assert!(
+            nda > 50,
+            "NDA should get issue slots (seed {seed}, got {nda})"
+        );
         TimingChecker::check_trace(&cfg, trace.iter().copied())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }

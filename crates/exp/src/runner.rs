@@ -1,0 +1,138 @@
+//! Executes a grid of specs, serially or across threads, with identical
+//! results either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use chopim_core::SimReport;
+
+use crate::result::{SweepPoint, SweepResult};
+use crate::scenario::{run_scenario, ScenarioSpec};
+
+/// Runs every point of a sweep and collects the results in grid order.
+///
+/// Each point is executed by an independent `ChopimSystem` seeded from
+/// its spec, so the work partitions perfectly: the parallel schedule
+/// cannot change any result, only the wall-clock time. Results are
+/// reassembled in spec order regardless of completion order, making
+/// serial and parallel runs bit-identical (enforced by
+/// `tests/sweep_determinism.rs`).
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// One point at a time, on the calling thread.
+    pub fn serial() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// Use `CHOPIM_SWEEP_THREADS` if set, else all available cores.
+    pub fn parallel() -> Self {
+        let threads = std::env::var("CHOPIM_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        SweepRunner { threads }
+    }
+
+    /// Exactly `threads` workers (1 = serial).
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        SweepRunner { threads }
+    }
+
+    /// The worker count this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` on every spec and collect results in spec order.
+    ///
+    /// `f` must be a pure function of the spec for parallel == serial to
+    /// hold; the standard executor [`run_scenario`] qualifies.
+    pub fn run<R, F>(&self, specs: &[ScenarioSpec], f: F) -> SweepResult<R>
+    where
+        R: Send,
+        F: Fn(&ScenarioSpec) -> R + Sync,
+    {
+        let n = specs.len();
+        if self.threads == 1 || n <= 1 {
+            let points = specs
+                .iter()
+                .map(|spec| SweepPoint {
+                    spec: spec.clone(),
+                    result: f(spec),
+                })
+                .collect();
+            return SweepResult { points };
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&specs[i]);
+                    collected.lock().unwrap().push((i, r));
+                });
+            }
+        });
+        let mut indexed = collected.into_inner().unwrap();
+        assert_eq!(indexed.len(), n, "every point must produce a result");
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        let points = specs
+            .iter()
+            .zip(indexed)
+            .map(|(spec, (_, result))| SweepPoint {
+                spec: spec.clone(),
+                result,
+            })
+            .collect();
+        SweepResult { points }
+    }
+
+    /// Run the standard executor over the grid.
+    pub fn run_reports(&self, specs: &[ScenarioSpec]) -> SweepResult<SimReport> {
+        self.run(specs, run_scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{labeled, SweepBuilder};
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        let specs = SweepBuilder::new(ScenarioSpec::with_window(1))
+            .axis("i", labeled(0u64..16), |s, &v| s.window = v)
+            .build();
+        // Uneven fake work so completion order scrambles.
+        let res = SweepRunner::with_threads(4).run(&specs, |s| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - s.window) % 5));
+            s.window * 10
+        });
+        let values: Vec<u64> = res.points.iter().map(|p| p.result).collect();
+        assert_eq!(values, (0u64..16).map(|v| v * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_clamps_to_work() {
+        let specs = SweepBuilder::new(ScenarioSpec::with_window(1))
+            .axis("i", labeled([1u64, 2]), |_, _| {})
+            .build();
+        let res = SweepRunner::with_threads(64).run(&specs, |s| s.label.clone());
+        assert_eq!(res.points.len(), 2);
+    }
+}

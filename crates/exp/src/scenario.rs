@@ -1,0 +1,270 @@
+//! One simulation point, described declaratively.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use chopim_core::prelude::*;
+
+/// A declarative, cloneable description of one simulation point.
+///
+/// A spec is everything needed to reproduce a single figure data point:
+/// the machine configuration, the NDA workload running against the host
+/// mix, the measurement window, and the seed. Specs are usually produced
+/// by [`SweepBuilder`](crate::SweepBuilder), which also assigns `tags`
+/// (axis-name → value-label), the typed axis `values`, and a
+/// deterministic per-point `seed`.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Human-readable point label (the joined tag values).
+    pub label: String,
+    /// `(axis name, value label)` pairs in axis-declaration order.
+    pub tags: Vec<(String, String)>,
+    /// The typed axis values behind `tags`, for executors and `finish`
+    /// hooks that need more than the label — see [`ScenarioSpec::value`].
+    pub values: Vec<(String, Arc<dyn Any + Send + Sync>)>,
+    /// Machine configuration. `cfg.seed` is overwritten by `seed` at
+    /// execution time.
+    pub cfg: ChopimConfig,
+    /// NDA workload to keep resident for the whole window.
+    pub workload: Workload,
+    /// Measurement window in DRAM cycles.
+    pub window: u64,
+    /// Per-point RNG seed (cores, policy coins).
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("label", &self.label)
+            .field("tags", &self.tags)
+            .field("cfg", &self.cfg)
+            .field("workload", &self.workload)
+            .field("window", &self.window)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSpec {
+    /// A bare spec: default machine, host-only workload, `window` cycles.
+    pub fn with_window(window: u64) -> Self {
+        ScenarioSpec {
+            label: String::new(),
+            tags: Vec::new(),
+            values: Vec::new(),
+            cfg: ChopimConfig::default(),
+            workload: Workload::HostOnly,
+            window,
+            seed: ChopimConfig::default().seed,
+        }
+    }
+
+    /// The value label of axis `name`, if this spec carries it.
+    pub fn tag(&self, name: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The typed value of axis `name`. `T` must be the value type the
+    /// axis was declared with; a mismatched `T` returns `None`, so
+    /// callers `expect` rather than silently proceeding.
+    pub fn value<T: Any>(&self, name: &str) -> Option<&T> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.downcast_ref::<T>())
+    }
+}
+
+/// The NDA-side workload resident during the measurement window.
+///
+/// Covers the paper's evaluation kernels. Every variant relaunches for
+/// the whole window (`ChopimSystem::run_relaunching`), matching the §VI
+/// methodology; [`Workload::HostOnly`] runs the host mix alone.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// No NDA traffic; the host mix runs alone (Fig. 2).
+    HostOnly,
+    /// One elementwise vector op, relaunched over a resident operand set
+    /// of `elems` f32 per vector (Figs. 10-14). Coefficients and operand
+    /// arity are derived from the opcode (the paper's shapes).
+    Elementwise {
+        op: Opcode,
+        elems: usize,
+        opts: LaunchOpts,
+    },
+    /// Dense GEMV, `rows x cols` (part of Fig. 13).
+    Gemv { rows: usize, cols: usize },
+    /// The SVRG average-gradient macro stream: per-sample AXPY rows into
+    /// per-NDA private accumulators (Fig. 8 / Fig. 14 "SVRG").
+    MacroAxpyRows {
+        rows: usize,
+        d: usize,
+        rows_per_instr: usize,
+        opts: LaunchOpts,
+    },
+    /// GEMV + DOT + AXPY + AXPBY iteration stream (Fig. 14 "CG").
+    CgStream {
+        rows: usize,
+        n: usize,
+        opts: LaunchOpts,
+    },
+    /// GEMV + XMY + NRM2 distance-evaluation stream (Fig. 14 "SC").
+    ScStream {
+        n: usize,
+        d: usize,
+        opts: LaunchOpts,
+    },
+}
+
+impl Workload {
+    /// Elementwise op with default launch options.
+    pub fn elementwise(op: Opcode, elems: usize) -> Self {
+        Workload::Elementwise {
+            op,
+            elems,
+            opts: LaunchOpts::default(),
+        }
+    }
+
+    /// Elementwise op with explicit launch options.
+    pub fn elementwise_opts(op: Opcode, elems: usize, opts: LaunchOpts) -> Self {
+        Workload::Elementwise { op, elems, opts }
+    }
+}
+
+/// Allocate and initialize a deterministic f32 vector of `len`.
+fn init_data(len: usize) -> Vec<f32> {
+    (0..len).map(|i| (i % 101) as f32 * 0.5 - 25.0).collect()
+}
+
+/// Execute one spec: build the machine, keep the workload resident for
+/// the window, and return the [`SimReport`].
+///
+/// This is the standard executor the benches share; sweeps whose points
+/// are not plain `ChopimSystem` windows (e.g. the SVRG convergence
+/// figures) pass their own closure to
+/// [`SweepRunner::run`](crate::SweepRunner::run) instead.
+pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = spec.seed;
+    let mut sys = ChopimSystem::new(cfg);
+    let window = spec.window;
+
+    match spec.workload.clone() {
+        Workload::HostOnly => {
+            sys.run(window);
+        }
+        Workload::Elementwise { op, elems, opts } => {
+            // Allocate only the operands this opcode touches: sweeps run
+            // many points concurrently, and the big-operand figures
+            // (fig13: 8 MB/rank) would otherwise hold three full vectors
+            // per in-flight point regardless of arity.
+            let needs_y = !matches!(op, Opcode::Nrm2 | Opcode::Scal);
+            let needs_z = matches!(op, Opcode::Axpby | Opcode::Axpbypcz | Opcode::Xmy);
+            let x = sys.runtime.vector(elems, Sharing::Shared);
+            let y = if needs_y {
+                sys.runtime.vector(elems, Sharing::Shared)
+            } else {
+                x
+            };
+            let z = if needs_z {
+                sys.runtime.vector(elems, Sharing::Shared)
+            } else {
+                x
+            };
+            {
+                let data = init_data(elems);
+                sys.runtime.write_vector(x, &data);
+                if needs_y {
+                    sys.runtime.write_vector(y, &data);
+                }
+            }
+            sys.run_relaunching(window, |rt| match op {
+                Opcode::Axpby => {
+                    rt.launch_elementwise(op, vec![2.0, -1.0], vec![x, y], Some(z), opts)
+                }
+                Opcode::Axpbypcz => {
+                    rt.launch_elementwise(op, vec![2.0, -1.0, 0.5], vec![x, y, z], Some(z), opts)
+                }
+                Opcode::Axpy => rt.launch_elementwise(op, vec![0.5], vec![x], Some(y), opts),
+                Opcode::Copy => rt.launch_elementwise(op, vec![], vec![x], Some(y), opts),
+                Opcode::Xmy => rt.launch_elementwise(op, vec![], vec![x, y], Some(z), opts),
+                Opcode::Dot => rt.launch_elementwise(op, vec![], vec![x, y], None, opts),
+                Opcode::Nrm2 => rt.launch_elementwise(op, vec![], vec![x], None, opts),
+                Opcode::Scal => rt.launch_elementwise(op, vec![0.99], vec![], Some(x), opts),
+                Opcode::Gemv => panic!("use Workload::Gemv for GEMV points"),
+            });
+        }
+        Workload::Gemv { rows, cols } => {
+            let a = sys.runtime.matrix(rows, cols);
+            let x = sys.runtime.vector(cols, Sharing::Shared);
+            let y = sys.runtime.vector(rows, Sharing::Shared);
+            sys.runtime.write_vector(x, &vec![1.0; cols]);
+            sys.run_relaunching(window, |rt| rt.launch_gemv(y, a, x, LaunchOpts::default()));
+        }
+        Workload::MacroAxpyRows {
+            rows,
+            d,
+            rows_per_instr,
+            opts,
+        } => {
+            let xs = sys.runtime.matrix(rows, d);
+            let a_pvt = sys.runtime.vector(d, Sharing::Private);
+            let alphas = vec![0.01f32; rows];
+            sys.run_relaunching(window, |rt| {
+                rt.launch_macro_axpy_rows(a_pvt, alphas.clone(), xs, rows_per_instr, opts)
+            });
+        }
+        Workload::CgStream { rows, n, opts } => {
+            let a = sys.runtime.matrix(rows, n);
+            let p = sys.runtime.vector(n, Sharing::Shared);
+            let ap = sys.runtime.vector(rows, Sharing::Shared);
+            let r = sys.runtime.vector(n, Sharing::Shared);
+            sys.runtime.write_vector(p, &vec![1.0; n]);
+            sys.runtime.write_vector(r, &vec![1.0; n]);
+            let mut phase = 0usize;
+            sys.run_relaunching(window, move |rt| {
+                phase = (phase + 1) % 4;
+                match phase {
+                    0 => rt.launch_gemv(ap, a, p, LaunchOpts::default()),
+                    1 => rt.launch_elementwise(Opcode::Dot, vec![], vec![ap, ap], None, opts),
+                    2 => rt.launch_elementwise(Opcode::Axpy, vec![0.5], vec![p], Some(r), opts),
+                    _ => rt.launch_elementwise(
+                        Opcode::Axpby,
+                        vec![1.0, 0.5],
+                        vec![r, p],
+                        Some(p),
+                        opts,
+                    ),
+                }
+            });
+        }
+        Workload::ScStream { n, d, opts } => {
+            let pts = sys.runtime.matrix(n, d);
+            let c = sys.runtime.vector(d, Sharing::Shared);
+            let dots = sys.runtime.vector(n, Sharing::Shared);
+            let acc = sys.runtime.vector(n, Sharing::Shared);
+            sys.runtime.write_vector(c, &vec![1.0; d]);
+            let mut phase = 0usize;
+            sys.run_relaunching(window, move |rt| {
+                phase = (phase + 1) % 3;
+                match phase {
+                    0 => rt.launch_gemv(dots, pts, c, LaunchOpts::default()),
+                    1 => rt.launch_elementwise(
+                        Opcode::Xmy,
+                        vec![],
+                        vec![dots, dots],
+                        Some(acc),
+                        opts,
+                    ),
+                    _ => rt.launch_elementwise(Opcode::Nrm2, vec![], vec![dots], None, opts),
+                }
+            });
+        }
+    }
+    sys.report()
+}

@@ -30,7 +30,12 @@ pub struct CoreConfig {
 impl Default for CoreConfig {
     fn default() -> Self {
         // 4 GHz OoO x86: Fetch/Issue 8, ROB 224, 12 MSHRs (Table II).
-        Self { rob_entries: 224, issue_width: 8, retire_width: 8, mshrs: 12 }
+        Self {
+            rob_entries: 224,
+            issue_width: 8,
+            retire_width: 8,
+            mshrs: 12,
+        }
     }
 }
 
@@ -178,7 +183,11 @@ impl OooCore {
                 }
                 let line = self.next_line();
                 let id = self.next_id;
-                if !try_send(MemRequest { line, is_write: false, id }) {
+                if !try_send(MemRequest {
+                    line,
+                    is_write: false,
+                    id,
+                }) {
                     stalled = true;
                     break;
                 }
@@ -191,13 +200,14 @@ impl OooCore {
                 self.until_next_miss =
                     Self::sample_exp(&mut self.rng, self.profile.instructions_per_miss());
                 // Dirty eviction trails the read stream.
-                if self.pending_wb.is_none()
-                    && self.rng.gen_bool(self.profile.writeback_ratio)
-                {
+                if self.pending_wb.is_none() && self.rng.gen_bool(self.profile.writeback_ratio) {
                     let footprint = self.profile.footprint_lines().max(1);
                     let wb_line = line.wrapping_sub(128) % footprint;
-                    let wb =
-                        MemRequest { line: wb_line, is_write: true, id: u64::MAX };
+                    let wb = MemRequest {
+                        line: wb_line,
+                        is_write: true,
+                        id: u64::MAX,
+                    };
                     if try_send(wb) {
                         self.writes_sent += 1;
                     } else {
@@ -308,7 +318,12 @@ mod tests {
     fn high_mpki_core_is_memory_bound() {
         let fast = run_fixed_latency(WorkloadProfile::mcf_r(), 50, 20_000);
         let slow = run_fixed_latency(WorkloadProfile::mcf_r(), 400, 20_000);
-        assert!(fast.ipc() > 1.5 * slow.ipc(), "{} vs {}", fast.ipc(), slow.ipc());
+        assert!(
+            fast.ipc() > 1.5 * slow.ipc(),
+            "{} vs {}",
+            fast.ipc(),
+            slow.ipc()
+        );
         assert!(slow.ipc() < 1.0);
     }
 

@@ -54,7 +54,12 @@ impl MixId {
             5 => vec![P::gems_fdtd(), P::soplex(), P::milc(), P::bwaves_r()],
             6 => vec![P::soplex(), P::milc(), P::bwaves_r(), P::leslie3d()],
             7 => vec![P::milc(), P::bwaves_r(), P::astar(), P::cactus_bssn_r()],
-            8 => vec![P::leslie3d(), P::leela_r(), P::deepsjeng_r(), P::exchange2_r()],
+            8 => vec![
+                P::leslie3d(),
+                P::leela_r(),
+                P::deepsjeng_r(),
+                P::exchange2_r(),
+            ],
             _ => unreachable!("MixId constructor bounds"),
         }
     }

@@ -143,5 +143,8 @@ fn mixes_order_by_intensity_under_equal_memory() {
         }
         totals.push(cores.iter().map(|c| c.retired_instructions()).sum::<u64>());
     }
-    assert!(totals[1] > totals[0], "mix8 must out-retire mix1: {totals:?}");
+    assert!(
+        totals[1] > totals[0],
+        "mix8 must out-retire mix1: {totals:?}"
+    );
 }

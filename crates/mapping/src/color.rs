@@ -158,12 +158,20 @@ impl ColoredAllocator {
             }
         }
         self.allocated += rows.len() as u32;
-        Some(Region { rows, row_bytes: self.row_bytes, color: None })
+        Some(Region {
+            rows,
+            row_bytes: self.row_bytes,
+            color: None,
+        })
     }
 
     fn alloc_from(&mut self, shared: bool, color: Color, n: usize) -> Option<Region> {
         assert!((color.0 as usize) < self.num_colors(), "color out of range");
-        let pool = if shared { &mut self.shared_free } else { &mut self.host_free };
+        let pool = if shared {
+            &mut self.shared_free
+        } else {
+            &mut self.host_free
+        };
         let bucket = &mut pool[color.0 as usize];
         if bucket.len() < n {
             return None;
@@ -273,7 +281,10 @@ mod tests {
         let per_color = cfg.rows / 2 / 8;
         let region = alloc.alloc_shared(Color(1), per_color).unwrap();
         assert!(alloc.alloc_shared(Color(1), 1).is_none());
-        assert!(alloc.alloc_shared(Color(2), 1).is_some(), "other colors unaffected");
+        assert!(
+            alloc.alloc_shared(Color(2), 1).is_some(),
+            "other colors unaffected"
+        );
         alloc.free(region, (cfg.rows / 2) as u32);
         assert!(alloc.alloc_shared(Color(1), per_color).is_some());
     }
@@ -289,7 +300,10 @@ mod tests {
         // Across rows, PA jumps to the next allocated row.
         let pa_last = r.pa_of(row_bytes - 1);
         let pa_next = r.pa_of(row_bytes);
-        assert_eq!(pa_last, u64::from(r.rows[0].index) * row_bytes + row_bytes - 1);
+        assert_eq!(
+            pa_last,
+            u64::from(r.rows[0].index) * row_bytes + row_bytes - 1
+        );
         assert_eq!(pa_next, u64::from(r.rows[1].index) * row_bytes);
     }
 

@@ -103,8 +103,7 @@ pub fn recover(
 ) -> Result<RecoveredMapping, RecoverError> {
     let zero = bits_of(&oracle(0));
     // Basis probes: which output bits toggle per input bit.
-    let mut masks: Vec<(OutField, u32, u64)> =
-        zero.iter().map(|&(f, b, _)| (f, b, 0u64)).collect();
+    let mut masks: Vec<(OutField, u32, u64)> = zero.iter().map(|&(f, b, _)| (f, b, 0u64)).collect();
     for i in 0..line_bits {
         let probe = bits_of(&oracle(1u64 << i));
         for (slot, (z, p)) in masks.iter_mut().zip(zero.iter().zip(probe.iter())) {

@@ -41,12 +41,14 @@ impl ChipLayout {
         assert!(64 % chips == 0, "chips must divide the line");
         let per_chip = 64 / chips;
         match self {
-            ChipLayout::Striped => {
-                WordLocation { chip: byte % chips, offset: byte / chips }
-            }
-            ChipLayout::WordPerChip => {
-                WordLocation { chip: byte / per_chip, offset: byte % per_chip }
-            }
+            ChipLayout::Striped => WordLocation {
+                chip: byte % chips,
+                offset: byte / chips,
+            },
+            ChipLayout::WordPerChip => WordLocation {
+                chip: byte / per_chip,
+                offset: byte % per_chip,
+            },
         }
     }
 
@@ -54,8 +56,9 @@ impl ChipLayout {
     /// `None` if the layout splits words across chips.
     pub fn chip_of_word(self, word: usize, chips: usize) -> Option<usize> {
         assert!(word < 16, "16 words per 64 B line");
-        let locs: Vec<usize> =
-            (0..4).map(|b| self.locate_byte(word * 4 + b, chips).chip).collect();
+        let locs: Vec<usize> = (0..4)
+            .map(|b| self.locate_byte(word * 4 + b, chips).chip)
+            .collect();
         if locs.iter().all(|&c| c == locs[0]) {
             Some(locs[0])
         } else {
@@ -66,7 +69,10 @@ impl ChipLayout {
     /// Number of whole f32 words per chip per line (0 when words are
     /// split).
     pub fn words_per_chip_line(self, chips: usize) -> usize {
-        (0..16).filter(|&w| self.chip_of_word(w, chips).is_some()).count() / chips
+        (0..16)
+            .filter(|&w| self.chip_of_word(w, chips).is_some())
+            .count()
+            / chips
     }
 }
 

@@ -73,8 +73,7 @@ impl LinearMapping {
     /// Returns a description if the matrix is singular or the field widths
     /// do not match `config`.
     pub fn new(config: &DramConfig, bits: Vec<OutBit>) -> Result<Self, String> {
-        let line_bits = (config.capacity_bytes() / config.line_bytes() as u64)
-            .trailing_zeros();
+        let line_bits = (config.capacity_bytes() / config.line_bytes() as u64).trailing_zeros();
         if bits.len() != line_bits as usize {
             return Err(format!(
                 "need exactly {line_bits} output bits, got {}",

@@ -38,14 +38,22 @@ pub fn skylake_like(config: &DramConfig) -> LinearMapping {
     // Three lowest column bits first: consecutive lines share a row before
     // hitting the channel hash (open-page friendliness).
     for bit in 0..3.min(n_col) {
-        bits.push(OutBit { field: OutField::Col, bit, mask: 1 << take(&mut next) });
+        bits.push(OutBit {
+            field: OutField::Col,
+            bit,
+            mask: 1 << take(&mut next),
+        });
     }
     // Channel bits: primary low bit + two row-region bits (assigned below,
     // patched afterwards). Record primaries now.
     let ch_primary: Vec<u32> = (0..n_ch).map(|_| take(&mut next)).collect();
     // Remaining column bits.
     for bit in 3.min(n_col)..n_col {
-        bits.push(OutBit { field: OutField::Col, bit, mask: 1 << take(&mut next) });
+        bits.push(OutBit {
+            field: OutField::Col,
+            bit,
+            mask: 1 << take(&mut next),
+        });
     }
     let bg_primary: Vec<u32> = (0..n_bg).map(|_| take(&mut next)).collect();
     let bk_primary: Vec<u32> = (0..n_bk).map(|_| take(&mut next)).collect();
@@ -54,7 +62,11 @@ pub fn skylake_like(config: &DramConfig) -> LinearMapping {
 
     // Row bits are identity on the top of the line address.
     for bit in 0..n_row {
-        bits.push(OutBit { field: OutField::Row, bit, mask: 1 << (row_base + bit) });
+        bits.push(OutBit {
+            field: OutField::Row,
+            bit,
+            mask: 1 << (row_base + bit),
+        });
     }
 
     // Hash extras, all drawn from the *low* row region — never the top
@@ -71,19 +83,35 @@ pub fn skylake_like(config: &DramConfig) -> LinearMapping {
     };
     for (i, &p) in ch_primary.iter().enumerate() {
         let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
-        bits.push(OutBit { field: OutField::Channel, bit: i as u32, mask: m });
+        bits.push(OutBit {
+            field: OutField::Channel,
+            bit: i as u32,
+            mask: m,
+        });
     }
     for (i, &p) in rk_primary.iter().enumerate() {
         let m = (1u64 << p) | (1 << row_bit(&mut extra));
-        bits.push(OutBit { field: OutField::Rank, bit: i as u32, mask: m });
+        bits.push(OutBit {
+            field: OutField::Rank,
+            bit: i as u32,
+            mask: m,
+        });
     }
     for (i, &p) in bg_primary.iter().enumerate() {
         let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
-        bits.push(OutBit { field: OutField::BankGroup, bit: i as u32, mask: m });
+        bits.push(OutBit {
+            field: OutField::BankGroup,
+            bit: i as u32,
+            mask: m,
+        });
     }
     for (i, &p) in bk_primary.iter().enumerate() {
         let m = (1u64 << p) | (1 << row_bit(&mut extra)) | (1 << row_bit(&mut extra));
-        bits.push(OutBit { field: OutField::Bank, bit: i as u32, mask: m });
+        bits.push(OutBit {
+            field: OutField::Bank,
+            bit: i as u32,
+            mask: m,
+        });
     }
 
     LinearMapping::new(config, bits).expect("skylake_like preset must be bijective")
@@ -108,7 +136,11 @@ pub fn naive(config: &DramConfig) -> LinearMapping {
     let mut next = 0u32;
     let field = |f: OutField, n: u32, bits: &mut Vec<OutBit>, next: &mut u32| {
         for bit in 0..n {
-            bits.push(OutBit { field: f, bit, mask: 1 << *next });
+            bits.push(OutBit {
+                field: f,
+                bit,
+                mask: 1 << *next,
+            });
             *next += 1;
         }
     };
@@ -155,6 +187,9 @@ mod tests {
             banks.insert((d.channel, d.rank, d.bankgroup, d.bank));
         }
         // All 64 (channel, rank, bank) combinations get touched.
-        assert_eq!(banks.len(), cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank());
+        assert_eq!(
+            banks.len(),
+            cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank()
+        );
     }
 }

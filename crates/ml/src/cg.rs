@@ -115,7 +115,11 @@ pub fn run_cg(sys: &mut ChopimSystem, n: usize, iters: usize) -> CgResult {
         sys.run_until_op(opp, budget);
         rsold = rsnew;
     }
-    CgResult { cycles: sys.now() - start, residual: rsold.sqrt(), iters: done }
+    CgResult {
+        cycles: sys.now() - start,
+        residual: rsold.sqrt(),
+        iters: done,
+    }
 }
 
 #[cfg(test)]

@@ -48,7 +48,13 @@ impl Dataset {
                 x.push(cj + normal(&mut rng));
             }
         }
-        Self { x, y, n, d, classes }
+        Self {
+            x,
+            y,
+            n,
+            d,
+            classes,
+        }
     }
 
     /// One sample's feature row.
@@ -115,10 +121,18 @@ mod tests {
         for i in 0..ds.n {
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        ds.row(i).iter().zip(&centers[a]).map(|(x, c)| (x - c).powi(2)).sum();
-                    let db: f32 =
-                        ds.row(i).iter().zip(&centers[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let da: f32 = ds
+                        .row(i)
+                        .iter()
+                        .zip(&centers[a])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
+                    let db: f32 = ds
+                        .row(i)
+                        .iter()
+                        .zip(&centers[b])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

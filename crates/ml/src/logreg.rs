@@ -20,7 +20,12 @@ pub struct LogReg {
 impl LogReg {
     /// Zero-initialized model.
     pub fn new(classes: usize, d: usize, lambda: f32) -> Self {
-        Self { w: vec![0.0; classes * d], classes, d, lambda }
+        Self {
+            w: vec![0.0; classes * d],
+            classes,
+            d,
+            lambda,
+        }
     }
 
     /// Class scores `W x` for one sample.
@@ -45,9 +50,13 @@ impl LogReg {
             let p = self.probs(ds.row(i));
             total -= f64::from(p[ds.y[i]].max(1e-30).ln());
         }
-        let reg: f64 =
-            self.w.iter().map(|&w| f64::from(w) * f64::from(w)).sum::<f64>() * 0.5
-                * f64::from(self.lambda);
+        let reg: f64 = self
+            .w
+            .iter()
+            .map(|&w| f64::from(w) * f64::from(w))
+            .sum::<f64>()
+            * 0.5
+            * f64::from(self.lambda);
         total / ds.n as f64 + reg
     }
 
@@ -157,10 +166,18 @@ mod tests {
         for &idx in &[0usize, 7, 16 + 3, 2 * 16 + 11] {
             let mut wp = model.w.clone();
             wp[idx] += eps;
-            let lp = LogReg { w: wp, ..model.clone() }.loss(&ds);
+            let lp = LogReg {
+                w: wp,
+                ..model.clone()
+            }
+            .loss(&ds);
             let mut wm = model.w.clone();
             wm[idx] -= eps;
-            let lm = LogReg { w: wm, ..model.clone() }.loss(&ds);
+            let lm = LogReg {
+                w: wm,
+                ..model.clone()
+            }
+            .loss(&ds);
             let fd = ((lp - lm) / (2.0 * f64::from(eps))) as f32;
             assert!(
                 (fd - g[idx]).abs() < 2e-3,

@@ -34,10 +34,14 @@ pub fn run_sc(sys: &mut ChopimSystem, n: usize, d: usize, centers: usize) -> ScR
     let budget = 500_000_000;
     let mut best = (0usize, f32::NEG_INFINITY);
     for c in 0..centers {
-        let cdata: Vec<f32> = (0..d).map(|j| (((j + c * 7) % 13) as f32) * 0.2 - 1.2).collect();
+        let cdata: Vec<f32> = (0..d)
+            .map(|j| (((j + c * 7) % 13) as f32) * 0.2 - 1.2)
+            .collect();
         sys.runtime.write_vector(center, &cdata);
         // dots = P . center  (read-dominant stream over the whole set)
-        let g = sys.runtime.launch_gemv(dots, points, center, LaunchOpts::default());
+        let g = sys
+            .runtime
+            .launch_gemv(dots, points, center, LaunchOpts::default());
         sys.run_until_op(g, budget);
         // acc = dots ⊙ dots   (writes)
         let x = sys.runtime.launch_elementwise(
@@ -62,7 +66,10 @@ pub fn run_sc(sys: &mut ChopimSystem, n: usize, d: usize, centers: usize) -> ScR
             best = (c, score);
         }
     }
-    ScResult { cycles: sys.now() - start, best_center: best.0 }
+    ScResult {
+        cycles: sys.now() - start,
+        best_center: best.0,
+    }
 }
 
 #[cfg(test)]

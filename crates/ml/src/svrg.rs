@@ -64,7 +64,14 @@ pub struct SvrgConfig {
 impl SvrgConfig {
     /// The paper's hyper-parameters for a dataset of `n` samples.
     pub fn paper_defaults(n: usize) -> Self {
-        Self { epoch: n, lr: 4e-3, momentum: 0.9, lambda: 1e-3, max_outer: 30, seed: 42 }
+        Self {
+            epoch: n,
+            lr: 4e-3,
+            momentum: 0.9,
+            lambda: 1e-3,
+            max_outer: 30,
+            seed: 42,
+        }
     }
 }
 
@@ -84,22 +91,23 @@ pub struct SvrgTrace {
 impl SvrgTrace {
     /// First time at which `loss - optimum <= tol`, if reached.
     pub fn time_to_converge(&self, optimum: f64, tol: f64) -> Option<f64> {
-        self.points.iter().find(|(_, l)| l - optimum <= tol).map(|(t, _)| *t)
+        self.points
+            .iter()
+            .find(|(_, l)| l - optimum <= tol)
+            .map(|(t, _)| *t)
     }
 
     /// Best (lowest) loss reached.
     pub fn best_loss(&self) -> f64 {
-        self.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
 /// Run SVRG in `mode` and return its convergence trajectory.
-pub fn run(
-    mode: SvrgMode,
-    ds: &Dataset,
-    cfg: SvrgConfig,
-    time: &SvrgTimeModel,
-) -> SvrgTrace {
+pub fn run(mode: SvrgMode, ds: &Dataset, cfg: SvrgConfig, time: &SvrgTimeModel) -> SvrgTrace {
     let mut model = LogReg::new(ds.classes, ds.d, cfg.lambda);
     let dim = ds.classes * ds.d;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -172,7 +180,12 @@ pub fn run(
         }
         points.push((t, model.loss(ds)));
     }
-    SvrgTrace { mode, epoch: cfg.epoch, lr: cfg.lr, points }
+    SvrgTrace {
+        mode,
+        epoch: cfg.epoch,
+        lr: cfg.lr,
+        points,
+    }
 }
 
 /// A near-optimal reference loss via full-batch gradient descent with
@@ -217,7 +230,11 @@ mod tests {
     fn all_modes_reduce_loss() {
         let (ds, tm) = setup();
         let l0 = (ds.classes as f64).ln();
-        for mode in [SvrgMode::HostOnly, SvrgMode::Accelerated, SvrgMode::DelayedUpdate] {
+        for mode in [
+            SvrgMode::HostOnly,
+            SvrgMode::Accelerated,
+            SvrgMode::DelayedUpdate,
+        ] {
             let trace = run(mode, &ds, cfg(&ds), &tm);
             assert!(
                 trace.best_loss() < 0.5 * l0,
@@ -262,7 +279,10 @@ mod tests {
         // no better at equal iteration counts).
         let acc_best = acc.best_loss();
         let del_best = del.best_loss();
-        assert!(del_best >= acc_best * 0.85, "staleness shouldn't help: {del_best} vs {acc_best}");
+        assert!(
+            del_best >= acc_best * 0.85,
+            "staleness shouldn't help: {del_best} vs {acc_best}"
+        );
     }
 
     #[test]

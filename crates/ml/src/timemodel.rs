@@ -149,10 +149,16 @@ impl SvrgTimeModel {
             alphas,
             x,
             8,
-            LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+            LaunchOpts {
+                granularity_lines: None,
+                barrier_per_chunk: false,
+            },
         );
         sys.run_until_op(g4, 200_000_000);
-        assert!(sys.runtime.op_done(g4), "summarization kernel did not finish");
+        assert!(
+            sys.runtime.op_done(g4),
+            "summarization kernel did not finish"
+        );
         sys.now() - start + sys.runtime.host_comm_cycles
     }
 
@@ -179,7 +185,10 @@ impl SvrgTimeModel {
                 alphas.clone(),
                 x,
                 8,
-                LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+                LaunchOpts {
+                    granularity_lines: None,
+                    barrier_per_chunk: false,
+                },
             )
         });
         let with_nda = sys.report().core_bw_gbs * 1e9;

@@ -95,7 +95,11 @@ impl NdaRankController {
         }
         let bg = acc.bank as usize / self.banks_per_group;
         let bank = acc.bank as usize % self.banks_per_group;
-        let open = mem.channel(self.channel).rank(self.rank).bank(bg, bank).open_row();
+        let open = mem
+            .channel(self.channel)
+            .rank(self.rank)
+            .bank(bg, bank)
+            .open_row();
         let cmd = match open {
             Some(row) if row == acc.row => match acc.write {
                 false => Command::rd(self.rank, bg, bank, acc.row, acc.col),

@@ -139,7 +139,12 @@ impl NdaFsm {
             // High-watermark drains preempt the read stream.
             if self.wbuf.wants_drain(false) {
                 let w = self.wbuf.peek().expect("draining implies nonempty");
-                return Some(NdaAccess { write: true, bank: w.bank, row: w.row, col: w.col });
+                return Some(NdaAccess {
+                    write: true,
+                    bank: w.bank,
+                    row: w.row,
+                    col: w.col,
+                });
             }
             let program = self.program.as_mut().expect("set above");
             match program.peek() {
@@ -156,7 +161,12 @@ impl NdaFsm {
                     }
                     let id = program.instr().id;
                     self.wbuf
-                        .push(BufferedWrite { instr: id, bank: m.bank, row: m.row, col: m.col })
+                        .push(BufferedWrite {
+                            instr: id,
+                            bank: m.bank,
+                            row: m.row,
+                            col: m.col,
+                        })
                         .expect("checked not full");
                     *self.wr_outstanding.entry(id).or_insert(0) += 1;
                     program.advance();
@@ -167,7 +177,12 @@ impl NdaFsm {
                     continue;
                 }
                 Some(m) => {
-                    return Some(NdaAccess { write: false, bank: m.bank, row: m.row, col: m.col })
+                    return Some(NdaAccess {
+                        write: false,
+                        bank: m.bank,
+                        row: m.row,
+                        col: m.col,
+                    })
                 }
                 None => {
                     let done = self.program.take().expect("program running");
@@ -179,7 +194,12 @@ impl NdaFsm {
         // No program and nothing queued: force-drain leftovers.
         if self.wbuf.wants_drain(true) {
             let w = self.wbuf.peek().expect("drain implies nonempty");
-            return Some(NdaAccess { write: true, bank: w.bank, row: w.row, col: w.col });
+            return Some(NdaAccess {
+                write: true,
+                bank: w.bank,
+                row: w.row,
+                col: w.col,
+            });
         }
         None
     }
@@ -347,7 +367,11 @@ mod tests {
         assert_eq!(a, b);
         let fp1 = fsm.fingerprint();
         let _ = fsm.next_access();
-        assert_eq!(fp1, fsm.fingerprint(), "peeking must not change state further");
+        assert_eq!(
+            fp1,
+            fsm.fingerprint(),
+            "peeking must not change state further"
+        );
     }
 
     #[test]
@@ -388,7 +412,10 @@ mod tests {
         let mut fsm = NdaFsm::new(4);
         fsm.launch(copy_instr(128, 0)).unwrap();
         let a = fsm.next_access().unwrap();
-        fsm.commit(NdaAccess { col: a.col + 1, ..a });
+        fsm.commit(NdaAccess {
+            col: a.col + 1,
+            ..a
+        });
     }
 
     #[test]
@@ -398,8 +425,14 @@ mod tests {
         let mut fsm = NdaFsm::new(4);
         let x = OperandLayout::rotating(16, 0, 200, 128);
         let y = OperandLayout::rotating(16, 100, 200, 128);
-        fsm.launch(NdaInstr::elementwise(Opcode::Copy, 20_000, vec![(x, 0)], vec![(y, 0)], 3))
-            .unwrap();
+        fsm.launch(NdaInstr::elementwise(
+            Opcode::Copy,
+            20_000,
+            vec![(x, 0)],
+            vec![(y, 0)],
+            3,
+        ))
+        .unwrap();
         let mut saw_drain_mid_stream = false;
         let mut reads_before = 0u64;
         for _ in 0..10_000 {

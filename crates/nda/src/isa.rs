@@ -125,7 +125,10 @@ impl NdaInstr {
         writes: Vec<(Arc<OperandLayout>, u64)>,
         id: u64,
     ) -> Self {
-        assert!(!reads.is_empty() || !writes.is_empty(), "instruction needs operands");
+        assert!(
+            !reads.is_empty() || !writes.is_empty(),
+            "instruction needs operands"
+        );
         assert!(lines > 0, "zero-length instruction");
         let mk = |write: bool| {
             move |(layout, start_line): (Arc<OperandLayout>, u64)| {
@@ -136,7 +139,11 @@ impl NdaInstr {
                     lines,
                     layout.lines()
                 );
-                Stream { layout, start_line, write }
+                Stream {
+                    layout,
+                    start_line,
+                    write,
+                }
             }
         };
         let streams: Vec<Stream> = reads
@@ -144,7 +151,11 @@ impl NdaInstr {
             .map(mk(false))
             .chain(writes.into_iter().map(mk(true)))
             .collect();
-        Self { op, phases: vec![Phase { streams, lines }], id }
+        Self {
+            op,
+            phases: vec![Phase { streams, lines }],
+            id,
+        }
     }
 
     /// Build a GEMV instruction: read `x` fully, stream `a` fully, then
@@ -156,7 +167,11 @@ impl NdaInstr {
         id: u64,
     ) -> Self {
         let phase = |(layout, start_line, lines): (Arc<OperandLayout>, u64, u64), write| Phase {
-            streams: vec![Stream { layout, start_line, write }],
+            streams: vec![Stream {
+                layout,
+                start_line,
+                write,
+            }],
             lines,
         };
         Self {

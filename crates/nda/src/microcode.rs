@@ -40,7 +40,13 @@ pub struct Program {
 impl Program {
     /// Start expanding `instr`.
     pub fn new(instr: NdaInstr) -> Self {
-        Self { instr, phase: 0, batch_start: 0, stream: 0, line: 0 }
+        Self {
+            instr,
+            phase: 0,
+            batch_start: 0,
+            stream: 0,
+            line: 0,
+        }
     }
 
     /// The instruction being expanded.
@@ -68,7 +74,13 @@ impl Program {
         let k = s.start_line + self.batch_start + self.line;
         let (bank, row, col) = s.layout.locate(k);
         let last = self.is_last_position();
-        Some(MicroOp { write: s.write, bank, row, col, last })
+        Some(MicroOp {
+            write: s.write,
+            bank,
+            row,
+            col,
+            last,
+        })
     }
 
     fn is_last_position(&self) -> bool {
@@ -117,10 +129,7 @@ impl Program {
 
     /// A compact encoding of progress, for FSM fingerprints.
     pub fn position_key(&self) -> u64 {
-        (self.phase as u64) << 48
-            | self.batch_start << 16
-            | (self.stream as u64) << 8
-            | self.line
+        (self.phase as u64) << 48 | self.batch_start << 16 | (self.stream as u64) << 8 | self.line
     }
 }
 
@@ -178,7 +187,16 @@ mod tests {
         let i = NdaInstr::elementwise(Opcode::Nrm2, 1, vec![(x, 5)], vec![], 0);
         let ops = drain(Program::new(i));
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0], MicroOp { write: false, bank: 3, row: 9, col: 5, last: true });
+        assert_eq!(
+            ops[0],
+            MicroOp {
+                write: false,
+                bank: 3,
+                row: 9,
+                col: 5,
+                last: true
+            }
+        );
     }
 
     #[test]
@@ -198,7 +216,11 @@ mod tests {
     fn total_ops_matches_drained_count() {
         for lines in [1, 127, 128, 129, 1000] {
             let p = Program::new(copy_instr(lines));
-            assert_eq!(p.total_ops(), drain(p.clone()).len() as u64, "lines={lines}");
+            assert_eq!(
+                p.total_ops(),
+                drain(p.clone()).len() as u64,
+                "lines={lines}"
+            );
         }
     }
 

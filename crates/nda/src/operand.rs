@@ -36,7 +36,11 @@ impl OperandLayout {
     pub fn new(chunks: Vec<(u16, u32)>, lines_per_chunk: u32) -> Arc<Self> {
         assert!(!chunks.is_empty(), "operand needs at least one chunk");
         assert!(lines_per_chunk > 0);
-        Arc::new(Self { chunks, lines_per_chunk, interleave_group: 1 })
+        Arc::new(Self {
+            chunks,
+            lines_per_chunk,
+            interleave_group: 1,
+        })
     }
 
     /// Build a layout whose lines rotate round-robin over groups of
@@ -46,11 +50,7 @@ impl OperandLayout {
     ///
     /// Panics if `chunks` is empty, not a multiple of `group`, or
     /// `lines_per_chunk`/`group` is zero.
-    pub fn with_interleave(
-        chunks: Vec<(u16, u32)>,
-        lines_per_chunk: u32,
-        group: u32,
-    ) -> Arc<Self> {
+    pub fn with_interleave(chunks: Vec<(u16, u32)>, lines_per_chunk: u32, group: u32) -> Arc<Self> {
         assert!(!chunks.is_empty(), "operand needs at least one chunk");
         assert!(lines_per_chunk > 0 && group > 0);
         assert!(
@@ -58,7 +58,11 @@ impl OperandLayout {
             "chunk count {} must be a multiple of the interleave group {group}",
             chunks.len()
         );
-        Arc::new(Self { chunks, lines_per_chunk, interleave_group: group })
+        Arc::new(Self {
+            chunks,
+            lines_per_chunk,
+            interleave_group: group,
+        })
     }
 
     /// A synthetic layout for tests and microbenchmarks: `n_chunks` chunks
@@ -73,7 +77,12 @@ impl OperandLayout {
 
     /// A single-bank layout (bank-partitioned mode): chunks walk
     /// consecutive rows of `bank`.
-    pub fn single_bank(bank: u16, base_row: u32, n_chunks: usize, lines_per_chunk: u32) -> Arc<Self> {
+    pub fn single_bank(
+        bank: u16,
+        base_row: u32,
+        n_chunks: usize,
+        lines_per_chunk: u32,
+    ) -> Arc<Self> {
         let chunks = (0..n_chunks).map(|i| (bank, base_row + i as u32)).collect();
         Self::new(chunks, lines_per_chunk)
     }
@@ -163,7 +172,16 @@ mod tests {
     fn interleaved_layout_rotates_banks_per_line() {
         // 4 banks x 2 sweeps, group 4: lines rotate banks; columns stream
         // per bank at stride `group`.
-        let chunks = vec![(0, 10), (1, 11), (2, 12), (3, 13), (0, 20), (1, 21), (2, 22), (3, 23)];
+        let chunks = vec![
+            (0, 10),
+            (1, 11),
+            (2, 12),
+            (3, 13),
+            (0, 20),
+            (1, 21),
+            (2, 22),
+            (3, 23),
+        ];
         let l = OperandLayout::with_interleave(chunks, 128, 4);
         assert_eq!(l.locate(0), (0, 10, 0));
         assert_eq!(l.locate(1), (1, 11, 0));

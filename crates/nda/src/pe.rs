@@ -216,7 +216,12 @@ mod tests {
         assert_eq!(y, vec![5.0, 6.0]);
 
         let mut z = vec![0.0; 2];
-        execute(Opcode::Xmy, &[], &[&v(&[2.0, 3.0]), &v(&[4.0, 5.0])], Some(&mut z));
+        execute(
+            Opcode::Xmy,
+            &[],
+            &[&v(&[2.0, 3.0]), &v(&[4.0, 5.0])],
+            Some(&mut z),
+        );
         assert_eq!(z, vec![8.0, 15.0]);
 
         let mut x = v(&[1.0, -2.0]);
@@ -226,7 +231,12 @@ mod tests {
 
     #[test]
     fn reductions() {
-        let s = execute(Opcode::Dot, &[], &[&v(&[1.0, 2.0, 3.0]), &v(&[4.0, 5.0, 6.0])], None);
+        let s = execute(
+            Opcode::Dot,
+            &[],
+            &[&v(&[1.0, 2.0, 3.0]), &v(&[4.0, 5.0, 6.0])],
+            None,
+        );
         assert_eq!(s.reduction, Some(32.0));
         let s = execute(Opcode::Nrm2, &[], &[&v(&[3.0, 4.0])], None);
         assert_eq!(s.reduction, Some(5.0));

@@ -40,8 +40,18 @@ impl WriteBuffer {
     ///
     /// Panics unless `low < high <= capacity`.
     pub fn new(capacity: usize, high: usize, low: usize) -> Self {
-        assert!(low < high && high <= capacity, "watermarks must satisfy low < high <= cap");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, high, low, draining: false, drained: 0 }
+        assert!(
+            low < high && high <= capacity,
+            "watermarks must satisfy low < high <= cap"
+        );
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            high,
+            low,
+            draining: false,
+            drained: 0,
+        }
     }
 
     /// The paper's configuration: 128 entries, drain at 96 down to 16.
@@ -104,7 +114,10 @@ impl WriteBuffer {
     ///
     /// Panics when empty.
     pub fn pop(&mut self) -> BufferedWrite {
-        let w = self.entries.pop_front().expect("pop from empty write buffer");
+        let w = self
+            .entries
+            .pop_front()
+            .expect("pop from empty write buffer");
         self.drained += 1;
         if self.entries.len() <= self.low {
             self.draining = false;
@@ -124,7 +137,12 @@ mod tests {
     use super::*;
 
     fn w(col: u32) -> BufferedWrite {
-        BufferedWrite { instr: 0, bank: 0, row: 0, col }
+        BufferedWrite {
+            instr: 0,
+            bank: 0,
+            row: 0,
+            col,
+        }
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! policies. This is the scenario the paper's bank partitioning +
 //! throttling mechanisms target (Figs. 11-12).
 //!
+//! The study is one [`chopim::exp`] sweep: a host-alone baseline point
+//! plus one point per policy, all run in parallel by [`SweepRunner`].
+//!
 //! Run with:
 //! ```sh
 //! cargo run --release --example colocation
@@ -10,48 +13,37 @@
 
 use chopim::prelude::*;
 
-fn run_case(policy: Option<WriteIssuePolicy>, reserved: usize) -> SimReport {
-    let mut sys = ChopimSystem::new(ChopimConfig {
-        mix: Some(MixId::new(4).expect("mix4 exists")),
-        policy: policy.unwrap_or(WriteIssuePolicy::NextRankPredict),
-        reserved_banks: reserved,
-        ..ChopimConfig::default()
-    });
-    if let Some(_p) = policy {
-        // Write-intensive COPY stresses read/write turnarounds.
-        let n = 1 << 16;
-        let x = sys.runtime.vector(n, Sharing::Shared);
-        let y = sys.runtime.vector(n, Sharing::Shared);
-        sys.runtime.write_vector(x, &vec![1.0; n]);
-        sys.run_relaunching(300_000, |rt| {
-            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
-        });
-    } else {
-        sys.run(300_000);
-    }
-    sys.report()
-}
-
 fn main() {
-    println!("host mix4 colocated with a COPY-running NDA (300k DRAM cycles):\n");
-    let solo = run_case(None, 1);
-    println!(
-        "{:<28} host IPC {:>6.3}   NDA util {:>6.3}   turnarounds {:>7}",
-        "host alone", solo.host_ipc, solo.nda_bw_utilization, solo.dram.turnarounds
-    );
-    for policy in [
+    let policies = [
         WriteIssuePolicy::IssueIfIdle,
         WriteIssuePolicy::stochastic(1, 4),
         WriteIssuePolicy::stochastic(1, 16),
         WriteIssuePolicy::NextRankPredict,
-    ] {
-        let r = run_case(Some(policy), 1);
+    ];
+
+    let mut base = ScenarioSpec::with_window(300_000);
+    base.cfg.mix = Some(MixId::new(4).expect("mix4 exists"));
+
+    // One axis: the host-alone baseline, then the write-intensive COPY
+    // (stressing read/write turnarounds) under each policy.
+    let mut cases: Vec<(String, Option<WriteIssuePolicy>)> = vec![("host alone".into(), None)];
+    cases.extend(policies.map(|p| (format!("+ COPY, {}", p.label()), Some(p))));
+    let specs = SweepBuilder::new(base)
+        .axis("scenario", cases, |s, policy| match policy {
+            None => s.workload = Workload::HostOnly,
+            Some(p) => {
+                s.cfg.policy = *p;
+                s.workload = Workload::elementwise(Opcode::Copy, 1 << 16);
+            }
+        })
+        .build();
+    let result = SweepRunner::parallel().run_reports(&specs);
+
+    println!("host mix4 colocated with a COPY-running NDA (300k DRAM cycles):\n");
+    for p in result.iter() {
         println!(
             "{:<28} host IPC {:>6.3}   NDA util {:>6.3}   turnarounds {:>7}",
-            format!("+ COPY, {}", policy.label()),
-            r.host_ipc,
-            r.nda_bw_utilization,
-            r.dram.turnarounds
+            p.spec.label, p.result.host_ipc, p.result.nda_bw_utilization, p.result.dram.turnarounds
         );
     }
     println!(

@@ -16,9 +16,12 @@ fn main() {
     let hashed = presets::skylake_like(&cfg);
     let part = PartitionedMapping::new(&cfg, presets::skylake_like(&cfg), 1);
 
-    println!("Table II machine: {} B capacity, {} B system rows, {} colors\n",
-        cfg.capacity_bytes(), cfg.system_row_bytes(),
-        1u32 << hashed.rank_channel_row_mask().count_ones());
+    println!(
+        "Table II machine: {} B capacity, {} B system rows, {} colors\n",
+        cfg.capacity_bytes(),
+        cfg.system_row_bytes(),
+        1u32 << hashed.rank_channel_row_mask().count_ones()
+    );
 
     println!("consecutive cache lines under the hashed mapping (Fig. 4a):");
     println!("{:>10}  ch rk bg bk {:>6} col", "PA", "row");
@@ -26,19 +29,41 @@ fn main() {
         let d = hashed.map_pa(line * 64);
         println!(
             "{:>#10x}  {:>2} {:>2} {:>2} {:>2} {:>6} {:>3}",
-            line * 64, d.channel, d.rank, d.bankgroup, d.bank, d.row, d.col
+            line * 64,
+            d.channel,
+            d.rank,
+            d.bankgroup,
+            d.bank,
+            d.row,
+            d.col
         );
     }
 
     println!("\nbank partitioning (Fig. 4b): one reserved bank per rank");
-    println!("  host space: 0 .. {:#x} ({} GiB)", part.shared_base(), part.host_capacity_bytes() >> 30);
-    println!("  shared space: {:#x} .. (top bank id >= {})", part.shared_base(), part.first_reserved());
+    println!(
+        "  host space: 0 .. {:#x} ({} GiB)",
+        part.shared_base(),
+        part.host_capacity_bytes() >> 30
+    );
+    println!(
+        "  shared space: {:#x} .. (top bank id >= {})",
+        part.shared_base(),
+        part.first_reserved()
+    );
     let host_pa = 0x1234_5670u64 & !63;
     let shared_pa = part.shared_base() + 0x20_0040;
     let dh = part.map_pa(host_pa);
     let ds = part.map_pa(shared_pa & !63);
-    println!("  host PA   {host_pa:#x} -> {dh}  (bank {} < {})", dh.flat_bank(cfg.banks_per_group), part.first_reserved());
-    println!("  shared PA {shared_pa:#x} -> {ds}  (bank {} >= {})", ds.flat_bank(cfg.banks_per_group), part.first_reserved());
+    println!(
+        "  host PA   {host_pa:#x} -> {dh}  (bank {} < {})",
+        dh.flat_bank(cfg.banks_per_group),
+        part.first_reserved()
+    );
+    println!(
+        "  shared PA {shared_pa:#x} -> {ds}  (bank {} >= {})",
+        ds.flat_bank(cfg.banks_per_group),
+        part.first_reserved()
+    );
 
     // Rank alignment: two same-colored system rows interleave (ch, rk)
     // identically — the paper's operand-locality requirement.

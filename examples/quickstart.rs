@@ -25,7 +25,8 @@ fn main() {
     let n = 1 << 16;
     let x = sys.runtime.vector(n, Sharing::Shared);
     let y = sys.runtime.vector(n, Sharing::Shared);
-    sys.runtime.write_vector(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>());
+    sys.runtime
+        .write_vector(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>());
 
     // One coarse-grain COPY instruction per rank (Table I ISA). The launch
     // itself travels over the memory channel as control-register writes.
@@ -51,4 +52,35 @@ fn main() {
          DDR4-attached NDAs possible)",
         sys.fsm_in_sync()
     );
+
+    // Every paper figure is a *sweep* over points like the one above. The
+    // experiment subsystem makes that declarative: describe the point
+    // once, name the axes, and run the grid across cores — results come
+    // back in grid order, bit-identical to a serial run.
+    let mut base = ScenarioSpec::with_window(50_000);
+    base.cfg.mix = Some(MixId::new(1).expect("mix1 exists"));
+    base.workload = Workload::elementwise(Opcode::Copy, 1 << 16);
+    let specs = SweepBuilder::new(base)
+        .axis(
+            "banks",
+            [("shared", 0usize), ("partitioned", 1)],
+            |s, &r| s.cfg.reserved_banks = r,
+        )
+        .axis(
+            "policy",
+            [
+                ("issue-if-idle", WriteIssuePolicy::IssueIfIdle),
+                ("next-rank", WriteIssuePolicy::NextRankPredict),
+            ],
+            |s, &p| s.cfg.policy = p,
+        )
+        .build();
+    let sweep = SweepRunner::parallel().run_reports(&specs);
+    println!("\nmini-sweep (COPY vs mix1, 50k cycles): banks x policy");
+    for p in sweep.iter() {
+        println!(
+            "  {:<26} host IPC {:>6.3}   NDA util {:>6.3}",
+            p.spec.label, p.result.host_ipc, p.result.nda_bw_utilization
+        );
+    }
 }

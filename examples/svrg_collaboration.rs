@@ -3,6 +3,10 @@
 //! in all three execution modes (host-only / accelerated / delayed
 //! update).
 //!
+//! The three modes form a one-axis [`chopim::exp`] sweep with a custom
+//! executor (the optimizer, not a raw simulation window), run in parallel
+//! by [`SweepRunner`].
+//!
 //! Run with:
 //! ```sh
 //! cargo run --release --example svrg_collaboration
@@ -10,6 +14,7 @@
 
 use chopim::ml::svrg::{self, SvrgMode};
 use chopim::ml::{Dataset, SvrgConfig, SvrgTimeModel};
+use chopim::prelude::*;
 
 fn main() {
     // cifar10 stand-in (see DESIGN.md substitutions), scaled for a demo.
@@ -35,10 +40,27 @@ fn main() {
         max_outer: 40,
         seed: 42,
     };
+
+    let modes = [
+        ("HostOnly", SvrgMode::HostOnly),
+        ("Accelerated", SvrgMode::Accelerated),
+        ("DelayedUpdate", SvrgMode::DelayedUpdate),
+    ];
+    let specs = SweepBuilder::new(ScenarioSpec::with_window(0))
+        .axis("mode", modes, |_, _| {})
+        .build();
+    let result = SweepRunner::parallel().run(&specs, |spec| {
+        let mode = *spec.value::<SvrgMode>("mode").expect("mode axis");
+        svrg::run(mode, &ds, cfg, &tm)
+    });
+
     println!("\nreference optimum loss: {opt:.5}\n");
-    println!("{:<14} {:>12} {:>14} {:>16}", "mode", "final loss", "wall-clock", "time to 2e-2 gap");
-    for mode in [SvrgMode::HostOnly, SvrgMode::Accelerated, SvrgMode::DelayedUpdate] {
-        let trace = svrg::run(mode, &ds, cfg, &tm);
+    println!(
+        "{:<14} {:>12} {:>14} {:>16}",
+        "mode", "final loss", "wall-clock", "time to 2e-2 gap"
+    );
+    for p in result.iter() {
+        let trace = &p.result;
         let (t_end, l_end) = *trace.points.last().expect("trace has points");
         let conv = trace
             .time_to_converge(opt, 2e-2)
@@ -46,7 +68,7 @@ fn main() {
             .unwrap_or_else(|| "not reached".into());
         println!(
             "{:<14} {:>12.5} {:>11.2} ms {:>16}",
-            mode.label(),
+            p.spec.label,
             l_end,
             t_end * 1e3,
             conv

@@ -1,0 +1,255 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The core generator is xoshiro256++ seeded through splitmix64, so every
+//! stream is fully determined by its seed and identical on every platform.
+//! See `shims/README.md` for scope and caveats.
+
+/// Uniform sampling of a value from a range, used by [`Rng::gen_range`].
+///
+/// Mirrors the shape of `rand::distributions::uniform::SampleRange` just
+/// enough for `rng.gen_range(lo..hi)` call sites to compile unchanged.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Minimal core-RNG trait: everything else is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// The user-facing extension trait (`use rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, as in real `rand`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // Compare in the 53-bit unit-interval domain to avoid rounding bias
+        // at p = 0 and p = 1.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio: zero denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio: {numerator}/{denominator} > 1"
+        );
+        // Unbiased multiply-shift trick (Lemire).
+        let x = self.next_u32() as u64;
+        ((x * denominator as u64) >> 32) < numerator as u64 || (numerator == denominator)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding trait (`use rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                // Debiased modulo: rejection-sample the top remainder zone.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return ((self.start as $wide).wrapping_add((v % span) as $wide)) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                // Inclusive span computed in the wide domain so ranges
+                // ending at T::MAX don't overflow (count = span + 1 only
+                // overflows for the full-u64 domain, special-cased).
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let count = span + 1;
+                let zone = u64::MAX - (u64::MAX - count + 1) % count;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return ((start as $wide).wrapping_add((v % count) as $wide)) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty, $bits:expr);* $(;)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                    / (1u64 << $bits) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, 24; f64, 53);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`. Not the same stream as the real `StdRng` (ChaCha12) —
+    /// reproducible only within this workspace.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical xoshiro seeding method.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s.iter().all(|&w| w == 0) {
+                return Self::from_u64(0);
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_u64(state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let first: Vec<u64> = (0..8).map(|_| a.gen_range(0..1 << 40)).collect();
+        let other: Vec<u64> = (0..8).map(|_| c.gen_range(0..1 << 40)).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = rng.gen_range(1e-7..1.0);
+            assert!((1e-7..1.0).contains(&f));
+            let d: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_at_type_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u8..=u8::MAX);
+            assert!(v >= 5);
+            let v = rng.gen_range(u8::MIN..=u8::MAX);
+            let _ = v;
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = v;
+            let v = rng.gen_range(u64::MAX - 1..=u64::MAX);
+            assert!(v >= u64::MAX - 1);
+            let v = rng.gen_range(-3i8..=i8::MAX);
+            assert!(v >= -3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| rng.gen_ratio(1, 1)));
+        assert!((0..100).all(|_| !rng.gen_ratio(0, 1)));
+    }
+
+    #[test]
+    fn gen_bool_rough_frequency() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 3)).count();
+        assert!((3000..3700).contains(&hits), "got {hits}");
+    }
+}

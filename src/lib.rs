@@ -13,13 +13,17 @@
 //! * [`core`] — the Chopim system: FR-FCFS host controller, NDA issue
 //!   policies, replicated FSM coordination, runtime/API, energy model,
 //! * [`ml`] — SVRG logistic regression (host-only / accelerated /
-//!   delayed-update), CG and streamcluster drivers.
+//!   delayed-update), CG and streamcluster drivers,
+//! * [`exp`] — the experiment subsystem: declarative [`exp::ScenarioSpec`]s,
+//!   cartesian sweep grids, and the deterministic parallel
+//!   [`exp::SweepRunner`] every figure bench runs on.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
 
 pub use chopim_core as core;
 pub use chopim_dram as dram;
+pub use chopim_exp as exp;
 pub use chopim_host as host;
 pub use chopim_mapping as mapping;
 pub use chopim_ml as ml;
@@ -29,5 +33,6 @@ pub use chopim_nda as nda;
 pub mod prelude {
     pub use chopim_core::prelude::*;
     pub use chopim_dram::{DramConfig, TimingParams};
+    pub use chopim_exp::prelude::*;
     pub use chopim_host::MixId;
 }

@@ -31,7 +31,10 @@ fn simulated_average_gradient_matches_analytic_model() {
     let weights: Vec<f32> = (0..d).map(|j| ((j % 7) as f32 - 3.0) * 0.01).collect();
     sys.runtime.write_vector(w, &weights);
     // Labels in {-1, +1} drive the correction pipeline.
-    let labels: Vec<f32> = ds.y.iter().map(|&c| if c == 0 { -1.0 } else { 1.0 }).collect();
+    let labels: Vec<f32> =
+        ds.y.iter()
+            .map(|&c| if c == 0 { -1.0 } else { 1.0 })
+            .collect();
     sys.runtime.write_vector(v, &labels);
 
     let budget = 100_000_000;
@@ -39,7 +42,13 @@ fn simulated_average_gradient_matches_analytic_model() {
     let g = sys.runtime.launch_gemv(y, x, w, LaunchOpts::default());
     sys.run_until_op(g, budget);
     // v = v ⊙ y ; v = sigmoid(v) ; v = v/n  (Fig. 8's pipeline)
-    let g = sys.runtime.launch_elementwise(Opcode::Xmy, vec![], vec![v, y], Some(v), LaunchOpts::default());
+    let g = sys.runtime.launch_elementwise(
+        Opcode::Xmy,
+        vec![],
+        vec![v, y],
+        Some(v),
+        LaunchOpts::default(),
+    );
     sys.run_until_op(g, budget);
     sys.runtime.host_sigmoid(v);
     let g = sys.runtime.launch_elementwise(
@@ -57,7 +66,10 @@ fn simulated_average_gradient_matches_analytic_model() {
         alphas.clone(),
         x,
         4,
-        LaunchOpts { granularity_lines: None, barrier_per_chunk: false },
+        LaunchOpts {
+            granularity_lines: None,
+            barrier_per_chunk: false,
+        },
     );
     sys.run_until_op(g, budget);
     assert!(sys.runtime.op_done(g), "macro op must finish");
@@ -96,10 +108,21 @@ fn simulation_is_deterministic_per_seed() {
         let y = sys.runtime.vector(1 << 14, Sharing::Shared);
         sys.runtime.write_vector(x, &vec![1.5; 1 << 14]);
         sys.run_relaunching(80_000, |rt| {
-            rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+            rt.launch_elementwise(
+                Opcode::Copy,
+                vec![],
+                vec![x],
+                Some(y),
+                LaunchOpts::default(),
+            )
         });
         let r = sys.report();
-        (r.dram.reads_host, r.dram.reads_nda, r.dram.writes_nda, r.host_ipc.to_bits())
+        (
+            r.dram.reads_host,
+            r.dram.reads_nda,
+            r.dram.writes_nda,
+            r.host_ipc.to_bits(),
+        )
     };
     assert_eq!(run(7), run(7), "same seed must reproduce exactly");
     assert_ne!(run(7), run(8), "different seeds must differ");
@@ -127,7 +150,10 @@ fn nda_bandwidth_scales_with_ranks() {
                 vec![],
                 vec![x, y],
                 None,
-                LaunchOpts { granularity_lines: Some(2048), barrier_per_chunk: false },
+                LaunchOpts {
+                    granularity_lines: Some(2048),
+                    barrier_per_chunk: false,
+                },
             )
         });
         bw.push(sys.report().nda_bw_gbs);
@@ -150,7 +176,13 @@ fn concurrent_power_stays_below_host_only_max() {
     let y = sys.runtime.vector(1 << 16, Sharing::Shared);
     sys.runtime.write_vector(x, &vec![1.0; 1 << 16]);
     sys.run_relaunching(200_000, |rt| {
-        rt.launch_elementwise(Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default())
+        rt.launch_elementwise(
+            Opcode::Copy,
+            vec![],
+            vec![x],
+            Some(y),
+            LaunchOpts::default(),
+        )
     });
     let r = sys.report();
     // Theoretical host-only max: both channels saturated with host-cost
@@ -163,7 +195,10 @@ fn concurrent_power_stays_below_host_only_max() {
         r.energy.avg_power_w(),
         host_max
     );
-    assert!(r.energy.avg_power_w() > 1.0, "sanity: machine is actually busy");
+    assert!(
+        r.energy.avg_power_w() > 1.0,
+        "sanity: machine is actually busy"
+    );
 }
 
 /// The ML stack on top of the simulator: logistic regression trained with
