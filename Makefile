@@ -1,0 +1,27 @@
+# Convenience entry points. Everything here is plain cargo underneath so
+# local runs and CI are identical.
+
+.PHONY: all test perf perf-check lockstep lint
+
+all: test
+
+test:
+	cargo build --release && cargo test -q
+
+# Simulation-throughput harness: runs the scenario matrix with the naive
+# and event-horizon loops, writes BENCH_chopim.json.
+# Window: CHOPIM_BENCH_CYCLES (default 60000).
+perf:
+	cargo run --release -p chopim-perf
+
+# Same, plus the CI regression gate against the checked-in baseline.
+# The gate requires the baseline's window, so pin it (exactly what CI runs).
+perf-check:
+	CHOPIM_BENCH_CYCLES=200000 cargo run --release -p chopim-perf -- --check BENCH_baseline.json
+
+# Fast-forward vs naive-loop equivalence (bit-identical SimReports).
+lockstep:
+	cargo test --release -p chopim-exp --test ff_lockstep
+
+lint:
+	cargo clippy --all-targets -- -D warnings && cargo fmt --check

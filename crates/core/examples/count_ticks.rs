@@ -1,0 +1,25 @@
+//! Diagnostic: executed vs skipped cycles per scenario shape.
+use chopim_core::prelude::*;
+
+fn main() {
+    for (name, gran) in [
+        ("axpy_whole", None),
+        ("axpy_g128", Some(128)),
+        ("axpy_g32", Some(32)),
+        ("axpy_g16", Some(16)),
+    ] {
+        let cfg = ChopimConfig::default();
+        let mut sys = ChopimSystem::new(cfg);
+        let x = sys.runtime.vector(1 << 16, Sharing::Shared);
+        let y = sys.runtime.vector(1 << 16, Sharing::Shared);
+        let opts = LaunchOpts {
+            granularity_lines: gran,
+            barrier_per_chunk: true,
+        };
+        sys.run_relaunching(60_000, |rt| {
+            rt.launch_elementwise(Opcode::Axpy, vec![0.5], vec![x], Some(y), opts)
+        });
+        let (t, s) = sys.tick_stats();
+        println!("{name}: executed {t} skipped {s}");
+    }
+}

@@ -55,6 +55,24 @@ impl WriteIssuePolicy {
         }
     }
 
+    /// The throttling decision when it is a pure function of the
+    /// predictor input, or `None` for policies that flip a coin per
+    /// attempt. The event-horizon fast-forward uses this: deterministic
+    /// decisions stay fixed until the transaction queues change (an
+    /// event), so throttled cycles can be skipped in bulk, while
+    /// stochastic policies force per-cycle evaluation.
+    pub fn deterministic_decision(
+        &self,
+        oldest_read_rank: Option<usize>,
+        rank: usize,
+    ) -> Option<bool> {
+        match *self {
+            WriteIssuePolicy::IssueIfIdle => Some(true),
+            WriteIssuePolicy::Stochastic { .. } => None,
+            WriteIssuePolicy::NextRankPredict => Some(oldest_read_rank != Some(rank)),
+        }
+    }
+
     /// Short display name as used in the paper's figure legends.
     pub fn label(&self) -> String {
         match *self {

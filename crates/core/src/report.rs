@@ -38,6 +38,10 @@ pub struct SimReport {
     pub energy: EnergyReport,
     /// NDA instructions completed.
     pub nda_instrs_completed: u64,
+    /// Cycles NDA writes were held back by the issue policy, summed over
+    /// rank controllers. Included here so the fast-forward lockstep tests
+    /// verify the bulk stall accounting of skipped throttled windows.
+    pub nda_write_throttle_stalls: u64,
 }
 
 impl SimReport {

@@ -138,6 +138,11 @@ struct OpState {
 pub struct Runtime {
     arrays: Vec<ArrayData>,
     ops: Vec<OpState>,
+    /// Index of the first op that is not yet done. Ops complete in launch
+    /// order (strict op-order release), so everything below this watermark
+    /// is finished; launch gating and quiescence checks start here instead
+    /// of rescanning the ever-growing op list every cycle.
+    first_live: usize,
     instr_map: HashMap<u64, (OpId, usize)>,
     next_instr: u64,
     /// Number of NDA ranks (one NDA per rank).
@@ -178,6 +183,7 @@ impl Runtime {
         Self {
             arrays: Vec::new(),
             ops: Vec::new(),
+            first_live: 0,
             instr_map: HashMap::new(),
             next_instr: 0,
             n_ndas: n,
@@ -686,9 +692,8 @@ impl Runtime {
         max: usize,
     ) -> Vec<PendingLaunch> {
         let mut out = Vec::new();
-        let done_flags: Vec<bool> = self.ops.iter().map(|o| o.done).collect();
-        for op in self.ops.iter_mut() {
-            if op.done {
+        for i in self.first_live..self.ops.len() {
+            if self.ops[i].done {
                 continue;
             }
             // NDA operations are blocking by default (paper §V): an op's
@@ -696,15 +701,16 @@ impl Runtime {
             // (instruction *issue* is FIFO per rank, but completion is
             // not — buffered writes drain lazily — so overlapping ops
             // would break read-after-write across launches).
-            if op.pending.is_empty() {
+            if self.ops[i].pending.is_empty() {
                 break; // launched but still executing: hold later ops
             }
-            if let Some(dep) = op.depends_on {
-                if !done_flags[dep.0] {
+            if let Some(dep) = self.ops[i].depends_on {
+                if !self.ops[dep.0].done {
                     break; // realignment copy still in flight
                 }
             }
             while out.len() < max {
+                let op = &mut self.ops[i];
                 let Some(head) = op.pending.front() else {
                     break;
                 };
@@ -719,6 +725,34 @@ impl Runtime {
             break; // strict op order: never release from later ops
         }
         out
+    }
+
+    /// True when [`next_launches`](Self::next_launches) would release at
+    /// least one launch — the same gating logic, evaluated without
+    /// mutating anything. The event-horizon fast-forward consults this:
+    /// all of its inputs (op completion flags, chunk barriers, queue
+    /// space) only change inside executed ticks, so a `false` answer
+    /// stays `false` across skipped cycles.
+    pub fn launch_ready(&self, space: impl Fn(usize) -> usize) -> bool {
+        for i in self.first_live..self.ops.len() {
+            let op = &self.ops[i];
+            if op.done {
+                continue;
+            }
+            let Some(head) = op.pending.front() else {
+                return false;
+            };
+            if let Some(dep) = op.depends_on {
+                if !self.ops[dep.0].done {
+                    return false;
+                }
+            }
+            if op.barrier && head.chunk > op.released_chunks {
+                return false;
+            }
+            return space(head.nda_idx) > 0;
+        }
+        false
     }
 
     /// Record the completion of NDA instruction `id`, finalizing its op
@@ -742,6 +776,9 @@ impl Runtime {
         if finished {
             self.finalize(op_id);
             self.ops[op_id.0].finished_at = Some(now);
+            while self.first_live < self.ops.len() && self.ops[self.first_live].done {
+                self.first_live += 1;
+            }
             Some(op_id)
         } else {
             None
@@ -913,7 +950,7 @@ impl Runtime {
 
     /// All ops completed and nothing pending.
     pub fn quiescent(&self) -> bool {
-        self.ops.iter().all(|o| o.done)
+        self.ops[self.first_live..].iter().all(|o| o.done)
     }
 }
 

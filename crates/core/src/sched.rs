@@ -85,6 +85,12 @@ pub struct HostMc {
     banks_per_group: usize,
     scheduler: SchedulerKind,
     page_policy: PagePolicy,
+    /// Cached wake-up from [`next_event_cycle`](Self::next_event_cycle):
+    /// no command can issue before this cycle. Invalidated whenever the
+    /// inputs change — a transaction arrives, any command issues, a
+    /// refresh timer fires, or (by the caller) an NDA commands this
+    /// channel.
+    wake_hint: Option<Cycle>,
     /// Column commands issued.
     pub cols_issued: u64,
     /// ACTs issued on behalf of transactions (row misses).
@@ -122,6 +128,7 @@ impl HostMc {
             banks_per_group,
             scheduler: SchedulerKind::FrFcfs,
             page_policy: PagePolicy::Open,
+            wake_hint: None,
             cols_issued: 0,
             row_misses: 0,
             read_latency_sum: 0,
@@ -152,6 +159,42 @@ impl HostMc {
     /// latency sensitive); core writebacks use the write queue. Returns
     /// `false` when the target queue is full.
     pub fn try_push(&mut self, tx: HostTransaction) -> bool {
+        if !self.push_inner(tx) {
+            return false;
+        }
+        self.wake_hint = None;
+        true
+    }
+
+    /// [`try_push`](Self::try_push), but instead of dropping the cached
+    /// wake-up it lowers it to the new transaction's own ready time — the
+    /// only way one arrival can make the controller actionable earlier.
+    /// (Deferred drain-flag latching stays exact: the flag can only
+    /// matter on a cycle that issues, and the hint proves none can.)
+    pub fn try_push_hinted(&mut self, tx: HostTransaction, mem: &DramSystem, now: Cycle) -> bool {
+        if !self.push_inner(tx) {
+            return false;
+        }
+        if let Some(h) = self.wake_hint {
+            if h > now {
+                let ch = mem.channel(self.channel);
+                let cmd = ch.plan_access(
+                    tx.addr.rank,
+                    tx.addr.bankgroup,
+                    tx.addr.bank,
+                    tx.addr.row,
+                    tx.addr.col,
+                    tx.is_write,
+                );
+                let ready = ch.ready_at(&cmd, Issuer::Host).unwrap_or(now).max(now);
+                self.wake_hint = Some(h.min(ready));
+            }
+        }
+        true
+    }
+
+    /// The shared admission rule: queue selection + capacity + enqueue.
+    fn push_inner(&mut self, tx: HostTransaction) -> bool {
         let use_write_q = matches!(tx.meta, TxMeta::CoreWrite);
         let (q, cap) = if use_write_q {
             (&mut self.write_q, self.write_cap)
@@ -163,6 +206,20 @@ impl HostMc {
         }
         q.push_back(tx);
         true
+    }
+
+    /// Drop the cached wake-up because an NDA commanded this channel (its
+    /// rank timing registers or bank state changed under us).
+    pub fn invalidate_wake_hint(&mut self) {
+        self.wake_hint = None;
+    }
+
+    /// The cached wake-up, if any. While `now < wake_hint` a whole
+    /// [`tick`](Self::tick) is provably a no-op (nothing can issue, no
+    /// refresh timer fires, no latched flag transitions — all of those
+    /// invalidate the hint), so the caller may skip it.
+    pub fn wake_hint(&self) -> Option<Cycle> {
+        self.wake_hint
     }
 
     /// Occupancy of the read queue.
@@ -202,8 +259,13 @@ impl HostMc {
     pub fn explain(&self, mem: &DramSystem, now: Cycle) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "drain={} refpend={:?} refdue={:?} now={now}",
+            self.drain, self.refresh_pending, self.refresh_due
+        );
         for (name, q) in [("R", &self.read_q), ("W", &self.write_q)] {
-            for tx in q.iter().take(8) {
+            for tx in q.iter() {
                 let (bg, bk) = (tx.addr.bankgroup, tx.addr.bank);
                 let bank = mem.channel(self.channel).rank(tx.addr.rank).bank(bg, bk);
                 let cmd = if tx.is_write {
@@ -213,23 +275,120 @@ impl HostMc {
                 };
                 let _ = writeln!(
                     out,
-                    "{name} {} open={:?} ready={:?} refpend={} now={now}",
+                    "{name} {} arrival={} open={:?} ready={:?}",
                     cmd,
+                    tx.arrival,
                     bank.open_row(),
                     mem.channel(self.channel).ready_at(&cmd, Issuer::Host),
-                    self.refresh_pending[tx.addr.rank],
                 );
             }
         }
         out
     }
 
+    /// Conservative earliest cycle at or after `now` at which this
+    /// controller could issue any command, assuming no new transactions
+    /// arrive and no other agent touches the memory system first (either
+    /// would be an event that re-computes horizons). Used by the
+    /// event-horizon fast-forward; a too-early answer only costs a wasted
+    /// wake-up, never correctness.
+    pub fn next_event_cycle(&mut self, mem: &DramSystem, now: Cycle) -> Cycle {
+        // The write-drain hysteresis flag latches once per executed tick;
+        // if the queue length already crossed a watermark, the flag flips
+        // on the very next tick and that transition must not be skipped.
+        if (self.drain && self.write_q.len() <= self.drain_lo)
+            || (!self.drain && self.write_q.len() >= self.drain_hi)
+        {
+            return now;
+        }
+        if let Some(h) = self.wake_hint {
+            if h > now {
+                return h;
+            }
+        }
+        let ch = mem.channel(self.channel);
+        let mut h = Cycle::MAX;
+        // Refresh: an armed timer fires at its due cycle; a pending
+        // refresh issues REF (or precharges toward it) when timing allows.
+        if mem.config().timing.refresh_enabled() {
+            for rank in 0..self.refresh_due.len() {
+                if self.refresh_pending[rank] {
+                    let cmd = if ch.rank(rank).all_banks_closed() {
+                        Command::ref_ab(rank)
+                    } else {
+                        Command::pre_all(rank)
+                    };
+                    if let Some(r) = ch.ready_at(&cmd, Issuer::Host) {
+                        h = h.min(r);
+                    }
+                } else {
+                    h = h.min(self.refresh_due[rank]);
+                }
+            }
+        }
+        // Closed-page policy: an open row with no queued hit is eagerly
+        // precharged; any open bank is a conservative wake-up candidate.
+        if self.page_policy == PagePolicy::Closed {
+            for rank in 0..mem.config().ranks_per_channel {
+                for (flat, bank) in ch.rank(rank).banks().iter().enumerate() {
+                    if bank.open_row().is_some() {
+                        let cmd = Command::pre(
+                            rank,
+                            flat / self.banks_per_group,
+                            flat % self.banks_per_group,
+                        );
+                        if let Some(r) = ch.ready_at(&cmd, Issuer::Host) {
+                            h = h.min(r);
+                        }
+                    }
+                }
+            }
+        }
+        // Queued transactions: earliest cycle the next command of any
+        // transaction satisfies timing (ranks preparing a refresh are
+        // skipped by the scheduler until the refresh issues, which is an
+        // event of its own).
+        for tx in self.read_q.iter().chain(self.write_q.iter()) {
+            if self.refresh_pending[tx.addr.rank] {
+                continue;
+            }
+            let cmd = ch.plan_access(
+                tx.addr.rank,
+                tx.addr.bankgroup,
+                tx.addr.bank,
+                tx.addr.row,
+                tx.addr.col,
+                tx.is_write,
+            );
+            if let Some(r) = ch.ready_at(&cmd, Issuer::Host) {
+                h = h.min(r);
+            }
+            if h <= now {
+                return now;
+            }
+        }
+        let h = h.max(now);
+        self.wake_hint = Some(h);
+        h
+    }
+
     /// One scheduler tick: issue at most one command on the channel.
     pub fn tick(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
+        let issued = self.tick_inner(mem, now);
+        if issued.is_some() {
+            // Any issued command changes timing/bank state.
+            self.wake_hint = None;
+        }
+        issued
+    }
+
+    fn tick_inner(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
         // 1. Refresh management.
         for rank in 0..self.refresh_due.len() {
-            if now >= self.refresh_due[rank] {
+            if now >= self.refresh_due[rank] && !self.refresh_pending[rank] {
                 self.refresh_pending[rank] = true;
+                // Pending refresh changes what the scheduler may do.
+                self.wake_hint = None;
             }
         }
         for rank in 0..self.refresh_pending.len() {
@@ -240,9 +399,7 @@ impl HostMc {
             if mem.channel(self.channel).rank(rank).all_banks_closed() {
                 let cmd = Command::ref_ab(rank);
                 if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data = mem
-                        .issue(self.channel, &cmd, Issuer::Host, now)
-                        .expect("ref");
+                    let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
                     self.refresh_pending[rank] = false;
                     self.refresh_due[rank] += refi;
                     return Some(Issued {
@@ -254,9 +411,7 @@ impl HostMc {
             } else {
                 let cmd = Command::pre_all(rank);
                 if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data = mem
-                        .issue(self.channel, &cmd, Issuer::Host, now)
-                        .expect("prea");
+                    let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
                     return Some(Issued {
                         cmd,
                         data,
@@ -320,9 +475,7 @@ impl HostMc {
                     }
                     let cmd = Command::pre(rank, bg, bk);
                     if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                        let data = mem
-                            .issue(self.channel, &cmd, Issuer::Host, now)
-                            .expect("pre");
+                        let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
                         return Some(Issued {
                             cmd,
                             data,
@@ -378,9 +531,7 @@ impl HostMc {
             } else {
                 Command::rd(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
             };
-            let data = mem
-                .issue(self.channel, &cmd, Issuer::Host, now)
-                .expect("checked");
+            let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
             self.cols_issued += 1;
             if !tx.is_write {
                 self.reads_completed += 1;
@@ -430,9 +581,7 @@ impl HostMc {
                 Some(_) => continue, // row already open; col blocked on timing
             };
             if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                let data = mem
-                    .issue(self.channel, &cmd, Issuer::Host, now)
-                    .expect("checked");
+                let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
                 if cmd.kind == CommandKind::Act {
                     self.row_misses += 1;
                 }

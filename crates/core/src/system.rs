@@ -81,6 +81,12 @@ pub struct ChopimConfig {
     /// FSMs or host-side signaling are needed (paper §III intro, §VIII:
     /// packetized DRAM suffers 2-4x idle latency). `0` = traditional DDR.
     pub packetized_latency: u32,
+    /// Event-horizon fast-forwarding: when every component is provably
+    /// idle, leap the clock to the earliest cycle anything can happen
+    /// instead of ticking through the gap. Produces bit-identical
+    /// [`SimReport`]s to the naive cycle-by-cycle loop (enforced by the
+    /// `ff_lockstep` equivalence tests); disable to run the naive loop.
+    pub fast_forward: bool,
 }
 
 impl Default for ChopimConfig {
@@ -101,6 +107,7 @@ impl Default for ChopimConfig {
             scheduler: SchedulerKind::default(),
             page_policy: PagePolicy::default(),
             packetized_latency: 0,
+            fast_forward: true,
         }
     }
 }
@@ -122,6 +129,11 @@ pub struct ChopimSystem {
     core_regions: Vec<Region>,
     mcs: Vec<HostMc>,
     ndas: Vec<NdaRankController>,
+    /// Set when a launch was delivered to the NDA this cycle, forcing a
+    /// full controller evaluation even if it looked idle or blocked.
+    nda_poke: Vec<bool>,
+    /// `channel * ranks_per_channel + rank` → index into `ndas`.
+    nda_index: Vec<Option<usize>>,
     shadows: Vec<NdaFsm>,
     /// The runtime/API (allocate arrays, launch ops).
     pub runtime: Runtime,
@@ -140,6 +152,15 @@ pub struct ChopimSystem {
     next_launch: u64,
     policy_rng: StdRng,
     nda_instrs_completed: u64,
+    /// Cycles actually executed by [`tick`](Self::tick) (diagnostics).
+    ticks_executed: u64,
+    /// Cycles leapt over by fast-forwarding (diagnostics).
+    cycles_skipped: u64,
+    /// Consecutive horizon computations that found work (busy streak).
+    ff_streak: u32,
+    /// Ticks to run before consulting the horizon again (busy-phase
+    /// backoff; purely a heuristic — executing a cycle is always sound).
+    ff_backoff: u32,
     finalized: bool,
 }
 
@@ -234,6 +255,10 @@ impl ChopimSystem {
             .map(|_| NdaFsm::new(cfg.nda_queue_cap))
             .collect();
         let n = ndas.len();
+        let mut nda_index = vec![None; cfg.dram.channels * cfg.dram.ranks_per_channel];
+        for (i, &(c, r)) in nda_ranks.iter().enumerate() {
+            nda_index[c * cfg.dram.ranks_per_channel + r] = Some(i);
+        }
         Self {
             policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
             cfg,
@@ -243,6 +268,8 @@ impl ChopimSystem {
             core_regions,
             mcs,
             ndas,
+            nda_poke: vec![false; n],
+            nda_index,
             shadows,
             runtime,
             now: 0,
@@ -257,8 +284,17 @@ impl ChopimSystem {
             launch_inflight: vec![0; n],
             next_launch: 0,
             nda_instrs_completed: 0,
+            ticks_executed: 0,
+            cycles_skipped: 0,
+            ff_streak: 0,
+            ff_backoff: 0,
             finalized: false,
         }
+    }
+
+    /// Cycles executed one-by-one vs. leapt over (fast-forward telemetry).
+    pub fn tick_stats(&self) -> (u64, u64) {
+        (self.ticks_executed, self.cycles_skipped)
     }
 
     /// Current DRAM cycle.
@@ -325,6 +361,7 @@ impl ChopimSystem {
     /// Advance one DRAM cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+        self.ticks_executed += 1;
 
         // 1. Launch deliveries whose control writes completed.
         while let Some(&Reverse((t, id))) = self.launch_events.peek() {
@@ -337,6 +374,7 @@ impl ChopimSystem {
             if lf.writes_remaining == 0 {
                 let lf = self.launches.remove(&id).expect("present");
                 self.launch_inflight[lf.nda_idx] -= 1;
+                self.nda_poke[lf.nda_idx] = true;
                 self.shadows[lf.nda_idx]
                     .launch(lf.instr.clone())
                     .unwrap_or_else(|_| panic!("shadow queue overflow"));
@@ -392,12 +430,16 @@ impl ChopimSystem {
                         row: ctrl_row,
                         col: (id as u32 * k + w) % self.cfg.dram.lines_per_row() as u32,
                     };
-                    let ok = self.mcs[ch].try_push(HostTransaction {
-                        addr,
-                        is_write: true,
-                        meta: TxMeta::Launch { launch: id },
-                        arrival: now,
-                    });
+                    let ok = self.mcs[ch].try_push_hinted(
+                        HostTransaction {
+                            addr,
+                            is_write: true,
+                            meta: TxMeta::Launch { launch: id },
+                            arrival: now,
+                        },
+                        &self.mem,
+                        now,
+                    );
                     assert!(ok, "checked space above");
                 }
                 self.launch_inflight[head.nda_idx] += 1;
@@ -419,7 +461,7 @@ impl ChopimSystem {
                 break;
             }
             let (_, tx) = self.ingress.pop_front().expect("checked");
-            if !self.mcs[tx.addr.channel].try_push(tx) {
+            if !self.mcs[tx.addr.channel].try_push_hinted(tx, &self.mem, now) {
                 // Controller full: retry next cycle (keeps order).
                 self.ingress.push_front((now + 1, tx));
                 break;
@@ -428,12 +470,36 @@ impl ChopimSystem {
 
         // 5. Host memory controllers (priority on the channel).
         for ch in 0..self.mcs.len() {
-            if let Some(Issued {
-                data,
-                completed: Some(tx),
-                ..
-            }) = self.mcs[ch].tick(&mut self.mem, now)
-            {
+            // In fast-forward mode a valid wake-up hint proves the whole
+            // controller tick is a no-op; the naive loop evaluates every
+            // cycle (reference behavior).
+            if self.cfg.fast_forward {
+                if let Some(h) = self.mcs[ch].wake_hint() {
+                    if now < h {
+                        continue;
+                    }
+                }
+            }
+            let issued = self.mcs[ch].tick(&mut self.mem, now);
+            if issued.is_none() && self.cfg.fast_forward && self.ff_backoff == 0 {
+                // Idle tick outside a busy streak: compute and cache the
+                // wake-up so the following no-op ticks are skipped
+                // outright. During busy streaks (`ff_backoff > 0`) the
+                // scan would rarely pay for itself.
+                let _ = self.mcs[ch].next_event_cycle(&self.mem, now);
+            }
+            if let Some(iss) = issued {
+                // A host command changed its target rank's timing/bank
+                // state; the rank's NDA must re-derive its wake-up.
+                let slot = ch * self.cfg.dram.ranks_per_channel + iss.cmd.rank;
+                if let Some(i) = self.nda_index[slot] {
+                    self.ndas[i].invalidate_hint();
+                }
+                if let Issued {
+                    data,
+                    completed: Some(tx),
+                    ..
+                } = iss
                 {
                     match tx.meta {
                         TxMeta::CoreRead { core, req } => {
@@ -454,34 +520,79 @@ impl ChopimSystem {
         }
 
         // 6. NDA controllers (one per rank, independent command paths).
-        for i in 0..self.ndas.len() {
-            let (ch, rank) = (self.ndas[i].channel(), self.ndas[i].rank());
-            let oldest = self.mcs[ch].oldest_read_rank();
-            let allow = self
-                .cfg
-                .policy
-                .allow_write(oldest, rank, &mut self.policy_rng);
-            let result = self.ndas[i].tick(&mut self.mem, now, allow);
-            // Mirror onto the host-side shadow FSM: identical peek (write
-            // absorption) and, for column grants, identical commit.
-            let want = self.shadows[i].next_access();
-            if let NdaTickResult::Issued(cmd) = result {
-                if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
-                    let acc = want.expect("shadow must want an access too");
-                    debug_assert_eq!(
-                        (acc.write, acc.row, acc.col),
-                        (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
-                        "shadow diverged from NDA controller"
-                    );
-                    self.shadows[i].commit(acc);
+        // The write-throttle decision is passed lazily so policy coins are
+        // drawn only for actual write attempts — which also makes idle and
+        // timing-blocked cycles RNG-free, a precondition for skipping them
+        // in fast-forward mode.
+        {
+            let Self {
+                ndas,
+                nda_poke,
+                shadows,
+                mcs,
+                mem,
+                policy_rng,
+                cfg,
+                runtime,
+                nda_instrs_completed,
+                ..
+            } = self;
+            for i in 0..ndas.len() {
+                // In fast-forward mode, offer the controller a cycle only
+                // when it could act: skip idle FSMs (until a launch pokes
+                // them) and timing-blocked ones inside their cached
+                // wake-up window. Both skips are exact — the controller
+                // would evaluate to the same state without side effects
+                // (its `next_access` is idempotent, and no policy coin is
+                // drawn inside a timing window). The naive loop evaluates
+                // every controller every cycle, preserving the reference
+                // behavior the lockstep tests compare against.
+                if cfg.fast_forward && !nda_poke[i] {
+                    match ndas[i].desired_access() {
+                        None => continue,
+                        Some(_) => {
+                            if let Some(h) = ndas[i].ready_hint() {
+                                if now < h {
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-            // Completions (both sides pop identically).
-            while let Some(id) = self.ndas[i].fsm_mut().pop_completed() {
-                let sid = self.shadows[i].pop_completed();
-                debug_assert_eq!(sid, Some(id));
-                self.nda_instrs_completed += 1;
-                let _ = self.runtime.complete_instr(id, now);
+                nda_poke[i] = false;
+                let (ch, rank) = (ndas[i].channel(), ndas[i].rank());
+                let oldest = mcs[ch].oldest_read_rank();
+                let policy = cfg.policy;
+                let rng = &mut *policy_rng;
+                let result = ndas[i].tick(mem, now, || policy.allow_write(oldest, rank, rng));
+                if matches!(result, NdaTickResult::Issued(_)) {
+                    // The NDA touched its rank: host wake-up caches on
+                    // this channel are stale.
+                    mcs[ch].invalidate_wake_hint();
+                }
+                // Mirror onto the host-side shadow FSM: identical peek
+                // (write absorption) and, for column grants, identical
+                // commit plus re-normalization.
+                let want = shadows[i].next_access();
+                if let NdaTickResult::Issued(cmd) = result {
+                    if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                        let acc = want.expect("shadow must want an access too");
+                        debug_assert_eq!(
+                            (acc.write, acc.row, acc.col),
+                            (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
+                            "shadow diverged from NDA controller"
+                        );
+                        shadows[i].commit(acc);
+                        let _ = shadows[i].next_access();
+                    }
+                }
+                // Completions (both sides pop identically).
+                while let Some(id) = ndas[i].fsm_mut().pop_completed() {
+                    let sid = shadows[i].pop_completed();
+                    debug_assert_eq!(sid, Some(id));
+                    *nda_instrs_completed += 1;
+                    let _ = runtime.complete_instr(id, now);
+                }
             }
         }
 
@@ -502,11 +613,13 @@ impl ChopimSystem {
             core_regions,
             mcs,
             mapper,
+            mem,
             llc_outstanding,
             ingress,
             cfg,
             ..
         } = self;
+        let mem: &DramSystem = mem;
         let pkt = Cycle::from(cfg.packetized_latency);
         for (i, core) in cores.iter_mut().enumerate() {
             let region = &core_regions[i];
@@ -544,7 +657,7 @@ impl ChopimSystem {
                         true
                     }
                 } else {
-                    mcs[d.channel].try_push(tx)
+                    mcs[d.channel].try_push_hinted(tx, mem, now)
                 };
                 if ok && !tx.is_write {
                     *llc_outstanding += 1;
@@ -555,10 +668,166 @@ impl ChopimSystem {
         }
     }
 
+    /// True when no NDA work is queued, staged, in flight, or executing.
+    fn all_work_drained(&self) -> bool {
+        self.runtime.quiescent()
+            && self.launch_stage.is_empty()
+            && self.launches.is_empty()
+            && self.ndas.iter().all(|n| n.fsm().is_idle())
+    }
+
+    /// Earliest cycle at or after `self.now` (the first unexecuted cycle)
+    /// at which any component could act or change state, assuming no
+    /// other component acts first. Every executed tick re-computes this,
+    /// so a conservative (too-early) answer only wastes a wake-up; the
+    /// invariant that makes skipping sound is that no component may act
+    /// strictly before its reported horizon.
+    fn next_event_horizon(&mut self) -> Cycle {
+        let now = self.now;
+        // Cheap checks first: any hit means the next cycle must execute.
+        if self.cores.iter().any(|c| !c.is_inert()) {
+            return now;
+        }
+        if !self.launch_stage.is_empty() {
+            return now;
+        }
+        {
+            let ndas = &self.ndas;
+            let inflight = &self.launch_inflight;
+            let space = |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
+            if self.runtime.launch_ready(space) {
+                return now;
+            }
+        }
+        let mut h = Cycle::MAX;
+        if let Some(&Reverse((t, _))) = self.launch_events.peek() {
+            h = h.min(t);
+        }
+        if let Some(&Reverse((t, _, _))) = self.fills.peek() {
+            h = h.min(t);
+        }
+        if let Some(&(t, _)) = self.ingress.front() {
+            h = h.min(t);
+        }
+        for ch in 0..self.mcs.len() {
+            h = h.min(self.mcs[ch].next_event_cycle(&self.mem, now));
+            if h <= now {
+                return now;
+            }
+        }
+        for nda in &self.ndas {
+            let Some(acc) = nda.desired_access() else {
+                continue;
+            };
+            // A valid timing hint covers writes too: the controller
+            // short-circuits before any policy evaluation until then.
+            if let Some(hint) = nda.ready_hint() {
+                if hint > now {
+                    h = h.min(hint);
+                    continue;
+                }
+            }
+            if acc.write {
+                let oldest = self.mcs[nda.channel()].oldest_read_rank();
+                match self.cfg.policy.deterministic_decision(oldest, nda.rank()) {
+                    // Stochastic policies flip a coin per attempt: every
+                    // cycle with a pending write must execute.
+                    None => return now,
+                    // Deterministically throttled: the decision can only
+                    // change when the read queues do, which is an event.
+                    Some(false) => continue,
+                    Some(true) => {}
+                }
+            }
+            h = h.min(nda.next_event_cycle(&self.mem, now));
+            if h <= now {
+                return now;
+            }
+        }
+        h.max(now)
+    }
+
+    /// Leap from `self.now` to `target`, applying exactly the state
+    /// changes `target - self.now` naive ticks would have made on a
+    /// provably idle system: the CPU clock divider advances in closed
+    /// form, inert cores bulk-advance their counters, and deterministically
+    /// throttled NDA writes accumulate their per-cycle stall counts.
+    /// DRAM timing registers and the idle histograms are absolute-time
+    /// state and need no per-cycle work at all.
+    fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(target > self.now);
+        let n = target - self.now;
+        self.cycles_skipped += n;
+        let total = u64::from(self.cpu_accum) + u64::from(CPU_CLOCK_NUM) * n;
+        let steps = total / u64::from(CPU_CLOCK_DEN);
+        self.cpu_accum = (total % u64::from(CPU_CLOCK_DEN)) as u32;
+        self.cpu_cycles += steps;
+        for core in &mut self.cores {
+            core.advance_inert(steps);
+        }
+        for i in 0..self.ndas.len() {
+            let Some(acc) = self.ndas[i].desired_access() else {
+                continue;
+            };
+            if acc.write {
+                let oldest = self.mcs[self.ndas[i].channel()].oldest_read_rank();
+                let decision = self
+                    .cfg
+                    .policy
+                    .deterministic_decision(oldest, self.ndas[i].rank());
+                if decision == Some(false) {
+                    // The naive loop evaluates (and counts) the throttled
+                    // attempt each cycle its timing hint does not cover.
+                    let from = self.ndas[i].ready_hint().unwrap_or(0).max(self.now);
+                    self.ndas[i].write_throttle_stalls += target.saturating_sub(from);
+                }
+            }
+        }
+        // The naive loop spot-checks FSM replication every 1024 cycles;
+        // preserve that coverage when a skip crosses a boundary.
+        if self.cfg.verify_fsm && self.now.next_multiple_of(1024) < target {
+            assert!(
+                self.fsm_in_sync(),
+                "replicated FSMs diverged in [{}, {})",
+                self.now,
+                target
+            );
+        }
+        self.now = target;
+    }
+
+    /// In fast-forward mode, leap to the next event horizon (never past
+    /// `limit`). A no-op when the next cycle has work or the mode is off.
+    ///
+    /// During busy streaks — consecutive horizons that found work — the
+    /// horizon computation is throttled with exponential backoff so fully
+    /// loaded phases pay almost no fast-forward overhead. Executing a
+    /// cycle that could have been skipped is always sound; only skipping
+    /// a cycle with work would not be.
+    fn maybe_skip(&mut self, limit: Cycle) {
+        if !self.cfg.fast_forward || self.now >= limit {
+            return;
+        }
+        if self.ff_backoff > 0 {
+            self.ff_backoff -= 1;
+            return;
+        }
+        let h = self.next_event_horizon().min(limit);
+        if h > self.now {
+            self.skip_to(h);
+            self.ff_streak = 0;
+        } else {
+            self.ff_streak = (self.ff_streak + 1).min(6);
+            self.ff_backoff = (1u32 << self.ff_streak) >> 1;
+        }
+    }
+
     /// Run for `cycles` DRAM cycles.
     pub fn run(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
+        let end = self.now + cycles;
+        while self.now < end {
             self.tick();
+            self.maybe_skip(end);
         }
     }
 
@@ -567,14 +836,15 @@ impl ChopimSystem {
     pub fn run_until_quiescent(&mut self, max: Cycle) -> Cycle {
         let start = self.now;
         while self.now - start < max {
-            if self.runtime.quiescent()
-                && self.launch_stage.is_empty()
-                && self.launches.is_empty()
-                && self.ndas.iter().all(|n| n.fsm().is_idle())
-            {
+            if self.all_work_drained() {
                 break;
             }
             self.tick();
+            // Quiescence can only flip inside a tick; re-check before
+            // skipping so the consumed-cycle count matches the naive loop.
+            if !self.all_work_drained() {
+                self.maybe_skip(start + max);
+            }
         }
         self.now - start
     }
@@ -596,6 +866,11 @@ impl ChopimSystem {
                 op = make(&mut self.runtime);
             }
             self.tick();
+            // The relaunch must happen on the cycle after the completing
+            // tick, exactly as in the naive loop — never skip over it.
+            if !self.runtime.op_done(op) {
+                self.maybe_skip(end);
+            }
         }
         completions
     }
@@ -605,6 +880,9 @@ impl ChopimSystem {
         let start = self.now;
         while !self.runtime.op_done(op) && self.now - start < max {
             self.tick();
+            if !self.runtime.op_done(op) {
+                self.maybe_skip(start + max);
+            }
         }
         self.now - start
     }
@@ -708,6 +986,7 @@ impl ChopimSystem {
             dram,
             energy,
             nda_instrs_completed: self.nda_instrs_completed,
+            nda_write_throttle_stalls: self.ndas.iter().map(|n| n.write_throttle_stalls).sum(),
         }
     }
 }

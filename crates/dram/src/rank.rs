@@ -137,6 +137,13 @@ impl Rank {
     pub fn refreshing(&self, now: Cycle) -> bool {
         now < self.refresh_done_at
     }
+
+    /// True if the die's command mux already carried a command this cycle
+    /// (one command per cycle, host or NDA).
+    #[inline]
+    pub fn cmd_mux_busy(&self, now: Cycle) -> bool {
+        self.last_host_cmd_at == Some(now) || self.last_nda_cmd_at == Some(now)
+    }
 }
 
 #[cfg(test)]

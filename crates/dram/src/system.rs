@@ -134,6 +134,14 @@ impl DramSystem {
         self.channels[ch].can_issue(cmd, issuer, now)
     }
 
+    /// Earliest cycle at which `cmd` from `issuer` satisfies every timing
+    /// constraint on channel `ch` (`None` when structurally illegal right
+    /// now). The fast-forward horizon logic uses this to compute wake-up
+    /// times without mutating any state.
+    pub fn ready_at(&self, ch: usize, cmd: &Command, issuer: Issuer) -> Option<Cycle> {
+        self.channels[ch].ready_at(cmd, issuer)
+    }
+
     /// Issue `cmd` on channel `ch` at `now`.
     ///
     /// # Errors
@@ -153,6 +161,22 @@ impl DramSystem {
             }
         }
         r
+    }
+
+    /// Issue `cmd` on channel `ch` when legality was already established
+    /// this cycle (see [`Channel::issue_prechecked`]).
+    pub fn issue_prechecked(
+        &mut self,
+        ch: usize,
+        cmd: &Command,
+        issuer: Issuer,
+        now: Cycle,
+    ) -> DataReady {
+        let data = self.channels[ch].issue_prechecked(cmd, issuer, now);
+        if let Some(t) = &mut self.trace {
+            t.push((ch, now, *cmd, issuer));
+        }
+        data
     }
 
     /// Close idle-gap histograms at simulation end.

@@ -34,11 +34,13 @@
 //! ```
 
 pub mod grid;
+pub mod perfmatrix;
 pub mod result;
 pub mod runner;
 pub mod scenario;
 
 pub use grid::{labeled, SweepBuilder};
+pub use perfmatrix::{bench_window, perf_matrix};
 pub use result::{rows_to_csv, Metrics, SweepPoint, SweepResult};
 pub use runner::SweepRunner;
 pub use scenario::{run_scenario, ScenarioSpec, Workload};

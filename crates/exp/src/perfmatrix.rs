@@ -1,0 +1,101 @@
+//! The fixed perf/equivalence scenario matrix.
+//!
+//! `chopim-perf` measures these scenarios and the `ff_lockstep` test
+//! proves fast-forward/naive equivalence on them — sharing one
+//! definition guarantees the equivalence job always covers exactly what
+//! the perf gate measures.
+
+use chopim_core::prelude::*;
+
+use crate::scenario::{ScenarioSpec, Workload};
+
+/// The measurement window: `CHOPIM_BENCH_CYCLES`, defaulting to
+/// `default` cycles.
+pub fn bench_window(default: u64) -> u64 {
+    std::env::var("CHOPIM_BENCH_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The scenario matrix, each point `w` cycles long.
+pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
+    let mut points = Vec::new();
+
+    // Pure host traffic: a memory-intensive mix, no NDA work.
+    let mut host_only = ScenarioSpec::with_window(w);
+    host_only.cfg.mix = MixId::new(2);
+    points.push(("host_only", host_only));
+
+    // Host idle, NDAs idle: only periodic refresh. The idle-heavy limit
+    // case — it measures the event-horizon floor (bursty/sparse windows
+    // approach this as their duty cycle drops) and exercises refresh
+    // timer skipping.
+    points.push(("host_idle", ScenarioSpec::with_window(w)));
+
+    // Host idle, NDAs streaming.
+    let mut nda_only = ScenarioSpec::with_window(w);
+    nda_only.workload = Workload::elementwise(Opcode::Axpy, 1 << 16);
+    points.push(("nda_only", nda_only));
+
+    // The co-located default: the paper's SVRG collaboration — the
+    // SVRG-shaped host inner loop (custom profile) against the NDA
+    // average-gradient macro stream on the default (bank-partitioned)
+    // machine.
+    let mut colocated = ScenarioSpec::with_window(w);
+    colocated.cfg.custom_profiles = Some(vec![chopim_ml::SvrgTimeModel::svrg_host_profile()]);
+    colocated.workload = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 4096,
+        rows_per_instr: 8,
+        opts: LaunchOpts::default(),
+    };
+    points.push(("colocated_svrg", colocated));
+
+    // A SPEC-mix co-location point as well, so both host models run
+    // concurrently with NDA traffic.
+    let mut colocated_mix = ScenarioSpec::with_window(w);
+    colocated_mix.cfg.mix = MixId::new(2);
+    colocated_mix.workload = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 4096,
+        rows_per_instr: 8,
+        opts: LaunchOpts::default(),
+    };
+    points.push(("colocated_mix", colocated_mix));
+
+    // Rank-partitioning baseline (Fig. 14): dedicated NDA ranks.
+    let mut rank_part = ScenarioSpec::with_window(w);
+    rank_part.cfg.mix = MixId::new(2);
+    rank_part.cfg.rank_partition = true;
+    rank_part.cfg.reserved_banks = 0;
+    rank_part.workload = Workload::elementwise(Opcode::Copy, 1 << 15);
+    points.push(("rank_partitioned", rank_part));
+
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_names_are_unique_and_stable() {
+        let m = perf_matrix(1000);
+        let names: Vec<&str> = m.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "host_only",
+                "host_idle",
+                "nda_only",
+                "colocated_svrg",
+                "colocated_mix",
+                "rank_partitioned"
+            ]
+        );
+        for (_, spec) in &m {
+            assert_eq!(spec.window, 1000);
+        }
+    }
+}

@@ -57,18 +57,38 @@ impl SweepRunner {
     ///
     /// `f` must be a pure function of the spec for parallel == serial to
     /// hold; the standard executor [`run_scenario`] qualifies.
+    ///
+    /// Set `CHOPIM_SWEEP_PROGRESS=1` to emit a completion line per point
+    /// on stderr — long sweeps otherwise give no sign of life.
     pub fn run<R, F>(&self, specs: &[ScenarioSpec], f: F) -> SweepResult<R>
     where
         R: Send,
         F: Fn(&ScenarioSpec) -> R + Sync,
     {
         let n = specs.len();
+        let progress = progress_enabled();
+        let completed = AtomicUsize::new(0);
+        let report = |spec: &ScenarioSpec| {
+            if progress {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                let label = if spec.label.is_empty() {
+                    "(unlabeled)"
+                } else {
+                    spec.label.as_str()
+                };
+                eprintln!("[sweep] {done}/{n} {label}");
+            }
+        };
         if self.threads == 1 || n <= 1 {
             let points = specs
                 .iter()
-                .map(|spec| SweepPoint {
-                    spec: spec.clone(),
-                    result: f(spec),
+                .map(|spec| {
+                    let result = f(spec);
+                    report(spec);
+                    SweepPoint {
+                        spec: spec.clone(),
+                        result,
+                    }
                 })
                 .collect();
             return SweepResult { points };
@@ -84,6 +104,7 @@ impl SweepRunner {
                         break;
                     }
                     let r = f(&specs[i]);
+                    report(&specs[i]);
                     collected.lock().unwrap().push((i, r));
                 });
             }
@@ -106,6 +127,13 @@ impl SweepRunner {
     pub fn run_reports(&self, specs: &[ScenarioSpec]) -> SweepResult<SimReport> {
         self.run(specs, run_scenario)
     }
+}
+
+/// True when `CHOPIM_SWEEP_PROGRESS=1` (or any nonempty value except `0`).
+fn progress_enabled() -> bool {
+    std::env::var("CHOPIM_SWEEP_PROGRESS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -1,0 +1,131 @@
+//! Lockstep equivalence of the event-horizon fast-forward: for every
+//! scenario in the shared perf matrix, running with `fast_forward`
+//! enabled must produce a `SimReport` bit-identical to the naive
+//! cycle-by-cycle loop.
+//!
+//! This is the contract that makes the fast path trustworthy: skipping is
+//! only legal across cycles in which *every* component is provably idle,
+//! so any divergence — a missed refresh, a misplaced launch packet, an
+//! off-by-one stall count — shows up as a report mismatch. The matrix is
+//! the same `chopim_exp::perf_matrix` the `chopim-perf` harness measures,
+//! so the equivalence job always covers exactly what the perf gate gates.
+//!
+//! CI runs this across 2 seeds x all matrix scenarios (the `equivalence`
+//! job); `CHOPIM_BENCH_CYCLES` scales the window for the weekly long run.
+
+use chopim_core::prelude::*;
+use chopim_exp::{bench_window, perf_matrix, run_scenario, ScenarioSpec, Workload};
+
+fn window() -> u64 {
+    bench_window(30_000)
+}
+
+fn assert_lockstep(name: &str, spec: &ScenarioSpec, seed: u64) {
+    let mut naive = spec.clone();
+    naive.seed = seed;
+    naive.cfg.fast_forward = false;
+    let mut fast = spec.clone();
+    fast.seed = seed;
+    fast.cfg.fast_forward = true;
+    let naive_report = run_scenario(&naive);
+    let fast_report = run_scenario(&fast);
+    assert_eq!(
+        naive_report, fast_report,
+        "fast-forward diverged from the naive loop on `{name}` (seed {seed})"
+    );
+}
+
+fn run_matrix_entry(name: &str) {
+    let matrix = perf_matrix(window());
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("scenario in matrix");
+    for seed in [1, 7] {
+        assert_lockstep(name, spec, seed);
+    }
+}
+
+/// Every matrix entry has a dedicated test below; this guards against a
+/// new scenario being added to the matrix without lockstep coverage.
+#[test]
+fn matrix_is_fully_covered() {
+    let names: Vec<&str> = perf_matrix(1).iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec![
+            "host_only",
+            "host_idle",
+            "nda_only",
+            "colocated_svrg",
+            "colocated_mix",
+            "rank_partitioned"
+        ],
+        "new matrix scenario: add a lockstep test for it"
+    );
+}
+
+#[test]
+fn lockstep_host_only() {
+    run_matrix_entry("host_only");
+}
+
+#[test]
+fn lockstep_host_idle() {
+    run_matrix_entry("host_idle");
+}
+
+#[test]
+fn lockstep_nda_only() {
+    run_matrix_entry("nda_only");
+}
+
+#[test]
+fn lockstep_colocated_svrg() {
+    run_matrix_entry("colocated_svrg");
+}
+
+#[test]
+fn lockstep_colocated_mix() {
+    run_matrix_entry("colocated_mix");
+}
+
+#[test]
+fn lockstep_rank_partitioned() {
+    run_matrix_entry("rank_partitioned");
+}
+
+/// Stochastic write throttling draws a coin per attempted write; the
+/// horizon logic must refuse to skip any cycle where a draw could occur
+/// so the RNG stream stays aligned.
+#[test]
+fn lockstep_stochastic_policy() {
+    let mut spec = ScenarioSpec::with_window(window().min(20_000));
+    spec.cfg.mix = MixId::new(2);
+    spec.cfg.policy = WriteIssuePolicy::stochastic(1, 4);
+    spec.workload = Workload::elementwise(Opcode::Copy, 1 << 15);
+    assert_lockstep("stochastic", &spec, 3);
+}
+
+/// Packetized mode routes everything through the ingress queue; its
+/// serialization delays are part of the horizon.
+#[test]
+fn lockstep_packetized() {
+    let mut spec = ScenarioSpec::with_window(window().min(20_000));
+    spec.cfg.mix = MixId::new(2);
+    spec.cfg.packetized_latency = 8;
+    spec.workload = Workload::elementwise(Opcode::Axpy, 1 << 15);
+    assert_lockstep("packetized", &spec, 5);
+}
+
+/// Closed-page + FCFS ablation modes exercise the eager-precharge branch
+/// of the controller horizon.
+#[test]
+fn lockstep_closed_page_fcfs() {
+    let mut spec = ScenarioSpec::with_window(window().min(20_000));
+    spec.cfg.mix = MixId::new(2);
+    spec.cfg.scheduler = SchedulerKind::Fcfs;
+    spec.cfg.page_policy = PagePolicy::Closed;
+    spec.workload = Workload::elementwise(Opcode::Dot, 1 << 15);
+    assert_lockstep("closed_page_fcfs", &spec, 9);
+}

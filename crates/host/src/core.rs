@@ -232,6 +232,40 @@ impl OooCore {
         }
     }
 
+    /// True when the next `cpu_cycle` call is provably a pure
+    /// counter-increment: retirement is blocked on an unfilled
+    /// head-of-ROB miss, no deferred writeback is waiting, and dispatch
+    /// cannot proceed without drawing randomness (ROB full, or the next
+    /// miss is due but every MSHR is occupied). An inert core stays inert
+    /// until a [`fill`](Self::fill) arrives, so the event-horizon loop may
+    /// bulk-advance it with [`advance_inert`](Self::advance_inert).
+    pub fn is_inert(&self) -> bool {
+        self.pending_wb.is_none()
+            && matches!(self.rob.front(), Some(RobSlot::Miss { id }) if !self.filled.contains(id))
+            && (self.rob_occupancy >= self.cfg.rob_entries
+                || (self.until_next_miss == 0 && self.outstanding >= self.cfg.mshrs))
+    }
+
+    /// Advance an inert core by `n` CPU cycles in one step: exactly the
+    /// counter updates `n` calls to [`cpu_cycle`](Self::cpu_cycle) would
+    /// make (asserted by `prop_inert_advance_matches_single_cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`is_inert`](Self::is_inert).
+    pub fn advance_inert(&mut self, n: u64) {
+        debug_assert!(self.is_inert(), "bulk-advance of a non-inert core");
+        self.cycles += n;
+        // `cpu_cycle` only reaches the `stalled` path when the ROB still
+        // has room; a completely full ROB skips the dispatch loop without
+        // recording a stall.
+        if self.rob_occupancy < self.cfg.rob_entries
+            && self.rob_occupancy >= self.cfg.rob_entries / 2
+        {
+            self.dispatch_stall_cycles += n;
+        }
+    }
+
     /// Deliver the fill for read request `id`.
     pub fn fill(&mut self, id: u64) {
         let inserted = self.filled.insert(id);

@@ -82,6 +82,70 @@ proptest! {
         prop_assert_eq!(worst, None, "line escaped footprint {}", footprint);
     }
 
+    /// Whenever a core reports `is_inert`, bulk-advancing it must be
+    /// indistinguishable from stepping it cycle by cycle: no memory
+    /// request may escape (the sink panics), every counter must match,
+    /// and post-wake behavior must be identical.
+    #[test]
+    fn prop_inert_advance_matches_single_cycles(
+        profile_idx in 0usize..8,
+        n in 1u64..5000,
+        seed in any::<u64>(),
+    ) {
+        let profile = profiles()[profile_idx];
+        let mut core = OooCore::new(CoreConfig::default(), profile, seed);
+        // Drive against a never-filling memory until the core freezes.
+        let mut pending: Vec<u64> = Vec::new();
+        for _ in 0..3000 {
+            let mut sink = |r: MemRequest| {
+                if !r.is_write {
+                    pending.push(r.id);
+                }
+                true
+            };
+            core.cpu_cycle(&mut sink);
+            if core.is_inert() {
+                break;
+            }
+        }
+        prop_assume!(core.is_inert());
+        let mut stepped = core.clone();
+        let mut bulk = core.clone();
+        for _ in 0..n {
+            stepped.cpu_cycle(&mut |_| panic!("inert core sent a request"));
+        }
+        bulk.advance_inert(n);
+        prop_assert_eq!(stepped.cycles(), bulk.cycles());
+        prop_assert_eq!(stepped.retired_instructions(), bulk.retired_instructions());
+        prop_assert_eq!(stepped.reads_sent(), bulk.reads_sent());
+        prop_assert_eq!(stepped.writes_sent(), bulk.writes_sent());
+        prop_assert_eq!(stepped.outstanding_misses(), bulk.outstanding_misses());
+        prop_assert!(bulk.is_inert(), "inertness is stable without fills");
+        // Wake both with the same fills and drive identically: behavior
+        // must stay in lockstep.
+        for id in &pending {
+            stepped.fill(*id);
+            bulk.fill(*id);
+        }
+        for now in 0..200u64 {
+            let mut sent_a = Vec::new();
+            let mut sent_b = Vec::new();
+            let mut sink_a = |r: MemRequest| {
+                sent_a.push((r.line, r.is_write, r.id));
+                now % 3 != 0
+            };
+            stepped.cpu_cycle(&mut sink_a);
+            let mut sink_b = |r: MemRequest| {
+                sent_b.push((r.line, r.is_write, r.id));
+                now % 3 != 0
+            };
+            bulk.cpu_cycle(&mut sink_b);
+            prop_assert_eq!(&sent_a, &sent_b, "diverged at wake cycle {}", now);
+        }
+        prop_assert_eq!(stepped.retired_instructions(), bulk.retired_instructions());
+        prop_assert_eq!(stepped.ipc(), bulk.ipc());
+    }
+
     /// Request ids of reads are unique.
     #[test]
     fn prop_read_ids_unique(seed in any::<u64>()) {

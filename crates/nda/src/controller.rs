@@ -9,7 +9,7 @@
 
 use chopim_dram::{Command, CommandKind, Cycle, DramSystem, Issuer};
 
-use crate::fsm::NdaFsm;
+use crate::fsm::{NdaAccess, NdaFsm};
 use crate::isa::NdaInstr;
 
 /// What the controller did in a cycle it was offered.
@@ -30,6 +30,16 @@ pub struct NdaRankController {
     rank: usize,
     banks_per_group: usize,
     fsm: NdaFsm,
+    /// The access the FSM wanted after the last [`tick`](Self::tick)
+    /// (`None` = idle). Kept current so the event-horizon loop can
+    /// predict this controller's next action without mutating the FSM.
+    want: Option<NdaAccess>,
+    /// Timing-derived wake-up: the desired command cannot issue (and no
+    /// policy evaluation happens) before this cycle. Valid until this
+    /// controller issues, a launch arrives, or the host commands this
+    /// rank ([`invalidate_hint`](Self::invalidate_hint)); within that
+    /// window the caller may skip offering cycles entirely.
+    ready_hint: Option<Cycle>,
     /// Row commands issued (ACT + PRE), for stats.
     pub row_cmds: u64,
     /// Cycles the controller was offered the bus but throttled on a write.
@@ -45,6 +55,8 @@ impl NdaRankController {
             rank,
             banks_per_group,
             fsm: NdaFsm::new(queue_cap),
+            want: None,
+            ready_hint: None,
             row_cmds: 0,
             write_throttle_stalls: 0,
         }
@@ -76,7 +88,22 @@ impl NdaRankController {
     ///
     /// Returns the instruction back when the queue is full.
     pub fn launch(&mut self, instr: NdaInstr) -> Result<(), NdaInstr> {
+        // A launch can change the desired access (e.g. ending a
+        // force-drain); the cached plan must be re-derived.
+        self.ready_hint = None;
         self.fsm.launch(instr)
+    }
+
+    /// Drop the cached wake-up time because the host issued a command to
+    /// this rank (its timing registers or bank state changed).
+    pub fn invalidate_hint(&mut self) {
+        self.ready_hint = None;
+    }
+
+    /// The cycle before which this controller provably cannot issue (and
+    /// performs no policy evaluation), if known. See `ready_hint` field.
+    pub fn ready_hint(&self) -> Option<Cycle> {
+        self.ready_hint
     }
 
     /// Offer the controller a chance to issue one command at `now`.
@@ -84,40 +111,101 @@ impl NdaRankController {
     /// The caller (the system arbiter) must only offer cycles where the
     /// host controller left the channel's command bus free — host commands
     /// always take priority (paper §III-B). `allow_write` carries the
-    /// write-throttling decision for this rank.
-    pub fn tick(&mut self, mem: &mut DramSystem, now: Cycle, allow_write: bool) -> NdaTickResult {
-        let Some(acc) = self.fsm.next_access() else {
+    /// write-throttling decision for this rank; it is only consulted when
+    /// the FSM actually wants a write, so stochastic policies draw exactly
+    /// one coin per attempted write rather than one per cycle.
+    pub fn tick(
+        &mut self,
+        mem: &mut DramSystem,
+        now: Cycle,
+        allow_write: impl FnOnce() -> bool,
+    ) -> NdaTickResult {
+        let acc = self.fsm.next_access();
+        self.want = acc;
+        let Some(acc) = acc else {
             return NdaTickResult::Idle;
         };
-        if acc.write && !allow_write {
+        // Timing and command-mux checks come BEFORE the throttle decision:
+        // a policy coin is only flipped when the write could otherwise
+        // issue this cycle. This keeps stochastic policies aligned between
+        // the naive loop and fast-forwarding (cycles inside a timing
+        // window are provably draw-free and may be skipped).
+        let cmd = self.plan_command(mem, acc);
+        match mem.ready_at(self.channel, &cmd, Issuer::Nda) {
+            Some(ready) if ready <= now => {}
+            Some(ready) => {
+                // Cache the wake-up: nothing can make this command ready
+                // earlier, and every event that could change the plan
+                // (host command to this rank, launch, own issue) clears
+                // the hint.
+                self.ready_hint = Some(ready);
+                return NdaTickResult::Blocked;
+            }
+            None => return NdaTickResult::Blocked,
+        }
+        if mem.channel(self.channel).rank(self.rank).cmd_mux_busy(now) {
+            return NdaTickResult::Blocked;
+        }
+        if acc.write && !allow_write() {
             self.write_throttle_stalls += 1;
             return NdaTickResult::Blocked;
         }
-        let bg = acc.bank as usize / self.banks_per_group;
-        let bank = acc.bank as usize % self.banks_per_group;
-        let open = mem
-            .channel(self.channel)
-            .rank(self.rank)
-            .bank(bg, bank)
-            .open_row();
-        let cmd = match open {
-            Some(row) if row == acc.row => match acc.write {
-                false => Command::rd(self.rank, bg, bank, acc.row, acc.col),
-                true => Command::wr(self.rank, bg, bank, acc.row, acc.col),
-            },
-            Some(_) => Command::pre(self.rank, bg, bank),
-            None => Command::act(self.rank, bg, bank, acc.row),
-        };
-        if !mem.can_issue(self.channel, &cmd, Issuer::Nda, now) {
-            return NdaTickResult::Blocked;
-        }
-        mem.issue(self.channel, &cmd, Issuer::Nda, now)
-            .expect("can_issue implies issue succeeds");
+        mem.issue_prechecked(self.channel, &cmd, Issuer::Nda, now);
+        self.ready_hint = None;
         match cmd.kind {
-            CommandKind::Rd | CommandKind::Wr => self.fsm.commit(acc),
+            CommandKind::Rd | CommandKind::Wr => {
+                self.fsm.commit(acc);
+                // Re-normalize so `desired_access` reflects the post-grant
+                // state (pops the next instruction, absorbs produced
+                // writes). The host-side shadow performs the same call.
+                self.want = self.fsm.next_access();
+            }
             _ => self.row_cmds += 1,
         }
+        // Pre-compute the wake-up for the next desired access against the
+        // post-issue timing state so the blocked window can be skipped.
+        if let Some(next) = self.want {
+            let cmd = self.plan_command(mem, next);
+            if let Some(ready) = mem.ready_at(self.channel, &cmd, Issuer::Nda) {
+                if ready > now {
+                    self.ready_hint = Some(ready);
+                }
+            }
+        }
         NdaTickResult::Issued(cmd)
+    }
+
+    /// The access the FSM wanted after the last tick (pure; `None` while
+    /// idle). Valid until the next launch delivery or tick.
+    pub fn desired_access(&self) -> Option<NdaAccess> {
+        self.want
+    }
+
+    /// The DRAM command that performs `acc` given the current bank state.
+    fn plan_command(&self, mem: &DramSystem, acc: NdaAccess) -> Command {
+        let bg = acc.bank as usize / self.banks_per_group;
+        let bank = acc.bank as usize % self.banks_per_group;
+        mem.channel(self.channel)
+            .plan_access(self.rank, bg, bank, acc.row, acc.col, acc.write)
+    }
+
+    /// Conservative earliest cycle at or after `now` (the first cycle not
+    /// yet executed) at which this controller could issue a command,
+    /// assuming no other agent touches the memory system first (any such
+    /// event re-computes horizons). Returns [`Cycle::MAX`] while idle; the
+    /// caller handles write throttling.
+    pub fn next_event_cycle(&self, mem: &DramSystem, now: Cycle) -> Cycle {
+        let Some(acc) = self.want else {
+            return Cycle::MAX;
+        };
+        let cmd = self.plan_command(mem, acc);
+        match mem.ready_at(self.channel, &cmd, Issuer::Nda) {
+            Some(ready) => ready.max(now),
+            // Structurally illegal would mean `plan_command` diverged from
+            // the bank state it just read; wake immediately so the naive
+            // tick surfaces the inconsistency.
+            None => now,
+        }
     }
 }
 
@@ -144,7 +232,7 @@ mod tests {
     #[test]
     fn idle_controller_reports_idle() {
         let (mut mem, mut ctl) = setup();
-        assert_eq!(ctl.tick(&mut mem, 0, true), NdaTickResult::Idle);
+        assert_eq!(ctl.tick(&mut mem, 0, || true), NdaTickResult::Idle);
     }
 
     #[test]
@@ -153,7 +241,7 @@ mod tests {
         ctl.launch(copy_instr(256, 42)).unwrap();
         let mut issued = 0u64;
         for now in 0..200_000u64 {
-            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, true) {
+            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, || true) {
                 issued += 1;
             }
             if ctl.fsm().completed_count() > 0 {
@@ -176,7 +264,7 @@ mod tests {
         // Never allow writes: the read phase completes, then it blocks.
         let mut blocked = false;
         for now in 0..50_000u64 {
-            match ctl.tick(&mut mem, now, false) {
+            match ctl.tick(&mut mem, now, || false) {
                 NdaTickResult::Blocked if ctl.write_throttle_stalls > 0 => {
                     blocked = true;
                     break;
@@ -188,7 +276,7 @@ mod tests {
         assert_eq!(mem.stats().writes_nda, 0);
         // Re-allow writes: finishes.
         for now in 50_000..200_000u64 {
-            ctl.tick(&mut mem, now, true);
+            ctl.tick(&mut mem, now, || true);
         }
         assert_eq!(mem.stats().writes_nda, 128);
     }
@@ -202,7 +290,7 @@ mod tests {
         ctl.launch(i).unwrap();
         let mut kinds = Vec::new();
         for now in 0..100_000u64 {
-            if let NdaTickResult::Issued(c) = ctl.tick(&mut mem, now, true) {
+            if let NdaTickResult::Issued(c) = ctl.tick(&mut mem, now, || true) {
                 if c.kind.is_row() {
                     kinds.push((c.kind, c.row));
                 }

@@ -1,0 +1,256 @@
+//! `chopim-perf` — the simulation-throughput harness that seeds and gates
+//! the perf trajectory.
+//!
+//! Runs the shared scenario matrix (`chopim_exp::perf_matrix`: host-only,
+//! host-idle, NDA-only, co-located SVRG, co-located mix, rank-partitioned)
+//! twice per point — once with the naive cycle-by-cycle loop
+//! (`fast_forward = false`, the pre-event-horizon behavior) and once with
+//! event-horizon fast-forwarding — verifies the two produce bit-identical
+//! `SimReport`s, and emits `BENCH_chopim.json` with wall time and
+//! simulated cycles-per-second for both loops.
+//!
+//! Usage:
+//!
+//! ```text
+//! chopim-perf [--out BENCH_chopim.json] [--check BENCH_baseline.json]
+//! ```
+//!
+//! * `CHOPIM_BENCH_CYCLES` sets the measurement window (default 60 000).
+//! * `CHOPIM_PERF_REPS` sets repetitions per loop (default 3); the
+//!   minimum wall time wins, and naive/fast runs alternate so transient
+//!   machine load hits both loops alike.
+//! * `--check` gates on the fast/naive **speedup ratio** per scenario —
+//!   both loops run in the same process, so the ratio transfers across
+//!   machines, unlike absolute cycles/sec. A scenario whose speedup falls
+//!   more than 2x below the checked-in baseline fails the gate: that is
+//!   the signature of a lost fast path, while mere runner slowness
+//!   affects both loops alike. Windows must match (throughput and
+//!   speedups both scale with the window).
+
+use std::time::Instant;
+
+use chopim_exp::{bench_window, perf_matrix, run_scenario, ScenarioSpec};
+
+/// Speedup regression tolerance for `--check` (ratio vs baseline).
+const REGRESSION_FACTOR: f64 = 2.0;
+
+struct Measurement {
+    name: &'static str,
+    cycles: u64,
+    wall_ms_naive: f64,
+    wall_ms_fast: f64,
+    cps_naive: f64,
+    cps_fast: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.cps_fast / self.cps_naive
+    }
+}
+
+fn window() -> u64 {
+    bench_window(60_000)
+}
+
+fn reps() -> usize {
+    std::env::var("CHOPIM_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+fn measure(name: &'static str, spec: &ScenarioSpec) -> Measurement {
+    let run = |ff: bool| {
+        let mut s = spec.clone();
+        s.cfg.fast_forward = ff;
+        let t0 = Instant::now();
+        let report = run_scenario(&s);
+        (t0.elapsed().as_secs_f64() * 1e3, report)
+    };
+    // Warm up allocator/caches on a short window so the first timed run
+    // does not pay one-time process costs.
+    {
+        let mut s = spec.clone();
+        s.window = (s.window / 10).clamp(1, 10_000);
+        let _ = run_scenario(&s);
+    }
+    // Alternate the loops and keep the best time of each: transient
+    // machine load then degrades both alike instead of skewing the ratio.
+    let mut wall_ms_naive = f64::INFINITY;
+    let mut wall_ms_fast = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps() {
+        let (t_naive, naive) = run(false);
+        let (t_fast, fast) = run(true);
+        assert_eq!(
+            naive, fast,
+            "fast-forward diverged from the naive loop on `{name}`; \
+             run `cargo test -p chopim-exp --test ff_lockstep`"
+        );
+        wall_ms_naive = wall_ms_naive.min(t_naive);
+        wall_ms_fast = wall_ms_fast.min(t_fast);
+        cycles = naive.cycles;
+    }
+    Measurement {
+        name,
+        cycles,
+        wall_ms_naive,
+        wall_ms_fast,
+        cps_naive: cycles as f64 / (wall_ms_naive / 1e3),
+        cps_fast: cycles as f64 / (wall_ms_fast / 1e3),
+    }
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"window_cycles\": {},\n", window()));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \
+             \"wall_ms_naive\": {:.3}, \"wall_ms_fast\": {:.3}, \
+             \"cps_naive\": {:.0}, \"cps_fast\": {:.0}, \"speedup\": {:.3}}}",
+            m.name,
+            m.cycles,
+            m.wall_ms_naive,
+            m.wall_ms_fast,
+            m.cps_naive,
+            m.cps_fast,
+            m.speedup()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extract `"speedup": <number>` per `"name": "<scenario>"` from a
+/// baseline file without a JSON dependency: the harness wrote the file,
+/// so the layout (one scenario object per line) is known.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(speedup) = field_num(line, "speedup") else {
+            continue;
+        };
+        out.push((name, speedup));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check(results: &[Measurement], baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    // Speedups scale with the window (fixed per-run costs amortize), so
+    // comparing across windows is meaningless.
+    if let Some(base_window) = text.lines().find_map(|l| field_num(l, "window_cycles")) {
+        if base_window as u64 != window() {
+            return Err(format!(
+                "window mismatch: baseline was measured at {} cycles, this run at {} \
+                 (set CHOPIM_BENCH_CYCLES={} to gate)",
+                base_window as u64,
+                window(),
+                base_window as u64
+            ));
+        }
+    }
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        return Err(format!("no scenarios parsed from {baseline_path}"));
+    }
+    let mut failures = Vec::new();
+    for (name, base_speedup) in &baseline {
+        let Some(m) = results.iter().find(|m| m.name == name) else {
+            failures.push(format!("scenario `{name}` missing from this run"));
+            continue;
+        };
+        if m.speedup() * REGRESSION_FACTOR < *base_speedup {
+            failures.push(format!(
+                "`{name}` regressed: speedup {:.2}x vs baseline {:.2}x (>{}x drop)",
+                m.speedup(),
+                base_speedup,
+                REGRESSION_FACTOR
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_chopim.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--check" => {
+                baseline = Some(args.get(i + 1).expect("--check needs a path").clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: chopim-perf [--out FILE] [--check BASELINE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results: Vec<Measurement> = perf_matrix(window())
+        .iter()
+        .map(|(name, spec)| {
+            let m = measure(name, spec);
+            eprintln!(
+                "{:<18} {:>9} cycles  naive {:>8.1} ms ({:>10.0} c/s)  fast {:>8.1} ms ({:>10.0} c/s)  speedup {:.2}x",
+                m.name, m.cycles, m.wall_ms_naive, m.cps_naive, m.wall_ms_fast, m.cps_fast,
+                m.speedup()
+            );
+            m
+        })
+        .collect();
+
+    std::fs::write(&out_path, to_json(&results)).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        match check(&results, &path) {
+            Ok(()) => eprintln!("perf gate: OK (speedups within {REGRESSION_FACTOR}x of {path})"),
+            Err(msg) => {
+                eprintln!("perf gate FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
