@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check lockstep lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lint
 
 all: test
 
@@ -18,6 +18,18 @@ perf:
 # The gate requires the baseline's window, so pin it (exactly what CI runs).
 perf-check:
 	CHOPIM_BENCH_CYCLES=200000 cargo run --release -p chopim-perf -- --check BENCH_baseline.json
+
+# Harness with per-phase simulator-cost counters (sched scans, memo
+# hits/misses, ready_at calls) printed per scenario — the first stop when
+# a perf regression needs attributing.
+perf-verbose:
+	cargo run --release -p chopim-perf --features perf-counters -- --verbose
+
+# Micro-benchmarks for the busy-path kernels (ready_at / plan_access /
+# scheduler pick), via the vendored criterion shim. Optional companion to
+# `make perf`.
+perf-micro:
+	cargo bench -p chopim-dram
 
 # Fast-forward vs naive-loop equivalence (bit-identical SimReports).
 lockstep:

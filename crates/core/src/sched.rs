@@ -1,10 +1,46 @@
 //! The host-side per-channel memory controller: FR-FCFS scheduling \[70\]
 //! with 32-entry read/write queues, open-page policy, write-drain
 //! watermarks, and refresh management (Table II).
+//!
+//! ## Busy-path indexes and memos
+//!
+//! The controller is evaluated every DRAM cycle while the machine is
+//! busy, so its per-cycle cost must scale with *state changes*, not with
+//! `queue length x bank count`. Two structures make that true, both
+//! updated incrementally and both invisible in behavior (the property
+//! tests in `tests/sched_equiv_props.rs` assert the indexed decisions
+//! equal a naive full-scan oracle):
+//!
+//! * **Queue indexes** ([`QueueIndex`], one per queue): per-(rank,bank)
+//!   occupancy counters and an open-row *demand map* counting queued
+//!   transactions per `(bank, row)`. Updated on every push and pop.
+//!   Invariants (checked by [`HostMc::assert_index_invariants`]):
+//!   `occ[slot]` equals the number of queued transactions targeting flat
+//!   bank `slot`; `demand[(slot, row)]` equals the number of queued
+//!   transactions targeting exactly `(slot, row)`, with absent keys
+//!   meaning zero. Together they answer "does anything still want this
+//!   open row?" in O(1) (occupancy zero-test first, then one map probe)
+//!   — the FR-FCFS precharge guard and `eager_close` used to rescan
+//!   both queues per bank for this. The oldest-read predictor keeps a
+//!   cache invalidated by the same push/pop hooks.
+//!
+//! * **Epoch memos** (per queued transaction): the planned next command
+//!   and its `ready_at`, keyed on the target rank's
+//!   [`state epoch`](chopim_dram::Rank::epoch). The device model bumps a
+//!   rank's epoch exactly when its `plan_access`/`ready_at` answers may
+//!   change, so a transaction on an untouched rank is judged from two
+//!   integer compares instead of a full timing recomputation. The memo is
+//!   also what makes [`next_event_cycle`](HostMc::next_event_cycle) cheap
+//!   enough to call after every idle tick.
 
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
-use chopim_dram::{Command, CommandKind, Cycle, DataReady, DramAddress, DramSystem, Issuer};
+use chopim_dram::perfcount::{self, Counter};
+use chopim_dram::{
+    Channel, Command, CommandKind, Cycle, DataReady, DramAddress, DramSystem, Issuer,
+};
 
 /// Transaction scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,12 +105,171 @@ pub struct Issued {
     pub completed: Option<HostTransaction>,
 }
 
+/// Epoch sentinel marking a memo as never computed / stale.
+const MEMO_INVALID: u64 = u64::MAX;
+
+/// A queued transaction plus its epoch-keyed timing memo. The memo keeps
+/// only the planned command *kind* — the full command is reconstructed
+/// from the transaction on the rare issue path, keeping the entry small
+/// for the per-cycle scans.
+#[derive(Debug, Clone, Copy)]
+struct QTx {
+    tx: HostTransaction,
+    /// Flat bank slot: `rank * banks_per_rank + bankgroup *
+    /// banks_per_group + bank`.
+    slot: u32,
+    /// Rank epoch under which `memo_kind`/`memo_ready` are exact
+    /// ([`MEMO_INVALID`] = must recompute).
+    memo_epoch: u64,
+    /// Planned next command kind (hit → RD/WR, conflict → PRE, closed →
+    /// ACT).
+    memo_kind: CommandKind,
+    /// Earliest cycle the planned command satisfies every timing
+    /// constraint.
+    memo_ready: Cycle,
+}
+
+impl QTx {
+    fn new(tx: HostTransaction, slot: u32) -> Self {
+        Self {
+            tx,
+            slot,
+            memo_epoch: MEMO_INVALID,
+            memo_kind: CommandKind::Pre,
+            memo_ready: 0,
+        }
+    }
+
+    /// Refresh the memo if the target rank moved since it was computed
+    /// (`epoch` is the rank's current epoch, hoisted by the caller).
+    #[inline]
+    fn ensure_memo_at(&mut self, ch: &Channel, epoch: u64) {
+        if self.memo_epoch == epoch {
+            perfcount::bump(Counter::SchedMemoHit);
+            return;
+        }
+        perfcount::bump(Counter::SchedMemoMiss);
+        let (kind, ready) = ch.plan_kind_and_ready(
+            self.tx.addr.rank,
+            self.tx.addr.bankgroup,
+            self.tx.addr.bank,
+            self.tx.addr.row,
+            self.tx.is_write,
+            Issuer::Host,
+        );
+        self.memo_kind = kind;
+        self.memo_ready = ready;
+        self.memo_epoch = epoch;
+    }
+
+    /// Refresh the memo, reading the rank epoch itself.
+    #[inline]
+    fn ensure_memo(&mut self, ch: &Channel) {
+        self.ensure_memo_at(ch, ch.rank_epoch(self.tx.addr.rank));
+    }
+
+    /// Materialize the memoized plan as a full command.
+    #[inline]
+    fn memo_cmd(&self) -> Command {
+        let a = &self.tx.addr;
+        match self.memo_kind {
+            CommandKind::Rd => Command::rd(a.rank, a.bankgroup, a.bank, a.row, a.col),
+            CommandKind::Wr => Command::wr(a.rank, a.bankgroup, a.bank, a.row, a.col),
+            CommandKind::Pre => Command::pre(a.rank, a.bankgroup, a.bank),
+            _ => Command::act(a.rank, a.bankgroup, a.bank, a.row),
+        }
+    }
+}
+
+/// Multiply-xor hasher for the demand map's already-mixed `u64` keys
+/// (avoids SipHash on the per-push/pop hot path).
+#[derive(Default)]
+struct SlotRowHasher(u64);
+
+impl Hasher for SlotRowHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type DemandMap = HashMap<u64, u32, BuildHasherDefault<SlotRowHasher>>;
+
+/// Incrementally maintained per-(rank,bank) aggregates for one queue.
+#[derive(Debug, Clone, Default)]
+struct QueueIndex {
+    /// `(slot << 32) | row` → number of queued transactions to that row.
+    demand: DemandMap,
+    /// Queued transactions per flat bank slot — the zero test
+    /// short-circuits the demand-map probe for banks nothing targets.
+    occ: Vec<u32>,
+}
+
+impl QueueIndex {
+    fn new(ranks: usize, banks_per_rank: usize) -> Self {
+        Self {
+            demand: DemandMap::default(),
+            occ: vec![0; ranks * banks_per_rank],
+        }
+    }
+
+    #[inline]
+    fn key(slot: u32, row: u32) -> u64 {
+        (u64::from(slot) << 32) | u64::from(row)
+    }
+
+    #[inline]
+    fn on_push(&mut self, slot: u32, row: u32) {
+        *self.demand.entry(Self::key(slot, row)).or_insert(0) += 1;
+        self.occ[slot as usize] += 1;
+    }
+
+    #[inline]
+    fn on_pop(&mut self, slot: u32, row: u32) {
+        match self.demand.entry(Self::key(slot, row)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => {
+                unreachable!("pop of unindexed transaction")
+            }
+        }
+        self.occ[slot as usize] -= 1;
+    }
+
+    /// True when some queued transaction targets exactly `(slot, row)`.
+    /// The occupancy counter answers the common all-clear case without
+    /// touching the map.
+    #[inline]
+    fn wants(&self, slot: u32, row: u32) -> bool {
+        self.occ[slot as usize] > 0 && self.demand.contains_key(&Self::key(slot, row))
+    }
+}
+
 /// Per-channel FR-FCFS host memory controller.
 #[derive(Debug, Clone)]
 pub struct HostMc {
     channel: usize,
-    read_q: VecDeque<HostTransaction>,
-    write_q: VecDeque<HostTransaction>,
+    read_q: VecDeque<QTx>,
+    write_q: VecDeque<QTx>,
+    read_idx: QueueIndex,
+    write_idx: QueueIndex,
     read_cap: usize,
     write_cap: usize,
     drain: bool,
@@ -83,8 +278,13 @@ pub struct HostMc {
     refresh_due: Vec<Cycle>,
     refresh_pending: Vec<bool>,
     banks_per_group: usize,
+    banks_per_rank: usize,
     scheduler: SchedulerKind,
     page_policy: PagePolicy,
+    /// Cached "rank of the oldest queued read" (`None` = recompute); the
+    /// inner value is the predictor answer itself. Invalidated on every
+    /// read-queue mutation.
+    oldest_read: Cell<Option<Option<usize>>>,
     /// Cached wake-up from [`next_event_cycle`](Self::next_event_cycle):
     /// no command can issue before this cycle. Invalidated whenever the
     /// inputs change — a transaction arrives, any command issues, a
@@ -103,7 +303,13 @@ pub struct HostMc {
 
 impl HostMc {
     /// A controller for `channel` with Table II queue sizes (32/32).
-    pub fn new(channel: usize, ranks: usize, banks_per_group: usize, refi: u32) -> Self {
+    pub fn new(
+        channel: usize,
+        ranks: usize,
+        bankgroups: usize,
+        banks_per_group: usize,
+        refi: u32,
+    ) -> Self {
         // Stagger refresh across ranks to avoid synchronized blackouts.
         let refresh_due = (0..ranks)
             .map(|r| {
@@ -114,10 +320,13 @@ impl HostMc {
                 }
             })
             .collect();
+        let banks_per_rank = bankgroups * banks_per_group;
         Self {
             channel,
             read_q: VecDeque::with_capacity(32),
             write_q: VecDeque::with_capacity(32),
+            read_idx: QueueIndex::new(ranks, banks_per_rank),
+            write_idx: QueueIndex::new(ranks, banks_per_rank),
             read_cap: 32,
             write_cap: 32,
             drain: false,
@@ -126,8 +335,10 @@ impl HostMc {
             refresh_due,
             refresh_pending: vec![false; ranks],
             banks_per_group,
+            banks_per_rank,
             scheduler: SchedulerKind::FrFcfs,
             page_policy: PagePolicy::Open,
+            oldest_read: Cell::new(Some(None)),
             wake_hint: None,
             cols_issued: 0,
             row_misses: 0,
@@ -153,6 +364,11 @@ impl HostMc {
         self.page_policy = policy;
     }
 
+    #[inline]
+    fn slot_of(&self, a: &DramAddress) -> u32 {
+        (a.rank * self.banks_per_rank + a.bankgroup * self.banks_per_group + a.bank) as u32
+    }
+
     /// Queue a transaction.
     ///
     /// Launch packets and reads share the read queue (control writes are
@@ -175,37 +391,63 @@ impl HostMc {
         if !self.push_inner(tx) {
             return false;
         }
+        // Pre-fill the freshly pushed entry's memo: the push already
+        // tells us the scheduler will need its plan, and the hint (when
+        // live) needs its ready time anyway.
+        let ch = mem.channel(self.channel);
+        let use_write_q = matches!(tx.meta, TxMeta::CoreWrite);
+        let entry = if use_write_q {
+            self.write_q.back_mut()
+        } else {
+            self.read_q.back_mut()
+        }
+        .expect("just pushed");
+        entry.ensure_memo(ch);
         if let Some(h) = self.wake_hint {
             if h > now {
-                let ch = mem.channel(self.channel);
-                let cmd = ch.plan_access(
-                    tx.addr.rank,
-                    tx.addr.bankgroup,
-                    tx.addr.bank,
-                    tx.addr.row,
-                    tx.addr.col,
-                    tx.is_write,
-                );
-                let ready = ch.ready_at(&cmd, Issuer::Host).unwrap_or(now).max(now);
+                let ready = entry.memo_ready.max(now);
                 self.wake_hint = Some(h.min(ready));
             }
         }
         true
     }
 
-    /// The shared admission rule: queue selection + capacity + enqueue.
+    /// The shared admission rule: queue selection + capacity + enqueue +
+    /// index maintenance.
     fn push_inner(&mut self, tx: HostTransaction) -> bool {
         let use_write_q = matches!(tx.meta, TxMeta::CoreWrite);
-        let (q, cap) = if use_write_q {
-            (&mut self.write_q, self.write_cap)
+        let (q, idx, cap) = if use_write_q {
+            (&mut self.write_q, &mut self.write_idx, self.write_cap)
         } else {
-            (&mut self.read_q, self.read_cap)
+            (&mut self.read_q, &mut self.read_idx, self.read_cap)
         };
         if q.len() >= cap {
             return false;
         }
-        q.push_back(tx);
+        let slot = (tx.addr.rank * self.banks_per_rank
+            + tx.addr.bankgroup * self.banks_per_group
+            + tx.addr.bank) as u32;
+        idx.on_push(slot, tx.addr.row);
+        q.push_back(QTx::new(tx, slot));
+        if !use_write_q {
+            self.oldest_read.set(None);
+        }
         true
+    }
+
+    /// Remove entry `i` from a queue, maintaining the indexes.
+    fn remove_at(&mut self, writes: bool, i: usize) -> HostTransaction {
+        let (q, idx) = if writes {
+            (&mut self.write_q, &mut self.write_idx)
+        } else {
+            (&mut self.read_q, &mut self.read_idx)
+        };
+        let e = q.remove(i).expect("index valid");
+        idx.on_pop(e.slot, e.tx.addr.row);
+        if !writes {
+            self.oldest_read.set(None);
+        }
+        e.tx
     }
 
     /// Drop the cached wake-up because an NDA commanded this channel (its
@@ -238,12 +480,19 @@ impl HostMc {
     }
 
     /// The rank targeted by the oldest queued host *read* — the next-rank
-    /// predictor's input (paper §III-B).
+    /// predictor's input (paper §III-B). Cached; recomputed only after a
+    /// read-queue mutation.
     pub fn oldest_read_rank(&self) -> Option<usize> {
-        self.read_q
+        if let Some(ans) = self.oldest_read.get() {
+            return ans;
+        }
+        let ans = self
+            .read_q
             .iter()
-            .find(|t| !t.is_write)
-            .map(|t| t.addr.rank)
+            .find(|e| !e.tx.is_write)
+            .map(|e| e.tx.addr.rank);
+        self.oldest_read.set(Some(ans));
+        ans
     }
 
     /// Column commands that hit an already-open row (columns minus ACTs).
@@ -251,8 +500,38 @@ impl HostMc {
         self.cols_issued.saturating_sub(self.row_misses)
     }
 
-    fn flat(&self, a: &DramAddress) -> (usize, usize) {
-        (a.bankgroup, a.bank)
+    /// Validate every index invariant against a full queue recount
+    /// (test/debug aid; O(queue x banks)).
+    #[doc(hidden)]
+    pub fn assert_index_invariants(&self) {
+        for (q, idx) in [
+            (&self.read_q, &self.read_idx),
+            (&self.write_q, &self.write_idx),
+        ] {
+            let mut demand: HashMap<u64, u32> = HashMap::new();
+            let mut occ = vec![0u32; idx.occ.len()];
+            for e in q {
+                let slot = self.slot_of(&e.tx.addr);
+                assert_eq!(slot, e.slot, "stale slot");
+                *demand
+                    .entry(QueueIndex::key(slot, e.tx.addr.row))
+                    .or_insert(0) += 1;
+                occ[slot as usize] += 1;
+            }
+            assert_eq!(occ, idx.occ, "occupancy counters diverged");
+            assert_eq!(demand.len(), idx.demand.len(), "demand key sets diverged");
+            for (k, v) in &demand {
+                assert_eq!(idx.demand.get(k), Some(v), "demand count diverged");
+            }
+        }
+        if let Some(cached) = self.oldest_read.get() {
+            let fresh = self
+                .read_q
+                .iter()
+                .find(|e| !e.tx.is_write)
+                .map(|e| e.tx.addr.rank);
+            assert_eq!(cached, fresh, "oldest-read cache diverged");
+        }
     }
 
     /// Dump queue entries with bank state and readiness (debugging aid).
@@ -265,9 +544,10 @@ impl HostMc {
             self.drain, self.refresh_pending, self.refresh_due
         );
         for (name, q) in [("R", &self.read_q), ("W", &self.write_q)] {
-            for tx in q.iter() {
+            for e in q.iter() {
+                let tx = &e.tx;
                 let (bg, bk) = (tx.addr.bankgroup, tx.addr.bank);
-                let bank = mem.channel(self.channel).rank(tx.addr.rank).bank(bg, bk);
+                let bank = mem.channel(self.channel).bank(tx.addr.rank, bg, bk);
                 let cmd = if tx.is_write {
                     Command::wr(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
                 } else {
@@ -306,6 +586,7 @@ impl HostMc {
                 return h;
             }
         }
+        perfcount::bump(Counter::HorizonScans);
         let ch = mem.channel(self.channel);
         let mut h = Cycle::MAX;
         // Refresh: an armed timer fires at its due cycle; a pending
@@ -313,7 +594,7 @@ impl HostMc {
         if mem.config().timing.refresh_enabled() {
             for rank in 0..self.refresh_due.len() {
                 if self.refresh_pending[rank] {
-                    let cmd = if ch.rank(rank).all_banks_closed() {
+                    let cmd = if ch.all_banks_closed(rank) {
                         Command::ref_ab(rank)
                     } else {
                         Command::pre_all(rank)
@@ -330,7 +611,7 @@ impl HostMc {
         // precharged; any open bank is a conservative wake-up candidate.
         if self.page_policy == PagePolicy::Closed {
             for rank in 0..mem.config().ranks_per_channel {
-                for (flat, bank) in ch.rank(rank).banks().iter().enumerate() {
+                for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
                     if bank.open_row().is_some() {
                         let cmd = Command::pre(
                             rank,
@@ -348,21 +629,12 @@ impl HostMc {
         // transaction satisfies timing (ranks preparing a refresh are
         // skipped by the scheduler until the refresh issues, which is an
         // event of its own).
-        for tx in self.read_q.iter().chain(self.write_q.iter()) {
-            if self.refresh_pending[tx.addr.rank] {
+        for e in self.read_q.iter_mut().chain(self.write_q.iter_mut()) {
+            if self.refresh_pending[e.tx.addr.rank] {
                 continue;
             }
-            let cmd = ch.plan_access(
-                tx.addr.rank,
-                tx.addr.bankgroup,
-                tx.addr.bank,
-                tx.addr.row,
-                tx.addr.col,
-                tx.is_write,
-            );
-            if let Some(r) = ch.ready_at(&cmd, Issuer::Host) {
-                h = h.min(r);
-            }
+            e.ensure_memo(ch);
+            h = h.min(e.memo_ready);
             if h <= now {
                 return now;
             }
@@ -396,7 +668,7 @@ impl HostMc {
                 continue;
             }
             let refi = Cycle::from(mem.config().timing.refi);
-            if mem.channel(self.channel).rank(rank).all_banks_closed() {
+            if mem.channel(self.channel).all_banks_closed(rank) {
                 let cmd = Command::ref_ab(rank);
                 if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
                     let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
@@ -455,82 +727,121 @@ impl HostMc {
     }
 
     /// Precharge one bank whose open row no queued transaction wants.
+    /// The demand maps answer "is this row still wanted?" in O(1).
     fn eager_close(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
         let ranks = mem.config().ranks_per_channel;
         for rank in 0..ranks {
-            for bg in 0..mem.config().bankgroups {
-                for bk in 0..mem.config().banks_per_group {
-                    let bank = mem.channel(self.channel).rank(rank).bank(bg, bk);
-                    let Some(open) = bank.open_row() else {
-                        continue;
-                    };
-                    let wanted = self.read_q.iter().chain(self.write_q.iter()).any(|t| {
-                        t.addr.rank == rank
-                            && t.addr.bankgroup == bg
-                            && t.addr.bank == bk
-                            && t.addr.row == open
-                    });
-                    if wanted {
-                        continue;
-                    }
-                    let cmd = Command::pre(rank, bg, bk);
-                    if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                        let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
-                        return Some(Issued {
-                            cmd,
-                            data,
-                            completed: None,
-                        });
-                    }
+            let ch = mem.channel(self.channel);
+            let mut found: Option<Command> = None;
+            for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
+                let Some(open) = bank.open_row() else {
+                    continue;
+                };
+                let slot = (rank * self.banks_per_rank + flat) as u32;
+                if self.read_idx.wants(slot, open) || self.write_idx.wants(slot, open) {
+                    continue;
                 }
+                let cmd = Command::pre(
+                    rank,
+                    flat / self.banks_per_group,
+                    flat % self.banks_per_group,
+                );
+                if ch.can_issue(&cmd, Issuer::Host, now) {
+                    found = Some(cmd);
+                    break;
+                }
+            }
+            if let Some(cmd) = found {
+                let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+                return Some(Issued {
+                    cmd,
+                    data,
+                    completed: None,
+                });
             }
         }
         None
     }
 
     fn schedule(&mut self, mem: &mut DramSystem, now: Cycle, writes: bool) -> Option<Issued> {
-        let q = if writes { &self.write_q } else { &self.read_q };
+        let ch = mem.channel(self.channel);
+        let q = if writes {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
         if q.is_empty() {
             return None;
         }
-        // Pass 1: oldest row hit (FR-FCFS); strict FCFS only ever looks
-        // at the queue head.
+        // Host commands share the external C/A bus: when it already
+        // carried one this cycle nothing below can issue (identical to
+        // the per-candidate `can_issue` answers, checked once).
+        if ch.cmd_bus_busy(now) {
+            return None;
+        }
+        perfcount::bump(Counter::SchedPasses);
+        // One fused scan implements both FR-FCFS passes: a row *hit*
+        // anywhere in the horizon beats a row command (ACT/PRE) earlier in
+        // it, so the scan runs in age order remembering the first ready
+        // row command and stops at the first ready hit. A transaction
+        // whose memoized plan is a column command *is* a row hit, so each
+        // entry costs two integer compares while its target rank is
+        // unchanged. Strict FCFS only ever looks at the queue head.
         let horizon = match self.scheduler {
             SchedulerKind::FrFcfs => q.len(),
             SchedulerKind::Fcfs => 1,
         };
+        let idx = if writes {
+            &self.write_idx
+        } else {
+            &self.read_idx
+        };
+        let any_refresh = self.refresh_pending.iter().any(|&p| p);
         let mut hit_idx: Option<usize> = None;
-        for (i, tx) in q.iter().take(horizon).enumerate() {
-            if self.refresh_pending[tx.addr.rank] {
+        // First age-ordered ready row command (`is_act` distinguishes ACT
+        // from PRE for the miss statistics). A conflicting row is only
+        // precharged when no other transaction *in the served queue*
+        // still hits it (the demand map answers that in O(1); considering
+        // the other queue here can deadlock: reads would defer to a write
+        // hit that is never served while reads are pending). Strict FCFS
+        // sees only the queue head, which — being the conflicting
+        // transaction itself — never holds its own row open.
+        let mut row_pick: Option<(Command, bool)> = None;
+        for (i, e) in q.iter_mut().take(horizon).enumerate() {
+            perfcount::bump(Counter::SchedEntriesScanned);
+            if any_refresh && self.refresh_pending[e.tx.addr.rank] {
                 continue;
             }
-            let (bg, bk) = self.flat(&tx.addr);
-            let bank = mem.channel(self.channel).rank(tx.addr.rank).bank(bg, bk);
-            if bank.is_row_hit(tx.addr.row) {
-                let cmd = if tx.is_write {
-                    Command::wr(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
-                } else {
-                    Command::rd(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
-                };
-                if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    hit_idx = Some(i);
-                    break;
+            e.ensure_memo_at(ch, ch.rank_epoch(e.tx.addr.rank));
+            match e.memo_kind {
+                CommandKind::Rd | CommandKind::Wr => {
+                    if e.memo_ready <= now {
+                        hit_idx = Some(i);
+                        break;
+                    }
                 }
+                CommandKind::Act => {
+                    if row_pick.is_none() && e.memo_ready <= now {
+                        row_pick = Some((e.memo_cmd(), true));
+                    }
+                }
+                CommandKind::Pre => {
+                    if row_pick.is_none() && e.memo_ready <= now {
+                        let open = ch
+                            .bank(e.tx.addr.rank, e.tx.addr.bankgroup, e.tx.addr.bank)
+                            .open_row()
+                            .expect("conflict implies open row");
+                        if !(self.scheduler == SchedulerKind::FrFcfs && idx.wants(e.slot, open)) {
+                            row_pick = Some((e.memo_cmd(), false));
+                        }
+                    }
+                }
+                _ => unreachable!("plan is always ACT/PRE/RD/WR"),
             }
         }
         if let Some(i) = hit_idx {
-            let q = if writes {
-                &mut self.write_q
-            } else {
-                &mut self.read_q
-            };
-            let tx = q.remove(i).expect("index valid");
-            let (bg, bk) = (tx.addr.bankgroup, tx.addr.bank);
-            let cmd = if tx.is_write {
-                Command::wr(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
-            } else {
-                Command::rd(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
-            };
+            let cmd = q[i].memo_cmd();
+            let tx = self.remove_at(writes, i);
             let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
             self.cols_issued += 1;
             if !tx.is_write {
@@ -543,54 +854,16 @@ impl HostMc {
                 completed: Some(tx),
             });
         }
-
-        // Precompute banks with a pending hit on their open row, so we
-        // never precharge a row another transaction *in the served queue*
-        // still wants. (Considering the other queue here can deadlock:
-        // reads would defer to a write hit that is never served while
-        // reads are pending.)
-        let ranks = mem.config().ranks_per_channel;
-        let banks = mem.config().banks_per_rank();
-        let q = if writes { &self.write_q } else { &self.read_q };
-        let mut keep_open = vec![false; ranks * banks];
-        for tx in q.iter().take(horizon) {
-            let (bg, bk) = self.flat(&tx.addr);
-            let bank = mem.channel(self.channel).rank(tx.addr.rank).bank(bg, bk);
-            if bank.is_row_hit(tx.addr.row) {
-                keep_open[tx.addr.rank * banks + bg * self.banks_per_group + bk] = true;
+        if let Some((cmd, is_act)) = row_pick {
+            let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+            if is_act {
+                self.row_misses += 1;
             }
-        }
-
-        // Pass 2: oldest transaction, open its row (ACT) or clear a dead
-        // row (PRE).
-        let q = if writes { &self.write_q } else { &self.read_q };
-        for tx in q.iter().take(horizon) {
-            if self.refresh_pending[tx.addr.rank] {
-                continue;
-            }
-            let (bg, bk) = self.flat(&tx.addr);
-            let bank = mem.channel(self.channel).rank(tx.addr.rank).bank(bg, bk);
-            let cmd = match bank.open_row() {
-                None => Command::act(tx.addr.rank, bg, bk, tx.addr.row),
-                Some(r) if r != tx.addr.row => {
-                    if keep_open[tx.addr.rank * banks + bg * self.banks_per_group + bk] {
-                        continue; // another tx will hit this row first
-                    }
-                    Command::pre(tx.addr.rank, bg, bk)
-                }
-                Some(_) => continue, // row already open; col blocked on timing
-            };
-            if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
-                if cmd.kind == CommandKind::Act {
-                    self.row_misses += 1;
-                }
-                return Some(Issued {
-                    cmd,
-                    data,
-                    completed: None,
-                });
-            }
+            return Some(Issued {
+                cmd,
+                data,
+                completed: None,
+            });
         }
         None
     }
@@ -606,6 +879,7 @@ mod tests {
         let mc = HostMc::new(
             0,
             cfg.ranks_per_channel,
+            cfg.bankgroups,
             cfg.banks_per_group,
             cfg.timing.refi,
         );
@@ -688,6 +962,7 @@ mod tests {
         assert_eq!(cols, vec![5, 5, 9]);
         assert_eq!(mc.row_hits(), 1, "second row-5 access is the hit");
         assert_eq!(mc.row_misses, 2);
+        mc.assert_index_invariants();
     }
 
     #[test]
@@ -712,6 +987,7 @@ mod tests {
             }
         }
         assert!(writes_done >= 30 - 8, "drained {writes_done}");
+        mc.assert_index_invariants();
     }
 
     #[test]
@@ -723,6 +999,7 @@ mod tests {
         assert!(!mc.try_push(read_tx(0, 0, 0, 99, 0, 0)));
         // Write queue is separate.
         assert!(mc.try_push(write_tx(0, 0, 0, 0)));
+        mc.assert_index_invariants();
     }
 
     #[test]
@@ -742,6 +1019,7 @@ mod tests {
         assert_eq!(mc.oldest_read_rank(), None);
         assert!(mc.try_push(read_tx(1, 0, 0, 5, 0, 1)));
         assert_eq!(mc.oldest_read_rank(), Some(1));
+        mc.assert_index_invariants();
     }
 
     #[test]
@@ -751,6 +1029,7 @@ mod tests {
         let mut mc = HostMc::new(
             0,
             cfg.ranks_per_channel,
+            cfg.bankgroups,
             cfg.banks_per_group,
             cfg.timing.refi,
         );
@@ -817,7 +1096,7 @@ mod tests {
             }
         }
         assert!(closed, "closed-page policy must precharge the idle row");
-        assert!(mem.channel(0).rank(0).all_banks_closed());
+        assert!(mem.channel(0).all_banks_closed(0));
     }
 
     #[test]

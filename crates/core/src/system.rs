@@ -161,6 +161,14 @@ pub struct ChopimSystem {
     /// Ticks to run before consulting the horizon again (busy-phase
     /// backoff; purely a heuristic — executing a cycle is always sound).
     ff_backoff: u32,
+    /// Per-channel wake-hint throttles: idle MC ticks to let pass before
+    /// computing another wake hint. When a saturated controller's hints
+    /// keep landing on the very next cycle, the scan cannot pay for
+    /// itself — back off exponentially and retry; a productive hint
+    /// resets the throttle. Heuristic only: skipping a hint computation
+    /// just means the naive tick runs, which is always sound.
+    mc_hint_backoff: Vec<u32>,
+    mc_hint_penalty: Vec<u32>,
     finalized: bool,
 }
 
@@ -236,6 +244,7 @@ impl ChopimSystem {
                 let mut mc = HostMc::new(
                     c,
                     cfg.dram.ranks_per_channel,
+                    cfg.dram.bankgroups,
                     cfg.dram.banks_per_group,
                     cfg.dram.timing.refi,
                 );
@@ -255,6 +264,7 @@ impl ChopimSystem {
             .map(|_| NdaFsm::new(cfg.nda_queue_cap))
             .collect();
         let n = ndas.len();
+        let nchannels = cfg.dram.channels;
         let mut nda_index = vec![None; cfg.dram.channels * cfg.dram.ranks_per_channel];
         for (i, &(c, r)) in nda_ranks.iter().enumerate() {
             nda_index[c * cfg.dram.ranks_per_channel + r] = Some(i);
@@ -288,6 +298,8 @@ impl ChopimSystem {
             cycles_skipped: 0,
             ff_streak: 0,
             ff_backoff: 0,
+            mc_hint_backoff: vec![0; nchannels],
+            mc_hint_penalty: vec![0; nchannels],
             finalized: false,
         }
     }
@@ -481,19 +493,38 @@ impl ChopimSystem {
                 }
             }
             let issued = self.mcs[ch].tick(&mut self.mem, now);
-            if issued.is_none() && self.cfg.fast_forward && self.ff_backoff == 0 {
-                // Idle tick outside a busy streak: compute and cache the
-                // wake-up so the following no-op ticks are skipped
-                // outright. During busy streaks (`ff_backoff > 0`) the
-                // scan would rarely pay for itself.
-                let _ = self.mcs[ch].next_event_cycle(&self.mem, now);
+            if issued.is_none() && self.cfg.fast_forward {
+                // Idle tick: compute and cache the wake-up so the
+                // following no-op ticks are skipped outright — unless this
+                // channel's recent hints all expired immediately (a
+                // saturated controller is ready again within a cycle or
+                // two), in which case back off before scanning again.
+                if self.mc_hint_backoff[ch] > 0 {
+                    self.mc_hint_backoff[ch] -= 1;
+                } else {
+                    let h = self.mcs[ch].next_event_cycle(&self.mem, now);
+                    if h <= now + 1 {
+                        let p = (self.mc_hint_penalty[ch] * 2).clamp(2, 32);
+                        self.mc_hint_penalty[ch] = p;
+                        self.mc_hint_backoff[ch] = p;
+                    } else {
+                        self.mc_hint_penalty[ch] = 0;
+                    }
+                }
             }
             if let Some(iss) = issued {
-                // A host command changed its target rank's timing/bank
-                // state; the rank's NDA must re-derive its wake-up.
-                let slot = ch * self.cfg.dram.ranks_per_channel + iss.cmd.rank;
-                if let Some(i) = self.nda_index[slot] {
-                    self.ndas[i].invalidate_hint();
+                // A host *row* command (ACT/PRE/PREA/REF) changed its
+                // target rank's bank state: the rank's NDA plan may have
+                // changed shape and become ready *earlier*, so its cached
+                // wake-up must be re-derived. Column commands only push
+                // timing registers forward — they can delay the NDA but
+                // never make it ready sooner, so the (conservative) hint
+                // stays sound and survives the host's column stream.
+                if !matches!(iss.cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                    let slot = ch * self.cfg.dram.ranks_per_channel + iss.cmd.rank;
+                    if let Some(i) = self.nda_index[slot] {
+                        self.ndas[i].invalidate_hint();
+                    }
                 }
                 if let Issued {
                     data,
@@ -559,24 +590,39 @@ impl ChopimSystem {
                         }
                     }
                 }
+                let poked = nda_poke[i];
                 nda_poke[i] = false;
                 let (ch, rank) = (ndas[i].channel(), ndas[i].rank());
                 let oldest = mcs[ch].oldest_read_rank();
                 let policy = cfg.policy;
                 let rng = &mut *policy_rng;
                 let result = ndas[i].tick(mem, now, || policy.allow_write(oldest, rank, rng));
-                if matches!(result, NdaTickResult::Issued(_)) {
-                    // The NDA touched its rank: host wake-up caches on
-                    // this channel are stale.
-                    mcs[ch].invalidate_wake_hint();
+                if let NdaTickResult::Issued(cmd) = result {
+                    // An NDA *row* command changed bank state under the
+                    // host scheduler: a queued transaction's plan may now
+                    // be ready earlier than the cached wake-up assumed.
+                    // NDA column commands only move timing registers
+                    // forward (pure delay), so the host hint stays sound
+                    // and survives the NDA's column stream.
+                    if !matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                        mcs[ch].invalidate_wake_hint();
+                    }
                 }
-                // Mirror onto the host-side shadow FSM: identical peek
-                // (write absorption) and, for column grants, identical
-                // commit plus re-normalization.
-                let want = shadows[i].next_access();
+                // Mirror onto the host-side shadow FSM. The controller
+                // re-derives its desired access (normalizing FSM state)
+                // exactly on launch-poke cycles and after column grants;
+                // the shadow performs the same `next_access` calls at the
+                // same points — anything more frequent is redundant
+                // (`next_access` is idempotent between grants), anything
+                // less would let the fingerprints drift.
+                if poked {
+                    let _ = shadows[i].next_access();
+                }
                 if let NdaTickResult::Issued(cmd) = result {
                     if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
-                        let acc = want.expect("shadow must want an access too");
+                        let acc = shadows[i]
+                            .next_access()
+                            .expect("shadow must want an access too");
                         debug_assert_eq!(
                             (acc.write, acc.row, acc.col),
                             (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
@@ -777,8 +823,11 @@ impl ChopimSystem {
                     .deterministic_decision(oldest, self.ndas[i].rank());
                 if decision == Some(false) {
                     // The naive loop evaluates (and counts) the throttled
-                    // attempt each cycle its timing hint does not cover.
-                    let from = self.ndas[i].ready_hint().unwrap_or(0).max(self.now);
+                    // attempt each cycle timing allows the write. The
+                    // cached `ready_hint` is only a lower bound (host
+                    // column traffic may have delayed the access without
+                    // clearing it), so recompute the exact ready time.
+                    let from = self.ndas[i].next_event_cycle(&self.mem, self.now);
                     self.ndas[i].write_throttle_stalls += target.saturating_sub(from);
                 }
             }

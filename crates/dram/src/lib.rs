@@ -33,6 +33,7 @@ pub mod channel;
 pub mod checker;
 pub mod command;
 pub mod config;
+pub mod perfcount;
 pub mod rank;
 pub mod stats;
 pub mod system;
@@ -44,7 +45,7 @@ pub use channel::Channel;
 pub use checker::{CheckError, TimingChecker};
 pub use command::{Command, CommandKind, Issuer};
 pub use config::DramConfig;
-pub use rank::Rank;
+pub use rank::{BankGroupTiming, Rank};
 pub use stats::{DramStats, IdleBucket, IdleHistogram, RankStats};
 pub use system::{DataReady, DramSystem, IssueError};
 pub use timing::TimingParams;

@@ -1,0 +1,129 @@
+//! Lightweight simulator-cost counters, compiled in only under the
+//! `perf-counters` cargo feature.
+//!
+//! These count *simulator work* (scheduler scans, timing recomputations,
+//! memo hits), not simulated-machine events — they exist so a throughput
+//! regression on the perf harness can be attributed to a specific hot
+//! path. `chopim-perf --verbose` prints them per scenario when built with
+//! `--features perf-counters`; without the feature every call compiles to
+//! nothing.
+//!
+//! The counters are process-global relaxed atomics: the perf harness runs
+//! scenarios serially, so a reset/snapshot pair brackets one run.
+
+/// True when the crate was built with the `perf-counters` feature.
+pub const ENABLED: bool = cfg!(feature = "perf-counters");
+
+/// One attributable unit of simulator work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Fresh `ready_at` timing computations (memo misses land here too).
+    ReadyAt,
+    /// `plan_access` bank-state lookups.
+    PlanAccess,
+    /// Host-scheduler candidate passes (`HostMc::schedule` invocations).
+    SchedPasses,
+    /// Queue entries examined across all host-scheduler passes.
+    SchedEntriesScanned,
+    /// Host-scheduler memo hits (queued tx judged from a cached
+    /// `(plan, ready_at)` without touching the device model).
+    SchedMemoHit,
+    /// Host-scheduler memo misses (epoch moved; plan+ready recomputed).
+    SchedMemoMiss,
+    /// Controller wake-up/horizon scans (`next_event_cycle` bodies).
+    HorizonScans,
+    /// NDA-controller memo hits.
+    NdaMemoHit,
+    /// NDA-controller memo misses.
+    NdaMemoMiss,
+}
+
+/// Counter labels, index-aligned with [`Counter`].
+pub const LABELS: [&str; 9] = [
+    "ready_at_calls",
+    "plan_access_calls",
+    "sched_passes",
+    "sched_entries_scanned",
+    "sched_memo_hits",
+    "sched_memo_misses",
+    "horizon_scans",
+    "nda_memo_hits",
+    "nda_memo_misses",
+];
+
+#[cfg(feature = "perf-counters")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static COUNTERS: [AtomicU64; 9] = [const { AtomicU64::new(0) }; 9];
+
+    #[inline(always)]
+    pub fn bump(c: super::Counter) {
+        COUNTERS[c as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn add(c: super::Counter, n: u64) {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Count one unit of `c`. No-op without the feature.
+#[inline(always)]
+pub fn bump(c: Counter) {
+    #[cfg(feature = "perf-counters")]
+    imp::bump(c);
+    #[cfg(not(feature = "perf-counters"))]
+    let _ = c;
+}
+
+/// Count `n` units of `c`. No-op without the feature.
+#[inline(always)]
+pub fn add(c: Counter, n: u64) {
+    #[cfg(feature = "perf-counters")]
+    imp::add(c, n);
+    #[cfg(not(feature = "perf-counters"))]
+    let _ = (c, n);
+}
+
+/// Zero every counter.
+pub fn reset() {
+    #[cfg(feature = "perf-counters")]
+    for c in &imp::COUNTERS {
+        c.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Snapshot `(label, value)` for every counter; empty without the feature.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    #[cfg(feature = "perf-counters")]
+    {
+        LABELS
+            .iter()
+            .zip(&imp::COUNTERS)
+            .map(|(&l, c)| (l, c.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect()
+    }
+    #[cfg(not(feature = "perf-counters"))]
+    Vec::new()
+}
+
+#[cfg(all(test, feature = "perf-counters"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot_roundtrip() {
+        reset();
+        bump(Counter::ReadyAt);
+        add(Counter::SchedEntriesScanned, 3);
+        let snap = snapshot();
+        assert_eq!(snap[Counter::ReadyAt as usize], ("ready_at_calls", 1));
+        assert_eq!(
+            snap[Counter::SchedEntriesScanned as usize],
+            ("sched_entries_scanned", 3)
+        );
+        reset();
+    }
+}

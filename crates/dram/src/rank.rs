@@ -1,10 +1,13 @@
-//! Per-rank state: banks, bank-group and rank-scope timing registers,
-//! the four-activate window, and refresh bookkeeping.
+//! Per-rank state: rank-scope timing registers, the four-activate window,
+//! refresh bookkeeping, and the state epoch that keys timing memoization.
+//!
+//! Bank and bank-group state lives in contiguous per-channel arrays on
+//! [`crate::Channel`] (better cache locality for the schedulers' hot
+//! loops); a `Rank` holds only the registers that are scoped to the whole
+//! rank.
 
 use std::collections::VecDeque;
 
-use crate::bank::Bank;
-use crate::config::DramConfig;
 use crate::Cycle;
 
 /// Timing registers scoped to one bank group (the `_L` constraints).
@@ -18,13 +21,10 @@ pub struct BankGroupTiming {
     pub next_act: Cycle,
 }
 
-/// One physical rank: a set of banks that share command timing at rank
-/// scope (`_S` constraints, tFAW, refresh).
-#[derive(Debug, Clone)]
+/// One physical rank: the registers shared by every bank in the rank
+/// (`_S` constraints, tFAW, refresh), plus the memoization epoch.
+#[derive(Debug, Clone, Default)]
 pub struct Rank {
-    banks: Vec<Bank>,
-    bankgroups: Vec<BankGroupTiming>,
-    banks_per_group: usize,
     /// Earliest RD at rank scope — *internal* DRAM-die constraints
     /// (tCCD_S, tWTR_S, read/write turnaround on the die I/O). Shared by
     /// host and NDA accesses: the rank cannot serve both at once.
@@ -50,69 +50,40 @@ pub struct Rank {
     pub refresh_done_at: Cycle,
     /// Number of all-bank refreshes performed.
     pub refreshes: u64,
+    /// State epoch: bumped by [`crate::Channel::apply`] whenever a command
+    /// can change the outcome of `ready_at`/`plan_access` for a *host*
+    /// access to this rank (every command to the rank, plus host column
+    /// commands anywhere on the channel, whose external-bus constraints
+    /// reach every rank). While a rank's epoch is unchanged, any memoized
+    /// `(plan_access, ready_at)` for a host access to that rank remains
+    /// exact.
+    pub(crate) epoch: u64,
+    /// Like `epoch`, but for *NDA* accesses: NDA reads/writes never touch
+    /// the external bus, so commands to other ranks (whose only reach is
+    /// `ext_next_rd`/`ext_next_wr`) leave this epoch alone. Bumped only by
+    /// commands addressed to this rank.
+    pub(crate) nda_epoch: u64,
 }
 
 impl Rank {
-    /// Build a rank for `config`'s geometry.
-    pub fn new(config: &DramConfig) -> Self {
+    /// A fresh rank with no timing debt.
+    pub fn new() -> Self {
         Self {
-            banks: (0..config.banks_per_rank()).map(|_| Bank::new()).collect(),
-            bankgroups: (0..config.bankgroups)
-                .map(|_| BankGroupTiming::default())
-                .collect(),
-            banks_per_group: config.banks_per_group,
-            next_rd: 0,
-            next_wr: 0,
-            next_act: 0,
-            ext_next_rd: 0,
-            ext_next_wr: 0,
-            last_host_cmd_at: None,
-            last_nda_cmd_at: None,
             faw_window: VecDeque::with_capacity(4),
-            refresh_done_at: 0,
-            refreshes: 0,
+            ..Self::default()
         }
     }
 
-    /// Access a bank by (bankgroup, bank-in-group).
+    /// The host-access memoization epoch (see the field docs).
     #[inline]
-    pub fn bank(&self, bankgroup: usize, bank: usize) -> &Bank {
-        &self.banks[bankgroup * self.banks_per_group + bank]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Mutable access to a bank by (bankgroup, bank-in-group).
+    /// The NDA-access memoization epoch (see the field docs).
     #[inline]
-    pub fn bank_mut(&mut self, bankgroup: usize, bank: usize) -> &mut Bank {
-        &mut self.banks[bankgroup * self.banks_per_group + bank]
-    }
-
-    /// All banks, flat-indexed.
-    #[inline]
-    pub fn banks(&self) -> &[Bank] {
-        &self.banks
-    }
-
-    /// All banks, flat-indexed, mutable.
-    #[inline]
-    pub fn banks_mut(&mut self) -> &mut [Bank] {
-        &mut self.banks
-    }
-
-    /// Bank-group timing registers.
-    #[inline]
-    pub fn bankgroup_timing(&self, bankgroup: usize) -> &BankGroupTiming {
-        &self.bankgroups[bankgroup]
-    }
-
-    /// Bank-group timing registers, mutable.
-    #[inline]
-    pub fn bankgroup_timing_mut(&mut self, bankgroup: usize) -> &mut BankGroupTiming {
-        &mut self.bankgroups[bankgroup]
-    }
-
-    /// True when every bank in the rank is precharged (refresh precondition).
-    pub fn all_banks_closed(&self) -> bool {
-        self.banks.iter().all(|b| b.open_row().is_none())
+    pub fn nda_epoch(&self) -> u64 {
+        self.nda_epoch
     }
 
     /// Earliest cycle at which a new ACT satisfies the four-activate window.
@@ -151,15 +122,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn geometry() {
-        let r = Rank::new(&DramConfig::table_ii());
-        assert_eq!(r.banks().len(), 16);
-        assert!(r.all_banks_closed());
-    }
-
-    #[test]
     fn faw_window_tracks_last_four() {
-        let mut r = Rank::new(&DramConfig::table_ii());
+        let mut r = Rank::new();
         let faw = 26;
         assert_eq!(r.faw_ready_at(faw), 0);
         for t in [10, 20, 30] {
@@ -171,13 +135,5 @@ mod tests {
         r.record_act(50);
         // Window slides: oldest is now 20.
         assert_eq!(r.faw_ready_at(faw), 20 + 26);
-    }
-
-    #[test]
-    fn bank_addressing_is_group_major() {
-        let mut r = Rank::new(&DramConfig::table_ii());
-        r.bank_mut(3, 1).do_activate(5);
-        assert_eq!(r.banks()[3 * 4 + 1].open_row(), Some(5));
-        assert!(!r.all_banks_closed());
     }
 }

@@ -35,10 +35,10 @@ fn gen_cmd(rng: &mut StdRng, mem: &DramSystem, cfg: &DramConfig) -> (Command, Is
     } else {
         Issuer::Nda
     };
-    let open = mem.channel(0).rank(rank).bank(bg, bank).open_row();
+    let open = mem.channel(0).bank(rank, bg, bank).open_row();
     let cmd = match (open, rng.gen_range(0..4u32)) {
         // Refresh requires every bank in the rank closed.
-        (_, 0) if mem.channel(0).rank(rank).all_banks_closed() => Command::ref_ab(rank),
+        (_, 0) if mem.channel(0).all_banks_closed(rank) => Command::ref_ab(rank),
         (Some(row), 1) => Command::rd(rank, bg, bank, row, rng.gen_range(0..4)),
         (Some(row), 2) => Command::wr(rank, bg, bank, row, rng.gen_range(0..4)),
         (Some(_), _) => Command::pre(rank, bg, bank),

@@ -38,8 +38,7 @@ fn random_trace(seed: u64, cycles: u64, cfg: &DramConfig, with_nda: bool) -> Vec
             CommandKind::Rd => {
                 let open = mem
                     .channel(0)
-                    .rank(rank)
-                    .bank(bg, bank)
+                    .bank(rank, bg, bank)
                     .open_row()
                     .unwrap_or(row);
                 Command::rd(rank, bg, bank, open, col)
@@ -47,8 +46,7 @@ fn random_trace(seed: u64, cycles: u64, cfg: &DramConfig, with_nda: bool) -> Vec
             CommandKind::Wr => {
                 let open = mem
                     .channel(0)
-                    .rank(rank)
-                    .bank(bg, bank)
+                    .bank(rank, bg, bank)
                     .open_row()
                     .unwrap_or(row);
                 Command::wr(rank, bg, bank, open, col)
@@ -155,7 +153,7 @@ proptest! {
             let bg = rng.gen_range(0..cfg.bankgroups);
             let bank = rng.gen_range(0..cfg.banks_per_group);
             let issuer = if rng.gen_bool(0.5) { Issuer::Host } else { Issuer::Nda };
-            let open = mem.channel(0).rank(rank).bank(bg, bank).open_row();
+            let open = mem.channel(0).bank(rank, bg, bank).open_row();
             let cmd = match (open, rng.gen_bool(0.5)) {
                 (Some(row), true) => Command::rd(rank, bg, bank, row, 0),
                 (Some(_), false) => Command::pre(rank, bg, bank),

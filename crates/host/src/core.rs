@@ -7,7 +7,7 @@
 //! and the bursty rank-idle structure of Fig. 2 all emerge from the window
 //! mechanics — which is what the Chopim mechanisms interact with.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,7 +69,9 @@ pub struct OooCore {
     rng: StdRng,
     rob: VecDeque<RobSlot>,
     rob_occupancy: usize,
-    filled: HashSet<u64>,
+    /// Returned fills not yet retired. Bounded by the MSHR count (~12),
+    /// so a flat vector beats hashing on the per-cycle retire path.
+    filled: Vec<u64>,
     outstanding: usize,
     next_id: u64,
     until_next_miss: u64,
@@ -94,7 +96,7 @@ impl OooCore {
             rng,
             rob: VecDeque::with_capacity(64),
             rob_occupancy: 0,
-            filled: HashSet::new(),
+            filled: Vec::new(),
             outstanding: 0,
             next_id: 0,
             until_next_miss: first_gap,
@@ -158,8 +160,8 @@ impl OooCore {
                 }
                 Some(RobSlot::Miss { id }) => {
                     let id = *id;
-                    if self.filled.contains(&id) {
-                        self.filled.remove(&id);
+                    if let Some(pos) = self.filled.iter().position(|&f| f == id) {
+                        self.filled.swap_remove(pos);
                         self.rob.pop_front();
                         self.rob_occupancy -= 1;
                         self.retired += 1;
@@ -268,8 +270,8 @@ impl OooCore {
 
     /// Deliver the fill for read request `id`.
     pub fn fill(&mut self, id: u64) {
-        let inserted = self.filled.insert(id);
-        debug_assert!(inserted, "duplicate fill for id {id}");
+        debug_assert!(!self.filled.contains(&id), "duplicate fill for id {id}");
+        self.filled.push(id);
         debug_assert!(self.outstanding > 0);
         self.outstanding -= 1;
     }

@@ -6,11 +6,26 @@
 //! throttling hook of paper §III-B). It shares the channel's bank/timing
 //! state with the host controller — in hardware via the replicated FSMs,
 //! in the simulator via the common [`DramSystem`].
+//!
+//! Two memos keep the per-cycle cost at "two integer compares" while
+//! nothing changes:
+//!
+//! * the desired access is cached between grants
+//!   ([`NdaFsm::next_access`] is idempotent until a launch or commit, so
+//!   re-deriving it every cycle is pure waste);
+//! * the planned command and its ready time are keyed on the rank's
+//!   [`state epoch`](chopim_dram::Rank::epoch) — they are recomputed only
+//!   after a command actually touched this rank (or, for host column
+//!   commands, the channel).
 
+use chopim_dram::perfcount::{self, Counter};
 use chopim_dram::{Command, CommandKind, Cycle, DramSystem, Issuer};
 
 use crate::fsm::{NdaAccess, NdaFsm};
 use crate::isa::NdaInstr;
+
+/// Epoch sentinel marking the plan memo as stale.
+const MEMO_INVALID: u64 = u64::MAX;
 
 /// What the controller did in a cycle it was offered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +45,20 @@ pub struct NdaRankController {
     rank: usize,
     banks_per_group: usize,
     fsm: NdaFsm,
-    /// The access the FSM wanted after the last [`tick`](Self::tick)
-    /// (`None` = idle). Kept current so the event-horizon loop can
-    /// predict this controller's next action without mutating the FSM.
+    /// The access the FSM wants (`None` = idle). Kept current so the
+    /// event-horizon loop can predict this controller's next action
+    /// without mutating the FSM.
     want: Option<NdaAccess>,
+    /// True while `want` reflects the FSM (cleared by a launch, the only
+    /// external event that can change the desired access; grants update
+    /// `want` in place).
+    want_valid: bool,
+    /// Rank epoch under which `plan_cmd`/`plan_ready` are exact.
+    plan_epoch: u64,
+    /// Planned DRAM command for `want`.
+    plan_cmd: Command,
+    /// Earliest cycle `plan_cmd` satisfies timing.
+    plan_ready: Cycle,
     /// Timing-derived wake-up: the desired command cannot issue (and no
     /// policy evaluation happens) before this cycle. Valid until this
     /// controller issues, a launch arrives, or the host commands this
@@ -56,6 +81,10 @@ impl NdaRankController {
             banks_per_group,
             fsm: NdaFsm::new(queue_cap),
             want: None,
+            want_valid: false,
+            plan_epoch: MEMO_INVALID,
+            plan_cmd: Command::pre(0, 0, 0),
+            plan_ready: 0,
             ready_hint: None,
             row_cmds: 0,
             write_throttle_stalls: 0,
@@ -91,11 +120,14 @@ impl NdaRankController {
         // A launch can change the desired access (e.g. ending a
         // force-drain); the cached plan must be re-derived.
         self.ready_hint = None;
+        self.want_valid = false;
+        self.plan_epoch = MEMO_INVALID;
         self.fsm.launch(instr)
     }
 
     /// Drop the cached wake-up time because the host issued a command to
-    /// this rank (its timing registers or bank state changed).
+    /// this rank (its timing registers or bank state changed; the plan
+    /// memo self-invalidates through the rank epoch).
     pub fn invalidate_hint(&mut self) {
         self.ready_hint = None;
     }
@@ -104,6 +136,45 @@ impl NdaRankController {
     /// performs no policy evaluation), if known. See `ready_hint` field.
     pub fn ready_hint(&self) -> Option<Cycle> {
         self.ready_hint
+    }
+
+    /// The cached desired access, refreshing it from the FSM if a launch
+    /// invalidated it.
+    #[inline]
+    fn current_want(&mut self) -> Option<NdaAccess> {
+        if !self.want_valid {
+            self.want = self.fsm.next_access();
+            self.want_valid = true;
+        }
+        self.want
+    }
+
+    /// Refresh the epoch-keyed `(plan_cmd, plan_ready)` memo for `acc`.
+    /// Keyed on the *NDA* epoch: host traffic to other ranks (or this
+    /// rank's external-bus registers) can never move an NDA access.
+    #[inline]
+    fn ensure_plan(&mut self, mem: &DramSystem, acc: NdaAccess) {
+        let ch = mem.channel(self.channel);
+        let epoch = ch.rank_nda_epoch(self.rank);
+        if self.plan_epoch == epoch {
+            perfcount::bump(Counter::NdaMemoHit);
+            return;
+        }
+        perfcount::bump(Counter::NdaMemoMiss);
+        let bg = acc.bank as usize / self.banks_per_group;
+        let bank = acc.bank as usize % self.banks_per_group;
+        let (cmd, ready) = ch.plan_and_ready(
+            self.rank,
+            bg,
+            bank,
+            acc.row,
+            acc.col,
+            acc.write,
+            Issuer::Nda,
+        );
+        self.plan_cmd = cmd;
+        self.plan_ready = ready;
+        self.plan_epoch = epoch;
     }
 
     /// Offer the controller a chance to issue one command at `now`.
@@ -120,9 +191,7 @@ impl NdaRankController {
         now: Cycle,
         allow_write: impl FnOnce() -> bool,
     ) -> NdaTickResult {
-        let acc = self.fsm.next_access();
-        self.want = acc;
-        let Some(acc) = acc else {
+        let Some(acc) = self.current_want() else {
             return NdaTickResult::Idle;
         };
         // Timing and command-mux checks come BEFORE the throttle decision:
@@ -130,18 +199,14 @@ impl NdaRankController {
         // issue this cycle. This keeps stochastic policies aligned between
         // the naive loop and fast-forwarding (cycles inside a timing
         // window are provably draw-free and may be skipped).
-        let cmd = self.plan_command(mem, acc);
-        match mem.ready_at(self.channel, &cmd, Issuer::Nda) {
-            Some(ready) if ready <= now => {}
-            Some(ready) => {
-                // Cache the wake-up: nothing can make this command ready
-                // earlier, and every event that could change the plan
-                // (host command to this rank, launch, own issue) clears
-                // the hint.
-                self.ready_hint = Some(ready);
-                return NdaTickResult::Blocked;
-            }
-            None => return NdaTickResult::Blocked,
+        self.ensure_plan(mem, acc);
+        if self.plan_ready > now {
+            // Cache the wake-up: nothing can make this command ready
+            // earlier, and every event that could change the plan
+            // (host command to this rank, launch, own issue) clears
+            // the hint.
+            self.ready_hint = Some(self.plan_ready);
+            return NdaTickResult::Blocked;
         }
         if mem.channel(self.channel).rank(self.rank).cmd_mux_busy(now) {
             return NdaTickResult::Blocked;
@@ -150,6 +215,7 @@ impl NdaRankController {
             self.write_throttle_stalls += 1;
             return NdaTickResult::Blocked;
         }
+        let cmd = self.plan_cmd;
         mem.issue_prechecked(self.channel, &cmd, Issuer::Nda, now);
         self.ready_hint = None;
         match cmd.kind {
@@ -159,34 +225,26 @@ impl NdaRankController {
                 // state (pops the next instruction, absorbs produced
                 // writes). The host-side shadow performs the same call.
                 self.want = self.fsm.next_access();
+                self.want_valid = true;
             }
             _ => self.row_cmds += 1,
         }
         // Pre-compute the wake-up for the next desired access against the
-        // post-issue timing state so the blocked window can be skipped.
+        // post-issue timing state so the blocked window can be skipped
+        // (this also warms the plan memo for the post-issue epoch).
         if let Some(next) = self.want {
-            let cmd = self.plan_command(mem, next);
-            if let Some(ready) = mem.ready_at(self.channel, &cmd, Issuer::Nda) {
-                if ready > now {
-                    self.ready_hint = Some(ready);
-                }
+            self.ensure_plan(mem, next);
+            if self.plan_ready > now {
+                self.ready_hint = Some(self.plan_ready);
             }
         }
         NdaTickResult::Issued(cmd)
     }
 
-    /// The access the FSM wanted after the last tick (pure; `None` while
-    /// idle). Valid until the next launch delivery or tick.
+    /// The access the FSM wants (pure; `None` while idle). Valid until
+    /// the next launch delivery.
     pub fn desired_access(&self) -> Option<NdaAccess> {
         self.want
-    }
-
-    /// The DRAM command that performs `acc` given the current bank state.
-    fn plan_command(&self, mem: &DramSystem, acc: NdaAccess) -> Command {
-        let bg = acc.bank as usize / self.banks_per_group;
-        let bank = acc.bank as usize % self.banks_per_group;
-        mem.channel(self.channel)
-            .plan_access(self.rank, bg, bank, acc.row, acc.col, acc.write)
     }
 
     /// Conservative earliest cycle at or after `now` (the first cycle not
@@ -195,17 +253,30 @@ impl NdaRankController {
     /// event re-computes horizons). Returns [`Cycle::MAX`] while idle; the
     /// caller handles write throttling.
     pub fn next_event_cycle(&self, mem: &DramSystem, now: Cycle) -> Cycle {
+        if !self.want_valid {
+            // A launch just arrived; the next executed cycle re-derives
+            // the desired access.
+            return now;
+        }
         let Some(acc) = self.want else {
             return Cycle::MAX;
         };
-        let cmd = self.plan_command(mem, acc);
-        match mem.ready_at(self.channel, &cmd, Issuer::Nda) {
-            Some(ready) => ready.max(now),
-            // Structurally illegal would mean `plan_command` diverged from
-            // the bank state it just read; wake immediately so the naive
-            // tick surfaces the inconsistency.
-            None => now,
+        let ch = mem.channel(self.channel);
+        if self.plan_epoch == ch.rank_nda_epoch(self.rank) {
+            return self.plan_ready.max(now);
         }
+        let bg = acc.bank as usize / self.banks_per_group;
+        let bank = acc.bank as usize % self.banks_per_group;
+        let (_, ready) = ch.plan_and_ready(
+            self.rank,
+            bg,
+            bank,
+            acc.row,
+            acc.col,
+            acc.write,
+            Issuer::Nda,
+        );
+        ready.max(now)
     }
 }
 
@@ -303,5 +374,33 @@ mod tests {
         assert_eq!(kinds[0].0, CommandKind::Act);
         assert_eq!(kinds[1].0, CommandKind::Pre);
         assert_eq!(kinds[2].0, CommandKind::Act);
+    }
+
+    #[test]
+    fn plan_memo_tracks_host_interference() {
+        let (mut mem, mut ctl) = setup();
+        ctl.launch(copy_instr(64, 7)).unwrap();
+        // First offered cycle plans and issues an ACT.
+        let r = ctl.tick(&mut mem, 0, || true);
+        assert!(matches!(r, NdaTickResult::Issued(c) if c.kind == CommandKind::Act));
+        // Host command to the same rank moves its timing; the memoized
+        // plan must be re-derived (epoch moved), not trusted.
+        let epoch_before = mem.channel(0).rank_epoch(1);
+        mem.issue(0, &Command::act(1, 3, 3, 9), Issuer::Host, 10)
+            .unwrap();
+        assert_ne!(mem.channel(0).rank_epoch(1), epoch_before);
+        ctl.invalidate_hint();
+        // The controller still makes progress and never issues illegally.
+        let mut issued = 0;
+        for now in 11..50_000u64 {
+            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, || true) {
+                issued += 1;
+            }
+            if ctl.fsm().completed_count() > 0 {
+                break;
+            }
+        }
+        assert!(issued > 0);
+        assert_eq!(ctl.fsm_mut().pop_completed(), Some(7));
     }
 }

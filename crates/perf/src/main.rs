@@ -29,10 +29,31 @@
 
 use std::time::Instant;
 
+use chopim_dram::perfcount;
 use chopim_exp::{bench_window, perf_matrix, run_scenario, ScenarioSpec};
 
 /// Speedup regression tolerance for `--check` (ratio vs baseline).
 const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Absolute per-scenario speedup floors for `--check`. Since the indexed
+/// scheduler and epoch memos moved most busy-path wins into the *shared*
+/// tick path, the fast loop's structural edge on saturated scenarios is
+/// small — the busy floors guard against the fast path falling *behind*
+/// the naive loop (the class of bug BENCH_baseline.json once recorded as
+/// a 0.951 colocated_mix speedup), while the idle/NDA floors keep the
+/// event-horizon wins that fast-forwarding exists for.
+const SPEEDUP_FLOORS: &[(&str, f64)] = &[
+    ("host_only", 0.95),
+    ("host_idle", 10.0),
+    ("nda_only", 1.2),
+    ("colocated_svrg", 0.95),
+    ("colocated_mix", 0.95),
+    ("rank_partitioned", 0.95),
+];
+
+/// Any scenario below this fast/naive ratio fails outright, named in the
+/// floors table or not.
+const ABSOLUTE_FLOOR: f64 = 0.95;
 
 struct Measurement {
     name: &'static str,
@@ -100,6 +121,29 @@ fn measure(name: &'static str, spec: &ScenarioSpec) -> Measurement {
         wall_ms_fast,
         cps_naive: cycles as f64 / (wall_ms_naive / 1e3),
         cps_fast: cycles as f64 / (wall_ms_fast / 1e3),
+    }
+}
+
+/// With `--verbose` and a `perf-counters` build: run each loop once more
+/// bracketed by counter reset/snapshot and print the per-phase simulator
+/// costs, so a throughput regression is attributable to a hot path.
+fn report_counters(name: &str, spec: &ScenarioSpec) {
+    if !perfcount::ENABLED {
+        eprintln!("  (build with --features perf-counters for per-phase counters on `{name}`)");
+        return;
+    }
+    for (label, ff) in [("naive", false), ("fast", true)] {
+        let mut s = spec.clone();
+        s.cfg.fast_forward = ff;
+        perfcount::reset();
+        let _ = run_scenario(&s);
+        let snap = perfcount::snapshot();
+        let line: Vec<String> = snap
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        eprintln!("  counters[{label:>5}] {}", line.join(" "));
     }
 }
 
@@ -198,6 +242,23 @@ fn check(results: &[Measurement], baseline_path: &str) -> Result<(), String> {
             ));
         }
     }
+    // Per-scenario absolute floors (independent of the baseline file).
+    for m in results {
+        let floor = SPEEDUP_FLOORS
+            .iter()
+            .find(|(n, _)| *n == m.name)
+            .map(|&(_, f)| f)
+            .unwrap_or(ABSOLUTE_FLOOR)
+            .max(ABSOLUTE_FLOOR);
+        if m.speedup() < floor {
+            failures.push(format!(
+                "`{}` below floor: speedup {:.2}x < {:.2}x (fast loop must not lose its edge)",
+                m.name,
+                m.speedup(),
+                floor
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -209,6 +270,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_chopim.json".to_string();
     let mut baseline: Option<String> = None;
+    let mut verbose = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -220,9 +282,13 @@ fn main() {
                 baseline = Some(args.get(i + 1).expect("--check needs a path").clone());
                 i += 2;
             }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: chopim-perf [--out FILE] [--check BASELINE]");
+                eprintln!("usage: chopim-perf [--out FILE] [--check BASELINE] [--verbose]");
                 std::process::exit(2);
             }
         }
@@ -237,6 +303,9 @@ fn main() {
                 m.name, m.cycles, m.wall_ms_naive, m.cps_naive, m.wall_ms_fast, m.cps_fast,
                 m.speedup()
             );
+            if verbose {
+                report_counters(name, spec);
+            }
             m
         })
         .collect();
