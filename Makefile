@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lint
 
 all: test
 
@@ -34,6 +34,11 @@ perf-micro:
 # Fast-forward vs naive-loop equivalence (bit-identical SimReports).
 lockstep:
 	cargo test --release -p chopim-exp --test ff_lockstep
+
+# Channel-sharded executor determinism: serial vs 2-thread vs 4-thread
+# shard execution must produce bit-identical SimReports.
+lockstep-shard:
+	cargo test --release -p chopim-exp --test shard_lockstep
 
 lint:
 	cargo clippy --all-targets -- -D warnings && cargo fmt --check

@@ -10,7 +10,10 @@
 //! * [`system`] — the cycle-accurate machine: multi-core host, host MCs,
 //!   per-rank NDA controllers, and host-side *shadow FSMs* kept
 //!   bit-identical to demonstrate the replicated-FSM coordination of
-//!   §III-D;
+//!   §III-D. The machine is **channel-sharded**: a front-end plus one
+//!   shard per channel exchanging cycle-stamped messages, executed in
+//!   conservative-lookahead windows — serially or on a worker pool
+//!   (`ChopimConfig::sim_threads`) with bit-identical results;
 //! * [`runtime`] — the §V runtime/API: colored system-row allocation,
 //!   coarse-grain op launches (with the Fig.-10 granularity knob), macro
 //!   ops, host-mediated reduction;
@@ -33,10 +36,12 @@
 //! ```
 
 pub mod energy;
+mod par;
 pub mod policy;
 pub mod report;
 pub mod runtime;
 pub mod sched;
+mod shard;
 pub mod system;
 
 /// Everything needed to build and run experiments.

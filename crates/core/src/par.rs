@@ -1,0 +1,213 @@
+//! A small persistent worker pool that ticks [`ChannelShard`]s in
+//! parallel.
+//!
+//! The sharded engine dispatches one job per lookahead window: "run every
+//! shard to cycle `T`". Shards are moved into the pool's shared slots;
+//! the dispatching thread and the workers claim them via an index cursor,
+//! run them to the target, and put them back. The dispatcher **works too**
+//! — a pool of `sim_threads` uses `sim_threads - 1` spawned workers plus
+//! the calling thread — so a window never waits on a thread wake-up to
+//! make progress, and an oversubscribed machine degrades gracefully
+//! toward serial execution instead of thrashing.
+//!
+//! Determinism needs no care here — shards share no mutable state and
+//! each carries its own RNG — so the only job of this module is cheap
+//! dispatch. Workers spin briefly before parking on a condvar: windows
+//! are tens of simulated cycles (microseconds of work), so on a busy
+//! multicore machine the next job usually arrives while a worker still
+//! spins.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use chopim_dram::{perfcount, Cycle};
+
+use crate::shard::ChannelShard;
+
+struct State {
+    /// Monotonic job counter; workers watch it for new dispatches.
+    job: u64,
+    /// Shard slots for the current job (`None` = claimed).
+    slots: Vec<Option<ChannelShard>>,
+    /// Target cycle of the current job.
+    target: Cycle,
+    /// Next unclaimed slot index.
+    next: usize,
+    /// Shards not yet returned for the current job.
+    remaining: usize,
+    /// First panic raised by a shard this job (re-raised by the
+    /// dispatcher so a divergence assertion surfaces instead of
+    /// deadlocking the barrier).
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+    /// Lock-free mirror of `state.job` for the workers' spin phase.
+    job_hint: AtomicU64,
+}
+
+/// The worker pool. Created once per [`crate::ChopimSystem`] when
+/// `sim_threads > 1`; dropped (and joined) with it.
+pub(crate) struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Run one shard to `target` with its perf-counter scope set. A panic
+/// inside the shard (an FSM-divergence assertion, a queue overflow) is
+/// captured and handed back so the dispatcher can re-raise it — letting
+/// it unwind a worker thread would leave the barrier waiting forever.
+fn run_shard(mut shard: ChannelShard, target: Cycle) -> Result<ChannelShard, Box<dyn Any + Send>> {
+    let prev = perfcount::set_scope(1 + shard.channel_idx());
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        shard.run_to(target);
+        shard
+    }));
+    perfcount::set_scope(prev);
+    r
+}
+
+impl ShardPool {
+    /// A pool of `threads` total executors: `threads - 1` spawned
+    /// workers plus the dispatching thread itself.
+    pub(crate) fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: 0,
+                slots: Vec::new(),
+                target: 0,
+                next: 0,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            job_hint: AtomicU64::new(0),
+        });
+        let handles = (0..threads.saturating_sub(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Run every shard to `target` on the pool; blocks until all are
+    /// back. Takes the shard vector by value for the window and returns
+    /// it with every shard in its original position.
+    pub(crate) fn run(&self, shards: Vec<ChannelShard>, target: Cycle) -> Vec<ChannelShard> {
+        let n = shards.len();
+        if n == 0 {
+            return shards;
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.slots = shards.into_iter().map(Some).collect();
+            st.target = target;
+            st.next = 0;
+            st.remaining = n;
+            st.job += 1;
+            self.shared.job_hint.store(st.job, Ordering::Release);
+            self.shared.work.notify_all();
+        }
+        // The dispatcher claims and runs shards like any worker, then
+        // waits only for stragglers still held by other threads.
+        let mut st = self.shared.state.lock().expect("pool lock");
+        loop {
+            if st.next < st.slots.len() {
+                let idx = st.next;
+                st.next += 1;
+                let shard = st.slots[idx].take().expect("unclaimed slot");
+                drop(st);
+                let outcome = run_shard(shard, target);
+                st = self.shared.state.lock().expect("pool lock");
+                match outcome {
+                    Ok(shard) => st.slots[idx] = Some(shard),
+                    Err(p) => {
+                        st.panic.get_or_insert(p);
+                    }
+                };
+                st.remaining -= 1;
+            } else if st.remaining > 0 {
+                st = self.shared.done.wait(st).expect("pool wait");
+            } else {
+                break;
+            }
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+        st.slots
+            .drain(..)
+            .map(|s| s.expect("worker returned shard"))
+            .collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker(shared: &Shared) {
+    let mut seen_job = 0u64;
+    loop {
+        // Spin briefly for the next job before parking: on a busy
+        // multicore machine the next window dispatches within the spin
+        // budget; anywhere else the condvar takes over quickly.
+        let mut spins = 0u32;
+        while shared.job_hint.load(Ordering::Acquire) == seen_job && spins < 512 {
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let mut st = shared.state.lock().expect("pool lock");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            if st.next < st.slots.len() {
+                break;
+            }
+            seen_job = st.job;
+            st = shared.work.wait(st).expect("pool wait");
+        }
+        let target = st.target;
+        while st.next < st.slots.len() {
+            let idx = st.next;
+            st.next += 1;
+            let shard = st.slots[idx].take().expect("unclaimed slot");
+            drop(st);
+            let outcome = run_shard(shard, target);
+            st = shared.state.lock().expect("pool lock");
+            match outcome {
+                Ok(shard) => st.slots[idx] = Some(shard),
+                Err(p) => {
+                    st.panic.get_or_insert(p);
+                }
+            };
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                shared.done.notify_all();
+            }
+        }
+        drop(st);
+    }
+}

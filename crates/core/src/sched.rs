@@ -38,9 +38,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use chopim_dram::perfcount::{self, Counter};
-use chopim_dram::{
-    Channel, Command, CommandKind, Cycle, DataReady, DramAddress, DramSystem, Issuer,
-};
+use chopim_dram::{Channel, Command, CommandKind, Cycle, DataReady, DramAddress, Issuer};
 
 /// Transaction scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -265,7 +263,6 @@ impl QueueIndex {
 /// Per-channel FR-FCFS host memory controller.
 #[derive(Debug, Clone)]
 pub struct HostMc {
-    channel: usize,
     read_q: VecDeque<QTx>,
     write_q: VecDeque<QTx>,
     read_idx: QueueIndex,
@@ -302,14 +299,11 @@ pub struct HostMc {
 }
 
 impl HostMc {
-    /// A controller for `channel` with Table II queue sizes (32/32).
-    pub fn new(
-        channel: usize,
-        ranks: usize,
-        bankgroups: usize,
-        banks_per_group: usize,
-        refi: u32,
-    ) -> Self {
+    /// A controller with Table II queue sizes (32/32). The controller is
+    /// channel-agnostic: it drives whatever [`Channel`] the caller hands
+    /// to [`tick`](Self::tick) (in the sharded engine, the one its shard
+    /// owns).
+    pub fn new(ranks: usize, bankgroups: usize, banks_per_group: usize, refi: u32) -> Self {
         // Stagger refresh across ranks to avoid synchronized blackouts.
         let refresh_due = (0..ranks)
             .map(|r| {
@@ -322,7 +316,6 @@ impl HostMc {
             .collect();
         let banks_per_rank = bankgroups * banks_per_group;
         Self {
-            channel,
             read_q: VecDeque::with_capacity(32),
             write_q: VecDeque::with_capacity(32),
             read_idx: QueueIndex::new(ranks, banks_per_rank),
@@ -387,14 +380,13 @@ impl HostMc {
     /// only way one arrival can make the controller actionable earlier.
     /// (Deferred drain-flag latching stays exact: the flag can only
     /// matter on a cycle that issues, and the hint proves none can.)
-    pub fn try_push_hinted(&mut self, tx: HostTransaction, mem: &DramSystem, now: Cycle) -> bool {
+    pub fn try_push_hinted(&mut self, tx: HostTransaction, ch: &Channel, now: Cycle) -> bool {
         if !self.push_inner(tx) {
             return false;
         }
         // Pre-fill the freshly pushed entry's memo: the push already
         // tells us the scheduler will need its plan, and the hint (when
         // live) needs its ready time anyway.
-        let ch = mem.channel(self.channel);
         let use_write_q = matches!(tx.meta, TxMeta::CoreWrite);
         let entry = if use_write_q {
             self.write_q.back_mut()
@@ -535,7 +527,7 @@ impl HostMc {
     }
 
     /// Dump queue entries with bank state and readiness (debugging aid).
-    pub fn explain(&self, mem: &DramSystem, now: Cycle) -> String {
+    pub fn explain(&self, ch: &Channel, now: Cycle) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -547,7 +539,7 @@ impl HostMc {
             for e in q.iter() {
                 let tx = &e.tx;
                 let (bg, bk) = (tx.addr.bankgroup, tx.addr.bank);
-                let bank = mem.channel(self.channel).bank(tx.addr.rank, bg, bk);
+                let bank = ch.bank(tx.addr.rank, bg, bk);
                 let cmd = if tx.is_write {
                     Command::wr(tx.addr.rank, bg, bk, tx.addr.row, tx.addr.col)
                 } else {
@@ -559,7 +551,7 @@ impl HostMc {
                     cmd,
                     tx.arrival,
                     bank.open_row(),
-                    mem.channel(self.channel).ready_at(&cmd, Issuer::Host),
+                    ch.ready_at(&cmd, Issuer::Host),
                 );
             }
         }
@@ -572,7 +564,7 @@ impl HostMc {
     /// would be an event that re-computes horizons). Used by the
     /// event-horizon fast-forward; a too-early answer only costs a wasted
     /// wake-up, never correctness.
-    pub fn next_event_cycle(&mut self, mem: &DramSystem, now: Cycle) -> Cycle {
+    pub fn next_event_cycle(&mut self, ch: &Channel, now: Cycle) -> Cycle {
         // The write-drain hysteresis flag latches once per executed tick;
         // if the queue length already crossed a watermark, the flag flips
         // on the very next tick and that transition must not be skipped.
@@ -587,11 +579,10 @@ impl HostMc {
             }
         }
         perfcount::bump(Counter::HorizonScans);
-        let ch = mem.channel(self.channel);
         let mut h = Cycle::MAX;
         // Refresh: an armed timer fires at its due cycle; a pending
         // refresh issues REF (or precharges toward it) when timing allows.
-        if mem.config().timing.refresh_enabled() {
+        if ch.config().timing.refresh_enabled() {
             for rank in 0..self.refresh_due.len() {
                 if self.refresh_pending[rank] {
                     let cmd = if ch.all_banks_closed(rank) {
@@ -610,7 +601,7 @@ impl HostMc {
         // Closed-page policy: an open row with no queued hit is eagerly
         // precharged; any open bank is a conservative wake-up candidate.
         if self.page_policy == PagePolicy::Closed {
-            for rank in 0..mem.config().ranks_per_channel {
+            for rank in 0..ch.config().ranks_per_channel {
                 for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
                     if bank.open_row().is_some() {
                         let cmd = Command::pre(
@@ -645,8 +636,8 @@ impl HostMc {
     }
 
     /// One scheduler tick: issue at most one command on the channel.
-    pub fn tick(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
-        let issued = self.tick_inner(mem, now);
+    pub fn tick(&mut self, ch: &mut Channel, now: Cycle) -> Option<Issued> {
+        let issued = self.tick_inner(ch, now);
         if issued.is_some() {
             // Any issued command changes timing/bank state.
             self.wake_hint = None;
@@ -654,7 +645,7 @@ impl HostMc {
         issued
     }
 
-    fn tick_inner(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
+    fn tick_inner(&mut self, ch: &mut Channel, now: Cycle) -> Option<Issued> {
         // 1. Refresh management.
         for rank in 0..self.refresh_due.len() {
             if now >= self.refresh_due[rank] && !self.refresh_pending[rank] {
@@ -667,11 +658,11 @@ impl HostMc {
             if !self.refresh_pending[rank] {
                 continue;
             }
-            let refi = Cycle::from(mem.config().timing.refi);
-            if mem.channel(self.channel).all_banks_closed(rank) {
+            let refi = Cycle::from(ch.config().timing.refi);
+            if ch.all_banks_closed(rank) {
                 let cmd = Command::ref_ab(rank);
-                if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+                if ch.can_issue(&cmd, Issuer::Host, now) {
+                    let data = ch.issue_prechecked(&cmd, Issuer::Host, now);
                     self.refresh_pending[rank] = false;
                     self.refresh_due[rank] += refi;
                     return Some(Issued {
@@ -682,8 +673,8 @@ impl HostMc {
                 }
             } else {
                 let cmd = Command::pre_all(rank);
-                if mem.can_issue(self.channel, &cmd, Issuer::Host, now) {
-                    let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+                if ch.can_issue(&cmd, Issuer::Host, now) {
+                    let data = ch.issue_prechecked(&cmd, Issuer::Host, now);
                     return Some(Issued {
                         cmd,
                         data,
@@ -698,7 +689,7 @@ impl HostMc {
         // 1b. Closed-page policy: eagerly precharge host-opened rows with
         // no pending hit in either queue.
         if self.page_policy == PagePolicy::Closed {
-            if let Some(iss) = self.eager_close(mem, now) {
+            if let Some(iss) = self.eager_close(ch, now) {
                 return Some(iss);
             }
         }
@@ -713,25 +704,24 @@ impl HostMc {
 
         // 3. FR-FCFS over the selected queue.
         let result = if serve_writes && !self.write_q.is_empty() {
-            self.schedule(mem, now, true)
+            self.schedule(ch, now, true)
         } else {
-            self.schedule(mem, now, false)
+            self.schedule(ch, now, false)
         };
         // Opportunistic fallback: if the chosen queue couldn't issue and
         // the other has work, let it try (keeps the channel busy).
         match result {
             Some(r) => Some(r),
-            None if serve_writes && !self.read_q.is_empty() => self.schedule(mem, now, false),
+            None if serve_writes && !self.read_q.is_empty() => self.schedule(ch, now, false),
             None => None,
         }
     }
 
     /// Precharge one bank whose open row no queued transaction wants.
     /// The demand maps answer "is this row still wanted?" in O(1).
-    fn eager_close(&mut self, mem: &mut DramSystem, now: Cycle) -> Option<Issued> {
-        let ranks = mem.config().ranks_per_channel;
+    fn eager_close(&mut self, ch: &mut Channel, now: Cycle) -> Option<Issued> {
+        let ranks = ch.config().ranks_per_channel;
         for rank in 0..ranks {
-            let ch = mem.channel(self.channel);
             let mut found: Option<Command> = None;
             for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
                 let Some(open) = bank.open_row() else {
@@ -752,7 +742,7 @@ impl HostMc {
                 }
             }
             if let Some(cmd) = found {
-                let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+                let data = ch.issue_prechecked(&cmd, Issuer::Host, now);
                 return Some(Issued {
                     cmd,
                     data,
@@ -763,8 +753,7 @@ impl HostMc {
         None
     }
 
-    fn schedule(&mut self, mem: &mut DramSystem, now: Cycle, writes: bool) -> Option<Issued> {
-        let ch = mem.channel(self.channel);
+    fn schedule(&mut self, ch: &mut Channel, now: Cycle, writes: bool) -> Option<Issued> {
         let q = if writes {
             &mut self.write_q
         } else {
@@ -842,7 +831,7 @@ impl HostMc {
         if let Some(i) = hit_idx {
             let cmd = q[i].memo_cmd();
             let tx = self.remove_at(writes, i);
-            let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+            let data = ch.issue_prechecked(&cmd, Issuer::Host, now);
             self.cols_issued += 1;
             if !tx.is_write {
                 self.reads_completed += 1;
@@ -855,7 +844,7 @@ impl HostMc {
             });
         }
         if let Some((cmd, is_act)) = row_pick {
-            let data = mem.issue_prechecked(self.channel, &cmd, Issuer::Host, now);
+            let data = ch.issue_prechecked(&cmd, Issuer::Host, now);
             if is_act {
                 self.row_misses += 1;
             }
@@ -874,16 +863,15 @@ mod tests {
     use super::*;
     use chopim_dram::{DramConfig, TimingParams};
 
-    fn setup() -> (DramSystem, HostMc) {
+    fn setup() -> (Channel, HostMc) {
         let cfg = DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh());
         let mc = HostMc::new(
-            0,
             cfg.ranks_per_channel,
             cfg.bankgroups,
             cfg.banks_per_group,
             cfg.timing.refi,
         );
-        (DramSystem::new(cfg), mc)
+        (Channel::new(&cfg), mc)
     }
 
     fn read_tx(
@@ -926,11 +914,11 @@ mod tests {
     }
 
     /// Drive until `n` transactions complete or `max` cycles pass.
-    fn run(mem: &mut DramSystem, mc: &mut HostMc, n: usize, max: Cycle) -> Vec<(Cycle, Command)> {
+    fn run(ch: &mut Channel, mc: &mut HostMc, n: usize, max: Cycle) -> Vec<(Cycle, Command)> {
         let mut done = 0;
         let mut cmds = Vec::new();
         for now in 0..max {
-            if let Some(iss) = mc.tick(mem, now) {
+            if let Some(iss) = mc.tick(ch, now) {
                 cmds.push((now, iss.cmd));
                 if iss.completed.is_some() {
                     done += 1;
@@ -946,14 +934,14 @@ mod tests {
 
     #[test]
     fn row_hits_are_preferred() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         // Two txs to row 5, one to row 9, same bank. FR-FCFS serves both
         // row-5 txs before touching row 9 even though row 9's arrived
         // between them.
         assert!(mc.try_push(read_tx(0, 0, 0, 5, 0, 0)));
         assert!(mc.try_push(read_tx(0, 0, 0, 9, 0, 1)));
         assert!(mc.try_push(read_tx(0, 0, 0, 5, 1, 2)));
-        let cmds = run(&mut mem, &mut mc, 3, 1000);
+        let cmds = run(&mut ch, &mut mc, 3, 1000);
         let cols: Vec<u32> = cmds
             .iter()
             .filter(|(_, c)| c.kind == CommandKind::Rd)
@@ -967,7 +955,7 @@ mod tests {
 
     #[test]
     fn write_drain_kicks_in_at_watermark() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         // Fill write queue past the high watermark plus one read.
         for i in 0..30u32 {
             assert!(mc.try_push(write_tx(0, i / 16, i % 16, 0)));
@@ -975,7 +963,7 @@ mod tests {
         assert!(mc.try_push(read_tx(1, 0, 0, 1, 0, 0)));
         let mut writes_done = 0;
         for now in 0..5000 {
-            if let Some(iss) = mc.tick(&mut mem, now) {
+            if let Some(iss) = mc.tick(&mut ch, now) {
                 if let Some(tx) = iss.completed {
                     if tx.is_write {
                         writes_done += 1;
@@ -1025,9 +1013,8 @@ mod tests {
     #[test]
     fn refresh_is_scheduled_periodically() {
         let cfg = DramConfig::table_ii(); // refresh on
-        let mut mem = DramSystem::new(cfg.clone());
+        let mut ch = Channel::new(&cfg);
         let mut mc = HostMc::new(
-            0,
             cfg.ranks_per_channel,
             cfg.bankgroups,
             cfg.banks_per_group,
@@ -1040,7 +1027,7 @@ mod tests {
                 let row = (now / 100) as u32 % 8;
                 mc.try_push(read_tx(0, (now % 4) as usize, 0, row, 0, now));
             }
-            if let Some(iss) = mc.tick(&mut mem, now) {
+            if let Some(iss) = mc.tick(&mut ch, now) {
                 if iss.cmd.kind == CommandKind::RefAb {
                     refreshes += 1;
                 }
@@ -1048,14 +1035,14 @@ mod tests {
         }
         // 40k cycles / tREFI 9360 ≈ 4 refreshes per rank x 2 ranks.
         assert!(refreshes >= 6, "only {refreshes} refreshes");
-        assert!(mem.stats().refreshes >= 6);
+        assert!(ch.stats.ranks.iter().map(|r| r.refreshes).sum::<u64>() >= 6);
     }
 
     #[test]
     fn read_latency_accounting() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         mc.try_push(read_tx(0, 0, 0, 5, 0, 0));
-        run(&mut mem, &mut mc, 1, 200);
+        run(&mut ch, &mut mc, 1, 200);
         assert_eq!(mc.reads_completed, 1);
         // ACT at 0, RD at tRCD=16, data end at 16+16+4=36.
         assert_eq!(mc.read_latency_sum, 36);
@@ -1063,14 +1050,14 @@ mod tests {
 
     #[test]
     fn fcfs_serves_strictly_in_order() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         mc.set_scheduler(SchedulerKind::Fcfs);
         // Row-hit reordering would serve the second row-5 access early;
         // FCFS must not.
         assert!(mc.try_push(read_tx(0, 0, 0, 5, 0, 0)));
         assert!(mc.try_push(read_tx(0, 0, 0, 9, 0, 1)));
         assert!(mc.try_push(read_tx(0, 0, 0, 5, 1, 2)));
-        let cmds = run(&mut mem, &mut mc, 3, 2000);
+        let cmds = run(&mut ch, &mut mc, 3, 2000);
         let rows: Vec<u32> = cmds
             .iter()
             .filter(|(_, c)| c.kind == CommandKind::Rd)
@@ -1081,14 +1068,14 @@ mod tests {
 
     #[test]
     fn closed_page_policy_precharges_idle_rows() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         mc.set_page_policy(PagePolicy::Closed);
         mc.try_push(read_tx(0, 0, 0, 5, 0, 0));
-        run(&mut mem, &mut mc, 1, 500);
+        run(&mut ch, &mut mc, 1, 500);
         // With no pending work, the opened row gets closed eagerly.
         let mut closed = false;
         for now in 500..2000 {
-            if let Some(iss) = mc.tick(&mut mem, now) {
+            if let Some(iss) = mc.tick(&mut ch, now) {
                 if iss.cmd.kind == CommandKind::Pre {
                     closed = true;
                     break;
@@ -1096,20 +1083,20 @@ mod tests {
             }
         }
         assert!(closed, "closed-page policy must precharge the idle row");
-        assert!(mem.channel(0).all_banks_closed(0));
+        assert!(ch.all_banks_closed(0));
     }
 
     #[test]
     fn does_not_precharge_rows_with_pending_hits() {
-        let (mut mem, mut mc) = setup();
+        let (mut ch, mut mc) = setup();
         // Oldest wants row 9 (conflict with open row 5), but a younger tx
         // still wants row 5: the controller must not close row 5 first.
         mc.try_push(read_tx(0, 0, 0, 5, 0, 0));
-        let cmds = run(&mut mem, &mut mc, 1, 200);
+        let cmds = run(&mut ch, &mut mc, 1, 200);
         assert_eq!(cmds.last().unwrap().1.kind, CommandKind::Rd);
         mc.try_push(read_tx(0, 0, 0, 9, 0, 10));
         mc.try_push(read_tx(0, 0, 0, 5, 3, 11));
-        let cmds = run(&mut mem, &mut mc, 2, 1000);
+        let cmds = run(&mut ch, &mut mc, 2, 1000);
         // The row-5 hit completes before any precharge of row 5.
         let first_pre = cmds.iter().position(|(_, c)| c.kind == CommandKind::Pre);
         let row5_rd = cmds

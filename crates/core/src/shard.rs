@@ -1,0 +1,568 @@
+//! One channel's simulation shard: the unit of parallelism of the
+//! channel-sharded engine.
+//!
+//! A [`ChannelShard`] owns everything that lives behind one memory
+//! channel — the [`Channel`] device state, the host-side [`HostMc`], the
+//! per-rank [`NdaRankController`]s with their host-side shadow FSMs, the
+//! in-flight launch records, and the shard's half of every cross-boundary
+//! queue. Nothing inside a shard ever references another shard or the
+//! front-end: all traffic in and out is typed, cycle-stamped messages
+//! ([`ShardInbound`] arriving, fill/completion messages leaving), which is
+//! what makes the conservative-lookahead parallel executor deterministic —
+//! a shard ticking cycles `[T, T+W)` can only observe messages stamped
+//! before `T+W`, all of which were produced before the window began.
+//!
+//! The shard also owns its slice of the event-horizon fast-forward state:
+//! within a window it skips provably idle stretches exactly as the
+//! monolithic engine did globally (same horizon rules, same bulk stall
+//! accounting, same periodic replicated-FSM checks), so
+//! `fast_forward = false` remains the naive cycle-by-cycle reference and
+//! the lockstep suites keep their bit-identity contract.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use chopim_dram::{Channel, CommandKind, Cycle};
+use chopim_nda::controller::{NdaRankController, NdaTickResult};
+use chopim_nda::fsm::NdaFsm;
+use chopim_nda::isa::NdaInstr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policy::WriteIssuePolicy;
+use crate::sched::{HostMc, Issued, TxMeta};
+
+/// A message from the front-end to a shard, delivered at its stamp.
+#[derive(Debug)]
+pub(crate) enum ShardInbound {
+    /// A memory transaction bound for the host MC queues. Waits for MC
+    /// queue space at the head of the FIFO (head-of-line, preserving
+    /// order).
+    Tx(crate::sched::HostTransaction),
+    /// The payload side-band of a launch: registers the in-flight record
+    /// before the launch's control-register writes (which follow in the
+    /// same FIFO) start completing. Never waits for MC space.
+    Launch {
+        /// Launch id shared with the write transactions' `TxMeta`.
+        id: u64,
+        /// Target NDA, shard-local index.
+        nda_local: usize,
+        /// The instruction delivered when every write completes.
+        instr: NdaInstr,
+        /// Control-register writes carrying this launch.
+        writes: u32,
+    },
+}
+
+/// Outbound fill completion: `(deliver_at, core, request id)`.
+pub(crate) type FillMsg = (Cycle, usize, u64);
+/// Outbound instruction completion: `(deliver_at, instr id, global NDA)`.
+pub(crate) type CompletionMsg = (Cycle, u64, usize);
+
+/// The configuration slice a shard needs (copied at construction so the
+/// shard is self-contained and `Send`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardParams {
+    /// NDA write-issue policy.
+    pub policy: WriteIssuePolicy,
+    /// Event-horizon fast-forwarding within windows (off = naive loop).
+    pub fast_forward: bool,
+    /// Periodic replicated-FSM equality assertions.
+    pub verify_fsm: bool,
+    /// Packetized return-path serialization added to fill delivery.
+    pub packetized_latency: Cycle,
+    /// NDA completion → host-visible delivery latency (the status-poll
+    /// pipeline depth; also the shard→front-end lookahead floor).
+    pub completion_latency: Cycle,
+}
+
+#[derive(Debug)]
+struct LaunchInFlight {
+    instr: NdaInstr,
+    nda_local: usize,
+    writes_remaining: u32,
+}
+
+/// One channel's shard. See the module docs.
+pub(crate) struct ChannelShard {
+    channel_idx: usize,
+    pub(crate) channel: Channel,
+    pub(crate) mc: HostMc,
+    pub(crate) ndas: Vec<NdaRankController>,
+    pub(crate) shadows: Vec<NdaFsm>,
+    /// Set when a launch was delivered this cycle, forcing a full
+    /// controller evaluation even if it looked idle or blocked.
+    nda_poke: Vec<bool>,
+    /// Shard-local NDA index per rank (`None` = rank has no NDA, e.g.
+    /// host-only ranks never occur but rank-partitioning asymmetries do).
+    local_of_rank: Vec<Option<usize>>,
+    /// Global NDA index per shard-local NDA (stamps completion messages).
+    global_idx: Vec<usize>,
+    launches: HashMap<u64, LaunchInFlight>,
+    launch_events: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// Cross-boundary ingress FIFO (front-end appends at barriers).
+    pub(crate) inbox: VecDeque<(Cycle, ShardInbound)>,
+    /// Outbound fill completions produced this window.
+    pub(crate) fills_out: Vec<FillMsg>,
+    /// Outbound instruction completions produced this window.
+    pub(crate) completions_out: Vec<CompletionMsg>,
+    /// Per-shard policy RNG: seeded from `(seed, channel)` so the draw
+    /// stream is independent of every other shard — the precondition for
+    /// ticking shards on a worker pool without perturbing stochastic
+    /// write throttling.
+    policy_rng: StdRng,
+    params: ShardParams,
+    pub(crate) now: Cycle,
+    ticks_executed: u64,
+    cycles_skipped: u64,
+    ff_streak: u32,
+    ff_backoff: u32,
+    /// Wake-hint computation throttle for a saturated MC (see the
+    /// monolithic engine's `mc_hint_backoff`; per-shard now).
+    hint_backoff: u32,
+    hint_penalty: u32,
+}
+
+impl ChannelShard {
+    /// Build the shard for `channel_idx`, owning `ndas` (paired with
+    /// their global indexes, in rank order) behind `channel`.
+    pub(crate) fn new(
+        channel_idx: usize,
+        channel: Channel,
+        mc: HostMc,
+        ndas: Vec<(usize, NdaRankController)>,
+        queue_cap: usize,
+        seed: u64,
+        params: ShardParams,
+    ) -> Self {
+        let ranks = channel.config().ranks_per_channel;
+        let mut local_of_rank = vec![None; ranks];
+        let mut global_idx = Vec::with_capacity(ndas.len());
+        let mut ctls = Vec::with_capacity(ndas.len());
+        for (local, (gidx, ctl)) in ndas.into_iter().enumerate() {
+            local_of_rank[ctl.rank()] = Some(local);
+            global_idx.push(gidx);
+            ctls.push(ctl);
+        }
+        let n = ctls.len();
+        Self {
+            channel_idx,
+            channel,
+            mc,
+            shadows: (0..n).map(|_| NdaFsm::new(queue_cap)).collect(),
+            ndas: ctls,
+            nda_poke: vec![false; n],
+            local_of_rank,
+            global_idx,
+            launches: HashMap::new(),
+            launch_events: BinaryHeap::new(),
+            inbox: VecDeque::new(),
+            fills_out: Vec::new(),
+            completions_out: Vec::new(),
+            policy_rng: StdRng::seed_from_u64(
+                (seed ^ 0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((channel_idx as u64).wrapping_mul(0xa24b_aed4_963e_e407)),
+            ),
+            params,
+            now: 0,
+            ticks_executed: 0,
+            cycles_skipped: 0,
+            ff_streak: 0,
+            ff_backoff: 0,
+            hint_backoff: 0,
+            hint_penalty: 0,
+        }
+    }
+
+    /// The channel index this shard simulates.
+    pub(crate) fn channel_idx(&self) -> usize {
+        self.channel_idx
+    }
+
+    /// Shard-local NDA index of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rank has no NDA (launches only target NDA ranks).
+    pub(crate) fn local_of(&self, rank: usize) -> usize {
+        self.local_of_rank[rank].expect("rank has an NDA")
+    }
+
+    /// `(ticks executed, cycles skipped)` diagnostics for this shard.
+    pub(crate) fn tick_stats(&self) -> (u64, u64) {
+        (self.ticks_executed, self.cycles_skipped)
+    }
+
+    /// True while every host-side shadow FSM matches its rank's FSM.
+    pub(crate) fn fsm_in_sync(&self) -> bool {
+        self.ndas
+            .iter()
+            .zip(&self.shadows)
+            .all(|(n, s)| n.fsm().fingerprint() == s.fingerprint())
+    }
+
+    /// Run the shard up to (exclusive) `target`, fast-forwarding idle
+    /// stretches when enabled. Messages produced land in the outboxes;
+    /// the caller exchanges them at the window barrier.
+    pub(crate) fn run_to(&mut self, target: Cycle) {
+        while self.now < target {
+            self.tick_cycle();
+            self.now += 1;
+            self.maybe_skip(target);
+        }
+    }
+
+    /// One shard cycle at `self.now`: launch deliveries, ingress pops,
+    /// the host MC, then the rank NDA controllers — the same intra-cycle
+    /// order the monolithic engine used for one channel.
+    fn tick_cycle(&mut self) {
+        let now = self.now;
+        self.ticks_executed += 1;
+
+        // 1. Launch deliveries whose control writes completed.
+        while let Some(&Reverse((t, id))) = self.launch_events.peek() {
+            if t > now {
+                break;
+            }
+            self.launch_events.pop();
+            let lf = self.launches.get_mut(&id).expect("launch record");
+            lf.writes_remaining -= 1;
+            if lf.writes_remaining == 0 {
+                let lf = self.launches.remove(&id).expect("present");
+                self.nda_poke[lf.nda_local] = true;
+                self.shadows[lf.nda_local]
+                    .launch(lf.instr.clone())
+                    .unwrap_or_else(|_| panic!("shadow queue overflow"));
+                self.ndas[lf.nda_local]
+                    .launch(lf.instr)
+                    .unwrap_or_else(|_| panic!("NDA queue overflow"));
+            }
+        }
+
+        // 2. Ingress: deliver due messages into the MC, head-of-line.
+        while let Some((t, item)) = self.inbox.front_mut() {
+            if *t > now {
+                break;
+            }
+            match item {
+                ShardInbound::Launch {
+                    id,
+                    nda_local,
+                    instr,
+                    writes,
+                } => {
+                    self.launches.insert(
+                        *id,
+                        LaunchInFlight {
+                            instr: instr.clone(),
+                            nda_local: *nda_local,
+                            writes_remaining: *writes,
+                        },
+                    );
+                    self.inbox.pop_front();
+                }
+                ShardInbound::Tx(tx) => {
+                    if self.mc.try_push_hinted(*tx, &self.channel, now) {
+                        self.inbox.pop_front();
+                    } else {
+                        // MC full: retry next cycle (keeps order).
+                        *t = now + 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Host memory controller (priority on the channel).
+        self.mc_cycle(now);
+
+        // 4. NDA controllers (one per rank, independent command paths).
+        self.nda_cycle(now);
+
+        // 5. Replicated-FSM equality check.
+        if self.params.verify_fsm && now.is_multiple_of(1024) {
+            assert!(
+                self.fsm_in_sync(),
+                "replicated FSMs diverged at cycle {now} (channel {})",
+                self.channel_idx
+            );
+        }
+    }
+
+    fn mc_cycle(&mut self, now: Cycle) {
+        // In fast-forward mode a valid wake-up hint proves the whole
+        // controller tick is a no-op; the naive loop evaluates every
+        // cycle (reference behavior).
+        if self.params.fast_forward {
+            if let Some(h) = self.mc.wake_hint() {
+                if now < h {
+                    return;
+                }
+            }
+        }
+        let issued = self.mc.tick(&mut self.channel, now);
+        if issued.is_none() && self.params.fast_forward {
+            // Idle tick: compute and cache the wake-up so the following
+            // no-op ticks are skipped outright — unless this channel's
+            // recent hints all expired immediately (a saturated
+            // controller is ready again within a cycle or two), in which
+            // case back off before scanning again.
+            if self.hint_backoff > 0 {
+                self.hint_backoff -= 1;
+            } else {
+                let h = self.mc.next_event_cycle(&self.channel, now);
+                if h <= now + 1 {
+                    let p = (self.hint_penalty * 2).clamp(2, 32);
+                    self.hint_penalty = p;
+                    self.hint_backoff = p;
+                } else {
+                    self.hint_penalty = 0;
+                }
+            }
+        }
+        if let Some(iss) = issued {
+            // A host *row* command (ACT/PRE/PREA/REF) changed its target
+            // rank's bank state: the rank's NDA plan may have changed
+            // shape and become ready *earlier*, so its cached wake-up
+            // must be re-derived. Column commands only push timing
+            // registers forward — they can delay the NDA but never make
+            // it ready sooner, so the (conservative) hint stays sound.
+            if !matches!(iss.cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                if let Some(local) = self.local_of_rank[iss.cmd.rank] {
+                    self.ndas[local].invalidate_hint();
+                }
+            }
+            if let Issued {
+                data,
+                completed: Some(tx),
+                ..
+            } = iss
+            {
+                match tx.meta {
+                    TxMeta::CoreRead { core, req } => {
+                        // Packetized responses pay the return-path
+                        // serialization latency too.
+                        let ready = data.end.expect("read") + self.params.packetized_latency;
+                        self.fills_out.push((ready, core, req));
+                    }
+                    TxMeta::Launch { launch } => {
+                        self.launch_events
+                            .push(Reverse((data.end.expect("write"), launch)));
+                    }
+                    TxMeta::CoreWrite => {}
+                }
+            }
+        }
+    }
+
+    fn nda_cycle(&mut self, now: Cycle) {
+        // The write-throttle decision is passed lazily so policy coins
+        // are drawn only for actual write attempts — which also makes
+        // idle and timing-blocked cycles RNG-free, a precondition for
+        // skipping them in fast-forward mode.
+        let Self {
+            ndas,
+            nda_poke,
+            shadows,
+            mc,
+            channel,
+            policy_rng,
+            params,
+            completions_out,
+            global_idx,
+            ..
+        } = self;
+        for i in 0..ndas.len() {
+            // In fast-forward mode, offer the controller a cycle only
+            // when it could act: skip idle FSMs (until a launch pokes
+            // them) and timing-blocked ones inside their cached wake-up
+            // window. Both skips are exact — the controller would
+            // evaluate to the same state without side effects. The naive
+            // loop evaluates every controller every cycle, preserving
+            // the reference behavior the lockstep tests compare against.
+            if params.fast_forward && !nda_poke[i] {
+                match ndas[i].desired_access() {
+                    None => continue,
+                    Some(_) => {
+                        if let Some(h) = ndas[i].ready_hint() {
+                            if now < h {
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            let poked = nda_poke[i];
+            nda_poke[i] = false;
+            let rank = ndas[i].rank();
+            let oldest = mc.oldest_read_rank();
+            let policy = params.policy;
+            let rng = &mut *policy_rng;
+            let result = ndas[i].tick(channel, now, || policy.allow_write(oldest, rank, rng));
+            if let NdaTickResult::Issued(cmd) = result {
+                // An NDA *row* command changed bank state under the host
+                // scheduler: a queued transaction's plan may now be
+                // ready earlier than the cached wake-up assumed. NDA
+                // column commands only move timing registers forward
+                // (pure delay), so the host hint stays sound.
+                if !matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                    mc.invalidate_wake_hint();
+                }
+            }
+            // Mirror onto the host-side shadow FSM. The controller
+            // re-derives its desired access (normalizing FSM state)
+            // exactly on launch-poke cycles and after column grants; the
+            // shadow performs the same `next_access` calls at the same
+            // points — anything more frequent is redundant, anything
+            // less would let the fingerprints drift.
+            if poked {
+                let _ = shadows[i].next_access();
+            }
+            if let NdaTickResult::Issued(cmd) = result {
+                if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
+                    let acc = shadows[i]
+                        .next_access()
+                        .expect("shadow must want an access too");
+                    debug_assert_eq!(
+                        (acc.write, acc.row, acc.col),
+                        (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
+                        "shadow diverged from NDA controller"
+                    );
+                    shadows[i].commit(acc);
+                    let _ = shadows[i].next_access();
+                }
+            }
+            // Completions (both sides pop identically). The host learns
+            // of each one `completion_latency` cycles later — the
+            // status-poll pipeline that also bounds the parallel
+            // executor's lookahead window.
+            while let Some(id) = ndas[i].fsm_mut().pop_completed() {
+                let sid = shadows[i].pop_completed();
+                debug_assert_eq!(sid, Some(id));
+                completions_out.push((now + params.completion_latency, id, global_idx[i]));
+            }
+        }
+    }
+
+    /// Earliest cycle at or after `self.now` (the first unexecuted
+    /// cycle) at which any component of this shard could act, assuming
+    /// no other agent touches it first. Conservative answers only waste
+    /// a wake-up; no component may act strictly before its horizon.
+    pub(crate) fn horizon(&mut self) -> Cycle {
+        let now = self.now;
+        if self.nda_poke.iter().any(|&p| p) {
+            return now;
+        }
+        let mut h = Cycle::MAX;
+        if let Some(&Reverse((t, _))) = self.launch_events.peek() {
+            h = h.min(t);
+        }
+        if let Some(&(t, _)) = self.inbox.front() {
+            h = h.min(t);
+        }
+        if h <= now {
+            return now;
+        }
+        h = h.min(self.mc.next_event_cycle(&self.channel, now));
+        if h <= now {
+            return now;
+        }
+        for nda in &self.ndas {
+            let Some(acc) = nda.desired_access() else {
+                continue;
+            };
+            // A valid timing hint covers writes too: the controller
+            // short-circuits before any policy evaluation until then.
+            if let Some(hint) = nda.ready_hint() {
+                if hint > now {
+                    h = h.min(hint);
+                    continue;
+                }
+            }
+            if acc.write {
+                let oldest = self.mc.oldest_read_rank();
+                match self
+                    .params
+                    .policy
+                    .deterministic_decision(oldest, nda.rank())
+                {
+                    // Stochastic policies flip a coin per attempt: every
+                    // cycle with a pending write must execute.
+                    None => return now,
+                    // Deterministically throttled: the decision can only
+                    // change when the read queue does, which is an event.
+                    Some(false) => continue,
+                    Some(true) => {}
+                }
+            }
+            h = h.min(nda.next_event_cycle(&self.channel, now));
+            if h <= now {
+                return now;
+            }
+        }
+        h.max(now)
+    }
+
+    /// Leap from `self.now` to `target`, applying exactly the state
+    /// changes the naive loop would have made over the provably idle
+    /// stretch: deterministically throttled NDA writes accumulate their
+    /// per-cycle stall counts, and the periodic FSM spot-check keeps its
+    /// coverage. DRAM timing registers and the idle histograms are
+    /// absolute-time state and need no per-cycle work.
+    pub(crate) fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(target > self.now);
+        self.cycles_skipped += target - self.now;
+        for i in 0..self.ndas.len() {
+            let Some(acc) = self.ndas[i].desired_access() else {
+                continue;
+            };
+            if acc.write {
+                let oldest = self.mc.oldest_read_rank();
+                let decision = self
+                    .params
+                    .policy
+                    .deterministic_decision(oldest, self.ndas[i].rank());
+                if decision == Some(false) {
+                    // The naive loop evaluates (and counts) the
+                    // throttled attempt each cycle timing allows the
+                    // write. The cached `ready_hint` is only a lower
+                    // bound, so recompute the exact ready time.
+                    let from = self.ndas[i].next_event_cycle(&self.channel, self.now);
+                    self.ndas[i].write_throttle_stalls += target.saturating_sub(from);
+                }
+            }
+        }
+        if self.params.verify_fsm && self.now.next_multiple_of(1024) < target {
+            assert!(
+                self.fsm_in_sync(),
+                "replicated FSMs diverged in [{}, {}) (channel {})",
+                self.now,
+                target,
+                self.channel_idx
+            );
+        }
+        self.now = target;
+    }
+
+    /// In fast-forward mode, leap to the shard's next event horizon
+    /// (never past `limit`), with the same busy-streak backoff the
+    /// monolithic engine used: executing a skippable cycle is always
+    /// sound; only skipping a cycle with work would not be.
+    fn maybe_skip(&mut self, limit: Cycle) {
+        if !self.params.fast_forward || self.now >= limit {
+            return;
+        }
+        if self.ff_backoff > 0 {
+            self.ff_backoff -= 1;
+            return;
+        }
+        let h = self.horizon().min(limit);
+        if h > self.now {
+            self.skip_to(h);
+            self.ff_streak = 0;
+        } else {
+            self.ff_streak = (self.ff_streak + 1).min(6);
+            self.ff_backoff = (1u32 << self.ff_streak) >> 1;
+        }
+    }
+}

@@ -12,26 +12,58 @@
 //! * a shadow copy of every rank's NDA FSM lives host-side and is stepped
 //!   from observable events only; [`ChopimSystem::fsm_in_sync`] asserts
 //!   bit-equality, demonstrating the replicated-FSM mechanism.
+//!
+//! ## Channel-sharded engine
+//!
+//! The machine is split along its natural hardware boundary into a
+//! **front-end** (the OoO cores, the runtime, launch staging, the
+//! CPU-clock divider, and shared-LLC accounting) and one
+//! [`ChannelShard`] per memory channel (the channel's device state, host
+//! MC, per-rank NDA controllers + shadow FSMs, launch records, and
+//! fast-forward state). All cross-boundary traffic is typed,
+//! cycle-stamped messages over bounded queues:
+//!
+//! * **ingress** (front-end → shard): core memory transactions and
+//!   launch control-writes, delivered `ingress_latency` (+
+//!   `packetized_latency`) cycles after they are produced;
+//! * **fills** (shard → front-end): read completions, delivered when the
+//!   data burst ends (≥ tCL + burst cycles after issue);
+//! * **completions** (shard → front-end): NDA instruction completions,
+//!   delivered `completion_latency` cycles after the FSM retires them
+//!   (the host's status-poll pipeline).
+//!
+//! Because every shard→front-end path has a minimum delivery latency,
+//! the engine executes in **lookahead windows** of
+//! `W = min(tCL + burst, completion_latency)` cycles: the front-end runs
+//! a window first (its outbound messages can even be consumed the same
+//! cycle, since shards run after it), then every shard runs the same
+//! window independently — serially or on a worker pool
+//! ([`ChopimConfig::sim_threads`]) — and the queues are exchanged at the
+//! barrier. Shards never observe each other mid-window and each carries
+//! its own policy RNG, so the schedule is **deterministic by
+//! construction**: any thread count produces bit-identical
+//! [`SimReport`]s (enforced by `crates/exp/tests/shard_lockstep.rs`).
+//! When every component is idle at a barrier, the engine additionally
+//! leaps the whole machine to the global event horizon, preserving the
+//! fast-forward throughput on idle-heavy scenarios.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use chopim_dram::{CommandKind, Cycle, DramConfig, DramSystem};
+use chopim_dram::{Channel, Cycle, DramConfig, DramStats};
 use chopim_host::{CoreConfig, MixId, OooCore};
 use chopim_mapping::color::{ColoredAllocator, Region};
 use chopim_mapping::{presets, AddressMapper, PartitionedMapping};
-use chopim_nda::controller::{NdaRankController, NdaTickResult};
-use chopim_nda::fsm::NdaFsm;
-use chopim_nda::isa::NdaInstr;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use chopim_nda::controller::NdaRankController;
 
 use crate::energy::{self, EnergyParams};
+use crate::par::ShardPool;
 use crate::policy::WriteIssuePolicy;
 use crate::report::SimReport;
 use crate::runtime::{PendingLaunch, Runtime};
-use crate::sched::{HostMc, HostTransaction, Issued, PagePolicy, SchedulerKind, TxMeta};
+use crate::sched::{HostMc, HostTransaction, PagePolicy, SchedulerKind, TxMeta};
+use crate::shard::{ChannelShard, ShardInbound, ShardParams};
 
 /// CPU cycles per DRAM cycle, as a rational (4 GHz / 1.2 GHz = 10/3).
 const CPU_CLOCK_NUM: u32 = 10;
@@ -39,6 +71,19 @@ const CPU_CLOCK_DEN: u32 = 3;
 
 /// Shared LLC miss-status registers (Table II: 48).
 const LLC_MSHRS: usize = 48;
+
+/// Per-channel ingress queue capacity (transactions in flight between
+/// the front-end and a shard's MC).
+const INGRESS_CAP: usize = 64;
+
+/// `CHOPIM_SIM_THREADS`, defaulting to 1 (serial shard execution).
+fn sim_threads_from_env() -> usize {
+    std::env::var("CHOPIM_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
 
 /// Top-level configuration.
 #[derive(Debug, Clone)]
@@ -81,12 +126,29 @@ pub struct ChopimConfig {
     /// FSMs or host-side signaling are needed (paper §III intro, §VIII:
     /// packetized DRAM suffers 2-4x idle latency). `0` = traditional DDR.
     pub packetized_latency: u32,
-    /// Event-horizon fast-forwarding: when every component is provably
-    /// idle, leap the clock to the earliest cycle anything can happen
-    /// instead of ticking through the gap. Produces bit-identical
+    /// Event-horizon fast-forwarding: when a component is provably idle,
+    /// leap its clock to the earliest cycle anything can happen instead
+    /// of ticking through the gap — per shard within lookahead windows,
+    /// and machine-wide at window barriers. Produces bit-identical
     /// [`SimReport`]s to the naive cycle-by-cycle loop (enforced by the
     /// `ff_lockstep` equivalence tests); disable to run the naive loop.
     pub fast_forward: bool,
+    /// Front-end → memory-controller ingress pipeline depth in DRAM
+    /// cycles (the on-chip interconnect between the LLC and the MCs).
+    /// `0` = same-cycle delivery, the pre-sharding behavior.
+    pub ingress_latency: u32,
+    /// NDA completion → host-visible delivery latency in DRAM cycles
+    /// (the host polls rank status registers; completion is not
+    /// observable instantaneously). Also the shard → front-end lookahead
+    /// floor: together with the read-fill latency it bounds the parallel
+    /// executor's window. Must be ≥ 1.
+    pub completion_latency: u32,
+    /// Worker threads for shard execution. `1` (the default) runs every
+    /// shard inline on the calling thread; `N > 1` ticks shards on a
+    /// pool of `min(N, channels)` workers. Any value produces
+    /// bit-identical [`SimReport`]s — the engine's schedule does not
+    /// depend on the thread count. Defaults to `CHOPIM_SIM_THREADS`.
+    pub sim_threads: usize,
 }
 
 impl Default for ChopimConfig {
@@ -108,67 +170,76 @@ impl Default for ChopimConfig {
             page_policy: PagePolicy::default(),
             packetized_latency: 0,
             fast_forward: true,
+            ingress_latency: 0,
+            // Matches the read-fill floor (tCL + burst = 20 for Table
+            // II timing), so it costs no lookahead.
+            completion_latency: 20,
+            sim_threads: sim_threads_from_env(),
         }
     }
 }
 
-#[derive(Debug)]
-struct LaunchInFlight {
-    instr: NdaInstr,
-    nda_idx: usize,
-    writes_remaining: u32,
+impl ChopimConfig {
+    /// The conservative-lookahead window: shards and the front-end may
+    /// run this many cycles independently because no shard→front-end
+    /// message can be delivered sooner after it is produced (read fills
+    /// take ≥ tCL + burst cycles; completions take `completion_latency`).
+    fn lookahead(&self) -> Cycle {
+        let fill = Cycle::from(self.dram.timing.cl) + Cycle::from(self.dram.timing.bl);
+        fill.min(Cycle::from(self.completion_latency.max(1))).max(1)
+    }
 }
 
 /// The complete simulated machine.
 pub struct ChopimSystem {
     /// The configuration the system was built with.
     pub cfg: ChopimConfig,
-    mem: DramSystem,
     mapper: Arc<PartitionedMapping>,
     cores: Vec<OooCore>,
     core_regions: Vec<Region>,
-    mcs: Vec<HostMc>,
-    ndas: Vec<NdaRankController>,
-    /// Set when a launch was delivered to the NDA this cycle, forcing a
-    /// full controller evaluation even if it looked idle or blocked.
-    nda_poke: Vec<bool>,
-    /// `channel * ranks_per_channel + rank` → index into `ndas`.
-    nda_index: Vec<Option<usize>>,
-    shadows: Vec<NdaFsm>,
+    /// One shard per channel; always synced to `self.now` between public
+    /// calls.
+    shards: Vec<ChannelShard>,
+    pool: Option<ShardPool>,
+    /// The lookahead window length (cycles between shard barriers).
+    window: Cycle,
+    /// `(channel, rank)` per global NDA index (mirrors
+    /// `runtime.nda_ranks()`).
+    nda_local: Vec<(usize, usize)>,
     /// The runtime/API (allocate arrays, launch ops).
     pub runtime: Runtime,
     now: Cycle,
     cpu_accum: u32,
     cpu_cycles: u64,
     llc_outstanding: usize,
+    /// Read fills on their way back to the cores: `(at, core, req)`.
     fills: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
-    /// Packetized-mode ingress: transactions in flight toward the
-    /// memory-side controller.
-    ingress: VecDeque<(Cycle, HostTransaction)>,
+    /// NDA completions on their way to the runtime: `(at, instr, nda)`.
+    completions: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    /// Per-channel outboxes: messages produced this window, appended to
+    /// the shard inboxes at the barrier.
+    egress: Vec<VecDeque<(Cycle, ShardInbound)>>,
+    /// Per-channel ingress occupancy as of the last *grid-aligned*
+    /// barrier (the front-end's admission view; shards publish their
+    /// drain progress only on the window grid, which keeps admission
+    /// independent of how `run` calls are sliced).
+    ingress_seen: Vec<usize>,
+    /// Messages handed to shard inboxes at off-grid barriers since the
+    /// last grid-aligned one — still counted against the ingress
+    /// capacity until the next grid refresh folds them into
+    /// `ingress_seen`.
+    ingress_unseen: Vec<usize>,
     launch_stage: VecDeque<PendingLaunch>,
-    launches: HashMap<u64, LaunchInFlight>,
-    launch_events: BinaryHeap<Reverse<(Cycle, u64)>>,
-    launch_inflight: Vec<usize>,
+    /// Per-NDA launch credits: queue capacity minus instructions sent
+    /// and not yet known complete. A conservative (delayed) view of the
+    /// rank FSM's queue space — the shard-side queue can never overflow.
+    nda_credit: Vec<usize>,
     next_launch: u64,
-    policy_rng: StdRng,
     nda_instrs_completed: u64,
-    /// Cycles actually executed by [`tick`](Self::tick) (diagnostics).
+    /// Front-end cycles actually executed (diagnostics).
     ticks_executed: u64,
-    /// Cycles leapt over by fast-forwarding (diagnostics).
+    /// Front-end cycles leapt over (diagnostics).
     cycles_skipped: u64,
-    /// Consecutive horizon computations that found work (busy streak).
-    ff_streak: u32,
-    /// Ticks to run before consulting the horizon again (busy-phase
-    /// backoff; purely a heuristic — executing a cycle is always sound).
-    ff_backoff: u32,
-    /// Per-channel wake-hint throttles: idle MC ticks to let pass before
-    /// computing another wake hint. When a saturated controller's hints
-    /// keep landing on the very next cycle, the scan cannot pay for
-    /// itself — back off exponentially and retry; a productive hint
-    /// resets the throttle. Heuristic only: skipping a hint computation
-    /// just means the naive tick runs, which is always sound.
-    mc_hint_backoff: Vec<u32>,
-    mc_hint_penalty: Vec<u32>,
     finalized: bool,
 }
 
@@ -184,7 +255,10 @@ impl ChopimSystem {
             !(cfg.rank_partition && cfg.reserved_banks > 0),
             "rank partitioning and bank partitioning are alternative modes"
         );
-        let mem = DramSystem::new(cfg.dram.clone());
+        assert!(
+            cfg.completion_latency >= 1,
+            "completion_latency must be >= 1"
+        );
 
         // Host mapping: full geometry in Chopim mode; the lower half of
         // each channel's ranks in rank-partitioning mode.
@@ -233,16 +307,22 @@ impl ChopimSystem {
         if let Some(profiles) = profiles {
             for (i, profile) in profiles.into_iter().enumerate() {
                 let rows = (profile.footprint_bytes / host_geom.system_row_bytes()).max(1);
-                let region = runtime_alloc_host(&mut runtime, rows as usize);
+                let region = runtime.alloc_host_region(rows as usize);
                 cores.push(OooCore::new(cfg.core, profile, cfg.seed ^ (i as u64) << 8));
                 core_regions.push(region);
             }
         }
 
-        let mcs = (0..cfg.dram.channels)
+        let params = ShardParams {
+            policy: cfg.policy,
+            fast_forward: cfg.fast_forward,
+            verify_fsm: cfg.verify_fsm,
+            packetized_latency: Cycle::from(cfg.packetized_latency),
+            completion_latency: Cycle::from(cfg.completion_latency.max(1)),
+        };
+        let shards: Vec<ChannelShard> = (0..cfg.dram.channels)
             .map(|c| {
                 let mut mc = HostMc::new(
-                    c,
                     cfg.dram.ranks_per_channel,
                     cfg.dram.bankgroups,
                     cfg.dram.banks_per_group,
@@ -250,63 +330,82 @@ impl ChopimSystem {
                 );
                 mc.set_scheduler(cfg.scheduler);
                 mc.set_page_policy(cfg.page_policy);
-                mc
+                let ndas: Vec<(usize, NdaRankController)> = nda_ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(ch, _))| ch == c)
+                    .map(|(g, &(ch, r))| {
+                        (
+                            g,
+                            NdaRankController::new(
+                                ch,
+                                r,
+                                cfg.dram.banks_per_group,
+                                cfg.nda_queue_cap,
+                            ),
+                        )
+                    })
+                    .collect();
+                ChannelShard::new(
+                    c,
+                    Channel::new(&cfg.dram),
+                    mc,
+                    ndas,
+                    cfg.nda_queue_cap,
+                    cfg.seed,
+                    params,
+                )
             })
             .collect();
-        let ndas: Vec<NdaRankController> = nda_ranks
-            .iter()
-            .map(|&(c, r)| {
-                NdaRankController::new(c, r, cfg.dram.banks_per_group, cfg.nda_queue_cap)
-            })
-            .collect();
-        let shadows = ndas
-            .iter()
-            .map(|_| NdaFsm::new(cfg.nda_queue_cap))
-            .collect();
-        let n = ndas.len();
+
+        let n = nda_ranks.len();
         let nchannels = cfg.dram.channels;
-        let mut nda_index = vec![None; cfg.dram.channels * cfg.dram.ranks_per_channel];
-        for (i, &(c, r)) in nda_ranks.iter().enumerate() {
-            nda_index[c * cfg.dram.ranks_per_channel + r] = Some(i);
-        }
+        let pool = if cfg.sim_threads > 1 && nchannels > 1 {
+            Some(ShardPool::new(cfg.sim_threads.min(nchannels)))
+        } else {
+            None
+        };
+        let window = cfg.lookahead();
+        let cfg_queue_cap = cfg.nda_queue_cap;
         Self {
-            policy_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
             cfg,
-            mem,
             mapper,
             cores,
             core_regions,
-            mcs,
-            ndas,
-            nda_poke: vec![false; n],
-            nda_index,
-            shadows,
+            shards,
+            pool,
+            window,
+            nda_local: nda_ranks,
             runtime,
             now: 0,
             cpu_accum: 0,
             cpu_cycles: 0,
             llc_outstanding: 0,
             fills: BinaryHeap::new(),
-            ingress: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            egress: (0..nchannels).map(|_| VecDeque::new()).collect(),
+            ingress_seen: vec![0; nchannels],
+            ingress_unseen: vec![0; nchannels],
             launch_stage: VecDeque::new(),
-            launches: HashMap::new(),
-            launch_events: BinaryHeap::new(),
-            launch_inflight: vec![0; n],
+            nda_credit: vec![cfg_queue_cap; n],
             next_launch: 0,
             nda_instrs_completed: 0,
             ticks_executed: 0,
             cycles_skipped: 0,
-            ff_streak: 0,
-            ff_backoff: 0,
-            mc_hint_backoff: vec![0; nchannels],
-            mc_hint_penalty: vec![0; nchannels],
             finalized: false,
         }
     }
 
-    /// Cycles executed one-by-one vs. leapt over (fast-forward telemetry).
+    /// Cycles executed one-by-one vs. leapt over, summed over the
+    /// front-end and every shard (fast-forward telemetry).
     pub fn tick_stats(&self) -> (u64, u64) {
-        (self.ticks_executed, self.cycles_skipped)
+        let (mut t, mut s) = (self.ticks_executed, self.cycles_skipped);
+        for shard in &self.shards {
+            let (st, ss) = shard.tick_stats();
+            t += st;
+            s += ss;
+        }
+        (t, s)
     }
 
     /// Current DRAM cycle.
@@ -314,9 +413,25 @@ impl ChopimSystem {
         self.now
     }
 
-    /// The device model (stats inspection).
-    pub fn mem(&self) -> &DramSystem {
-        &self.mem
+    /// The conservative-lookahead window length (cycles between shard
+    /// barriers) this machine runs with.
+    pub fn lookahead_window(&self) -> Cycle {
+        self.window
+    }
+
+    /// One channel's device state (stats inspection).
+    pub fn channel(&self, ch: usize) -> &Channel {
+        &self.shards[ch].channel
+    }
+
+    /// Aggregate device statistics across every channel (the monolithic
+    /// `DramSystem::stats` view, reassembled over the shards).
+    pub fn mem_stats(&self) -> DramStats {
+        let mut s = DramStats::default();
+        for shard in &self.shards {
+            s.add_channel(&shard.channel.stats);
+        }
+        s
     }
 
     /// The host address mapper.
@@ -327,14 +442,29 @@ impl ChopimSystem {
     /// Record every DRAM command for offline validation with
     /// [`chopim_dram::TimingChecker`].
     pub fn enable_mem_trace(&mut self) {
-        self.mem.enable_trace();
+        for shard in &mut self.shards {
+            shard.channel.enable_trace();
+        }
     }
 
-    /// Take the recorded command trace.
+    /// Take the recorded command trace, merged over channels in cycle
+    /// order (ties resolved by channel index; per-channel order is
+    /// application order, which is what the timing checker validates).
     pub fn take_mem_trace(
         &mut self,
     ) -> Vec<(usize, Cycle, chopim_dram::Command, chopim_dram::Issuer)> {
-        self.mem.take_trace()
+        let mut all: Vec<(usize, Cycle, chopim_dram::Command, chopim_dram::Issuer)> = Vec::new();
+        for (c, shard) in self.shards.iter_mut().enumerate() {
+            all.extend(
+                shard
+                    .channel
+                    .take_trace()
+                    .into_iter()
+                    .map(|(at, cmd, who)| (c, at, cmd, who)),
+            );
+        }
+        all.sort_by_key(|&(c, at, _, _)| (at, c));
+        all
     }
 
     /// Aggregate host IPC so far.
@@ -344,56 +474,59 @@ impl ChopimSystem {
 
     /// Scheduler queue dump for one channel (debugging aid).
     pub fn explain_mc(&self, ch: usize) -> String {
-        self.mcs[ch].explain(&self.mem, self.now)
+        self.shards[ch]
+            .mc
+            .explain(&self.shards[ch].channel, self.now)
     }
 
     /// One-line internal state summary (debugging aid).
     pub fn debug_state(&self) -> String {
         format!(
-            "llc={} fills={} core_out={:?} rq={:?} wq={:?} stage={} launches={}",
+            "llc={} fills={} completions={} core_out={:?} rq={:?} wq={:?} stage={} credits={:?}",
             self.llc_outstanding,
             self.fills.len(),
+            self.completions.len(),
             self.cores
                 .iter()
                 .map(|c| c.outstanding_misses())
                 .collect::<Vec<_>>(),
-            self.mcs
+            self.shards
                 .iter()
-                .map(|m| m.read_queue_len())
+                .map(|s| s.mc.read_queue_len())
                 .collect::<Vec<_>>(),
-            self.mcs
+            self.shards
                 .iter()
-                .map(|m| m.write_queue_len())
+                .map(|s| s.mc.write_queue_len())
                 .collect::<Vec<_>>(),
             self.launch_stage.len(),
-            self.launches.len(),
+            self.nda_credit,
         )
     }
 
-    /// Advance one DRAM cycle.
-    pub fn tick(&mut self) {
+    /// Free slots in channel `ch`'s ingress queue, as admissible by the
+    /// front-end this window: occupancy at the last grid barrier, plus
+    /// everything pushed since (whether still in the outbox or already
+    /// transferred at an off-grid barrier).
+    fn ingress_free(&self, ch: usize) -> usize {
+        INGRESS_CAP
+            .saturating_sub(self.ingress_seen[ch] + self.ingress_unseen[ch] + self.egress[ch].len())
+    }
+
+    /// One front-end cycle at `self.now`: deliver due shard messages,
+    /// step the cores, stage launches. The caller advances `self.now`.
+    fn fe_tick(&mut self) {
         let now = self.now;
         self.ticks_executed += 1;
 
-        // 1. Launch deliveries whose control writes completed.
-        while let Some(&Reverse((t, id))) = self.launch_events.peek() {
+        // 1. NDA completions that became host-visible.
+        while let Some(&Reverse((t, id, nda))) = self.completions.peek() {
             if t > now {
                 break;
             }
-            self.launch_events.pop();
-            let lf = self.launches.get_mut(&id).expect("launch record");
-            lf.writes_remaining -= 1;
-            if lf.writes_remaining == 0 {
-                let lf = self.launches.remove(&id).expect("present");
-                self.launch_inflight[lf.nda_idx] -= 1;
-                self.nda_poke[lf.nda_idx] = true;
-                self.shadows[lf.nda_idx]
-                    .launch(lf.instr.clone())
-                    .unwrap_or_else(|_| panic!("shadow queue overflow"));
-                self.ndas[lf.nda_idx]
-                    .launch(lf.instr)
-                    .unwrap_or_else(|_| panic!("NDA queue overflow"));
-            }
+            self.completions.pop();
+            self.nda_credit[nda] += 1;
+            self.nda_instrs_completed += 1;
+            let _ = self.runtime.complete_instr(id, now);
         }
 
         // 2. Read fills due at the cores.
@@ -416,20 +549,32 @@ impl ChopimSystem {
 
         // 4. Stage at most one NDA instruction launch per cycle.
         if self.launch_stage.is_empty() {
-            let ndas = &self.ndas;
-            let inflight = &self.launch_inflight;
-            let space = |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
+            let credit = &self.nda_credit;
             self.launch_stage
-                .extend(self.runtime.next_launches(space, 1));
+                .extend(self.runtime.next_launches(|i| credit[i], 1));
         }
         if let Some(head) = self.launch_stage.front() {
-            let (ch, rank) = self.runtime.nda_ranks()[head.nda_idx];
+            let (ch, rank) = self.nda_local[head.nda_idx];
             let k = self.cfg.launch_writes_per_instr.max(1);
+            // The launch occupies k write slots plus its payload
+            // side-band in the ingress queue.
             #[allow(clippy::collapsible_if)]
-            if self.mcs[ch].read_queue_len() + k as usize <= 32 {
+            if self.ingress_free(ch) > k as usize {
                 let head = self.launch_stage.pop_front().expect("checked");
                 let id = self.next_launch;
                 self.next_launch += 1;
+                let delay = Cycle::from(self.cfg.ingress_latency)
+                    + Cycle::from(self.cfg.packetized_latency);
+                let local = self.shards[ch].local_of(rank);
+                self.egress[ch].push_back((
+                    now + delay,
+                    ShardInbound::Launch {
+                        id,
+                        nda_local: local,
+                        instr: head.instr,
+                        writes: k,
+                    },
+                ));
                 // Control-register writes: a fixed row in the top bank.
                 let ctrl_row = (self.cfg.dram.rows - 1) as u32;
                 let flat = self.cfg.dram.banks_per_rank() - 1;
@@ -442,231 +587,34 @@ impl ChopimSystem {
                         row: ctrl_row,
                         col: (id as u32 * k + w) % self.cfg.dram.lines_per_row() as u32,
                     };
-                    let ok = self.mcs[ch].try_push_hinted(
-                        HostTransaction {
+                    self.egress[ch].push_back((
+                        now + delay,
+                        ShardInbound::Tx(HostTransaction {
                             addr,
                             is_write: true,
                             meta: TxMeta::Launch { launch: id },
                             arrival: now,
-                        },
-                        &self.mem,
-                        now,
-                    );
-                    assert!(ok, "checked space above");
+                        }),
+                    ));
                 }
-                self.launch_inflight[head.nda_idx] += 1;
-                self.launches.insert(
-                    id,
-                    LaunchInFlight {
-                        instr: head.instr,
-                        nda_idx: head.nda_idx,
-                        writes_remaining: k,
-                    },
-                );
+                self.nda_credit[head.nda_idx] -= 1;
             }
         }
-
-        // 4b. Packetized ingress: requests reach the memory-side
-        // controller after the serialization latency.
-        while let Some(&(ready, _)) = self.ingress.front() {
-            if ready > now {
-                break;
-            }
-            let (_, tx) = self.ingress.pop_front().expect("checked");
-            if !self.mcs[tx.addr.channel].try_push_hinted(tx, &self.mem, now) {
-                // Controller full: retry next cycle (keeps order).
-                self.ingress.push_front((now + 1, tx));
-                break;
-            }
-        }
-
-        // 5. Host memory controllers (priority on the channel).
-        for ch in 0..self.mcs.len() {
-            // In fast-forward mode a valid wake-up hint proves the whole
-            // controller tick is a no-op; the naive loop evaluates every
-            // cycle (reference behavior).
-            if self.cfg.fast_forward {
-                if let Some(h) = self.mcs[ch].wake_hint() {
-                    if now < h {
-                        continue;
-                    }
-                }
-            }
-            let issued = self.mcs[ch].tick(&mut self.mem, now);
-            if issued.is_none() && self.cfg.fast_forward {
-                // Idle tick: compute and cache the wake-up so the
-                // following no-op ticks are skipped outright — unless this
-                // channel's recent hints all expired immediately (a
-                // saturated controller is ready again within a cycle or
-                // two), in which case back off before scanning again.
-                if self.mc_hint_backoff[ch] > 0 {
-                    self.mc_hint_backoff[ch] -= 1;
-                } else {
-                    let h = self.mcs[ch].next_event_cycle(&self.mem, now);
-                    if h <= now + 1 {
-                        let p = (self.mc_hint_penalty[ch] * 2).clamp(2, 32);
-                        self.mc_hint_penalty[ch] = p;
-                        self.mc_hint_backoff[ch] = p;
-                    } else {
-                        self.mc_hint_penalty[ch] = 0;
-                    }
-                }
-            }
-            if let Some(iss) = issued {
-                // A host *row* command (ACT/PRE/PREA/REF) changed its
-                // target rank's bank state: the rank's NDA plan may have
-                // changed shape and become ready *earlier*, so its cached
-                // wake-up must be re-derived. Column commands only push
-                // timing registers forward — they can delay the NDA but
-                // never make it ready sooner, so the (conservative) hint
-                // stays sound and survives the host's column stream.
-                if !matches!(iss.cmd.kind, CommandKind::Rd | CommandKind::Wr) {
-                    let slot = ch * self.cfg.dram.ranks_per_channel + iss.cmd.rank;
-                    if let Some(i) = self.nda_index[slot] {
-                        self.ndas[i].invalidate_hint();
-                    }
-                }
-                if let Issued {
-                    data,
-                    completed: Some(tx),
-                    ..
-                } = iss
-                {
-                    match tx.meta {
-                        TxMeta::CoreRead { core, req } => {
-                            // Packetized responses pay the return-path
-                            // serialization latency too.
-                            let ready =
-                                data.end.expect("read") + Cycle::from(self.cfg.packetized_latency);
-                            self.fills.push(Reverse((ready, core, req)));
-                        }
-                        TxMeta::Launch { launch } => {
-                            self.launch_events
-                                .push(Reverse((data.end.expect("write"), launch)));
-                        }
-                        TxMeta::CoreWrite => {}
-                    }
-                }
-            }
-        }
-
-        // 6. NDA controllers (one per rank, independent command paths).
-        // The write-throttle decision is passed lazily so policy coins are
-        // drawn only for actual write attempts — which also makes idle and
-        // timing-blocked cycles RNG-free, a precondition for skipping them
-        // in fast-forward mode.
-        {
-            let Self {
-                ndas,
-                nda_poke,
-                shadows,
-                mcs,
-                mem,
-                policy_rng,
-                cfg,
-                runtime,
-                nda_instrs_completed,
-                ..
-            } = self;
-            for i in 0..ndas.len() {
-                // In fast-forward mode, offer the controller a cycle only
-                // when it could act: skip idle FSMs (until a launch pokes
-                // them) and timing-blocked ones inside their cached
-                // wake-up window. Both skips are exact — the controller
-                // would evaluate to the same state without side effects
-                // (its `next_access` is idempotent, and no policy coin is
-                // drawn inside a timing window). The naive loop evaluates
-                // every controller every cycle, preserving the reference
-                // behavior the lockstep tests compare against.
-                if cfg.fast_forward && !nda_poke[i] {
-                    match ndas[i].desired_access() {
-                        None => continue,
-                        Some(_) => {
-                            if let Some(h) = ndas[i].ready_hint() {
-                                if now < h {
-                                    continue;
-                                }
-                            }
-                        }
-                    }
-                }
-                let poked = nda_poke[i];
-                nda_poke[i] = false;
-                let (ch, rank) = (ndas[i].channel(), ndas[i].rank());
-                let oldest = mcs[ch].oldest_read_rank();
-                let policy = cfg.policy;
-                let rng = &mut *policy_rng;
-                let result = ndas[i].tick(mem, now, || policy.allow_write(oldest, rank, rng));
-                if let NdaTickResult::Issued(cmd) = result {
-                    // An NDA *row* command changed bank state under the
-                    // host scheduler: a queued transaction's plan may now
-                    // be ready earlier than the cached wake-up assumed.
-                    // NDA column commands only move timing registers
-                    // forward (pure delay), so the host hint stays sound
-                    // and survives the NDA's column stream.
-                    if !matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
-                        mcs[ch].invalidate_wake_hint();
-                    }
-                }
-                // Mirror onto the host-side shadow FSM. The controller
-                // re-derives its desired access (normalizing FSM state)
-                // exactly on launch-poke cycles and after column grants;
-                // the shadow performs the same `next_access` calls at the
-                // same points — anything more frequent is redundant
-                // (`next_access` is idempotent between grants), anything
-                // less would let the fingerprints drift.
-                if poked {
-                    let _ = shadows[i].next_access();
-                }
-                if let NdaTickResult::Issued(cmd) = result {
-                    if matches!(cmd.kind, CommandKind::Rd | CommandKind::Wr) {
-                        let acc = shadows[i]
-                            .next_access()
-                            .expect("shadow must want an access too");
-                        debug_assert_eq!(
-                            (acc.write, acc.row, acc.col),
-                            (cmd.kind == CommandKind::Wr, cmd.row, cmd.col),
-                            "shadow diverged from NDA controller"
-                        );
-                        shadows[i].commit(acc);
-                        let _ = shadows[i].next_access();
-                    }
-                }
-                // Completions (both sides pop identically).
-                while let Some(id) = ndas[i].fsm_mut().pop_completed() {
-                    let sid = shadows[i].pop_completed();
-                    debug_assert_eq!(sid, Some(id));
-                    *nda_instrs_completed += 1;
-                    let _ = runtime.complete_instr(id, now);
-                }
-            }
-        }
-
-        // 7. Replicated-FSM equality check.
-        if self.cfg.verify_fsm && now.is_multiple_of(1024) {
-            assert!(
-                self.fsm_in_sync(),
-                "replicated FSMs diverged at cycle {now}"
-            );
-        }
-
-        self.now += 1;
     }
 
     fn cpu_step(&mut self, now: Cycle) {
         let Self {
             cores,
             core_regions,
-            mcs,
             mapper,
-            mem,
             llc_outstanding,
-            ingress,
+            egress,
+            ingress_seen,
+            ingress_unseen,
             cfg,
             ..
         } = self;
-        let mem: &DramSystem = mem;
-        let pkt = Cycle::from(cfg.packetized_latency);
+        let delay = Cycle::from(cfg.ingress_latency) + Cycle::from(cfg.packetized_latency);
         for (i, core) in cores.iter_mut().enumerate() {
             let region = &core_regions[i];
             let mut sink = |req: chopim_host::MemRequest| -> bool {
@@ -693,44 +641,39 @@ impl ChopimSystem {
                         arrival: now,
                     }
                 };
-                let ok = if pkt > 0 {
-                    // Packetized link: bounded in-flight window, then the
-                    // serialization delay before the memory-side queue.
-                    if ingress.len() >= 64 {
-                        false
-                    } else {
-                        ingress.push_back((now + pkt, tx));
-                        true
-                    }
-                } else {
-                    mcs[d.channel].try_push_hinted(tx, mem, now)
-                };
-                if ok && !tx.is_write {
+                // Bounded ingress: the front-end's occupancy view is its
+                // own pushes plus the shard's drain progress as of the
+                // last grid-aligned barrier.
+                let used =
+                    ingress_seen[d.channel] + ingress_unseen[d.channel] + egress[d.channel].len();
+                if used >= INGRESS_CAP {
+                    return false;
+                }
+                egress[d.channel].push_back((now + delay, ShardInbound::Tx(tx)));
+                if !tx.is_write {
                     *llc_outstanding += 1;
                 }
-                ok
+                true
             };
             core.cpu_cycle(&mut sink);
         }
     }
 
-    /// True when no NDA work is queued, staged, in flight, or executing.
-    fn all_work_drained(&self) -> bool {
-        self.runtime.quiescent()
-            && self.launch_stage.is_empty()
-            && self.launches.is_empty()
-            && self.ndas.iter().all(|n| n.fsm().is_idle())
+    /// True when no NDA work is queued, staged, in flight, or executing
+    /// (as observable by the front-end — completions count once their
+    /// delivery message arrives). A staged launch's op cannot be done
+    /// until that instruction completes, so `Runtime::quiescent` already
+    /// implies an empty launch stage; the explicit check documents the
+    /// invariant and keeps it honest in debug builds.
+    fn all_work_drained(runtime: &Runtime) -> bool {
+        runtime.quiescent()
     }
 
-    /// Earliest cycle at or after `self.now` (the first unexecuted cycle)
-    /// at which any component could act or change state, assuming no
-    /// other component acts first. Every executed tick re-computes this,
-    /// so a conservative (too-early) answer only wastes a wake-up; the
-    /// invariant that makes skipping sound is that no component may act
-    /// strictly before its reported horizon.
-    fn next_event_horizon(&mut self) -> Cycle {
+    /// Earliest cycle at or after `self.now` at which the front-end
+    /// could act, assuming no new shard messages (those are exchanged at
+    /// barriers, which re-compute horizons).
+    fn fe_horizon(&self) -> Cycle {
         let now = self.now;
-        // Cheap checks first: any hit means the next cycle must execute.
         if self.cores.iter().any(|c| !c.is_inert()) {
             return now;
         }
@@ -738,69 +681,24 @@ impl ChopimSystem {
             return now;
         }
         {
-            let ndas = &self.ndas;
-            let inflight = &self.launch_inflight;
-            let space = |i: usize| ndas[i].fsm().queue_space().saturating_sub(inflight[i]);
-            if self.runtime.launch_ready(space) {
+            let credit = &self.nda_credit;
+            if self.runtime.launch_ready(|i| credit[i]) {
                 return now;
             }
         }
         let mut h = Cycle::MAX;
-        if let Some(&Reverse((t, _))) = self.launch_events.peek() {
+        if let Some(&Reverse((t, _, _))) = self.completions.peek() {
             h = h.min(t);
         }
         if let Some(&Reverse((t, _, _))) = self.fills.peek() {
             h = h.min(t);
         }
-        if let Some(&(t, _)) = self.ingress.front() {
-            h = h.min(t);
-        }
-        for ch in 0..self.mcs.len() {
-            h = h.min(self.mcs[ch].next_event_cycle(&self.mem, now));
-            if h <= now {
-                return now;
-            }
-        }
-        for nda in &self.ndas {
-            let Some(acc) = nda.desired_access() else {
-                continue;
-            };
-            // A valid timing hint covers writes too: the controller
-            // short-circuits before any policy evaluation until then.
-            if let Some(hint) = nda.ready_hint() {
-                if hint > now {
-                    h = h.min(hint);
-                    continue;
-                }
-            }
-            if acc.write {
-                let oldest = self.mcs[nda.channel()].oldest_read_rank();
-                match self.cfg.policy.deterministic_decision(oldest, nda.rank()) {
-                    // Stochastic policies flip a coin per attempt: every
-                    // cycle with a pending write must execute.
-                    None => return now,
-                    // Deterministically throttled: the decision can only
-                    // change when the read queues do, which is an event.
-                    Some(false) => continue,
-                    Some(true) => {}
-                }
-            }
-            h = h.min(nda.next_event_cycle(&self.mem, now));
-            if h <= now {
-                return now;
-            }
-        }
         h.max(now)
     }
 
-    /// Leap from `self.now` to `target`, applying exactly the state
-    /// changes `target - self.now` naive ticks would have made on a
-    /// provably idle system: the CPU clock divider advances in closed
-    /// form, inert cores bulk-advance their counters, and deterministically
-    /// throttled NDA writes accumulate their per-cycle stall counts.
-    /// DRAM timing registers and the idle histograms are absolute-time
-    /// state and need no per-cycle work at all.
-    fn skip_to(&mut self, target: Cycle) {
+    /// Leap the front-end to `target`: the CPU clock divider advances in
+    /// closed form and inert cores bulk-advance their counters.
+    fn fe_skip_to(&mut self, target: Cycle) {
         debug_assert!(target > self.now);
         let n = target - self.now;
         self.cycles_skipped += n;
@@ -811,90 +709,145 @@ impl ChopimSystem {
         for core in &mut self.cores {
             core.advance_inert(steps);
         }
-        for i in 0..self.ndas.len() {
-            let Some(acc) = self.ndas[i].desired_access() else {
-                continue;
-            };
-            if acc.write {
-                let oldest = self.mcs[self.ndas[i].channel()].oldest_read_rank();
-                let decision = self
-                    .cfg
-                    .policy
-                    .deterministic_decision(oldest, self.ndas[i].rank());
-                if decision == Some(false) {
-                    // The naive loop evaluates (and counts) the throttled
-                    // attempt each cycle timing allows the write. The
-                    // cached `ready_hint` is only a lower bound (host
-                    // column traffic may have delayed the access without
-                    // clearing it), so recompute the exact ready time.
-                    let from = self.ndas[i].next_event_cycle(&self.mem, self.now);
-                    self.ndas[i].write_throttle_stalls += target.saturating_sub(from);
-                }
-            }
-        }
-        // The naive loop spot-checks FSM replication every 1024 cycles;
-        // preserve that coverage when a skip crosses a boundary.
-        if self.cfg.verify_fsm && self.now.next_multiple_of(1024) < target {
-            assert!(
-                self.fsm_in_sync(),
-                "replicated FSMs diverged in [{}, {})",
-                self.now,
-                target
-            );
-        }
         self.now = target;
     }
 
-    /// In fast-forward mode, leap to the next event horizon (never past
-    /// `limit`). A no-op when the next cycle has work or the mode is off.
-    ///
-    /// During busy streaks — consecutive horizons that found work — the
-    /// horizon computation is throttled with exponential backoff so fully
-    /// loaded phases pay almost no fast-forward overhead. Executing a
-    /// cycle that could have been skipped is always sound; only skipping
-    /// a cycle with work would not be.
-    fn maybe_skip(&mut self, limit: Cycle) {
+    /// In fast-forward mode, leap the front-end to its horizon within
+    /// the current window (never past `limit`).
+    fn fe_maybe_skip(&mut self, limit: Cycle) {
         if !self.cfg.fast_forward || self.now >= limit {
             return;
         }
-        if self.ff_backoff > 0 {
-            self.ff_backoff -= 1;
+        let h = self.fe_horizon().min(limit);
+        if h > self.now {
+            self.fe_skip_to(h);
+        }
+    }
+
+    /// The end of the current lookahead window, clamped to `limit`.
+    /// Windows lie on an absolute grid so the schedule (and therefore
+    /// the report) is independent of how `run` calls are sliced.
+    fn window_end(&self, limit: Cycle) -> Cycle {
+        ((self.now / self.window + 1) * self.window).min(limit)
+    }
+
+    /// Barrier: hand this window's outbound messages to the shards, run
+    /// every shard up to `target` (on the pool when configured), then
+    /// collect their outboxes. The ingress occupancy view is refreshed
+    /// only at *grid-aligned* barriers: an early-exit barrier (a stop
+    /// predicate firing mid-window, or [`tick`](Self::tick)) must not
+    /// let the front-end observe shard drain progress sooner than an
+    /// unsliced run would, or the schedule — and the report — would
+    /// depend on how `run` calls are sliced.
+    fn advance_shards(&mut self, target: Cycle) {
+        let on_grid = target.is_multiple_of(self.window);
+        for (ch, q) in self.egress.iter_mut().enumerate() {
+            if !on_grid {
+                self.ingress_unseen[ch] += q.len();
+            }
+            self.shards[ch].inbox.extend(q.drain(..));
+        }
+        if let Some(pool) = &self.pool {
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = pool.run(shards, target);
+        } else {
+            for shard in &mut self.shards {
+                let prev = chopim_dram::perfcount::set_scope(1 + shard.channel_idx());
+                shard.run_to(target);
+                chopim_dram::perfcount::set_scope(prev);
+            }
+        }
+        for shard in &mut self.shards {
+            for (at, core, req) in shard.fills_out.drain(..) {
+                self.fills.push(Reverse((at, core, req)));
+            }
+            for (at, id, nda) in shard.completions_out.drain(..) {
+                self.completions.push(Reverse((at, id, nda)));
+            }
+            if on_grid {
+                self.ingress_seen[shard.channel_idx()] = shard.inbox.len();
+                self.ingress_unseen[shard.channel_idx()] = 0;
+            }
+        }
+    }
+
+    /// At a barrier (shards synced to `self.now`), leap the whole
+    /// machine to the global event horizon when everything is provably
+    /// idle — the cross-window fast-forward that keeps idle-heavy
+    /// scenarios nearly free.
+    fn maybe_global_skip(&mut self, limit: Cycle) {
+        if !self.cfg.fast_forward || self.now >= limit {
             return;
         }
-        let h = self.next_event_horizon().min(limit);
+        let mut h = self.fe_horizon();
+        if h <= self.now {
+            return;
+        }
+        for shard in &mut self.shards {
+            h = h.min(shard.horizon());
+            if h <= self.now {
+                return;
+            }
+        }
+        let h = h.min(limit);
         if h > self.now {
-            self.skip_to(h);
-            self.ff_streak = 0;
-        } else {
-            self.ff_streak = (self.ff_streak + 1).min(6);
-            self.ff_backoff = (1u32 << self.ff_streak) >> 1;
+            for shard in &mut self.shards {
+                shard.skip_to(h);
+            }
+            self.fe_skip_to(h);
+        }
+    }
+
+    /// Advance one DRAM cycle (front-end and every shard).
+    ///
+    /// This is the single-cycle convenience wrapper; it synchronizes the
+    /// shards every cycle, so prefer [`run`](Self::run) (which barriers
+    /// once per lookahead window) for anything longer than a probe.
+    pub fn tick(&mut self) {
+        self.fe_tick();
+        self.now += 1;
+        self.advance_shards(self.now);
+    }
+
+    /// The engine driver behind every `run_*` method: advance in
+    /// lookahead windows until `end`, stopping as soon as `done` (a
+    /// pure predicate over the runtime) holds. The predicate is
+    /// re-evaluated around every front-end cycle — a done-triggering
+    /// cycle is never skipped past, so the consumed-cycle count matches
+    /// the naive loop — and shards always end synced to `self.now`.
+    /// ([`run_relaunching`](Self::run_relaunching) keeps its own copy
+    /// of this loop because its per-cycle hook *mutates* the runtime.)
+    fn drive(&mut self, end: Cycle, done: &mut dyn FnMut(&Runtime) -> bool) {
+        while self.now < end && !done(&self.runtime) {
+            let target = self.window_end(end);
+            while self.now < target && !done(&self.runtime) {
+                self.fe_tick();
+                self.now += 1;
+                if !done(&self.runtime) {
+                    self.fe_maybe_skip(target);
+                }
+            }
+            self.advance_shards(self.now);
+            if !done(&self.runtime) {
+                self.maybe_global_skip(end);
+            }
         }
     }
 
     /// Run for `cycles` DRAM cycles.
     pub fn run(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.tick();
-            self.maybe_skip(end);
-        }
+        self.drive(self.now + cycles, &mut |_| false);
     }
 
     /// Run until every launched op has completed (or `max` cycles).
     /// Returns the cycles consumed.
     pub fn run_until_quiescent(&mut self, max: Cycle) -> Cycle {
         let start = self.now;
-        while self.now - start < max {
-            if self.all_work_drained() {
-                break;
-            }
-            self.tick();
-            // Quiescence can only flip inside a tick; re-check before
-            // skipping so the consumed-cycle count matches the naive loop.
-            if !self.all_work_drained() {
-                self.maybe_skip(start + max);
-            }
-        }
+        self.drive(start + max, &mut Self::all_work_drained);
+        debug_assert!(
+            !Self::all_work_drained(&self.runtime) || self.launch_stage.is_empty(),
+            "quiescent runtime implies an empty launch stage"
+        );
         self.now - start
     }
 
@@ -910,41 +863,44 @@ impl ChopimSystem {
         let mut op = make(&mut self.runtime);
         let mut completions = 0;
         while self.now < end {
-            if self.runtime.op_done(op) {
-                completions += 1;
-                op = make(&mut self.runtime);
+            let target = self.window_end(end);
+            while self.now < target {
+                if self.runtime.op_done(op) {
+                    completions += 1;
+                    op = make(&mut self.runtime);
+                }
+                self.fe_tick();
+                self.now += 1;
+                // The relaunch must happen on the cycle after the
+                // completing one, exactly as in the naive loop — never
+                // skip over it.
+                if !self.runtime.op_done(op) {
+                    self.fe_maybe_skip(target);
+                }
             }
-            self.tick();
-            // The relaunch must happen on the cycle after the completing
-            // tick, exactly as in the naive loop — never skip over it.
+            self.advance_shards(self.now);
             if !self.runtime.op_done(op) {
-                self.maybe_skip(end);
+                self.maybe_global_skip(end);
             }
         }
         completions
     }
 
-    /// Run until `op` completes (or `max` cycles). Returns cycles consumed.
+    /// Run until `op` completes (or `max` cycles). Returns cycles
+    /// consumed.
     pub fn run_until_op(&mut self, op: crate::runtime::OpId, max: Cycle) -> Cycle {
         let start = self.now;
-        while !self.runtime.op_done(op) && self.now - start < max {
-            self.tick();
-            if !self.runtime.op_done(op) {
-                self.maybe_skip(start + max);
-            }
-        }
+        self.drive(start + max, &mut |rt| rt.op_done(op));
         self.now - start
     }
 
     /// True while every host-side shadow FSM matches its rank's FSM.
     pub fn fsm_in_sync(&self) -> bool {
-        self.ndas
-            .iter()
-            .zip(&self.shadows)
-            .all(|(n, s)| n.fsm().fingerprint() == s.fingerprint())
+        self.shards.iter().all(|s| s.fsm_in_sync())
     }
 
-    /// NDA instructions completed so far.
+    /// NDA instructions completed so far (as observed by the host: a
+    /// completion counts when its delivery message arrives).
     pub fn nda_instrs_completed(&self) -> u64 {
         self.nda_instrs_completed
     }
@@ -952,10 +908,12 @@ impl ChopimSystem {
     /// Build the metrics report for the window `[0, now)`.
     pub fn report(&mut self) -> SimReport {
         if !self.finalized {
-            self.mem.finalize(self.now);
+            for shard in &mut self.shards {
+                shard.channel.stats.finalize(self.now);
+            }
             self.finalized = true;
         }
-        let dram = self.mem.stats();
+        let dram = self.mem_stats();
         let per_core_ipc: Vec<f64> = self.cores.iter().map(|c| c.ipc()).collect();
         let host_ipc = per_core_ipc.iter().sum();
         let seconds = self.now as f64 / 1.2e9;
@@ -971,7 +929,7 @@ impl ChopimSystem {
         let mut ideal_cycles = 0u64;
         let mut idle_histograms = Vec::new();
         for &(c, r) in self.runtime.nda_ranks() {
-            let rs = &self.mem.channel(c).stats.ranks[r];
+            let rs = &self.shards[c].channel.stats.ranks[r];
             ideal_cycles += self.now.saturating_sub(rs.host_data_cycles);
             idle_histograms.push(rs.idle.clone());
         }
@@ -992,12 +950,11 @@ impl ChopimSystem {
             self.cfg.dram.line_bytes(),
             n_pes,
         );
-        let (hits, misses) = self
-            .mcs
-            .iter()
-            .fold((0, 0), |(h, m), mc| (h + mc.row_hits(), m + mc.row_misses));
-        let (lat, nreads) = self.mcs.iter().fold((0, 0), |(l, n), mc| {
-            (l + mc.read_latency_sum, n + mc.reads_completed)
+        let (hits, misses) = self.shards.iter().fold((0, 0), |(h, m), s| {
+            (h + s.mc.row_hits(), m + s.mc.row_misses)
+        });
+        let (lat, nreads) = self.shards.iter().fold((0, 0), |(l, n), s| {
+            (l + s.mc.read_latency_sum, n + s.mc.reads_completed)
         });
         SimReport {
             cycles: self.now,
@@ -1035,13 +992,12 @@ impl ChopimSystem {
             dram,
             energy,
             nda_instrs_completed: self.nda_instrs_completed,
-            nda_write_throttle_stalls: self.ndas.iter().map(|n| n.write_throttle_stalls).sum(),
+            nda_write_throttle_stalls: self
+                .shards
+                .iter()
+                .flat_map(|s| s.ndas.iter())
+                .map(|n| n.write_throttle_stalls)
+                .sum(),
         }
     }
-}
-
-/// Allocate a host footprint, shrinking on exhaustion (tests use small
-/// pools).
-fn runtime_alloc_host(runtime: &mut Runtime, rows: usize) -> Region {
-    runtime.alloc_host_region(rows)
 }

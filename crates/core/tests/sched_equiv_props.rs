@@ -189,7 +189,6 @@ fn run_case(seed: u64, scheduler: SchedulerKind, page_policy: PagePolicy, cycles
     let cfg = chopim_dram::DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh());
     let mut mem = DramSystem::new(cfg.clone());
     let mut mc = HostMc::new(
-        0,
         cfg.ranks_per_channel,
         cfg.bankgroups,
         cfg.banks_per_group,
@@ -220,7 +219,7 @@ fn run_case(seed: u64, scheduler: SchedulerKind, page_policy: PagePolicy, cycles
         );
 
         let expected = oracle.expected(&mem, now);
-        let actual = mc.tick(&mut mem, now);
+        let actual = mc.tick(mem.channel_mut(0), now);
         match (&expected, &actual) {
             (None, None) => {}
             (Some((cmd, completes)), Some(iss)) => {

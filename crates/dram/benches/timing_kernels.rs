@@ -90,7 +90,6 @@ fn bench_sched_pick(c: &mut Criterion) {
     let mk = || {
         let mem = busy_system();
         let mut mc = HostMc::new(
-            0,
             cfg.ranks_per_channel,
             cfg.bankgroups,
             cfg.banks_per_group,
@@ -123,7 +122,7 @@ fn bench_sched_pick(c: &mut Criterion) {
         // is free but many candidates exist.
         let mut now = 10_000;
         b.iter(|| {
-            let r = mc.tick(&mut mem, now);
+            let r = mc.tick(mem.channel_mut(0), now);
             now += 1;
             r.is_some()
         })

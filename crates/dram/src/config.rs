@@ -57,6 +57,15 @@ impl DramConfig {
         self
     }
 
+    /// Table II geometry scaled to `channels` memory channels (the
+    /// wide-machine scenarios run 8; each channel gets its own host MC
+    /// and, in the sharded engine, its own simulation shard).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        self.channels = channels;
+        self
+    }
+
     /// Replace the timing parameter set.
     pub fn with_timing(mut self, timing: TimingParams) -> Self {
         self.timing = timing;

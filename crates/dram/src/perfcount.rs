@@ -8,11 +8,27 @@
 //! `--features perf-counters`; without the feature every call compiles to
 //! nothing.
 //!
+//! ## Scopes
+//!
+//! Counters are bucketed by a thread-local *scope* so the channel-sharded
+//! engine can attribute work per shard even when shards tick on a worker
+//! pool: scope `0` is the front-end (and anything that never sets a
+//! scope), scope `1 + ch` is channel `ch`'s shard. The engine sets the
+//! scope around each shard's window ([`set_scope`]/[`scope`]); snapshots
+//! are available flat ([`snapshot`], summed over scopes — the pre-shard
+//! view) or per scope ([`snapshot_scoped`], what `chopim-perf --verbose`
+//! prints as one table row per channel plus a total).
+//!
 //! The counters are process-global relaxed atomics: the perf harness runs
-//! scenarios serially, so a reset/snapshot pair brackets one run.
+//! scenarios serially, so a reset/snapshot pair brackets one run; within
+//! a run, each shard bumps its own scope's bucket.
 
 /// True when the crate was built with the `perf-counters` feature.
 pub const ENABLED: bool = cfg!(feature = "perf-counters");
+
+/// Number of counter scopes: `0` = front-end/unattributed, `1..` =
+/// per-channel shards. Channels beyond the last slot fold into it.
+pub const SCOPES: usize = 17;
 
 /// One attributable unit of simulator work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +55,11 @@ pub enum Counter {
     NdaMemoMiss,
 }
 
+/// Number of distinct counters.
+pub const NUM_COUNTERS: usize = 9;
+
 /// Counter labels, index-aligned with [`Counter`].
-pub const LABELS: [&str; 9] = [
+pub const LABELS: [&str; NUM_COUNTERS] = [
     "ready_at_calls",
     "plan_access_calls",
     "sched_passes",
@@ -54,22 +73,58 @@ pub const LABELS: [&str; 9] = [
 
 #[cfg(feature = "perf-counters")]
 mod imp {
+    use std::cell::Cell;
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    pub static COUNTERS: [AtomicU64; 9] = [const { AtomicU64::new(0) }; 9];
+    use super::{NUM_COUNTERS, SCOPES};
+
+    pub static COUNTERS: [[AtomicU64; NUM_COUNTERS]; SCOPES] =
+        [const { [const { AtomicU64::new(0) }; NUM_COUNTERS] }; SCOPES];
+
+    thread_local! {
+        pub static SCOPE: Cell<usize> = const { Cell::new(0) };
+    }
 
     #[inline(always)]
     pub fn bump(c: super::Counter) {
-        COUNTERS[c as usize].fetch_add(1, Ordering::Relaxed);
+        let s = SCOPE.with(|s| s.get());
+        COUNTERS[s][c as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline(always)]
     pub fn add(c: super::Counter, n: u64) {
-        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+        let s = SCOPE.with(|s| s.get());
+        COUNTERS[s][c as usize].fetch_add(n, Ordering::Relaxed);
     }
 }
 
-/// Count one unit of `c`. No-op without the feature.
+/// Set the calling thread's counter scope (`0` = front-end, `1 + ch` =
+/// channel `ch`'s shard; clamped to the last slot). No-op without the
+/// feature. Returns the previous scope so callers can restore it.
+pub fn set_scope(scope: usize) -> usize {
+    #[cfg(feature = "perf-counters")]
+    {
+        let s = scope.min(SCOPES - 1);
+        imp::SCOPE.with(|c| c.replace(s))
+    }
+    #[cfg(not(feature = "perf-counters"))]
+    {
+        let _ = scope;
+        0
+    }
+}
+
+/// The calling thread's current counter scope.
+pub fn scope() -> usize {
+    #[cfg(feature = "perf-counters")]
+    {
+        imp::SCOPE.with(|c| c.get())
+    }
+    #[cfg(not(feature = "perf-counters"))]
+    0
+}
+
+/// Count one unit of `c` in the current scope. No-op without the feature.
 #[inline(always)]
 pub fn bump(c: Counter) {
     #[cfg(feature = "perf-counters")]
@@ -78,7 +133,8 @@ pub fn bump(c: Counter) {
     let _ = c;
 }
 
-/// Count `n` units of `c`. No-op without the feature.
+/// Count `n` units of `c` in the current scope. No-op without the
+/// feature.
 #[inline(always)]
 pub fn add(c: Counter, n: u64) {
     #[cfg(feature = "perf-counters")]
@@ -87,22 +143,53 @@ pub fn add(c: Counter, n: u64) {
     let _ = (c, n);
 }
 
-/// Zero every counter.
+/// Zero every counter in every scope.
 pub fn reset() {
     #[cfg(feature = "perf-counters")]
-    for c in &imp::COUNTERS {
-        c.store(0, std::sync::atomic::Ordering::Relaxed);
+    for scope in &imp::COUNTERS {
+        for c in scope {
+            c.store(0, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
-/// Snapshot `(label, value)` for every counter; empty without the feature.
+/// Snapshot `(label, value)` for every counter, summed over all scopes
+/// (the flat, pre-shard view); empty without the feature.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
     #[cfg(feature = "perf-counters")]
     {
         LABELS
             .iter()
-            .zip(&imp::COUNTERS)
-            .map(|(&l, c)| (l, c.load(std::sync::atomic::Ordering::Relaxed)))
+            .enumerate()
+            .map(|(i, &l)| {
+                let total: u64 = imp::COUNTERS
+                    .iter()
+                    .map(|s| s[i].load(std::sync::atomic::Ordering::Relaxed))
+                    .sum();
+                (l, total)
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "perf-counters"))]
+    Vec::new()
+}
+
+/// Per-scope snapshot: `(scope, [value per counter])` for every scope
+/// with at least one nonzero counter; empty without the feature. Scope 0
+/// is the front-end, scope `1 + ch` is channel `ch`'s shard.
+pub fn snapshot_scoped() -> Vec<(usize, [u64; NUM_COUNTERS])> {
+    #[cfg(feature = "perf-counters")]
+    {
+        imp::COUNTERS
+            .iter()
+            .enumerate()
+            .filter_map(|(scope, s)| {
+                let mut row = [0u64; NUM_COUNTERS];
+                for (i, c) in s.iter().enumerate() {
+                    row[i] = c.load(std::sync::atomic::Ordering::Relaxed);
+                }
+                (row.iter().any(|&v| v > 0)).then_some((scope, row))
+            })
             .collect()
     }
     #[cfg(not(feature = "perf-counters"))]
@@ -124,6 +211,22 @@ mod tests {
             snap[Counter::SchedEntriesScanned as usize],
             ("sched_entries_scanned", 3)
         );
+        reset();
+    }
+
+    #[test]
+    fn scoped_counters_attribute_to_the_set_scope() {
+        reset();
+        let prev = set_scope(2);
+        bump(Counter::SchedPasses);
+        set_scope(prev);
+        bump(Counter::SchedPasses);
+        let scoped = snapshot_scoped();
+        assert!(scoped
+            .iter()
+            .any(|(s, row)| *s == 2 && row[Counter::SchedPasses as usize] == 1));
+        // The flat snapshot sums every scope.
+        assert_eq!(snapshot()[Counter::SchedPasses as usize].1, 2);
         reset();
     }
 }

@@ -319,6 +319,27 @@ pub struct DramStats {
     pub turnarounds: u64,
 }
 
+impl DramStats {
+    /// Fold one channel's statistics into this aggregate. Both the
+    /// monolithic [`crate::DramSystem`] and the channel-sharded engine
+    /// (which owns its [`Channel`](crate::Channel)s directly) build their
+    /// system view through this, so the two always aggregate identically.
+    pub fn add_channel(&mut self, ch: &ChannelStats) {
+        self.turnarounds += ch.turnarounds();
+        for r in &ch.ranks {
+            self.reads_host += r.reads_host;
+            self.writes_host += r.writes_host;
+            self.reads_nda += r.reads_nda;
+            self.writes_nda += r.writes_nda;
+            self.acts += r.acts_host + r.acts_nda;
+            self.acts_nda += r.acts_nda;
+            self.refreshes += r.refreshes;
+            self.host_data_cycles += r.host_data_cycles;
+            self.nda_data_cycles += r.nda_data_cycles;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

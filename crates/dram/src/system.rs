@@ -190,18 +190,7 @@ impl DramSystem {
     pub fn stats(&self) -> DramStats {
         let mut s = DramStats::default();
         for ch in &self.channels {
-            s.turnarounds += ch.stats.turnarounds();
-            for r in &ch.stats.ranks {
-                s.reads_host += r.reads_host;
-                s.writes_host += r.writes_host;
-                s.reads_nda += r.reads_nda;
-                s.writes_nda += r.writes_nda;
-                s.acts += r.acts_host + r.acts_nda;
-                s.acts_nda += r.acts_nda;
-                s.refreshes += r.refreshes;
-                s.host_data_cycles += r.host_data_cycles;
-                s.nda_data_cycles += r.nda_data_cycles;
-            }
+            s.add_channel(&ch.stats);
         }
         s
     }

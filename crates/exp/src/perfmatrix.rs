@@ -72,6 +72,27 @@ pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
     rank_part.workload = Workload::elementwise(Opcode::Copy, 1 << 15);
     points.push(("rank_partitioned", rank_part));
 
+    // Wide-machine scenarios: the production-scale geometry the
+    // channel-sharded engine exists for — 8 channels (16 NDA ranks) with
+    // proportionally more host cores (mix0's 8 memory-intensive cores).
+    // `chopim-perf` additionally measures these with a 4-thread worker
+    // pool to gate the parallel-vs-serial speedup.
+    let mut wide_host = ScenarioSpec::with_window(w);
+    wide_host.cfg.dram = DramConfig::table_ii().with_channels(8);
+    wide_host.cfg.mix = MixId::new(0);
+    points.push(("wide_host_8ch", wide_host));
+
+    let mut wide_col = ScenarioSpec::with_window(w);
+    wide_col.cfg.dram = DramConfig::table_ii().with_channels(8);
+    wide_col.cfg.mix = MixId::new(0);
+    wide_col.workload = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 16384,
+        rows_per_instr: 8,
+        opts: LaunchOpts::default(),
+    };
+    points.push(("wide_colocated_8ch", wide_col));
+
     points
 }
 
@@ -91,7 +112,9 @@ mod tests {
                 "nda_only",
                 "colocated_svrg",
                 "colocated_mix",
-                "rank_partitioned"
+                "rank_partitioned",
+                "wide_host_8ch",
+                "wide_colocated_8ch"
             ]
         );
         for (_, spec) in &m {

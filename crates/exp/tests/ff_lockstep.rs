@@ -59,7 +59,9 @@ fn matrix_is_fully_covered() {
             "nda_only",
             "colocated_svrg",
             "colocated_mix",
-            "rank_partitioned"
+            "rank_partitioned",
+            "wide_host_8ch",
+            "wide_colocated_8ch"
         ],
         "new matrix scenario: add a lockstep test for it"
     );
@@ -95,6 +97,16 @@ fn lockstep_rank_partitioned() {
     run_matrix_entry("rank_partitioned");
 }
 
+#[test]
+fn lockstep_wide_host_8ch() {
+    run_matrix_entry("wide_host_8ch");
+}
+
+#[test]
+fn lockstep_wide_colocated_8ch() {
+    run_matrix_entry("wide_colocated_8ch");
+}
+
 /// Stochastic write throttling draws a coin per attempted write; the
 /// horizon logic must refuse to skip any cycle where a draw could occur
 /// so the RNG stream stays aligned.
@@ -116,6 +128,19 @@ fn lockstep_packetized() {
     spec.cfg.packetized_latency = 8;
     spec.workload = Workload::elementwise(Opcode::Axpy, 1 << 15);
     assert_lockstep("packetized", &spec, 5);
+}
+
+/// Non-default cross-boundary pipeline depths (delayed ingress, a
+/// shrunken lookahead window) must preserve naive/fast bit-identity
+/// just like the default schedule.
+#[test]
+fn lockstep_boundary_latencies() {
+    let mut spec = ScenarioSpec::with_window(window().min(15_000));
+    spec.cfg.mix = MixId::new(2);
+    spec.cfg.ingress_latency = 6;
+    spec.cfg.completion_latency = 5;
+    spec.workload = Workload::elementwise(Opcode::Axpy, 1 << 15);
+    assert_lockstep("boundary_latencies", &spec, 11);
 }
 
 /// Closed-page + FCFS ablation modes exercise the eager-precharge branch

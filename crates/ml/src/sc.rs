@@ -86,6 +86,6 @@ mod tests {
         assert!(res.cycles > 0);
         assert!(res.best_center < 3);
         // The NDA side must have moved real data.
-        assert!(sys.mem().stats().reads_nda > 0);
+        assert!(sys.mem_stats().reads_nda > 0);
     }
 }

@@ -5,7 +5,9 @@
 //! timing allows, and defers writes when the issue policy says so (the
 //! throttling hook of paper §III-B). It shares the channel's bank/timing
 //! state with the host controller — in hardware via the replicated FSMs,
-//! in the simulator via the common [`DramSystem`].
+//! in the simulator via the common [`Channel`]. The controller only ever
+//! touches its own channel, so the channel-sharded engine hands it a
+//! `&mut Channel` owned by the shard rather than a system-wide object.
 //!
 //! Two memos keep the per-cycle cost at "two integer compares" while
 //! nothing changes:
@@ -19,7 +21,7 @@
 //!   commands, the channel).
 
 use chopim_dram::perfcount::{self, Counter};
-use chopim_dram::{Command, CommandKind, Cycle, DramSystem, Issuer};
+use chopim_dram::{Channel, Command, CommandKind, Cycle, Issuer};
 
 use crate::fsm::{NdaAccess, NdaFsm};
 use crate::isa::NdaInstr;
@@ -153,8 +155,7 @@ impl NdaRankController {
     /// Keyed on the *NDA* epoch: host traffic to other ranks (or this
     /// rank's external-bus registers) can never move an NDA access.
     #[inline]
-    fn ensure_plan(&mut self, mem: &DramSystem, acc: NdaAccess) {
-        let ch = mem.channel(self.channel);
+    fn ensure_plan(&mut self, ch: &Channel, acc: NdaAccess) {
         let epoch = ch.rank_nda_epoch(self.rank);
         if self.plan_epoch == epoch {
             perfcount::bump(Counter::NdaMemoHit);
@@ -187,7 +188,7 @@ impl NdaRankController {
     /// one coin per attempted write rather than one per cycle.
     pub fn tick(
         &mut self,
-        mem: &mut DramSystem,
+        ch: &mut Channel,
         now: Cycle,
         allow_write: impl FnOnce() -> bool,
     ) -> NdaTickResult {
@@ -199,7 +200,7 @@ impl NdaRankController {
         // issue this cycle. This keeps stochastic policies aligned between
         // the naive loop and fast-forwarding (cycles inside a timing
         // window are provably draw-free and may be skipped).
-        self.ensure_plan(mem, acc);
+        self.ensure_plan(ch, acc);
         if self.plan_ready > now {
             // Cache the wake-up: nothing can make this command ready
             // earlier, and every event that could change the plan
@@ -208,7 +209,7 @@ impl NdaRankController {
             self.ready_hint = Some(self.plan_ready);
             return NdaTickResult::Blocked;
         }
-        if mem.channel(self.channel).rank(self.rank).cmd_mux_busy(now) {
+        if ch.rank(self.rank).cmd_mux_busy(now) {
             return NdaTickResult::Blocked;
         }
         if acc.write && !allow_write() {
@@ -216,7 +217,7 @@ impl NdaRankController {
             return NdaTickResult::Blocked;
         }
         let cmd = self.plan_cmd;
-        mem.issue_prechecked(self.channel, &cmd, Issuer::Nda, now);
+        ch.issue_prechecked(&cmd, Issuer::Nda, now);
         self.ready_hint = None;
         match cmd.kind {
             CommandKind::Rd | CommandKind::Wr => {
@@ -233,7 +234,7 @@ impl NdaRankController {
         // post-issue timing state so the blocked window can be skipped
         // (this also warms the plan memo for the post-issue epoch).
         if let Some(next) = self.want {
-            self.ensure_plan(mem, next);
+            self.ensure_plan(ch, next);
             if self.plan_ready > now {
                 self.ready_hint = Some(self.plan_ready);
             }
@@ -252,7 +253,7 @@ impl NdaRankController {
     /// assuming no other agent touches the memory system first (any such
     /// event re-computes horizons). Returns [`Cycle::MAX`] while idle; the
     /// caller handles write throttling.
-    pub fn next_event_cycle(&self, mem: &DramSystem, now: Cycle) -> Cycle {
+    pub fn next_event_cycle(&self, ch: &Channel, now: Cycle) -> Cycle {
         if !self.want_valid {
             // A launch just arrived; the next executed cycle re-derives
             // the desired access.
@@ -261,7 +262,6 @@ impl NdaRankController {
         let Some(acc) = self.want else {
             return Cycle::MAX;
         };
-        let ch = mem.channel(self.channel);
         if self.plan_epoch == ch.rank_nda_epoch(self.rank) {
             return self.plan_ready.max(now);
         }
@@ -285,13 +285,19 @@ mod tests {
     use super::*;
     use crate::isa::Opcode;
     use crate::operand::OperandLayout;
-    use chopim_dram::{DramConfig, TimingParams};
+    use chopim_dram::{DramConfig, DramStats, TimingParams};
 
-    fn setup() -> (DramSystem, NdaRankController) {
+    fn setup() -> (Channel, NdaRankController) {
         let cfg = DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh());
-        let mem = DramSystem::new(cfg);
+        let ch = Channel::new(&cfg);
         let ctl = NdaRankController::new(0, 1, 4, 8);
-        (mem, ctl)
+        (ch, ctl)
+    }
+
+    fn stats(ch: &Channel) -> DramStats {
+        let mut s = DramStats::default();
+        s.add_channel(&ch.stats);
+        s
     }
 
     fn copy_instr(lines: u64, id: u64) -> NdaInstr {
@@ -302,17 +308,17 @@ mod tests {
 
     #[test]
     fn idle_controller_reports_idle() {
-        let (mut mem, mut ctl) = setup();
-        assert_eq!(ctl.tick(&mut mem, 0, || true), NdaTickResult::Idle);
+        let (mut ch, mut ctl) = setup();
+        assert_eq!(ctl.tick(&mut ch, 0, || true), NdaTickResult::Idle);
     }
 
     #[test]
     fn runs_instruction_to_completion_on_idle_memory() {
-        let (mut mem, mut ctl) = setup();
+        let (mut ch, mut ctl) = setup();
         ctl.launch(copy_instr(256, 42)).unwrap();
         let mut issued = 0u64;
         for now in 0..200_000u64 {
-            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, || true) {
+            if let NdaTickResult::Issued(_) = ctl.tick(&mut ch, now, || true) {
                 issued += 1;
             }
             if ctl.fsm().completed_count() > 0 {
@@ -322,7 +328,7 @@ mod tests {
         assert_eq!(ctl.fsm_mut().pop_completed(), Some(42));
         // 256 reads + 256 writes + row commands.
         assert!(issued >= 512, "issued only {issued}");
-        let s = mem.stats();
+        let s = stats(&ch);
         assert_eq!(s.reads_nda, 256);
         assert_eq!(s.writes_nda, 256);
         assert!(s.acts_nda > 0);
@@ -330,12 +336,12 @@ mod tests {
 
     #[test]
     fn write_throttling_blocks_drain() {
-        let (mut mem, mut ctl) = setup();
+        let (mut ch, mut ctl) = setup();
         ctl.launch(copy_instr(128, 0)).unwrap();
         // Never allow writes: the read phase completes, then it blocks.
         let mut blocked = false;
         for now in 0..50_000u64 {
-            match ctl.tick(&mut mem, now, || false) {
+            match ctl.tick(&mut ch, now, || false) {
                 NdaTickResult::Blocked if ctl.write_throttle_stalls > 0 => {
                     blocked = true;
                     break;
@@ -344,24 +350,24 @@ mod tests {
             }
         }
         assert!(blocked);
-        assert_eq!(mem.stats().writes_nda, 0);
+        assert_eq!(stats(&ch).writes_nda, 0);
         // Re-allow writes: finishes.
         for now in 50_000..200_000u64 {
-            ctl.tick(&mut mem, now, || true);
+            ctl.tick(&mut ch, now, || true);
         }
-        assert_eq!(mem.stats().writes_nda, 128);
+        assert_eq!(stats(&ch).writes_nda, 128);
     }
 
     #[test]
     fn opens_rows_with_act_and_switches_with_pre() {
-        let (mut mem, mut ctl) = setup();
+        let (mut ch, mut ctl) = setup();
         // Two chunks in the same bank, different rows: forces ACT..PRE..ACT.
         let x = OperandLayout::single_bank(0, 10, 2, 128);
         let i = NdaInstr::elementwise(Opcode::Nrm2, 256, vec![(x, 0)], vec![], 0);
         ctl.launch(i).unwrap();
         let mut kinds = Vec::new();
         for now in 0..100_000u64 {
-            if let NdaTickResult::Issued(c) = ctl.tick(&mut mem, now, || true) {
+            if let NdaTickResult::Issued(c) = ctl.tick(&mut ch, now, || true) {
                 if c.kind.is_row() {
                     kinds.push((c.kind, c.row));
                 }
@@ -378,22 +384,22 @@ mod tests {
 
     #[test]
     fn plan_memo_tracks_host_interference() {
-        let (mut mem, mut ctl) = setup();
+        let (mut ch, mut ctl) = setup();
         ctl.launch(copy_instr(64, 7)).unwrap();
         // First offered cycle plans and issues an ACT.
-        let r = ctl.tick(&mut mem, 0, || true);
+        let r = ctl.tick(&mut ch, 0, || true);
         assert!(matches!(r, NdaTickResult::Issued(c) if c.kind == CommandKind::Act));
         // Host command to the same rank moves its timing; the memoized
         // plan must be re-derived (epoch moved), not trusted.
-        let epoch_before = mem.channel(0).rank_epoch(1);
-        mem.issue(0, &Command::act(1, 3, 3, 9), Issuer::Host, 10)
+        let epoch_before = ch.rank_epoch(1);
+        ch.issue(&Command::act(1, 3, 3, 9), Issuer::Host, 10)
             .unwrap();
-        assert_ne!(mem.channel(0).rank_epoch(1), epoch_before);
+        assert_ne!(ch.rank_epoch(1), epoch_before);
         ctl.invalidate_hint();
         // The controller still makes progress and never issues illegally.
         let mut issued = 0;
         for now in 11..50_000u64 {
-            if let NdaTickResult::Issued(_) = ctl.tick(&mut mem, now, || true) {
+            if let NdaTickResult::Issued(_) = ctl.tick(&mut ch, now, || true) {
                 issued += 1;
             }
             if ctl.fsm().completed_count() > 0 {

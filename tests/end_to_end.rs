@@ -91,7 +91,7 @@ fn simulated_average_gradient_matches_analytic_model() {
         );
     }
     // The NDAs really did the work through the memory system.
-    assert!(sys.mem().stats().reads_nda > 0);
+    assert!(sys.mem_stats().reads_nda > 0);
     assert!(sys.fsm_in_sync());
 }
 
