@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard examples lint
 
 all: test
 
@@ -39,6 +39,17 @@ lockstep:
 # shard execution must produce bit-identical SimReports.
 lockstep-shard:
 	cargo test --release -p chopim-exp --test shard_lockstep
+
+# Build and run every example with CI-sized windows (what the CI
+# `examples` job does) — catches runtime-API drift in examples fast.
+examples:
+	cargo build --release --examples
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release --example quickstart
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release --example colocation
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release --example layout_explorer
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release --example svrg_collaboration
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release -p chopim-core --example count_ticks
+	CHOPIM_BENCH_CYCLES=5000 cargo run --release -p chopim-core --example probe
 
 lint:
 	cargo clippy --all-targets -- -D warnings && cargo fmt --check

@@ -16,9 +16,13 @@ fn main() {
             granularity_lines: gran,
             barrier_per_chunk: true,
         };
-        sys.run_relaunching(60_000, |rt| {
-            rt.launch_elementwise(Opcode::Axpy, vec![0.5], vec![x], Some(y), opts)
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Axpy, vec![0.5], vec![x], Some(y))
+                .opts(opts)
+                .submit()
         });
+        sys.run(60_000);
         let (t, s) = sys.tick_stats();
         println!("{name}: executed {t} skipped {s}");
     }

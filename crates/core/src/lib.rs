@@ -15,8 +15,9 @@
 //!   conservative-lookahead windows — serially or on a worker pool
 //!   (`ChopimConfig::sim_threads`) with bit-identical results;
 //! * [`runtime`] — the §V runtime/API: colored system-row allocation,
-//!   coarse-grain op launches (with the Fig.-10 granularity knob), macro
-//!   ops, host-mediated reduction;
+//!   per-tenant [`Session`](runtime::Session)s with builder-style op
+//!   submission (with the Fig.-10 granularity knob), dependency-aware
+//!   op-graph staging, macro ops, host-mediated reduction;
 //! * [`energy`] — the Table-II energy model;
 //! * [`report`] — the metrics the figures plot.
 //!
@@ -26,13 +27,22 @@
 //! use chopim_core::prelude::*;
 //!
 //! let mut sys = ChopimSystem::new(ChopimConfig::default());
+//! let sess = sys.runtime.default_session();
 //! let x = sys.runtime.vector(1 << 12, Sharing::Shared);
 //! let y = sys.runtime.vector(1 << 12, Sharing::Shared);
 //! sys.runtime.write_vector(x, &vec![2.0; 1 << 12]);
-//! let op = sys.runtime.launch_elementwise(
-//!     Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
-//! sys.run_until_op(op, 2_000_000);
+//! // y = x on the NDAs, then c = y . y gated on it by a DAG edge.
+//! let cp = sess
+//!     .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+//!     .submit();
+//! let dot = sess
+//!     .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![y, y], None)
+//!     .after(cp)
+//!     .submit();
+//! sys.drive(dot, 4_000_000);
+//! assert!(sys.runtime.op_done(dot));
 //! assert_eq!(sys.runtime.read_vector(y)[0], 2.0);
+//! assert_eq!(sys.runtime.op_result(dot), Some(4.0 * (1 << 12) as f32));
 //! ```
 
 pub mod energy;
@@ -49,9 +59,13 @@ pub mod prelude {
     pub use crate::energy::{EnergyParams, EnergyReport, PeActivity};
     pub use crate::policy::WriteIssuePolicy;
     pub use crate::report::SimReport;
-    pub use crate::runtime::{LaunchOpts, MatId, OpId, Runtime, Sharing, VecId};
+    #[allow(deprecated)]
+    pub use crate::runtime::OpId;
+    pub use crate::runtime::{
+        LaunchOpts, MatId, OpBuilder, OpHandle, Runtime, Session, Sharing, VecId,
+    };
     pub use crate::sched::{PagePolicy, SchedulerKind};
-    pub use crate::system::{ChopimConfig, ChopimSystem};
+    pub use crate::system::{ChopimConfig, ChopimSystem, StreamId, Waitable};
     pub use chopim_dram::{DramConfig, IdleBucket, TimingParams};
     pub use chopim_host::{CoreConfig, MixId, WorkloadProfile};
     pub use chopim_mapping::color::Color;

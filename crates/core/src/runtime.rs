@@ -5,6 +5,35 @@
 //! instructions, tracks completion, and executes the numerics functionally
 //! on the `f32` backing store when an operation completes (the
 //! function/timing split documented in `DESIGN.md`).
+//!
+//! ## Sessions, handles, and the op graph
+//!
+//! Submission is organized around [`Session`]s — per-tenant submission
+//! contexts with their own in-order op streams — and typed [`OpHandle`]s
+//! returned by builder-style launch calls:
+//!
+//! ```ignore
+//! let sess = sys.runtime.create_session();
+//! let a = sess.elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+//!     .submit();
+//! let b = sess.elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![y, y], None)
+//!     .after(a)          // explicit DAG edge (redundant here: same session)
+//!     .submit();
+//! sys.drive(b, 10_000_000);
+//! ```
+//!
+//! Within a session, ops execute in submission order by default — the
+//! paper's blocking semantics (§V): instruction *issue* is FIFO per rank
+//! but completion is not, so overlapping dependent ops would break
+//! read-after-write across launches. [`OpBuilder::unordered`] opts an op
+//! out of program order so it is gated only by its explicit
+//! [`OpBuilder::after`] edges, which may reference handles from *any*
+//! session. Dependent ops stage only when every parent has retired.
+//!
+//! Across sessions, [`Runtime::next_launches`] arbitrates fairly: a
+//! deterministic round-robin cursor rotates over sessions with a
+//! releasable op, so no ready tenant is starved by another tenant's
+//! backlog.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -26,9 +55,37 @@ pub struct VecId(pub(crate) usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatId(pub(crate) usize);
 
-/// Handle to a launched (possibly multi-instruction, multi-rank) operation.
+/// A per-tenant submission context.
+///
+/// Each session owns an ordered stream of operations; independent
+/// sessions share the machine under fair-share arbitration (see the
+/// module docs). Sessions are cheap `Copy` handles — create them with
+/// [`Runtime::create_session`], or use [`Runtime::default_session`] for
+/// single-tenant code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Session {
+    id: u32,
+}
+
+/// Typed handle to a launched (possibly multi-instruction, multi-rank)
+/// operation: the `(session, op)` pair completion routing carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpId(pub(crate) usize);
+pub struct OpHandle {
+    pub(crate) sess: u32,
+    pub(crate) idx: u32,
+}
+
+impl OpHandle {
+    /// The session this op was submitted to.
+    pub fn session(self) -> Session {
+        Session { id: self.sess }
+    }
+}
+
+/// Deprecated name for [`OpHandle`] (ops used to be numbered globally;
+/// they are now per-session handles).
+#[deprecated(note = "use OpHandle")]
+pub type OpId = OpHandle;
 
 /// How an array is distributed (paper Fig. 8: `nda::SHARED` vs
 /// `nda::PRIVATE`).
@@ -86,8 +143,9 @@ pub struct PendingLaunch {
     pub nda_idx: usize,
     /// The instruction to deliver.
     pub instr: NdaInstr,
-    /// Owning operation.
-    pub op: OpId,
+    /// Owning operation (the `(session, op)` tag completion routing
+    /// carries back).
+    pub op: OpHandle,
     /// Chunk index within the operation (for barriers).
     pub chunk: usize,
 }
@@ -125,25 +183,46 @@ struct OpState {
     barrier: bool,
     result: Option<f32>,
     done: bool,
-    /// This op's launches are held until the dependency completes
-    /// (runtime-inserted realignment copies, paper §V).
-    depends_on: Option<OpId>,
-    /// Cycle at which the op finished (set by the system).
-    pub finished_at: Option<u64>,
+    /// Explicit DAG edges: launches are held until every parent op has
+    /// retired (runtime-inserted realignment copies, paper §V, and
+    /// user-declared [`OpBuilder::after`] edges — possibly cross-session).
+    deps: Vec<OpHandle>,
+    /// Default program-order semantics: also wait for every earlier op in
+    /// the same session. `false` = gated by `deps` alone.
+    ordered: bool,
+    /// First instruction id of this op; instruction ids are contiguous
+    /// per op, `n_ndas` per chunk, so `chunk = (id - base) / n_ndas`.
+    instr_base: u64,
+    /// Cycle at which the op's first launch was staged (DAG observability
+    /// for the scheduling property tests).
+    first_staged_at: Option<u64>,
+    /// Cycle at which the op finished (set on the completing instruction).
+    finished_at: Option<u64>,
 }
 
-/// The Chopim runtime: arrays, colored allocation, op splitting, and
-/// functional execution.
+/// One session's submission state.
+#[derive(Debug, Default)]
+struct SessionState {
+    ops: Vec<OpState>,
+    /// Index of the first op that is not yet done. Launch gating and
+    /// quiescence checks start here instead of rescanning the
+    /// ever-growing op list every cycle.
+    first_live: usize,
+    /// Live (submitted, not finished) unordered ops. When zero, the
+    /// staging scan can stop at the first blocked ordered op — the
+    /// classic strict-order fast path.
+    unordered_live: usize,
+}
+
+/// The Chopim runtime: arrays, colored allocation, sessions, op-graph
+/// splitting/staging, and functional execution.
 #[derive(Debug)]
 pub struct Runtime {
     arrays: Vec<ArrayData>,
-    ops: Vec<OpState>,
-    /// Index of the first op that is not yet done. Ops complete in launch
-    /// order (strict op-order release), so everything below this watermark
-    /// is finished; launch gating and quiescence checks start here instead
-    /// of rescanning the ever-growing op list every cycle.
-    first_live: usize,
-    instr_map: HashMap<u64, (OpId, usize)>,
+    sessions: Vec<SessionState>,
+    /// Fair-share round-robin cursor over sessions: the session after the
+    /// one that last released a launch gets first claim next time.
+    rr_cursor: usize,
     next_instr: u64,
     /// Number of NDA ranks (one NDA per rank).
     n_ndas: usize,
@@ -182,9 +261,8 @@ impl Runtime {
         let n = nda_ranks.len();
         Self {
             arrays: Vec::new(),
-            ops: Vec::new(),
-            first_live: 0,
-            instr_map: HashMap::new(),
+            sessions: vec![SessionState::default()],
+            rr_cursor: 0,
             next_instr: 0,
             n_ndas: n,
             allocator,
@@ -201,9 +279,35 @@ impl Runtime {
         }
     }
 
+    /// The default (always-present) session, for single-tenant code.
+    pub fn default_session(&self) -> Session {
+        Session { id: 0 }
+    }
+
+    /// Create a fresh submission session (a tenant).
+    pub fn create_session(&mut self) -> Session {
+        self.sessions.push(SessionState::default());
+        Session {
+            id: (self.sessions.len() - 1) as u32,
+        }
+    }
+
+    /// Number of sessions (including the default one).
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
     /// The NDA ranks as `(channel, rank)` pairs.
     pub fn nda_ranks(&self) -> &[(usize, usize)] {
         &self.nda_ranks
+    }
+
+    fn op(&self, h: OpHandle) -> &OpState {
+        &self.sessions[h.sess as usize].ops[h.idx as usize]
+    }
+
+    fn op_mut(&mut self, h: OpHandle) -> &mut OpState {
+        &mut self.sessions[h.sess as usize].ops[h.idx as usize]
     }
 
     /// Build per-NDA layouts for `lines` payload lines in a colored
@@ -424,18 +528,32 @@ impl Runtime {
         self.vec_lines(v).div_ceil(self.n_ndas as u64)
     }
 
-    fn new_instr_id(&mut self, op: OpId, chunk: usize) -> u64 {
-        let id = self.next_instr;
-        self.next_instr += 1;
-        self.instr_map.insert(id, (op, chunk));
-        id
+    fn take_instr_ids(&mut self, count: u64) -> u64 {
+        let base = self.next_instr;
+        self.next_instr += count;
+        base
     }
 
-    /// Launch an elementwise Table-I operation.
-    ///
-    /// `inputs` are read operands; `output` (if any) is the written
-    /// operand (in-place ops pass the same id in both). All operands must
-    /// be shared vectors of one length.
+    /// Handle the next op submitted to `sess` will get.
+    fn next_handle(&self, sess: Session) -> OpHandle {
+        OpHandle {
+            sess: sess.id,
+            idx: self.sessions[sess.id as usize].ops.len() as u32,
+        }
+    }
+
+    fn push_op(&mut self, sess: Session, op: OpState) -> OpHandle {
+        let h = self.next_handle(sess);
+        let ss = &mut self.sessions[sess.id as usize];
+        if !op.ordered {
+            ss.unordered_live += 1;
+        }
+        ss.ops.push(op);
+        h
+    }
+
+    /// Launch an elementwise Table-I operation on the default session.
+    #[deprecated(note = "use Session::elementwise(...).submit()")]
     pub fn launch_elementwise(
         &mut self,
         op: Opcode,
@@ -443,46 +561,113 @@ impl Runtime {
         inputs: Vec<VecId>,
         output: Option<VecId>,
         opts: LaunchOpts,
-    ) -> OpId {
-        // Color check: all operands of one instruction must share a color
-        // (paper §III-A). When inputs disagree with the base color, the
-        // runtime inserts realignment copies into same-colored temporaries
-        // and chains the main op behind them (paper §V).
-        let base_color = output
-            .or_else(|| inputs.first().copied())
-            .map(|v| self.arrays[v.0].color)
-            .expect("needs operands");
-        let mut inputs = inputs;
-        let mut realign: Option<OpId> = None;
-        for v in inputs.iter_mut() {
-            if self.arrays[v.0].color != base_color && self.arrays[v.0].private.is_none() {
-                let len = self.arrays[v.0].len;
-                let tmp = self.vector_colored(len, Sharing::Shared, base_color);
-                self.realignment_copies += 1;
-                let cp = self.launch_elementwise_inner(
-                    Opcode::Copy,
-                    vec![],
-                    vec![*v],
-                    Some(tmp),
-                    LaunchOpts::default(),
-                    realign,
-                );
-                realign = Some(cp);
-                *v = tmp;
-            }
-        }
-        self.launch_elementwise_inner(op, scalars, inputs, output, opts, realign)
+    ) -> OpHandle {
+        self.submit_elementwise(
+            self.default_session(),
+            op,
+            scalars,
+            inputs,
+            output,
+            opts,
+            Vec::new(),
+            true,
+        )
     }
 
-    fn launch_elementwise_inner(
+    /// Launch `y = A x` on the default session.
+    #[deprecated(note = "use Session::gemv(...).submit()")]
+    pub fn launch_gemv(&mut self, y: VecId, a: MatId, x: VecId, opts: LaunchOpts) -> OpHandle {
+        self.submit_gemv(self.default_session(), y, a, x, opts, Vec::new(), true)
+    }
+
+    /// Launch the `parallel_for` macro op on the default session.
+    #[deprecated(note = "use Session::axpy_rows(...).submit()")]
+    pub fn launch_macro_axpy_rows(
         &mut self,
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+        opts: LaunchOpts,
+    ) -> OpHandle {
+        self.submit_axpy_rows(
+            self.default_session(),
+            a_pvt,
+            alphas,
+            x,
+            samples_per_instr,
+            opts,
+            Vec::new(),
+            true,
+        )
+    }
+
+    /// Split an elementwise op into per-rank instructions and queue it on
+    /// `sess`, inserting realignment copies for color mismatches.
+    ///
+    /// `inputs` are read operands; `output` (if any) is the written
+    /// operand (in-place ops pass the same id in both). All operands must
+    /// be shared vectors of one length.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_elementwise(
+        &mut self,
+        sess: Session,
         op: Opcode,
         scalars: Vec<f32>,
         inputs: Vec<VecId>,
         output: Option<VecId>,
         opts: LaunchOpts,
-        depends: Option<OpId>,
-    ) -> OpId {
+        mut deps: Vec<OpHandle>,
+        ordered: bool,
+    ) -> OpHandle {
+        // Color check: all operands of one instruction must share a color
+        // (paper §III-A). When inputs disagree with the base color, the
+        // runtime inserts realignment copies into same-colored temporaries
+        // and gates the main op on them via DAG edges (paper §V).
+        let base_color = output
+            .or_else(|| inputs.first().copied())
+            .map(|v| self.arrays[v.0].color)
+            .expect("needs operands");
+        // The copies inherit the builder's own DAG edges: a copy reads
+        // the mismatched input, so it must wait for the same parents the
+        // main op was gated on (one of them may be the op producing that
+        // input — in another session, or skipped-over by `unordered`).
+        let inherited = deps.clone();
+        let mut inputs = inputs;
+        for v in inputs.iter_mut() {
+            if self.arrays[v.0].color != base_color && self.arrays[v.0].private.is_none() {
+                let len = self.arrays[v.0].len;
+                let tmp = self.vector_colored(len, Sharing::Shared, base_color);
+                self.realignment_copies += 1;
+                let cp = self.submit_elementwise_inner(
+                    sess,
+                    Opcode::Copy,
+                    vec![],
+                    vec![*v],
+                    Some(tmp),
+                    LaunchOpts::default(),
+                    inherited.clone(),
+                    ordered,
+                );
+                deps.push(cp);
+                *v = tmp;
+            }
+        }
+        self.submit_elementwise_inner(sess, op, scalars, inputs, output, opts, deps, ordered)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_elementwise_inner(
+        &mut self,
+        sess: Session,
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+        opts: LaunchOpts,
+        deps: Vec<OpHandle>,
+        ordered: bool,
+    ) -> OpHandle {
         let probe = *inputs.first().or(output.as_ref()).expect("needs operands");
         let len = self.arrays[probe.0].len;
         for v in inputs.iter().chain(output.iter()) {
@@ -491,18 +676,19 @@ impl Runtime {
         let per_rank = self.vec_lines_per_rank(probe);
         let g = opts.granularity_lines.unwrap_or(per_rank).max(1);
         let chunks = per_rank.div_ceil(g) as usize;
-        let op_id = OpId(self.ops.len());
+        let handle = self.next_handle(sess);
+        let instr_base = self.take_instr_ids(chunks as u64 * self.n_ndas as u64);
         let mut pending = VecDeque::new();
         let mut chunk_sizes = vec![0u32; chunks];
         // In-place read-modify-write ops stream their output operand in
         // as well (Table I: AXPY and SCAL update y/x in place).
         let rmw = matches!(op, Opcode::Axpy | Opcode::Scal);
+        let mut id = instr_base;
         #[allow(clippy::needless_range_loop)]
         for chunk in 0..chunks {
             let start = chunk as u64 * g;
             let lines = g.min(per_rank - start);
             for nda in 0..self.n_ndas {
-                let id = self.new_instr_id(op_id, chunk);
                 let mut reads: Vec<_> = inputs
                     .iter()
                     .map(|v| (self.arrays[v.0].layouts[nda].clone(), start))
@@ -519,41 +705,57 @@ impl Runtime {
                     .map(|v| (self.arrays[v.0].layouts[nda].clone(), start))
                     .collect();
                 let instr = NdaInstr::elementwise(op, lines, reads, writes, id);
+                id += 1;
                 pending.push_back(PendingLaunch {
                     nda_idx: nda,
                     instr,
-                    op: op_id,
+                    op: handle,
                     chunk,
                 });
                 chunk_sizes[chunk] += 1;
             }
         }
         let total = pending.len() as u64;
-        self.ops.push(OpState {
-            kind: OpKind::Elementwise {
-                op,
-                scalars,
-                inputs,
-                output,
+        self.push_op(
+            sess,
+            OpState {
+                kind: OpKind::Elementwise {
+                    op,
+                    scalars,
+                    inputs,
+                    output,
+                },
+                pending,
+                total_instrs: total,
+                completed_instrs: 0,
+                chunk_completed: vec![0; chunks],
+                chunk_sizes,
+                released_chunks: 0,
+                barrier: opts.barrier_per_chunk,
+                result: None,
+                done: false,
+                deps,
+                ordered,
+                instr_base,
+                first_staged_at: None,
+                finished_at: None,
             },
-            pending,
-            total_instrs: total,
-            completed_instrs: 0,
-            chunk_completed: vec![0; chunks],
-            chunk_sizes,
-            released_chunks: 0,
-            barrier: opts.barrier_per_chunk,
-            result: None,
-            done: false,
-            depends_on: depends,
-            finished_at: None,
-        });
-        OpId(self.ops.len() - 1)
+        )
     }
 
-    /// Launch `y = A x` (one instruction per rank; A streams, x/y live in
-    /// the scratchpad).
-    pub fn launch_gemv(&mut self, y: VecId, a: MatId, x: VecId, opts: LaunchOpts) -> OpId {
+    /// Split `y = A x` into one instruction per rank and queue it on
+    /// `sess` (A streams, x/y live in the scratchpad).
+    #[allow(clippy::too_many_arguments)]
+    fn submit_gemv(
+        &mut self,
+        sess: Session,
+        y: VecId,
+        a: MatId,
+        x: VecId,
+        opts: LaunchOpts,
+        deps: Vec<OpHandle>,
+        ordered: bool,
+    ) -> OpHandle {
         let (rows, cols) = self.arrays[a.0].shape.expect("matrix");
         assert_eq!(self.arrays[x.0].len, cols, "x length != cols");
         assert_eq!(self.arrays[y.0].len, rows, "y length != rows");
@@ -564,39 +766,44 @@ impl Runtime {
         );
         let x_per_rank = self.vec_lines_per_rank(x).max(1);
         let y_per_rank = self.vec_lines_per_rank(y).max(1);
-        let op_id = OpId(self.ops.len());
+        let handle = self.next_handle(sess);
+        let instr_base = self.take_instr_ids(self.n_ndas as u64);
         let mut pending = VecDeque::new();
         for nda in 0..self.n_ndas {
-            let id = self.new_instr_id(op_id, 0);
             let instr = NdaInstr::gemv(
                 (self.arrays[a.0].layouts[nda].clone(), 0, a_per_rank),
                 (self.arrays[x.0].layouts[nda].clone(), 0, x_per_rank),
                 (self.arrays[y.0].layouts[nda].clone(), 0, y_per_rank),
-                id,
+                instr_base + nda as u64,
             );
             pending.push_back(PendingLaunch {
                 nda_idx: nda,
                 instr,
-                op: op_id,
+                op: handle,
                 chunk: 0,
             });
         }
         let total = pending.len() as u64;
-        self.ops.push(OpState {
-            kind: OpKind::Gemv { y, a, x },
-            pending,
-            total_instrs: total,
-            completed_instrs: 0,
-            chunk_completed: vec![0],
-            chunk_sizes: vec![total as u32],
-            released_chunks: 0,
-            barrier: opts.barrier_per_chunk,
-            result: None,
-            done: false,
-            depends_on: None,
-            finished_at: None,
-        });
-        op_id
+        self.push_op(
+            sess,
+            OpState {
+                kind: OpKind::Gemv { y, a, x },
+                pending,
+                total_instrs: total,
+                completed_instrs: 0,
+                chunk_completed: vec![0],
+                chunk_sizes: vec![total as u32],
+                released_chunks: 0,
+                barrier: opts.barrier_per_chunk,
+                result: None,
+                done: false,
+                deps,
+                ordered,
+                instr_base,
+                first_staged_at: None,
+                finished_at: None,
+            },
+        )
     }
 
     /// The `parallel_for` macro operation of Fig. 8: for each sample `i`,
@@ -607,14 +814,18 @@ impl Runtime {
     /// instruction — the paper's *macro NDA operation*, which amortizes
     /// launch packets over loop iterations (§V, load-imbalance
     /// optimization).
-    pub fn launch_macro_axpy_rows(
+    #[allow(clippy::too_many_arguments)]
+    fn submit_axpy_rows(
         &mut self,
+        sess: Session,
         a_pvt: VecId,
         alphas: Vec<f32>,
         x: MatId,
         samples_per_instr: usize,
         opts: LaunchOpts,
-    ) -> OpId {
+        deps: Vec<OpHandle>,
+        ordered: bool,
+    ) -> OpHandle {
         let (rows, cols) = self.arrays[x.0].shape.expect("matrix");
         assert!(alphas.len() <= rows, "more alphas than rows");
         assert!(
@@ -628,12 +839,14 @@ impl Runtime {
         );
         let row_lines = ((cols * 4) as u64).div_ceil(64);
         let row_lines_per_rank = row_lines.div_ceil(self.n_ndas as u64).max(1);
-        let op_id = OpId(self.ops.len());
         let n = alphas.len();
         let k = samples_per_instr;
         let n_batches = n.div_ceil(k);
+        let handle = self.next_handle(sess);
+        let instr_base = self.take_instr_ids(n_batches as u64 * self.n_ndas as u64);
         let mut pending = VecDeque::new();
         let mut chunk_sizes = vec![0u32; n_batches];
+        let mut id = instr_base;
         #[allow(clippy::needless_range_loop)]
         for batch in 0..n_batches {
             let first = batch * k;
@@ -641,7 +854,6 @@ impl Runtime {
             let start = first as u64 * row_lines_per_rank;
             let span = count * row_lines_per_rank;
             for nda in 0..self.n_ndas {
-                let id = self.new_instr_id(op_id, batch);
                 let x_l = self.arrays[x.0].layouts[nda].clone();
                 let a_l = self.arrays[a_pvt.0].layouts[nda].clone();
                 // Timing walk: the rank-share span of rows
@@ -656,61 +868,99 @@ impl Runtime {
                     vec![(a_l, 0)],
                     id,
                 );
+                id += 1;
                 pending.push_back(PendingLaunch {
                     nda_idx: nda,
                     instr,
-                    op: op_id,
+                    op: handle,
                     chunk: batch,
                 });
                 chunk_sizes[batch] += 1;
             }
         }
         let total = pending.len() as u64;
-        self.ops.push(OpState {
-            kind: OpKind::MacroAxpyRows { a_pvt, alphas, x },
-            pending,
-            total_instrs: total,
-            completed_instrs: 0,
-            chunk_completed: vec![0; n_batches],
-            chunk_sizes,
-            released_chunks: 0,
-            barrier: opts.barrier_per_chunk,
-            result: None,
-            done: false,
-            depends_on: None,
-            finished_at: None,
-        });
-        op_id
+        self.push_op(
+            sess,
+            OpState {
+                kind: OpKind::MacroAxpyRows { a_pvt, alphas, x },
+                pending,
+                total_instrs: total,
+                completed_instrs: 0,
+                chunk_completed: vec![0; n_batches],
+                chunk_sizes,
+                released_chunks: 0,
+                barrier: opts.barrier_per_chunk,
+                result: None,
+                done: false,
+                deps,
+                ordered,
+                instr_base,
+                first_staged_at: None,
+                finished_at: None,
+            },
+        )
     }
 
-    /// Pop launches that are ready to go to the channel (respects chunk
-    /// barriers). The system calls this each cycle with available FSM
-    /// queue space per NDA.
+    fn deps_done(&self, deps: &[OpHandle]) -> bool {
+        deps.iter().all(|&d| self.op(d).done)
+    }
+
+    /// The op in session `s` whose head launch is releasable right now
+    /// (deps retired, program order satisfied, chunk barrier open, FSM
+    /// queue space available), if any.
+    ///
+    /// The scan starts at the session's live watermark and — when the
+    /// session has no live unordered ops — stops at the first blocked
+    /// ordered op, which is the strict-order fast path: at most one op is
+    /// examined per call for classic submission streams.
+    fn stage_candidate(&self, s: usize, space: &impl Fn(usize) -> usize) -> Option<usize> {
+        let ss = &self.sessions[s];
+        let mut prior_all_done = true;
+        for i in ss.first_live..ss.ops.len() {
+            let op = &ss.ops[i];
+            if op.done {
+                continue;
+            }
+            let order_ok = !op.ordered || prior_all_done;
+            if order_ok && !op.pending.is_empty() && self.deps_done(&op.deps) {
+                let head = op.pending.front().expect("nonempty");
+                let barrier_ok = !op.barrier || head.chunk <= op.released_chunks;
+                if barrier_ok && space(head.nda_idx) > 0 {
+                    return Some(i);
+                }
+            }
+            prior_all_done = false;
+            if ss.unordered_live == 0 {
+                // Everything later is ordered behind this op: stop.
+                break;
+            }
+        }
+        None
+    }
+
+    /// Pop launches that are ready to go to the channel, arbitrating
+    /// fairly across sessions (round-robin from the rotating cursor) and
+    /// respecting DAG edges, program order, and chunk barriers. The
+    /// system calls this each cycle with available FSM queue space per
+    /// NDA; `now` stamps first-launch staging for DAG observability.
     pub fn next_launches(
         &mut self,
         space: impl Fn(usize) -> usize,
         max: usize,
+        now: u64,
     ) -> Vec<PendingLaunch> {
         let mut out = Vec::new();
-        for i in self.first_live..self.ops.len() {
-            if self.ops[i].done {
+        let n = self.sessions.len();
+        for k in 0..n {
+            let s = (self.rr_cursor + k) % n;
+            let Some(i) = self.stage_candidate(s, &space) else {
                 continue;
-            }
-            // NDA operations are blocking by default (paper §V): an op's
-            // launches are held until every earlier op has fully completed
-            // (instruction *issue* is FIFO per rank, but completion is
-            // not — buffered writes drain lazily — so overlapping ops
-            // would break read-after-write across launches).
-            if self.ops[i].pending.is_empty() {
-                break; // launched but still executing: hold later ops
-            }
-            if let Some(dep) = self.ops[i].depends_on {
-                if !self.ops[dep.0].done {
-                    break; // realignment copy still in flight
-                }
+            };
+            let op = &mut self.sessions[s].ops[i];
+            if op.first_staged_at.is_none() {
+                op.first_staged_at = Some(now);
             }
             while out.len() < max {
-                let op = &mut self.ops[i];
                 let Some(head) = op.pending.front() else {
                     break;
                 };
@@ -722,7 +972,9 @@ impl Runtime {
                 }
                 out.push(op.pending.pop_front().expect("checked"));
             }
-            break; // strict op order: never release from later ops
+            // Fair share: the next session gets first claim next cycle.
+            self.rr_cursor = (s + 1) % n;
+            break; // one op per call; candidates guarantee progress
         }
         out
     }
@@ -730,37 +982,22 @@ impl Runtime {
     /// True when [`next_launches`](Self::next_launches) would release at
     /// least one launch — the same gating logic, evaluated without
     /// mutating anything. The event-horizon fast-forward consults this:
-    /// all of its inputs (op completion flags, chunk barriers, queue
-    /// space) only change inside executed ticks, so a `false` answer
-    /// stays `false` across skipped cycles.
+    /// all of its inputs (op completion flags, DAG edges, chunk barriers,
+    /// queue space) only change inside executed ticks, so a `false`
+    /// answer stays `false` across skipped cycles.
     pub fn launch_ready(&self, space: impl Fn(usize) -> usize) -> bool {
-        for i in self.first_live..self.ops.len() {
-            let op = &self.ops[i];
-            if op.done {
-                continue;
-            }
-            let Some(head) = op.pending.front() else {
-                return false;
-            };
-            if let Some(dep) = op.depends_on {
-                if !self.ops[dep.0].done {
-                    return false;
-                }
-            }
-            if op.barrier && head.chunk > op.released_chunks {
-                return false;
-            }
-            return space(head.nda_idx) > 0;
-        }
-        false
+        (0..self.sessions.len()).any(|s| self.stage_candidate(s, &space).is_some())
     }
 
-    /// Record the completion of NDA instruction `id`, finalizing its op
-    /// when it is the last one. Returns the op if it just finished.
-    pub fn complete_instr(&mut self, id: u64, now: u64) -> Option<OpId> {
-        let (op_id, chunk) = self.instr_map.remove(&id).expect("unknown instr id");
+    /// Record the completion of instruction `id` of op `h`, finalizing
+    /// the op when it is the last one. Returns `true` if the op just
+    /// finished.
+    pub fn complete_instr(&mut self, h: OpHandle, id: u64, now: u64) -> bool {
+        let n_ndas = self.n_ndas as u64;
         let finished = {
-            let op = &mut self.ops[op_id.0];
+            let op = self.op_mut(h);
+            debug_assert!(id >= op.instr_base && id - op.instr_base < op.total_instrs);
+            let chunk = ((id - op.instr_base) / n_ndas) as usize;
             op.completed_instrs += 1;
             op.chunk_completed[chunk] += 1;
             if op.chunk_completed[chunk] == op.chunk_sizes[chunk] && chunk == op.released_chunks {
@@ -774,21 +1011,24 @@ impl Runtime {
             op.completed_instrs == op.total_instrs
         };
         if finished {
-            self.finalize(op_id);
-            self.ops[op_id.0].finished_at = Some(now);
-            while self.first_live < self.ops.len() && self.ops[self.first_live].done {
-                self.first_live += 1;
+            self.finalize(h);
+            let ss = &mut self.sessions[h.sess as usize];
+            let op = &mut ss.ops[h.idx as usize];
+            op.finished_at = Some(now);
+            if !op.ordered {
+                ss.unordered_live -= 1;
             }
-            Some(op_id)
-        } else {
-            None
+            while ss.first_live < ss.ops.len() && ss.ops[ss.first_live].done {
+                ss.first_live += 1;
+            }
         }
+        finished
     }
 
     /// Functionally execute the finished op on the backing store.
-    fn finalize(&mut self, op_id: OpId) {
+    fn finalize(&mut self, h: OpHandle) {
         let kind = std::mem::replace(
-            &mut self.ops[op_id.0].kind,
+            &mut self.op_mut(h).kind,
             OpKind::Elementwise {
                 op: Opcode::Copy,
                 scalars: vec![],
@@ -817,7 +1057,7 @@ impl Runtime {
                     ),
                     None => pe::execute(*op, scalars, &input_refs, None),
                 };
-                self.ops[op_id.0].result = stats.reduction;
+                self.op_mut(h).result = stats.reduction;
                 self.add_activity(stats);
             }
             OpKind::Gemv { y, a, x } => {
@@ -854,8 +1094,9 @@ impl Runtime {
                 self.pe_activity.buffer_accesses += fmas / 2;
             }
         }
-        self.ops[op_id.0].kind = kind;
-        self.ops[op_id.0].done = true;
+        let op = self.op_mut(h);
+        op.kind = kind;
+        op.done = true;
     }
 
     /// Which NDA owns each cache line of a shared array (exact, via the
@@ -888,18 +1129,25 @@ impl Runtime {
     }
 
     /// True when the op has fully completed (results visible).
-    pub fn op_done(&self, op: OpId) -> bool {
-        self.ops[op.0].done
+    pub fn op_done(&self, h: OpHandle) -> bool {
+        self.op(h).done
     }
 
     /// Reduction result of a completed DOT/NRM2.
-    pub fn op_result(&self, op: OpId) -> Option<f32> {
-        self.ops[op.0].result
+    pub fn op_result(&self, h: OpHandle) -> Option<f32> {
+        self.op(h).result
     }
 
     /// Cycle at which the op completed.
-    pub fn op_finished_at(&self, op: OpId) -> Option<u64> {
-        self.ops[op.0].finished_at
+    pub fn op_finished_at(&self, h: OpHandle) -> Option<u64> {
+        self.op(h).finished_at
+    }
+
+    /// Cycle at which the op's first launch was staged toward the
+    /// channel (`None` while it is still held by DAG edges, program
+    /// order, or queue backpressure).
+    pub fn op_first_staged_at(&self, h: OpHandle) -> Option<u64> {
+        self.op(h).first_staged_at
     }
 
     /// Host-side reduction of a private array into a shared vector
@@ -943,14 +1191,196 @@ impl Runtime {
         self.host_comm_cycles += (bytes / bw).ceil() as u64;
     }
 
-    /// Remaining queued launches across all ops.
+    /// Remaining queued launches across all sessions.
     pub fn pending_launches(&self) -> usize {
-        self.ops.iter().map(|o| o.pending.len()).sum()
+        self.sessions
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .map(|o| o.pending.len())
+            .sum()
     }
 
-    /// All ops completed and nothing pending.
+    /// Every op of `sess` completed and nothing pending (the
+    /// session-quiescent [`Waitable`](crate::system::Waitable)).
+    pub fn session_idle(&self, sess: Session) -> bool {
+        let ss = &self.sessions[sess.id as usize];
+        ss.ops[ss.first_live..].iter().all(|o| o.done)
+    }
+
+    /// All ops of every session completed and nothing pending.
     pub fn quiescent(&self) -> bool {
-        self.ops[self.first_live..].iter().all(|o| o.done)
+        self.sessions
+            .iter()
+            .all(|ss| ss.ops[ss.first_live..].iter().all(|o| o.done))
+    }
+}
+
+/// What a launch call builds (resolved at [`OpBuilder::submit`]).
+enum BuildKind {
+    Elementwise {
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+    },
+    Gemv {
+        y: VecId,
+        a: MatId,
+        x: VecId,
+    },
+    AxpyRows {
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+    },
+}
+
+/// Builder for one op submission: launch options, DAG edges, and ordering
+/// mode, finished by [`submit`](OpBuilder::submit).
+#[must_use = "an OpBuilder does nothing until .submit()"]
+pub struct OpBuilder<'rt> {
+    rt: &'rt mut Runtime,
+    sess: Session,
+    kind: BuildKind,
+    opts: LaunchOpts,
+    deps: Vec<OpHandle>,
+    ordered: bool,
+}
+
+impl<'rt> OpBuilder<'rt> {
+    fn new(rt: &'rt mut Runtime, sess: Session, kind: BuildKind) -> Self {
+        Self {
+            rt,
+            sess,
+            kind,
+            opts: LaunchOpts::default(),
+            deps: Vec::new(),
+            ordered: true,
+        }
+    }
+
+    /// Replace the launch options wholesale.
+    pub fn opts(mut self, opts: LaunchOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Cache blocks per NDA instruction per rank (the Fig.-10 knob).
+    pub fn granularity_lines(mut self, lines: u64) -> Self {
+        self.opts.granularity_lines = Some(lines);
+        self
+    }
+
+    /// Asynchronous macro launch: do not barrier between chunks.
+    pub fn no_barrier(mut self) -> Self {
+        self.opts.barrier_per_chunk = false;
+        self
+    }
+
+    /// Add a DAG edge: this op's launches are held until `parent` has
+    /// retired. `parent` may belong to any session.
+    pub fn after(mut self, parent: OpHandle) -> Self {
+        self.deps.push(parent);
+        self
+    }
+
+    /// Opt out of session program order: gate this op on its
+    /// [`after`](Self::after) edges alone, letting it overlap other ops
+    /// of the same session.
+    pub fn unordered(mut self) -> Self {
+        self.ordered = false;
+        self
+    }
+
+    /// Queue the op and return its handle.
+    pub fn submit(self) -> OpHandle {
+        let OpBuilder {
+            rt,
+            sess,
+            kind,
+            opts,
+            deps,
+            ordered,
+        } = self;
+        match kind {
+            BuildKind::Elementwise {
+                op,
+                scalars,
+                inputs,
+                output,
+            } => rt.submit_elementwise(sess, op, scalars, inputs, output, opts, deps, ordered),
+            BuildKind::Gemv { y, a, x } => rt.submit_gemv(sess, y, a, x, opts, deps, ordered),
+            BuildKind::AxpyRows {
+                a_pvt,
+                alphas,
+                x,
+                samples_per_instr,
+            } => rt.submit_axpy_rows(
+                sess,
+                a_pvt,
+                alphas,
+                x,
+                samples_per_instr,
+                opts,
+                deps,
+                ordered,
+            ),
+        }
+    }
+}
+
+impl Session {
+    /// Build an elementwise Table-I operation. `inputs` are read
+    /// operands; `output` (if any) is the written operand (in-place ops
+    /// pass the same id in both).
+    pub fn elementwise<'rt>(
+        self,
+        rt: &'rt mut Runtime,
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+    ) -> OpBuilder<'rt> {
+        OpBuilder::new(
+            rt,
+            self,
+            BuildKind::Elementwise {
+                op,
+                scalars,
+                inputs,
+                output,
+            },
+        )
+    }
+
+    /// Build `y = A x` (one instruction per rank; A streams, x/y live in
+    /// the scratchpad).
+    pub fn gemv<'rt>(self, rt: &'rt mut Runtime, y: VecId, a: MatId, x: VecId) -> OpBuilder<'rt> {
+        OpBuilder::new(rt, self, BuildKind::Gemv { y, a, x })
+    }
+
+    /// Build the `parallel_for` macro op of Fig. 8: per-sample
+    /// `a_pvt += alphas[i] * X[i]`, `samples_per_instr` samples batched
+    /// per NDA instruction.
+    pub fn axpy_rows<'rt>(
+        self,
+        rt: &'rt mut Runtime,
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+    ) -> OpBuilder<'rt> {
+        OpBuilder::new(
+            rt,
+            self,
+            BuildKind::AxpyRows {
+                a_pvt,
+                alphas,
+                x,
+                samples_per_instr,
+            },
+        )
     }
 }
 

@@ -30,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::policy::WriteIssuePolicy;
+use crate::runtime::OpHandle;
 use crate::sched::{HostMc, Issued, TxMeta};
 
 /// A message from the front-end to a shard, delivered at its stamp.
@@ -51,13 +52,18 @@ pub(crate) enum ShardInbound {
         instr: NdaInstr,
         /// Control-register writes carrying this launch.
         writes: u32,
+        /// Owning `(session, op)`: stamped back onto the instruction's
+        /// completion message so the front-end routes it straight to the
+        /// right tenant's op without a global lookup.
+        tag: OpHandle,
     },
 }
 
 /// Outbound fill completion: `(deliver_at, core, request id)`.
 pub(crate) type FillMsg = (Cycle, usize, u64);
-/// Outbound instruction completion: `(deliver_at, instr id, global NDA)`.
-pub(crate) type CompletionMsg = (Cycle, u64, usize);
+/// Outbound instruction completion:
+/// `(deliver_at, instr id, global NDA, (session, op))`.
+pub(crate) type CompletionMsg = (Cycle, u64, usize, OpHandle);
 
 /// The configuration slice a shard needs (copied at construction so the
 /// shard is self-contained and `Send`).
@@ -81,6 +87,7 @@ struct LaunchInFlight {
     instr: NdaInstr,
     nda_local: usize,
     writes_remaining: u32,
+    tag: OpHandle,
 }
 
 /// One channel's shard. See the module docs.
@@ -99,6 +106,10 @@ pub(crate) struct ChannelShard {
     /// Global NDA index per shard-local NDA (stamps completion messages).
     global_idx: Vec<usize>,
     launches: HashMap<u64, LaunchInFlight>,
+    /// `(session, op)` of every instruction delivered to a rank FSM and
+    /// not yet retired, keyed by instruction id: the completion-routing
+    /// tag stamped onto outbound completion messages.
+    completion_tags: HashMap<u64, OpHandle>,
     launch_events: BinaryHeap<Reverse<(Cycle, u64)>>,
     /// Cross-boundary ingress FIFO (front-end appends at barriers).
     pub(crate) inbox: VecDeque<(Cycle, ShardInbound)>,
@@ -155,6 +166,7 @@ impl ChannelShard {
             local_of_rank,
             global_idx,
             launches: HashMap::new(),
+            completion_tags: HashMap::new(),
             launch_events: BinaryHeap::new(),
             inbox: VecDeque::new(),
             fills_out: Vec::new(),
@@ -230,6 +242,7 @@ impl ChannelShard {
             if lf.writes_remaining == 0 {
                 let lf = self.launches.remove(&id).expect("present");
                 self.nda_poke[lf.nda_local] = true;
+                self.completion_tags.insert(lf.instr.id, lf.tag);
                 self.shadows[lf.nda_local]
                     .launch(lf.instr.clone())
                     .unwrap_or_else(|_| panic!("shadow queue overflow"));
@@ -250,6 +263,7 @@ impl ChannelShard {
                     nda_local,
                     instr,
                     writes,
+                    tag,
                 } => {
                     self.launches.insert(
                         *id,
@@ -257,6 +271,7 @@ impl ChannelShard {
                             instr: instr.clone(),
                             nda_local: *nda_local,
                             writes_remaining: *writes,
+                            tag: *tag,
                         },
                     );
                     self.inbox.pop_front();
@@ -369,6 +384,7 @@ impl ChannelShard {
             policy_rng,
             params,
             completions_out,
+            completion_tags,
             global_idx,
             ..
         } = self;
@@ -439,7 +455,8 @@ impl ChannelShard {
             while let Some(id) = ndas[i].fsm_mut().pop_completed() {
                 let sid = shadows[i].pop_completed();
                 debug_assert_eq!(sid, Some(id));
-                completions_out.push((now + params.completion_latency, id, global_idx[i]));
+                let tag = completion_tags.remove(&id).expect("tagged instruction");
+                completions_out.push((now + params.completion_latency, id, global_idx[i], tag));
             }
         }
     }

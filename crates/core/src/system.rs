@@ -61,9 +61,83 @@ use crate::energy::{self, EnergyParams};
 use crate::par::ShardPool;
 use crate::policy::WriteIssuePolicy;
 use crate::report::SimReport;
-use crate::runtime::{PendingLaunch, Runtime};
+use crate::runtime::{OpHandle, PendingLaunch, Runtime, Session};
 use crate::sched::{HostMc, HostTransaction, PagePolicy, SchedulerKind, TxMeta};
 use crate::shard::{ChannelShard, ShardInbound, ShardParams};
+
+/// What [`ChopimSystem::drive`] waits for.
+///
+/// The four shapes cover every drive pattern the old bespoke entry
+/// points (`run_until_op`, `run_until_quiescent`, per-client poll loops)
+/// hand-rolled: one handle, an all-of set, one session draining, or the
+/// whole machine draining.
+#[derive(Debug, Clone)]
+pub enum Waitable {
+    /// One op has retired.
+    Op(OpHandle),
+    /// Every op in the set has retired.
+    AllOf(Vec<OpHandle>),
+    /// Every op submitted to the session has retired
+    /// (session-quiescent).
+    SessionIdle(Session),
+    /// Every op of every session has retired (machine-quiescent). Note
+    /// that active [streams](ChopimSystem::spawn_stream) relaunch on
+    /// completion, so a machine with a live stream never quiesces.
+    Quiescent,
+}
+
+impl Waitable {
+    /// Wait for every handle in `ops`.
+    pub fn all_of(ops: impl IntoIterator<Item = OpHandle>) -> Self {
+        Waitable::AllOf(ops.into_iter().collect())
+    }
+
+    fn satisfied(&self, rt: &Runtime) -> bool {
+        match self {
+            Waitable::Op(h) => rt.op_done(*h),
+            Waitable::AllOf(hs) => hs.iter().all(|&h| rt.op_done(h)),
+            Waitable::SessionIdle(s) => rt.session_idle(*s),
+            Waitable::Quiescent => rt.quiescent(),
+        }
+    }
+}
+
+impl From<OpHandle> for Waitable {
+    fn from(h: OpHandle) -> Self {
+        Waitable::Op(h)
+    }
+}
+
+impl From<Vec<OpHandle>> for Waitable {
+    fn from(hs: Vec<OpHandle>) -> Self {
+        Waitable::AllOf(hs)
+    }
+}
+
+impl From<Session> for Waitable {
+    fn from(s: Session) -> Self {
+        Waitable::SessionIdle(s)
+    }
+}
+
+/// Handle to a resident op stream (see [`ChopimSystem::spawn_stream`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+/// A stream's op generator: submits the next op of a resident workload.
+type StreamGen = Box<dyn FnMut(&mut Runtime, Session) -> OpHandle + Send>;
+
+/// A resident relaunching workload: whenever its current op retires, the
+/// generator submits the next one — the paper's §VI methodology of
+/// keeping the NDA side busy for a whole measurement window, now
+/// per-session so independent tenants can stream concurrently.
+struct StreamState {
+    sess: Session,
+    cur: OpHandle,
+    make: StreamGen,
+    completions: u64,
+    active: bool,
+}
 
 /// CPU cycles per DRAM cycle, as a rational (4 GHz / 1.2 GHz = 10/3).
 const CPU_CLOCK_NUM: u32 = 10;
@@ -214,8 +288,11 @@ pub struct ChopimSystem {
     llc_outstanding: usize,
     /// Read fills on their way back to the cores: `(at, core, req)`.
     fills: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
-    /// NDA completions on their way to the runtime: `(at, instr, nda)`.
-    completions: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    /// NDA completions on their way to the runtime:
+    /// `(at, instr, nda, (session, op))`.
+    completions: BinaryHeap<Reverse<(Cycle, u64, usize, OpHandle)>>,
+    /// Resident relaunching workloads, pumped by the drive loop.
+    streams: Vec<StreamState>,
     /// Per-channel outboxes: messages produced this window, appended to
     /// the shard inboxes at the barrier.
     egress: Vec<VecDeque<(Cycle, ShardInbound)>>,
@@ -383,6 +460,7 @@ impl ChopimSystem {
             llc_outstanding: 0,
             fills: BinaryHeap::new(),
             completions: BinaryHeap::new(),
+            streams: Vec::new(),
             egress: (0..nchannels).map(|_| VecDeque::new()).collect(),
             ingress_seen: vec![0; nchannels],
             ingress_unseen: vec![0; nchannels],
@@ -519,14 +597,14 @@ impl ChopimSystem {
         self.ticks_executed += 1;
 
         // 1. NDA completions that became host-visible.
-        while let Some(&Reverse((t, id, nda))) = self.completions.peek() {
+        while let Some(&Reverse((t, id, nda, tag))) = self.completions.peek() {
             if t > now {
                 break;
             }
             self.completions.pop();
             self.nda_credit[nda] += 1;
             self.nda_instrs_completed += 1;
-            let _ = self.runtime.complete_instr(id, now);
+            let _ = self.runtime.complete_instr(tag, id, now);
         }
 
         // 2. Read fills due at the cores.
@@ -551,7 +629,7 @@ impl ChopimSystem {
         if self.launch_stage.is_empty() {
             let credit = &self.nda_credit;
             self.launch_stage
-                .extend(self.runtime.next_launches(|i| credit[i], 1));
+                .extend(self.runtime.next_launches(|i| credit[i], 1, now));
         }
         if let Some(head) = self.launch_stage.front() {
             let (ch, rank) = self.nda_local[head.nda_idx];
@@ -573,6 +651,7 @@ impl ChopimSystem {
                         nda_local: local,
                         instr: head.instr,
                         writes: k,
+                        tag: head.op,
                     },
                 ));
                 // Control-register writes: a fixed row in the top bank.
@@ -659,16 +738,6 @@ impl ChopimSystem {
         }
     }
 
-    /// True when no NDA work is queued, staged, in flight, or executing
-    /// (as observable by the front-end — completions count once their
-    /// delivery message arrives). A staged launch's op cannot be done
-    /// until that instruction completes, so `Runtime::quiescent` already
-    /// implies an empty launch stage; the explicit check documents the
-    /// invariant and keeps it honest in debug builds.
-    fn all_work_drained(runtime: &Runtime) -> bool {
-        runtime.quiescent()
-    }
-
     /// Earliest cycle at or after `self.now` at which the front-end
     /// could act, assuming no new shard messages (those are exchanged at
     /// barriers, which re-compute horizons).
@@ -687,7 +756,7 @@ impl ChopimSystem {
             }
         }
         let mut h = Cycle::MAX;
-        if let Some(&Reverse((t, _, _))) = self.completions.peek() {
+        if let Some(&Reverse((t, _, _, _))) = self.completions.peek() {
             h = h.min(t);
         }
         if let Some(&Reverse((t, _, _))) = self.fills.peek() {
@@ -761,8 +830,8 @@ impl ChopimSystem {
             for (at, core, req) in shard.fills_out.drain(..) {
                 self.fills.push(Reverse((at, core, req)));
             }
-            for (at, id, nda) in shard.completions_out.drain(..) {
-                self.completions.push(Reverse((at, id, nda)));
+            for (at, id, nda, tag) in shard.completions_out.drain(..) {
+                self.completions.push(Reverse((at, id, nda, tag)));
             }
             if on_grid {
                 self.ingress_seen[shard.channel_idx()] = shard.inbox.len();
@@ -809,89 +878,147 @@ impl ChopimSystem {
         self.advance_shards(self.now);
     }
 
-    /// The engine driver behind every `run_*` method: advance in
-    /// lookahead windows until `end`, stopping as soon as `done` (a
-    /// pure predicate over the runtime) holds. The predicate is
-    /// re-evaluated around every front-end cycle — a done-triggering
-    /// cycle is never skipped past, so the consumed-cycle count matches
-    /// the naive loop — and shards always end synced to `self.now`.
-    /// ([`run_relaunching`](Self::run_relaunching) keeps its own copy
-    /// of this loop because its per-cycle hook *mutates* the runtime.)
-    fn drive(&mut self, end: Cycle, done: &mut dyn FnMut(&Runtime) -> bool) {
-        while self.now < end && !done(&self.runtime) {
-            let target = self.window_end(end);
-            while self.now < target && !done(&self.runtime) {
-                self.fe_tick();
-                self.now += 1;
-                if !done(&self.runtime) {
-                    self.fe_maybe_skip(target);
-                }
-            }
-            self.advance_shards(self.now);
-            if !done(&self.runtime) {
-                self.maybe_global_skip(end);
+    /// Pump every active stream: a stream whose current op has retired
+    /// submits its next op immediately, so staging resumes on the very
+    /// next front-end cycle — the same cadence the old `run_relaunching`
+    /// loop enforced, generalized to any number of concurrent tenants.
+    fn pump_streams(streams: &mut [StreamState], rt: &mut Runtime) {
+        for st in streams.iter_mut().filter(|s| s.active) {
+            if rt.op_done(st.cur) {
+                st.completions += 1;
+                st.cur = (st.make)(rt, st.sess);
             }
         }
     }
 
-    /// Run for `cycles` DRAM cycles.
-    pub fn run(&mut self, cycles: Cycle) {
-        self.drive(self.now + cycles, &mut |_| false);
+    /// The engine driver behind every public drive entry point: advance
+    /// in lookahead windows until `end`, stopping as soon as `ctrl`
+    /// returns `true`. `ctrl` may mutate the runtime (stream pumping and
+    /// the deprecated relaunch shim ride on this) and is re-evaluated
+    /// around every front-end cycle — a stop-triggering cycle is never
+    /// skipped past, so the consumed-cycle count matches the naive loop
+    /// — and shards always end synced to `self.now`.
+    fn drive_loop(&mut self, end: Cycle, ctrl: &mut dyn FnMut(&mut Runtime) -> bool) {
+        'outer: while self.now < end {
+            Self::pump_streams(&mut self.streams, &mut self.runtime);
+            if ctrl(&mut self.runtime) {
+                break;
+            }
+            let target = self.window_end(end);
+            while self.now < target {
+                self.fe_tick();
+                self.now += 1;
+                Self::pump_streams(&mut self.streams, &mut self.runtime);
+                if ctrl(&mut self.runtime) {
+                    self.advance_shards(self.now);
+                    break 'outer;
+                }
+                self.fe_maybe_skip(target);
+            }
+            self.advance_shards(self.now);
+            Self::pump_streams(&mut self.streams, &mut self.runtime);
+            if ctrl(&mut self.runtime) {
+                break;
+            }
+            self.maybe_global_skip(end);
+        }
     }
 
-    /// Run until every launched op has completed (or `max` cycles).
-    /// Returns the cycles consumed.
-    pub fn run_until_quiescent(&mut self, max: Cycle) -> Cycle {
+    /// Run for `cycles` DRAM cycles (pumping any active streams).
+    pub fn run(&mut self, cycles: Cycle) {
+        self.drive_loop(self.now + cycles, &mut |_| false);
+    }
+
+    /// Drive the machine until `until` is satisfied (or `max` cycles
+    /// elapse). Returns the cycles consumed.
+    ///
+    /// This is the single drive entry point the old bespoke loops
+    /// collapsed into: pass an [`OpHandle`] to wait for one op, a
+    /// `Vec<OpHandle>` / [`Waitable::all_of`] for a set, a [`Session`]
+    /// for session-quiescence, or [`Waitable::Quiescent`] for the whole
+    /// machine.
+    pub fn drive(&mut self, until: impl Into<Waitable>, max: Cycle) -> Cycle {
+        let until = until.into();
         let start = self.now;
-        self.drive(start + max, &mut Self::all_work_drained);
+        self.drive_loop(start.saturating_add(max), &mut |rt| until.satisfied(rt));
         debug_assert!(
-            !Self::all_work_drained(&self.runtime) || self.launch_stage.is_empty(),
+            !(matches!(until, Waitable::Quiescent) && self.runtime.quiescent())
+                || self.launch_stage.is_empty(),
             "quiescent runtime implies an empty launch stage"
         );
         self.now - start
     }
 
+    /// Spawn a resident relaunching workload on `sess`: `make` submits
+    /// one op; whenever it retires, `make` is called again — keeping the
+    /// tenant's traffic live for a whole measurement window (the §VI
+    /// methodology). Streams are pumped by [`run`](Self::run) and
+    /// [`drive`](Self::drive); concurrent streams on different sessions
+    /// share the machine under the runtime's fair-share arbitration.
+    pub fn spawn_stream(
+        &mut self,
+        sess: Session,
+        mut make: impl FnMut(&mut Runtime, Session) -> OpHandle + Send + 'static,
+    ) -> StreamId {
+        let cur = make(&mut self.runtime, sess);
+        self.streams.push(StreamState {
+            sess,
+            cur,
+            make: Box::new(make),
+            completions: 0,
+            active: true,
+        });
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Ops the stream has completed so far (the in-flight op counts only
+    /// once it retires).
+    pub fn stream_completions(&self, id: StreamId) -> u64 {
+        self.streams[id.0].completions
+    }
+
+    /// Stop relaunching: the stream's in-flight op still runs to
+    /// completion, but nothing new is submitted. Returns the completion
+    /// count.
+    pub fn stop_stream(&mut self, id: StreamId) -> u64 {
+        self.streams[id.0].active = false;
+        self.streams[id.0].completions
+    }
+
+    /// Run until every launched op has completed (or `max` cycles).
+    /// Returns the cycles consumed.
+    #[deprecated(note = "use drive(Waitable::Quiescent, max)")]
+    pub fn run_until_quiescent(&mut self, max: Cycle) -> Cycle {
+        self.drive(Waitable::Quiescent, max)
+    }
+
     /// Run for `cycles`, relaunching the NDA workload whenever it
     /// completes so concurrent access persists for the whole window — the
     /// paper's methodology (§VI). Returns the number of completions.
+    #[deprecated(note = "use spawn_stream(sess, make) + run(cycles)")]
     pub fn run_relaunching(
         &mut self,
         cycles: Cycle,
-        mut make: impl FnMut(&mut Runtime) -> crate::runtime::OpId,
+        mut make: impl FnMut(&mut Runtime) -> OpHandle,
     ) -> u64 {
         let end = self.now + cycles;
         let mut op = make(&mut self.runtime);
         let mut completions = 0;
-        while self.now < end {
-            let target = self.window_end(end);
-            while self.now < target {
-                if self.runtime.op_done(op) {
-                    completions += 1;
-                    op = make(&mut self.runtime);
-                }
-                self.fe_tick();
-                self.now += 1;
-                // The relaunch must happen on the cycle after the
-                // completing one, exactly as in the naive loop — never
-                // skip over it.
-                if !self.runtime.op_done(op) {
-                    self.fe_maybe_skip(target);
-                }
+        self.drive_loop(end, &mut |rt| {
+            if rt.op_done(op) {
+                completions += 1;
+                op = make(rt);
             }
-            self.advance_shards(self.now);
-            if !self.runtime.op_done(op) {
-                self.maybe_global_skip(end);
-            }
-        }
+            false
+        });
         completions
     }
 
     /// Run until `op` completes (or `max` cycles). Returns cycles
     /// consumed.
-    pub fn run_until_op(&mut self, op: crate::runtime::OpId, max: Cycle) -> Cycle {
-        let start = self.now;
-        self.drive(start + max, &mut |rt| rt.op_done(op));
-        self.now - start
+    #[deprecated(note = "use drive(op, max)")]
+    pub fn run_until_op(&mut self, op: OpHandle, max: Cycle) -> Cycle {
+        self.drive(op, max)
     }
 
     /// True while every host-side shadow FSM matches its rank's FSM.

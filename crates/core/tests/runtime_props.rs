@@ -39,14 +39,12 @@ proptest! {
         let yd = data(len, 2);
         sys.runtime.write_vector(x, &xd);
         sys.runtime.write_vector(y, &yd);
-        let op = sys.runtime.launch_elementwise(
-            Opcode::Axpby,
-            vec![a, b],
-            vec![x, y],
-            Some(z),
-            LaunchOpts { granularity_lines: gran, barrier_per_chunk: barrier },
-        );
-        let cycles = sys.run_until_op(op, 80_000_000);
+        let sess = sys.runtime.default_session();
+        let op = sess
+            .elementwise(&mut sys.runtime, Opcode::Axpby, vec![a, b], vec![x, y], Some(z))
+            .opts(LaunchOpts { granularity_lines: gran, barrier_per_chunk: barrier })
+            .submit();
+        let cycles = sys.drive(op, 80_000_000);
         prop_assert!(sys.runtime.op_done(op), "did not finish in {cycles}");
         for i in (0..len).step_by(41) {
             let expect = a * xd[i] + b * yd[i];
@@ -68,14 +66,12 @@ proptest! {
         let yd = data(len, 4);
         sys.runtime.write_vector(x, &xd);
         sys.runtime.write_vector(y, &yd);
-        let op = sys.runtime.launch_elementwise(
-            Opcode::Dot,
-            vec![],
-            vec![x, y],
-            None,
-            LaunchOpts { granularity_lines: gran, barrier_per_chunk: true },
-        );
-        sys.run_until_op(op, 80_000_000);
+        let sess = sys.runtime.default_session();
+        let op = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![x, y], None)
+            .opts(LaunchOpts { granularity_lines: gran, barrier_per_chunk: true })
+            .submit();
+        sys.drive(op, 80_000_000);
         prop_assert!(sys.runtime.op_done(op));
         let expect: f32 = xd.iter().zip(&yd).map(|(a, b)| a * b).sum();
         prop_assert_eq!(sys.runtime.op_result(op), Some(expect));
@@ -97,14 +93,11 @@ proptest! {
         let x = sys.runtime.vector(len, Sharing::Shared);
         let xd = data(len, 5);
         sys.runtime.write_vector(x, &xd);
-        let op = sys.runtime.launch_elementwise(
-            Opcode::Scal,
-            vec![alpha],
-            vec![],
-            Some(x),
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(op, 120_000_000);
+        let sess = sys.runtime.default_session();
+        let op = sess
+            .elementwise(&mut sys.runtime, Opcode::Scal, vec![alpha], vec![], Some(x))
+            .submit();
+        sys.drive(op, 120_000_000);
         prop_assert!(sys.runtime.op_done(op));
         for i in (0..len).step_by(29) {
             prop_assert_eq!(sys.runtime.read_vector(x)[i], alpha * xd[i]);
@@ -122,15 +115,22 @@ proptest! {
         let xd = data(len, 8);
         sys.runtime.write_vector(x, &xd);
         // y = x; then y *= 2; then c = y . y
-        let c1 = sys.runtime.launch_elementwise(
-            Opcode::Copy, vec![], vec![x], Some(y), LaunchOpts::default());
-        sys.run_until_op(c1, 50_000_000);
-        let c2 = sys.runtime.launch_elementwise(
-            Opcode::Scal, vec![2.0], vec![], Some(y), LaunchOpts::default());
-        sys.run_until_op(c2, 50_000_000);
-        let c3 = sys.runtime.launch_elementwise(
-            Opcode::Dot, vec![], vec![y, y], None, LaunchOpts::default());
-        sys.run_until_op(c3, 50_000_000);
+        // Submitted back-to-back: the session's program order (plus the
+        // DAG stager) guarantees read-after-write across the chain, so a
+        // single drive on the tail suffices.
+        let sess = sys.runtime.default_session();
+        let c1 = sess
+            .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+            .submit();
+        let c2 = sess
+            .elementwise(&mut sys.runtime, Opcode::Scal, vec![2.0], vec![], Some(y))
+            .after(c1)
+            .submit();
+        let c3 = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![y, y], None)
+            .after(c2)
+            .submit();
+        sys.drive(c3, 150_000_000);
         prop_assert!(sys.runtime.op_done(c3));
         let expect: f32 = xd.iter().map(|v| (2.0 * v) * (2.0 * v)).sum();
         prop_assert_eq!(sys.runtime.op_result(c3), Some(expect));
@@ -148,17 +148,15 @@ fn granularity_is_timing_only() {
         let y = sys.runtime.vector(len, Sharing::Shared);
         sys.runtime.write_vector(x, &data(len, 6));
         sys.runtime.write_vector(y, &data(len, 7));
-        let op = sys.runtime.launch_elementwise(
-            Opcode::Dot,
-            vec![],
-            vec![x, y],
-            None,
-            LaunchOpts {
+        let sess = sys.runtime.default_session();
+        let op = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![x, y], None)
+            .opts(LaunchOpts {
                 granularity_lines: gran,
                 barrier_per_chunk: false,
-            },
-        );
-        sys.run_until_op(op, 80_000_000);
+            })
+            .submit();
+        sys.drive(op, 80_000_000);
         results.push(sys.runtime.op_result(op).unwrap());
     }
     assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
@@ -182,17 +180,12 @@ fn private_arrays_reduce_across_rank_counts() {
         let a_pvt = sys.runtime.vector(d, Sharing::Private);
         let a = sys.runtime.vector(d, Sharing::Shared);
         let alphas = vec![0.5f32; 8];
-        let op = sys.runtime.launch_macro_axpy_rows(
-            a_pvt,
-            alphas,
-            x,
-            2,
-            LaunchOpts {
-                granularity_lines: None,
-                barrier_per_chunk: false,
-            },
-        );
-        sys.run_until_op(op, 80_000_000);
+        let sess = sys.runtime.default_session();
+        let op = sess
+            .axpy_rows(&mut sys.runtime, a_pvt, alphas, x, 2)
+            .no_barrier()
+            .submit();
+        sys.drive(op, 80_000_000);
         assert!(sys.runtime.op_done(op));
         sys.runtime.host_reduce(a, a_pvt);
         for j in (0..d).step_by(13) {
@@ -224,14 +217,17 @@ fn color_mismatch_inserts_realignment_copy() {
     let yd = data(len, 22);
     sys.runtime.write_vector(x, &xd);
     sys.runtime.write_vector(y, &yd);
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Axpby,
-        vec![2.0, 1.0],
-        vec![x, y],
-        Some(z),
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(op, 100_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(
+            &mut sys.runtime,
+            Opcode::Axpby,
+            vec![2.0, 1.0],
+            vec![x, y],
+            Some(z),
+        )
+        .submit();
+    sys.drive(op, 100_000_000);
     assert!(sys.runtime.op_done(op));
     assert_eq!(
         sys.runtime.realignment_copies, 1,
@@ -245,14 +241,10 @@ fn color_mismatch_inserts_realignment_copy() {
         );
     }
     // Same-colored operands need no copies.
-    let op2 = sys.runtime.launch_elementwise(
-        Opcode::Dot,
-        vec![],
-        vec![y, z],
-        None,
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(op2, 100_000_000);
+    let op2 = sess
+        .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![y, z], None)
+        .submit();
+    sys.drive(op2, 100_000_000);
     assert_eq!(
         sys.runtime.realignment_copies, 1,
         "no new copies for same color"

@@ -1,0 +1,165 @@
+//! Property tests of the session/op-graph scheduler through the full
+//! simulated machine: DAG edges must gate staging (no child instruction
+//! launches before its parent retires), results must be exact regardless
+//! of graph shape, and fair-share arbitration must never starve a ready
+//! session — across both host schedulers and random seeds.
+
+use chopim_core::prelude::*;
+use proptest::prelude::*;
+
+fn sys_with(scheduler: SchedulerKind, seed: u64) -> ChopimSystem {
+    ChopimSystem::new(ChopimConfig {
+        dram: DramConfig::table_ii().with_timing(TimingParams::ddr4_2400_no_refresh()),
+        mix: MixId::new(4),
+        scheduler,
+        seed,
+        ..ChopimConfig::default()
+    })
+}
+
+fn scheduler_of(pick: bool) -> SchedulerKind {
+    if pick {
+        SchedulerKind::Fcfs
+    } else {
+        SchedulerKind::FrFcfs
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random op graphs across two sessions: every op is an AXPY into its
+    /// own output vector, with random explicit `.after()` edges onto
+    /// earlier ops (including cross-session ones) and random `unordered`
+    /// flags. Whatever the graph shape, scheduler, or seed: the machine
+    /// quiesces, and no op's first launch is staged before every one of
+    /// its declared parents has retired.
+    #[test]
+    fn prop_dag_respects_dependencies(
+        seed in 0u64..1000,
+        fcfs in any::<bool>(),
+        shape in prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 4..10),
+    ) {
+        let mut sys = sys_with(scheduler_of(fcfs), seed);
+        let sa = sys.runtime.default_session();
+        let sb = sys.runtime.create_session();
+        let src = sys.runtime.vector(2048, Sharing::Shared);
+        sys.runtime.write_vector(src, &vec![1.0; 2048]);
+
+        let mut handles: Vec<OpHandle> = Vec::new();
+        for (i, &(to_b, unordered, dep_near)) in shape.iter().enumerate() {
+            let sess = if to_b { sb } else { sa };
+            let out = sys.runtime.vector(2048, Sharing::Shared);
+            let mut b = sess
+                .elementwise(&mut sys.runtime, Opcode::Axpy, vec![0.5], vec![src], Some(out))
+                .granularity_lines(64);
+            // Random explicit edges onto earlier ops: the immediately
+            // preceding one and/or one further back (cross-session edges
+            // arise whenever the parent went to the other session).
+            if let Some(&prev) = handles.last() {
+                if dep_near {
+                    b = b.after(prev);
+                }
+            }
+            if i >= 2 {
+                b = b.after(handles[i / 2]);
+            }
+            if unordered {
+                b = b.unordered();
+            }
+            handles.push(b.submit());
+        }
+
+        let used = sys.drive(Waitable::Quiescent, 400_000_000);
+        prop_assert!(used < 400_000_000, "graph did not quiesce");
+        prop_assert!(sys.runtime.quiescent());
+
+        // Reconstruct the declared edges the same way they were built.
+        for (i, &(_, _, dep_near)) in shape.iter().enumerate() {
+            let child = handles[i];
+            let mut parents = Vec::new();
+            if i >= 1 && dep_near {
+                parents.push(handles[i - 1]);
+            }
+            if i >= 2 {
+                parents.push(handles[i / 2]);
+            }
+            let staged = sys.runtime.op_first_staged_at(child).expect("staged");
+            for p in parents {
+                let retired = sys.runtime.op_finished_at(p).expect("parent finished");
+                prop_assert!(
+                    staged >= retired,
+                    "op {i} staged at {staged} before parent retired at {retired}"
+                );
+            }
+        }
+    }
+
+    /// Two sessions streaming identical workloads concurrently: the
+    /// round-robin arbiter must keep both progressing (no starvation)
+    /// with comparable completion counts, under both schedulers.
+    #[test]
+    fn prop_fair_share_never_starves(
+        seed in 0u64..1000,
+        fcfs in any::<bool>(),
+    ) {
+        let mut sys = sys_with(scheduler_of(fcfs), seed);
+        let sa = sys.runtime.default_session();
+        let sb = sys.runtime.create_session();
+        let xa = sys.runtime.vector(1 << 13, Sharing::Shared);
+        let ya = sys.runtime.vector(1 << 13, Sharing::Shared);
+        let xb = sys.runtime.vector(1 << 13, Sharing::Shared);
+        let yb = sys.runtime.vector(1 << 13, Sharing::Shared);
+        let st_a = sys.spawn_stream(sa, move |rt, s| {
+            s.elementwise(rt, Opcode::Axpy, vec![0.5], vec![xa], Some(ya))
+                .submit()
+        });
+        let st_b = sys.spawn_stream(sb, move |rt, s| {
+            s.elementwise(rt, Opcode::Axpy, vec![0.5], vec![xb], Some(yb))
+                .submit()
+        });
+        sys.run(150_000);
+        let (a, b) = (sys.stream_completions(st_a), sys.stream_completions(st_b));
+        prop_assert!(a > 0 && b > 0, "a ready session was starved: {} vs {}", a, b);
+        prop_assert!(
+            a.max(b) <= 3 * a.min(b),
+            "identical tenants diverged too far: {} vs {}",
+            a,
+            b
+        );
+        prop_assert!(sys.fsm_in_sync());
+    }
+}
+
+/// A parent three ops back in the *other* session, with everything else
+/// unordered: the only thing serializing the child is the DAG edge.
+#[test]
+fn cross_session_edge_is_the_only_gate() {
+    let mut sys = sys_with(SchedulerKind::FrFcfs, 1);
+    let sa = sys.runtime.default_session();
+    let sb = sys.runtime.create_session();
+    let x = sys.runtime.vector(4096, Sharing::Shared);
+    let y = sys.runtime.vector(4096, Sharing::Shared);
+    let z = sys.runtime.vector(4096, Sharing::Shared);
+    sys.runtime.write_vector(x, &vec![3.0; 4096]);
+    let parent = sa
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    // Session B: an independent op, then the gated child (unordered, so
+    // B's program order imposes nothing — only the edge holds it).
+    let other = sb
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(z))
+        .submit();
+    let child = sb
+        .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![y, y], None)
+        .after(parent)
+        .unordered()
+        .submit();
+    sys.drive(Waitable::all_of([parent, other, child]), 50_000_000);
+    assert!(sys.runtime.op_done(child));
+    assert!(
+        sys.runtime.op_first_staged_at(child).unwrap()
+            >= sys.runtime.op_finished_at(parent).unwrap()
+    );
+    assert_eq!(sys.runtime.op_result(child), Some(9.0 * 4096.0));
+}

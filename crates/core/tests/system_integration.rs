@@ -41,14 +41,11 @@ fn host_only_ipc_tracks_mix_intensity() {
 fn nda_captures_idle_bandwidth_without_host() {
     let mut sys = ChopimSystem::new(base_cfg());
     let (x, y) = vec_pair(&mut sys, 1 << 16);
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Copy,
-        vec![],
-        vec![x],
-        Some(y),
-        LaunchOpts::default(),
-    );
-    let cycles = sys.run_until_op(op, 3_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    let cycles = sys.drive(op, 3_000_000);
     assert!(
         sys.runtime.op_done(op),
         "copy must finish (ran {cycles} cycles)"
@@ -68,14 +65,11 @@ fn dot_reduction_result_is_exact() {
     let (x, y) = vec_pair(&mut sys, 4096);
     let data_y: Vec<f32> = (0..4096).map(|i| ((i % 13) as f32) - 6.0).collect();
     sys.runtime.write_vector(y, &data_y);
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Dot,
-        vec![],
-        vec![x, y],
-        None,
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(op, 2_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![x, y], None)
+        .submit();
+    sys.drive(op, 2_000_000);
     let expect: f32 = sys
         .runtime
         .read_vector(x)
@@ -94,15 +88,12 @@ fn concurrent_copy_with_host_keeps_fsm_in_sync_and_timing_legal() {
     });
     sys.enable_mem_trace();
     let (x, y) = vec_pair(&mut sys, 1 << 15);
-    sys.run_relaunching(150_000, |rt| {
-        rt.launch_elementwise(
-            Opcode::Copy,
-            vec![],
-            vec![x],
-            Some(y),
-            LaunchOpts::default(),
-        )
+    let sess = sys.runtime.default_session();
+    sys.spawn_stream(sess, move |rt, s| {
+        s.elementwise(rt, Opcode::Copy, vec![], vec![x], Some(y))
+            .submit()
     });
+    sys.run(150_000);
     assert!(
         sys.fsm_in_sync(),
         "host-side shadow FSMs must track the NDAs"
@@ -138,10 +129,16 @@ fn bank_partitioning_shields_nda_from_host_row_conflicts() {
             ..base_cfg()
         });
         let (x, y) = vec_pair(&mut sys, 1 << 16);
-        let n = sys.run_relaunching(250_000, |rt| {
-            rt.launch_elementwise(Opcode::Dot, vec![], vec![x, y], None, LaunchOpts::default())
+        let sess = sys.runtime.default_session();
+        let stream = sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Dot, vec![], vec![x, y], None)
+                .submit()
         });
-        assert!(n > 0, "DOT must complete at least once");
+        sys.run(250_000);
+        assert!(
+            sys.stream_completions(stream) > 0,
+            "DOT must complete at least once"
+        );
         util.push(sys.report().nda_bw_utilization);
     }
     assert!(
@@ -167,15 +164,12 @@ fn write_throttling_protects_host_reads() {
             ..base_cfg()
         });
         let (x, y) = vec_pair(&mut sys, 1 << 16);
-        sys.run_relaunching(250_000, |rt| {
-            rt.launch_elementwise(
-                Opcode::Copy,
-                vec![],
-                vec![x],
-                Some(y),
-                LaunchOpts::default(),
-            )
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Copy, vec![], vec![x], Some(y))
+                .submit()
         });
+        sys.run(250_000);
         ipc.push(sys.report().host_ipc);
     }
     assert!(
@@ -197,18 +191,16 @@ fn coarse_grain_operations_beat_fine_grain() {
             ..base_cfg()
         });
         let (x, _) = vec_pair(&mut sys, 1 << 16);
-        sys.run_relaunching(200_000, |rt| {
-            rt.launch_elementwise(
-                Opcode::Nrm2,
-                vec![],
-                vec![x],
-                None,
-                LaunchOpts {
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Nrm2, vec![], vec![x], None)
+                .opts(LaunchOpts {
                     granularity_lines: granularity,
                     barrier_per_chunk: false,
-                },
-            )
+                })
+                .submit()
         });
+        sys.run(200_000);
         util.push(sys.report().nda_bw_utilization);
     }
     assert!(
@@ -228,14 +220,11 @@ fn rank_partition_mode_runs_and_reports() {
         ..base_cfg()
     });
     let (x, y) = vec_pair(&mut sys, 1 << 14);
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Copy,
-        vec![],
-        vec![x],
-        Some(y),
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(op, 3_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    sys.drive(op, 3_000_000);
     assert!(sys.runtime.op_done(op));
     let r = sys.report();
     // Hosts map onto the lower ranks only; NDAs own the upper ranks.
@@ -255,8 +244,9 @@ fn gemv_runs_and_matches_reference() {
     let x_data: Vec<f32> = (0..cols).map(|i| ((i % 5) as f32) * 0.5).collect();
     sys.runtime.write_matrix(a, &a_data);
     sys.runtime.write_vector(x, &x_data);
-    let op = sys.runtime.launch_gemv(y, a, x, LaunchOpts::default());
-    sys.run_until_op(op, 3_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess.gemv(&mut sys.runtime, y, a, x).submit();
+    sys.drive(op, 3_000_000);
     assert!(sys.runtime.op_done(op));
     for r in 0..rows {
         let expect: f32 = (0..cols).map(|c| a_data[r * cols + c] * x_data[c]).sum();
@@ -274,17 +264,12 @@ fn macro_axpy_rows_matches_reference_and_reduce() {
     let x_data: Vec<f32> = (0..n * d).map(|i| ((i % 11) as f32) - 5.0).collect();
     sys.runtime.write_matrix(x, &x_data);
     let alphas: Vec<f32> = (0..n).map(|i| (i as f32) * 0.1 - 1.0).collect();
-    let op = sys.runtime.launch_macro_axpy_rows(
-        a_pvt,
-        alphas.clone(),
-        x,
-        4,
-        LaunchOpts {
-            granularity_lines: None,
-            barrier_per_chunk: false,
-        },
-    );
-    sys.run_until_op(op, 6_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .axpy_rows(&mut sys.runtime, a_pvt, alphas.clone(), x, 4)
+        .no_barrier()
+        .submit();
+    sys.drive(op, 6_000_000);
     assert!(sys.runtime.op_done(op));
     sys.runtime.host_reduce(a, a_pvt);
     for j in 0..d {
@@ -302,14 +287,11 @@ fn refresh_on_configuration_also_runs_cleanly() {
         ..ChopimConfig::default()
     });
     let (x, y) = vec_pair(&mut sys, 1 << 14);
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Copy,
-        vec![],
-        vec![x],
-        Some(y),
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(op, 3_000_000);
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    sys.drive(op, 3_000_000);
     assert!(sys.runtime.op_done(op));
     let r = sys.report();
     assert!(r.dram.refreshes > 0, "refresh must have happened");
@@ -329,15 +311,12 @@ fn packetized_interface_costs_host_latency_but_works() {
             ..base_cfg()
         });
         let (x, y) = vec_pair(&mut sys, 1 << 14);
-        sys.run_relaunching(150_000, |rt| {
-            rt.launch_elementwise(
-                Opcode::Copy,
-                vec![],
-                vec![x],
-                Some(y),
-                LaunchOpts::default(),
-            )
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Copy, vec![], vec![x], Some(y))
+                .submit()
         });
+        sys.run(150_000);
         let r = sys.report();
         assert!(r.host_ipc > 0.0);
         assert!(r.dram.reads_nda > 0, "NDAs still run under pkt={pkt}");

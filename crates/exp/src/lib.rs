@@ -43,12 +43,12 @@ pub use grid::{labeled, SweepBuilder};
 pub use perfmatrix::{bench_window, perf_matrix};
 pub use result::{rows_to_csv, Metrics, SweepPoint, SweepResult};
 pub use runner::SweepRunner;
-pub use scenario::{run_scenario, ScenarioSpec, Workload};
+pub use scenario::{run_scenario, run_two_session_dag, spawn_workload, ScenarioSpec, Workload};
 
 /// Everything needed to declare and run a sweep.
 pub mod prelude {
     pub use crate::grid::{labeled, SweepBuilder};
     pub use crate::result::{rows_to_csv, Metrics, SweepPoint, SweepResult};
     pub use crate::runner::SweepRunner;
-    pub use crate::scenario::{run_scenario, ScenarioSpec, Workload};
+    pub use crate::scenario::{run_scenario, spawn_workload, ScenarioSpec, Workload};
 }

@@ -93,6 +93,27 @@ pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
     };
     points.push(("wide_colocated_8ch", wide_col));
 
+    // Two tenants on the 8-channel machine: an SVRG-shaped session (the
+    // average-gradient macro stream) and an elementwise-stream session,
+    // submitted concurrently under fair-share arbitration, with the
+    // SVRG-shaped host inner loop live — the multi-tenant axis the
+    // session API opened.
+    let mut multi = ScenarioSpec::with_window(w);
+    multi.cfg.dram = DramConfig::table_ii().with_channels(8);
+    multi.cfg.custom_profiles = Some(vec![chopim_ml::SvrgTimeModel::svrg_host_profile()]);
+    multi.workload = Workload::MultiTenant {
+        tenants: vec![
+            Workload::MacroAxpyRows {
+                rows: 64,
+                d: 4096,
+                rows_per_instr: 8,
+                opts: LaunchOpts::default(),
+            },
+            Workload::elementwise(Opcode::Axpy, 1 << 15),
+        ],
+    };
+    points.push(("multi_tenant_2sess", multi));
+
     points
 }
 
@@ -114,7 +135,8 @@ mod tests {
                 "colocated_mix",
                 "rank_partitioned",
                 "wide_host_8ch",
-                "wide_colocated_8ch"
+                "wide_colocated_8ch",
+                "multi_tenant_2sess"
             ]
         );
         for (_, spec) in &m {

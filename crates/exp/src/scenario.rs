@@ -81,9 +81,12 @@ impl ScenarioSpec {
 
 /// The NDA-side workload resident during the measurement window.
 ///
-/// Covers the paper's evaluation kernels. Every variant relaunches for
-/// the whole window (`ChopimSystem::run_relaunching`), matching the §VI
-/// methodology; [`Workload::HostOnly`] runs the host mix alone.
+/// Covers the paper's evaluation kernels. Every variant runs as a
+/// resident relaunching stream ([`ChopimSystem::spawn_stream`]) on its
+/// own [`Session`], matching the §VI methodology;
+/// [`Workload::HostOnly`] runs the host mix alone, and
+/// [`Workload::MultiTenant`] gives each tenant its own session so
+/// independent streams share the machine under fair-share arbitration.
 #[derive(Debug, Clone)]
 pub enum Workload {
     /// No NDA traffic; the host mix runs alone (Fig. 2).
@@ -118,6 +121,14 @@ pub enum Workload {
         d: usize,
         opts: LaunchOpts,
     },
+    /// Several tenants sharing one machine, each as its own [`Session`]
+    /// with a resident stream — the concurrent-submission axis the
+    /// session API exists for. Nested [`Workload::MultiTenant`]s are not
+    /// allowed; a [`Workload::HostOnly`] tenant contributes nothing.
+    MultiTenant {
+        /// One inner workload per tenant.
+        tenants: Vec<Workload>,
+    },
 }
 
 impl Workload {
@@ -141,23 +152,16 @@ fn init_data(len: usize) -> Vec<f32> {
     (0..len).map(|i| (i % 101) as f32 * 0.5 - 25.0).collect()
 }
 
-/// Execute one spec: build the machine, keep the workload resident for
-/// the window, and return the [`SimReport`].
+/// Allocate a workload's resident operands and spawn its relaunching
+/// stream on `sess`. [`Workload::HostOnly`] spawns nothing.
 ///
-/// This is the standard executor the benches share; sweeps whose points
-/// are not plain `ChopimSystem` windows (e.g. the SVRG convergence
-/// figures) pass their own closure to
-/// [`SweepRunner::run`](crate::SweepRunner::run) instead.
-pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
-    let mut cfg = spec.cfg.clone();
-    cfg.seed = spec.seed;
-    let mut sys = ChopimSystem::new(cfg);
-    let window = spec.window;
-
-    match spec.workload.clone() {
-        Workload::HostOnly => {
-            sys.run(window);
-        }
+/// # Panics
+///
+/// Panics on a nested [`Workload::MultiTenant`] (tenants must be leaf
+/// workloads) and on `Workload::Elementwise` with [`Opcode::Gemv`].
+pub fn spawn_workload(sys: &mut ChopimSystem, sess: Session, workload: Workload) {
+    match workload {
+        Workload::HostOnly => {}
         Workload::Elementwise { op, elems, opts } => {
             // Allocate only the operands this opcode touches: sweeps run
             // many points concurrently, and the big-operand figures
@@ -183,20 +187,22 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
                     sys.runtime.write_vector(y, &data);
                 }
             }
-            sys.run_relaunching(window, |rt| match op {
-                Opcode::Axpby => {
-                    rt.launch_elementwise(op, vec![2.0, -1.0], vec![x, y], Some(z), opts)
-                }
-                Opcode::Axpbypcz => {
-                    rt.launch_elementwise(op, vec![2.0, -1.0, 0.5], vec![x, y, z], Some(z), opts)
-                }
-                Opcode::Axpy => rt.launch_elementwise(op, vec![0.5], vec![x], Some(y), opts),
-                Opcode::Copy => rt.launch_elementwise(op, vec![], vec![x], Some(y), opts),
-                Opcode::Xmy => rt.launch_elementwise(op, vec![], vec![x, y], Some(z), opts),
-                Opcode::Dot => rt.launch_elementwise(op, vec![], vec![x, y], None, opts),
-                Opcode::Nrm2 => rt.launch_elementwise(op, vec![], vec![x], None, opts),
-                Opcode::Scal => rt.launch_elementwise(op, vec![0.99], vec![], Some(x), opts),
-                Opcode::Gemv => panic!("use Workload::Gemv for GEMV points"),
+            sys.spawn_stream(sess, move |rt, s| {
+                // The paper's per-opcode operand shapes.
+                let (scalars, inputs, output) = match op {
+                    Opcode::Axpby => (vec![2.0, -1.0], vec![x, y], Some(z)),
+                    Opcode::Axpbypcz => (vec![2.0, -1.0, 0.5], vec![x, y, z], Some(z)),
+                    Opcode::Axpy => (vec![0.5], vec![x], Some(y)),
+                    Opcode::Copy => (vec![], vec![x], Some(y)),
+                    Opcode::Xmy => (vec![], vec![x, y], Some(z)),
+                    Opcode::Dot => (vec![], vec![x, y], None),
+                    Opcode::Nrm2 => (vec![], vec![x], None),
+                    Opcode::Scal => (vec![0.99], vec![], Some(x)),
+                    Opcode::Gemv => panic!("use Workload::Gemv for GEMV points"),
+                };
+                s.elementwise(rt, op, scalars, inputs, output)
+                    .opts(opts)
+                    .submit()
             });
         }
         Workload::Gemv { rows, cols } => {
@@ -204,7 +210,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
             let x = sys.runtime.vector(cols, Sharing::Shared);
             let y = sys.runtime.vector(rows, Sharing::Shared);
             sys.runtime.write_vector(x, &vec![1.0; cols]);
-            sys.run_relaunching(window, |rt| rt.launch_gemv(y, a, x, LaunchOpts::default()));
+            sys.spawn_stream(sess, move |rt, s| s.gemv(rt, y, a, x).submit());
         }
         Workload::MacroAxpyRows {
             rows,
@@ -215,8 +221,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
             let xs = sys.runtime.matrix(rows, d);
             let a_pvt = sys.runtime.vector(d, Sharing::Private);
             let alphas = vec![0.01f32; rows];
-            sys.run_relaunching(window, |rt| {
-                rt.launch_macro_axpy_rows(a_pvt, alphas.clone(), xs, rows_per_instr, opts)
+            sys.spawn_stream(sess, move |rt, s| {
+                s.axpy_rows(rt, a_pvt, alphas.clone(), xs, rows_per_instr)
+                    .opts(opts)
+                    .submit()
             });
         }
         Workload::CgStream { rows, n, opts } => {
@@ -227,19 +235,22 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
             sys.runtime.write_vector(p, &vec![1.0; n]);
             sys.runtime.write_vector(r, &vec![1.0; n]);
             let mut phase = 0usize;
-            sys.run_relaunching(window, move |rt| {
+            sys.spawn_stream(sess, move |rt, s| {
                 phase = (phase + 1) % 4;
                 match phase {
-                    0 => rt.launch_gemv(ap, a, p, LaunchOpts::default()),
-                    1 => rt.launch_elementwise(Opcode::Dot, vec![], vec![ap, ap], None, opts),
-                    2 => rt.launch_elementwise(Opcode::Axpy, vec![0.5], vec![p], Some(r), opts),
-                    _ => rt.launch_elementwise(
-                        Opcode::Axpby,
-                        vec![1.0, 0.5],
-                        vec![r, p],
-                        Some(p),
-                        opts,
-                    ),
+                    0 => s.gemv(rt, ap, a, p).submit(),
+                    1 => s
+                        .elementwise(rt, Opcode::Dot, vec![], vec![ap, ap], None)
+                        .opts(opts)
+                        .submit(),
+                    2 => s
+                        .elementwise(rt, Opcode::Axpy, vec![0.5], vec![p], Some(r))
+                        .opts(opts)
+                        .submit(),
+                    _ => s
+                        .elementwise(rt, Opcode::Axpby, vec![1.0, 0.5], vec![r, p], Some(p))
+                        .opts(opts)
+                        .submit(),
                 }
             });
         }
@@ -250,21 +261,103 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
             let acc = sys.runtime.vector(n, Sharing::Shared);
             sys.runtime.write_vector(c, &vec![1.0; d]);
             let mut phase = 0usize;
-            sys.run_relaunching(window, move |rt| {
+            sys.spawn_stream(sess, move |rt, s| {
                 phase = (phase + 1) % 3;
                 match phase {
-                    0 => rt.launch_gemv(dots, pts, c, LaunchOpts::default()),
-                    1 => rt.launch_elementwise(
-                        Opcode::Xmy,
-                        vec![],
-                        vec![dots, dots],
-                        Some(acc),
-                        opts,
-                    ),
-                    _ => rt.launch_elementwise(Opcode::Nrm2, vec![], vec![dots], None, opts),
+                    0 => s.gemv(rt, dots, pts, c).submit(),
+                    1 => s
+                        .elementwise(rt, Opcode::Xmy, vec![], vec![dots, dots], Some(acc))
+                        .opts(opts)
+                        .submit(),
+                    _ => s
+                        .elementwise(rt, Opcode::Nrm2, vec![], vec![dots], None)
+                        .opts(opts)
+                        .submit(),
                 }
             });
         }
+        Workload::MultiTenant { .. } => panic!("MultiTenant tenants must be leaf workloads"),
     }
+}
+
+/// Execute one spec: build the machine, keep the workload resident for
+/// the window (one session and stream per tenant), and return the
+/// [`SimReport`].
+///
+/// This is the standard executor the benches share; sweeps whose points
+/// are not plain `ChopimSystem` windows (e.g. the SVRG convergence
+/// figures) pass their own closure to
+/// [`SweepRunner::run`](crate::SweepRunner::run) instead.
+pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = spec.seed;
+    let mut sys = ChopimSystem::new(cfg);
+
+    match spec.workload.clone() {
+        Workload::MultiTenant { tenants } => {
+            for t in tenants {
+                let sess = sys.runtime.create_session();
+                spawn_workload(&mut sys, sess, t);
+            }
+        }
+        w => {
+            let sess = sys.runtime.default_session();
+            spawn_workload(&mut sys, sess, w);
+        }
+    }
+    sys.run(spec.window);
+    sys.report()
+}
+
+/// A two-session op-graph scenario for the lockstep equivalence suites:
+/// session A runs an ordered chain, session B runs ops gated on A's
+/// handles across the session boundary (explicit DAG edges, one of them
+/// `unordered`), then both sessions turn into resident streams for the
+/// remainder of `window`. Exercises cross-session completion routing,
+/// DAG staging, and fair-share arbitration under every engine mode.
+pub fn run_two_session_dag(mut cfg: ChopimConfig, window: u64, seed: u64) -> SimReport {
+    cfg.seed = seed;
+    let mut sys = ChopimSystem::new(cfg);
+    let sa = sys.runtime.default_session();
+    let sb = sys.runtime.create_session();
+    let n = 1 << 13;
+    let x = sys.runtime.vector(n, Sharing::Shared);
+    let y = sys.runtime.vector(n, Sharing::Shared);
+    let u = sys.runtime.vector(n, Sharing::Shared);
+    let v = sys.runtime.vector(n, Sharing::Shared);
+    let data = init_data(n);
+    sys.runtime.write_vector(x, &data);
+    sys.runtime.write_vector(v, &data);
+
+    // Session A: y = x, then y *= 2 (implicit program order).
+    let _a1 = sa
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    let a2 = sa
+        .elementwise(&mut sys.runtime, Opcode::Scal, vec![2.0], vec![], Some(y))
+        .submit();
+    // Session B: u = x independently; then v += y gated on A's chain via
+    // an explicit cross-session edge, free of B's program order.
+    let b1 = sb
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(u))
+        .submit();
+    let b2 = sb
+        .elementwise(&mut sys.runtime, Opcode::Axpy, vec![1.0], vec![y], Some(v))
+        .after(a2)
+        .after(b1)
+        .unordered()
+        .submit();
+    sys.drive(Waitable::all_of([a2, b2]), window);
+
+    // Both tenants stream for the rest of the window under fair share.
+    sys.spawn_stream(sa, move |rt, s| {
+        s.elementwise(rt, Opcode::Axpy, vec![0.5], vec![x], Some(y))
+            .submit()
+    });
+    sys.spawn_stream(sb, move |rt, s| {
+        s.elementwise(rt, Opcode::Dot, vec![], vec![u, v], None)
+            .submit()
+    });
+    sys.run(window);
     sys.report()
 }

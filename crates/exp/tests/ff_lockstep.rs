@@ -61,7 +61,8 @@ fn matrix_is_fully_covered() {
             "colocated_mix",
             "rank_partitioned",
             "wide_host_8ch",
-            "wide_colocated_8ch"
+            "wide_colocated_8ch",
+            "multi_tenant_2sess"
         ],
         "new matrix scenario: add a lockstep test for it"
     );
@@ -105,6 +106,35 @@ fn lockstep_wide_host_8ch() {
 #[test]
 fn lockstep_wide_colocated_8ch() {
     run_matrix_entry("wide_colocated_8ch");
+}
+
+#[test]
+fn lockstep_multi_tenant_2sess() {
+    run_matrix_entry("multi_tenant_2sess");
+}
+
+/// The two-session dependency-graph scenario (cross-session `.after()`
+/// edges, an `unordered` op, then two fair-share streams): the DAG
+/// stager's launch gating feeds the fast-forward horizon, so skipping
+/// must stay exact under multi-tenant submission too.
+#[test]
+fn lockstep_dag_two_sessions() {
+    let window = window().min(20_000);
+    for seed in [1, 7] {
+        let mk = |ff: bool| {
+            let mut cfg = ChopimConfig {
+                mix: MixId::new(2),
+                ..ChopimConfig::default()
+            };
+            cfg.fast_forward = ff;
+            chopim_exp::run_two_session_dag(cfg, window, seed)
+        };
+        assert_eq!(
+            mk(false),
+            mk(true),
+            "fast-forward diverged from the naive loop on the two-session DAG (seed {seed})"
+        );
+    }
 }
 
 /// Stochastic write throttling draws a coin per attempted write; the

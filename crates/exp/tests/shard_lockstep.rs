@@ -71,7 +71,8 @@ fn matrix_is_fully_covered() {
             "colocated_mix",
             "rank_partitioned",
             "wide_host_8ch",
-            "wide_colocated_8ch"
+            "wide_colocated_8ch",
+            "multi_tenant_2sess"
         ],
         "new matrix scenario: add a shard-lockstep test for it"
     );
@@ -113,8 +114,41 @@ fn shard_lockstep_wide_host_8ch() {
 }
 
 #[test]
+fn shard_lockstep_multi_tenant_2sess() {
+    run_matrix_entry("multi_tenant_2sess");
+}
+
+#[test]
 fn shard_lockstep_wide_colocated_8ch() {
     run_matrix_entry("wide_colocated_8ch");
+}
+
+/// The two-session dependency-graph scenario on a 4-channel machine:
+/// `(session, op)`-tagged completion routing crosses the shard boundary,
+/// so worker interleaving must not perturb DAG staging or fair-share
+/// arbitration.
+#[test]
+fn shard_lockstep_dag_two_sessions() {
+    let window = window().min(20_000);
+    for seed in [1, 7] {
+        let mk = |threads: usize| {
+            let mut cfg = ChopimConfig {
+                dram: DramConfig::table_ii().with_channels(4),
+                mix: MixId::new(2),
+                ..ChopimConfig::default()
+            };
+            cfg.sim_threads = threads;
+            chopim_exp::run_two_session_dag(cfg, window, seed)
+        };
+        let serial = mk(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                serial,
+                mk(threads),
+                "{threads}-thread execution diverged on the two-session DAG (seed {seed})"
+            );
+        }
+    }
 }
 
 /// Stochastic write throttling draws per-shard RNG streams; worker

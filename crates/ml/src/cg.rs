@@ -53,51 +53,51 @@ pub fn run_cg(sys: &mut ChopimSystem, n: usize, iters: usize) -> CgResult {
 
     let start = sys.now();
     let budget = 500_000_000;
+    let sess = sys.runtime.create_session();
     let mut rsold = {
-        let op = sys.runtime.launch_elementwise(
-            Opcode::Dot,
-            vec![],
-            vec![r, r],
-            None,
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(op, budget);
+        let op = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![r, r], None)
+            .submit();
+        sys.drive(op, budget);
         sys.runtime.op_result(op).expect("dot result")
     };
     let mut done = 0;
     for _ in 0..iters {
         done += 1;
-        let g = sys.runtime.launch_gemv(ap, a, p, LaunchOpts::default());
-        sys.run_until_op(g, budget);
-        let d = sys.runtime.launch_elementwise(
-            Opcode::Dot,
-            vec![],
-            vec![p, ap],
-            None,
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(d, budget);
+        // The session's in-order op graph: GEMV, then the dependent DOT.
+        // Dependencies between consecutive ops are implicit (program
+        // order); the host only synchronizes where it consumes a
+        // reduction result.
+        let g = sess.gemv(&mut sys.runtime, ap, a, p).submit();
+        let d = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![p, ap], None)
+            .after(g)
+            .submit();
+        sys.drive(d, budget);
         let p_ap = sys.runtime.op_result(d).expect("dot");
         let alpha = rsold / p_ap;
-        // x += alpha p ; r -= alpha Ap.
-        for (dst, src, coef) in [(xv, p, alpha), (r, ap, -alpha)] {
-            let opx = sys.runtime.launch_elementwise(
-                Opcode::Axpy,
-                vec![coef],
-                vec![src],
-                Some(dst),
-                LaunchOpts::default(),
-            );
-            sys.run_until_op(opx, budget);
-        }
-        let d2 = sys.runtime.launch_elementwise(
-            Opcode::Dot,
-            vec![],
-            vec![r, r],
-            None,
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(d2, budget);
+        // x += alpha p ; r -= alpha Ap: disjoint operands, so both are
+        // submitted `unordered` to overlap on the NDAs, awaited as a set
+        // together with the dependent residual DOT.
+        let updates: Vec<_> = [(xv, p, alpha), (r, ap, -alpha)]
+            .into_iter()
+            .map(|(dst, src, coef)| {
+                sess.elementwise(
+                    &mut sys.runtime,
+                    Opcode::Axpy,
+                    vec![coef],
+                    vec![src],
+                    Some(dst),
+                )
+                .unordered()
+                .submit()
+            })
+            .collect();
+        let d2 = sess
+            .elementwise(&mut sys.runtime, Opcode::Dot, vec![], vec![r, r], None)
+            .after(updates[1])
+            .submit();
+        sys.drive(Waitable::all_of(updates.into_iter().chain([d2])), budget);
         let rsnew = sys.runtime.op_result(d2).expect("dot");
         if rsnew.sqrt() < 1e-4 {
             rsold = rsnew;
@@ -105,14 +105,16 @@ pub fn run_cg(sys: &mut ChopimSystem, n: usize, iters: usize) -> CgResult {
         }
         // p = r + (rsnew/rsold) p.
         let beta = rsnew / rsold;
-        let opp = sys.runtime.launch_elementwise(
-            Opcode::Axpby,
-            vec![1.0, beta],
-            vec![r, p],
-            Some(p),
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(opp, budget);
+        let opp = sess
+            .elementwise(
+                &mut sys.runtime,
+                Opcode::Axpby,
+                vec![1.0, beta],
+                vec![r, p],
+                Some(p),
+            )
+            .submit();
+        sys.drive(opp, budget);
         rsold = rsnew;
     }
     CgResult {

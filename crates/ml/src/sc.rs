@@ -32,35 +32,35 @@ pub fn run_sc(sys: &mut ChopimSystem, n: usize, d: usize, centers: usize) -> ScR
 
     let start = sys.now();
     let budget = 500_000_000;
+    let sess = sys.runtime.create_session();
     let mut best = (0usize, f32::NEG_INFINITY);
     for c in 0..centers {
         let cdata: Vec<f32> = (0..d)
             .map(|j| (((j + c * 7) % 13) as f32) * 0.2 - 1.2)
             .collect();
         sys.runtime.write_vector(center, &cdata);
+        // One dependency chain per center — GEMV, the squared-term XMY,
+        // and the NRM2 reduction — submitted as a graph and driven to the
+        // final reduction in one call.
         // dots = P . center  (read-dominant stream over the whole set)
-        let g = sys
-            .runtime
-            .launch_gemv(dots, points, center, LaunchOpts::default());
-        sys.run_until_op(g, budget);
+        let g = sess.gemv(&mut sys.runtime, dots, points, center).submit();
         // acc = dots ⊙ dots   (writes)
-        let x = sys.runtime.launch_elementwise(
-            Opcode::Xmy,
-            vec![],
-            vec![dots, dots],
-            Some(acc),
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(x, budget);
+        let x = sess
+            .elementwise(
+                &mut sys.runtime,
+                Opcode::Xmy,
+                vec![],
+                vec![dots, dots],
+                Some(acc),
+            )
+            .after(g)
+            .submit();
         // total affinity = Σ dots (via DOT with itself in acc).
-        let s = sys.runtime.launch_elementwise(
-            Opcode::Nrm2,
-            vec![],
-            vec![dots],
-            None,
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(s, budget);
+        let s = sess
+            .elementwise(&mut sys.runtime, Opcode::Nrm2, vec![], vec![dots], None)
+            .after(x)
+            .submit();
+        sys.drive(s, budget);
         let score = sys.runtime.op_result(s).expect("nrm2");
         if score > best.1 {
             best = (c, score);

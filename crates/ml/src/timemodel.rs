@@ -122,39 +122,34 @@ impl SvrgTimeModel {
         sys.runtime.write_vector(w, &vec![0.01; d]);
         sys.runtime.write_vector(v, &vec![1.0; n_probe]);
         let start = sys.now();
+        let sess = sys.runtime.create_session();
         // gemv(y = X w); xmy(v = v*y); host sigmoid; xmy; scal; then the
-        // per-sample macro AXPY (Fig. 8).
-        let g1 = sys.runtime.launch_gemv(y, x, w, LaunchOpts::default());
-        sys.run_until_op(g1, 80_000_000);
-        let g2 = sys.runtime.launch_elementwise(
-            Opcode::Xmy,
-            vec![],
-            vec![v, y],
-            Some(v),
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(g2, 80_000_000);
+        // per-sample macro AXPY (Fig. 8). The host must synchronize at
+        // the sigmoid (it reads v) and before reading the alphas, so the
+        // graph is driven in two dependent segments.
+        let g1 = sess.gemv(&mut sys.runtime, y, x, w).submit();
+        let g2 = sess
+            .elementwise(&mut sys.runtime, Opcode::Xmy, vec![], vec![v, y], Some(v))
+            .after(g1)
+            .submit();
+        sys.drive(g2, 160_000_000);
         sys.runtime.host_sigmoid(v);
-        let g3 = sys.runtime.launch_elementwise(
-            Opcode::Scal,
-            vec![1.0 / n_probe as f32],
-            vec![],
-            Some(v),
-            LaunchOpts::default(),
-        );
-        sys.run_until_op(g3, 80_000_000);
+        let g3 = sess
+            .elementwise(
+                &mut sys.runtime,
+                Opcode::Scal,
+                vec![1.0 / n_probe as f32],
+                vec![],
+                Some(v),
+            )
+            .submit();
+        sys.drive(g3, 80_000_000);
         let alphas = sys.runtime.read_vector(v).to_vec();
-        let g4 = sys.runtime.launch_macro_axpy_rows(
-            a_pvt,
-            alphas,
-            x,
-            8,
-            LaunchOpts {
-                granularity_lines: None,
-                barrier_per_chunk: false,
-            },
-        );
-        sys.run_until_op(g4, 200_000_000);
+        let g4 = sess
+            .axpy_rows(&mut sys.runtime, a_pvt, alphas, x, 8)
+            .no_barrier()
+            .submit();
+        sys.drive(g4, 200_000_000);
         assert!(
             sys.runtime.op_done(g4),
             "summarization kernel did not finish"
@@ -174,23 +169,19 @@ impl SvrgTimeModel {
         sys.run(150_000);
         let alone = sys.report().core_bw_gbs * 1e9;
 
-        // Host with the NDA macro kernel running.
+        // Host with the NDA macro kernel running (a resident relaunching
+        // stream for the whole window).
         let mut sys = ChopimSystem::new(mk_cfg(Some(vec![Self::svrg_host_profile()])));
         let x = sys.runtime.matrix(n_probe, d);
         let a_pvt = sys.runtime.vector(d, Sharing::Private);
         let alphas = vec![0.5f32; n_probe];
-        sys.run_relaunching(150_000, |rt| {
-            rt.launch_macro_axpy_rows(
-                a_pvt,
-                alphas.clone(),
-                x,
-                8,
-                LaunchOpts {
-                    granularity_lines: None,
-                    barrier_per_chunk: false,
-                },
-            )
+        let sess = sys.runtime.create_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.axpy_rows(rt, a_pvt, alphas.clone(), x, 8)
+                .no_barrier()
+                .submit()
         });
+        sys.run(150_000);
         let with_nda = sys.report().core_bw_gbs * 1e9;
         (alone.max(1.0), with_nda.max(1.0))
     }

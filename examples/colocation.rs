@@ -21,7 +21,8 @@ fn main() {
         WriteIssuePolicy::NextRankPredict,
     ];
 
-    let mut base = ScenarioSpec::with_window(300_000);
+    let window = chopim::exp::bench_window(300_000);
+    let mut base = ScenarioSpec::with_window(window);
     base.cfg.mix = Some(MixId::new(4).expect("mix4 exists"));
 
     // One axis: the host-alone baseline, then the write-intensive COPY
@@ -39,7 +40,7 @@ fn main() {
         .build();
     let result = SweepRunner::parallel().run_reports(&specs);
 
-    println!("host mix4 colocated with a COPY-running NDA (300k DRAM cycles):\n");
+    println!("host mix4 colocated with a COPY-running NDA ({window} DRAM cycles):\n");
     for p in result.iter() {
         println!(
             "{:<28} host IPC {:>6.3}   NDA util {:>6.3}   turnarounds {:>7}",

@@ -28,19 +28,19 @@ fn main() {
     sys.runtime
         .write_vector(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>());
 
-    // One coarse-grain COPY instruction per rank (Table I ISA). The launch
-    // itself travels over the memory channel as control-register writes.
-    let op = sys.runtime.launch_elementwise(
-        Opcode::Copy,
-        vec![],
-        vec![x],
-        Some(y),
-        LaunchOpts::default(),
-    );
+    // One coarse-grain COPY instruction per rank (Table I ISA), submitted
+    // through a session — the per-tenant context every op belongs to. The
+    // launch itself travels over the memory channel as control-register
+    // writes, and the returned handle is what you wait on.
+    let sess = sys.runtime.default_session();
+    let op = sess
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
 
     // Tick the whole machine — host cores, FR-FCFS controllers, NDA
     // controllers and their host-side shadow FSMs — until the op retires.
-    let cycles = sys.run_until_op(op, 10_000_000);
+    // `drive` also accepts op sets, a session, or Waitable::Quiescent.
+    let cycles = sys.drive(op, 10_000_000);
     assert!(sys.runtime.op_done(op));
     assert_eq!(sys.runtime.read_vector(y)[1234], 1234.0);
 
@@ -57,7 +57,7 @@ fn main() {
     // experiment subsystem makes that declarative: describe the point
     // once, name the axes, and run the grid across cores — results come
     // back in grid order, bit-identical to a serial run.
-    let mut base = ScenarioSpec::with_window(50_000);
+    let mut base = ScenarioSpec::with_window(chopim::exp::bench_window(50_000));
     base.cfg.mix = Some(MixId::new(1).expect("mix1 exists"));
     base.workload = Workload::elementwise(Opcode::Copy, 1 << 16);
     let specs = SweepBuilder::new(base)
@@ -76,7 +76,7 @@ fn main() {
         )
         .build();
     let sweep = SweepRunner::parallel().run_reports(&specs);
-    println!("\nmini-sweep (COPY vs mix1, 50k cycles): banks x policy");
+    println!("\nmini-sweep (COPY vs mix1): banks x policy");
     for p in sweep.iter() {
         println!(
             "  {:<26} host IPC {:>6.3}   NDA util {:>6.3}",

@@ -18,7 +18,14 @@ use chopim::prelude::*;
 
 fn main() {
     // cifar10 stand-in (see DESIGN.md substitutions), scaled for a demo.
-    let (n, d, classes) = (1024usize, 256usize, 10usize);
+    // A small CHOPIM_BENCH_CYCLES (the CI smoke knob) shrinks the dataset
+    // so the simulator-calibration pass stays fast.
+    let quick = chopim::exp::bench_window(u64::MAX) < 50_000;
+    let (n, d, classes) = if quick {
+        (256usize, 64usize, 4usize)
+    } else {
+        (1024usize, 256usize, 10usize)
+    };
     let ds = Dataset::synthetic(n, d, classes, 7);
 
     println!("calibrating step times on the simulator (8 NDAs)...");

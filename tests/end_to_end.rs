@@ -38,40 +38,33 @@ fn simulated_average_gradient_matches_analytic_model() {
     sys.runtime.write_vector(v, &labels);
 
     let budget = 100_000_000;
-    // y = X w
-    let g = sys.runtime.launch_gemv(y, x, w, LaunchOpts::default());
-    sys.run_until_op(g, budget);
-    // v = v ⊙ y ; v = sigmoid(v) ; v = v/n  (Fig. 8's pipeline)
-    let g = sys.runtime.launch_elementwise(
-        Opcode::Xmy,
-        vec![],
-        vec![v, y],
-        Some(v),
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(g, budget);
+    let sess = sys.runtime.default_session();
+    // y = X w, then v = v ⊙ y — one dependent graph segment, driven to
+    // its tail (the host must synchronize before the sigmoid reads v).
+    let g1 = sess.gemv(&mut sys.runtime, y, x, w).submit();
+    let g2 = sess
+        .elementwise(&mut sys.runtime, Opcode::Xmy, vec![], vec![v, y], Some(v))
+        .after(g1)
+        .submit();
+    sys.drive(g2, budget);
     sys.runtime.host_sigmoid(v);
-    let g = sys.runtime.launch_elementwise(
-        Opcode::Scal,
-        vec![1.0 / n as f32],
-        vec![],
-        Some(v),
-        LaunchOpts::default(),
-    );
-    sys.run_until_op(g, budget);
+    let g3 = sess
+        .elementwise(
+            &mut sys.runtime,
+            Opcode::Scal,
+            vec![1.0 / n as f32],
+            vec![],
+            Some(v),
+        )
+        .submit();
+    sys.drive(g3, budget);
     let alphas = sys.runtime.read_vector(v).to_vec();
     // parallel_for: a_pvt += alpha_i * X[i]; then host reduce.
-    let g = sys.runtime.launch_macro_axpy_rows(
-        a_pvt,
-        alphas.clone(),
-        x,
-        4,
-        LaunchOpts {
-            granularity_lines: None,
-            barrier_per_chunk: false,
-        },
-    );
-    sys.run_until_op(g, budget);
+    let g = sess
+        .axpy_rows(&mut sys.runtime, a_pvt, alphas.clone(), x, 4)
+        .no_barrier()
+        .submit();
+    sys.drive(g, budget);
     assert!(sys.runtime.op_done(g), "macro op must finish");
     sys.runtime.host_reduce(a, a_pvt);
 
@@ -107,15 +100,12 @@ fn simulation_is_deterministic_per_seed() {
         let x = sys.runtime.vector(1 << 14, Sharing::Shared);
         let y = sys.runtime.vector(1 << 14, Sharing::Shared);
         sys.runtime.write_vector(x, &vec![1.5; 1 << 14]);
-        sys.run_relaunching(80_000, |rt| {
-            rt.launch_elementwise(
-                Opcode::Copy,
-                vec![],
-                vec![x],
-                Some(y),
-                LaunchOpts::default(),
-            )
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Copy, vec![], vec![x], Some(y))
+                .submit()
         });
+        sys.run(80_000);
         let r = sys.report();
         (
             r.dram.reads_host,
@@ -144,18 +134,14 @@ fn nda_bandwidth_scales_with_ranks() {
         let x = sys.runtime.vector(1 << 17, Sharing::Shared);
         let y = sys.runtime.vector(1 << 17, Sharing::Shared);
         sys.runtime.write_vector(x, &vec![1.0; 1 << 17]);
-        sys.run_relaunching(150_000, |rt| {
-            rt.launch_elementwise(
-                Opcode::Dot,
-                vec![],
-                vec![x, y],
-                None,
-                LaunchOpts {
-                    granularity_lines: Some(2048),
-                    barrier_per_chunk: false,
-                },
-            )
+        let sess = sys.runtime.default_session();
+        sys.spawn_stream(sess, move |rt, s| {
+            s.elementwise(rt, Opcode::Dot, vec![], vec![x, y], None)
+                .granularity_lines(2048)
+                .no_barrier()
+                .submit()
         });
+        sys.run(150_000);
         bw.push(sys.report().nda_bw_gbs);
     }
     assert!(
@@ -175,15 +161,12 @@ fn concurrent_power_stays_below_host_only_max() {
     let x = sys.runtime.vector(1 << 16, Sharing::Shared);
     let y = sys.runtime.vector(1 << 16, Sharing::Shared);
     sys.runtime.write_vector(x, &vec![1.0; 1 << 16]);
-    sys.run_relaunching(200_000, |rt| {
-        rt.launch_elementwise(
-            Opcode::Copy,
-            vec![],
-            vec![x],
-            Some(y),
-            LaunchOpts::default(),
-        )
+    let sess = sys.runtime.default_session();
+    sys.spawn_stream(sess, move |rt, s| {
+        s.elementwise(rt, Opcode::Copy, vec![], vec![x], Some(y))
+            .submit()
     });
+    sys.run(200_000);
     let r = sys.report();
     // Theoretical host-only max: both channels saturated with host-cost
     // bursts plus activations (~7.9 W for Table II constants).
