@@ -26,10 +26,11 @@ perf-verbose:
 	cargo run --release -p chopim-perf --features perf-counters -- --verbose
 
 # Micro-benchmarks for the busy-path kernels (ready_at / plan_access /
-# scheduler pick), via the vendored criterion shim. Optional companion to
-# `make perf`.
+# scheduler pick) and the cross-shard exchange kernels (flat-fifo
+# handoff, merge-queue vs heap), via the vendored criterion shim.
+# Optional companion to `make perf`.
 perf-micro:
-	cargo bench -p chopim-dram
+	cargo bench -p chopim-dram -p chopim-core
 
 # Fast-forward vs naive-loop equivalence (bit-identical SimReports).
 lockstep:

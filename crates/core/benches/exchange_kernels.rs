@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the cross-shard message-exchange kernels: the
+//! double-buffered [`FlatFifo`] handoff the shard ingress runs every
+//! barrier, and the [`MergeQueue`] batch-merge that replaced the
+//! front-end's per-message `BinaryHeap` sifts. The heap variant is kept
+//! as the comparison point — these are the per-window costs the flat
+//! exchange exists to avoid (`make perf-micro`, or
+//! `cargo bench -p chopim-core`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chopim_core::exchange::{FlatFifo, MergeQueue};
+
+/// One barrier's worth of fills from each of 8 shards, as the engine
+/// produces them: cycle-stamped runs, sorted within a shard but not
+/// across shards.
+fn shard_runs(round: u64) -> Vec<Vec<(u64, usize, u64)>> {
+    (0..8u64)
+        .map(|sh| {
+            (0..16u64)
+                .map(|k| (round * 64 + k * 3 + sh % 3, sh as usize, k))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_flat_fifo(c: &mut Criterion) {
+    c.bench_function("flat_fifo absorb+drain (8x16 msgs, steady state)", |b| {
+        let mut q: FlatFifo<(u64, usize, u64)> = FlatFifo::default();
+        let mut out: Vec<(u64, usize, u64)> = Vec::new();
+        let mut round = 0u64;
+        b.iter(|| {
+            for run in shard_runs(round) {
+                out.extend(run);
+                q.absorb(&mut out);
+            }
+            let mut acc = 0u64;
+            while let Some(&(t, _, _)) = q.pop_front() {
+                acc ^= t;
+            }
+            round += 1;
+            acc
+        })
+    });
+}
+
+fn bench_merge_queue_vs_heap(c: &mut Criterion) {
+    c.bench_function("merge_queue absorb+seal+pop (8 runs/barrier)", |b| {
+        let mut mq: MergeQueue<(u64, usize, u64)> = MergeQueue::default();
+        let mut round = 0u64;
+        b.iter(|| {
+            for mut run in shard_runs(round) {
+                mq.absorb_run(&mut run);
+            }
+            mq.seal();
+            let mut acc = 0u64;
+            while let Some(&(t, _, _)) = mq.pop() {
+                acc ^= t;
+            }
+            round += 1;
+            acc
+        })
+    });
+    c.bench_function("binary_heap push+pop (8 runs/barrier, old path)", |b| {
+        let mut heap: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut round = 0u64;
+        b.iter(|| {
+            for run in shard_runs(round) {
+                for m in run {
+                    heap.push(Reverse(m));
+                }
+            }
+            let mut acc = 0u64;
+            while let Some(Reverse((t, _, _))) = heap.pop() {
+                acc ^= t;
+            }
+            round += 1;
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_flat_fifo, bench_merge_queue_vs_heap);
+criterion_main!(benches);

@@ -46,6 +46,8 @@
 //! ```
 
 pub mod energy;
+#[doc(hidden)]
+pub mod exchange;
 mod par;
 pub mod policy;
 pub mod report;

@@ -102,16 +102,20 @@ impl ShardPool {
     }
 
     /// Run every shard to `target` on the pool; blocks until all are
-    /// back. Takes the shard vector by value for the window and returns
-    /// it with every shard in its original position.
-    pub(crate) fn run(&self, shards: Vec<ChannelShard>, target: Cycle) -> Vec<ChannelShard> {
+    /// back. Drains the caller's vector into the pool's persistent slot
+    /// buffer for the window and refills it with every shard in its
+    /// original position — steady state moves shards, never allocates
+    /// (both vectors keep their capacity across windows). Shards already
+    /// at `target` (horizon-skipped ones) cost one no-op claim.
+    pub(crate) fn run(&self, shards: &mut Vec<ChannelShard>, target: Cycle) {
         let n = shards.len();
         if n == 0 {
-            return shards;
+            return;
         }
         {
             let mut st = self.shared.state.lock().expect("pool lock");
-            st.slots = shards.into_iter().map(Some).collect();
+            debug_assert!(st.slots.is_empty(), "pool re-entered mid-window");
+            st.slots.extend(shards.drain(..).map(Some));
             st.target = target;
             st.next = 0;
             st.remaining = n;
@@ -147,10 +151,11 @@ impl ShardPool {
             drop(st);
             resume_unwind(p);
         }
-        st.slots
-            .drain(..)
-            .map(|s| s.expect("worker returned shard"))
-            .collect()
+        shards.extend(
+            st.slots
+                .drain(..)
+                .map(|s| s.expect("worker returned shard")),
+        );
     }
 }
 

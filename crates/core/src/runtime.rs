@@ -938,18 +938,21 @@ impl Runtime {
         None
     }
 
-    /// Pop launches that are ready to go to the channel, arbitrating
-    /// fairly across sessions (round-robin from the rotating cursor) and
-    /// respecting DAG edges, program order, and chunk barriers. The
-    /// system calls this each cycle with available FSM queue space per
-    /// NDA; `now` stamps first-launch staging for DAG observability.
+    /// Pop launches that are ready to go to the channel into `out`,
+    /// arbitrating fairly across sessions (round-robin from the rotating
+    /// cursor) and respecting DAG edges, program order, and chunk
+    /// barriers. The system calls this each cycle with available FSM
+    /// queue space per NDA and its (reused) staging queue — releasing a
+    /// launch must not allocate on the steady-state path; `now` stamps
+    /// first-launch staging for DAG observability.
     pub fn next_launches(
         &mut self,
         space: impl Fn(usize) -> usize,
         max: usize,
         now: u64,
-    ) -> Vec<PendingLaunch> {
-        let mut out = Vec::new();
+        out: &mut std::collections::VecDeque<PendingLaunch>,
+    ) {
+        let start = out.len();
         let n = self.sessions.len();
         for k in 0..n {
             let s = (self.rr_cursor + k) % n;
@@ -960,7 +963,7 @@ impl Runtime {
             if op.first_staged_at.is_none() {
                 op.first_staged_at = Some(now);
             }
-            while out.len() < max {
+            while out.len() - start < max {
                 let Some(head) = op.pending.front() else {
                     break;
                 };
@@ -970,13 +973,12 @@ impl Runtime {
                 if space(head.nda_idx) == 0 {
                     break;
                 }
-                out.push(op.pending.pop_front().expect("checked"));
+                out.push_back(op.pending.pop_front().expect("checked"));
             }
             // Fair share: the next session gets first claim next cycle.
             self.rr_cursor = (s + 1) % n;
             break; // one op per call; candidates guarantee progress
         }
-        out
     }
 
     /// True when [`next_launches`](Self::next_launches) would release at

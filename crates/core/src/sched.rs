@@ -38,7 +38,9 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use chopim_dram::perfcount::{self, Counter};
-use chopim_dram::{Channel, Command, CommandKind, Cycle, DataReady, DramAddress, Issuer};
+use chopim_dram::{
+    Channel, Command, CommandKind, Cycle, DataReady, DramAddress, Issuer, CLOSED_ROW,
+};
 
 /// Transaction scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -217,9 +219,14 @@ struct QueueIndex {
 }
 
 impl QueueIndex {
-    fn new(ranks: usize, banks_per_rank: usize) -> Self {
+    fn new(ranks: usize, banks_per_rank: usize, queue_cap: usize) -> Self {
+        // Live entries never exceed the queue capacity (one key per
+        // queued transaction), but push/pop churn leaves tombstones that
+        // hashbrown periodically cleans up. Reserving 4x the live bound
+        // keeps every such cleanup an in-place rehash — the map never
+        // touches the allocator after construction.
         Self {
-            demand: DemandMap::default(),
+            demand: DemandMap::with_capacity_and_hasher(4 * queue_cap, Default::default()),
             occ: vec![0; ranks * banks_per_rank],
         }
     }
@@ -318,8 +325,8 @@ impl HostMc {
         Self {
             read_q: VecDeque::with_capacity(32),
             write_q: VecDeque::with_capacity(32),
-            read_idx: QueueIndex::new(ranks, banks_per_rank),
-            write_idx: QueueIndex::new(ranks, banks_per_rank),
+            read_idx: QueueIndex::new(ranks, banks_per_rank, 32),
+            write_idx: QueueIndex::new(ranks, banks_per_rank, 32),
             read_cap: 32,
             write_cap: 32,
             drain: false,
@@ -602,8 +609,8 @@ impl HostMc {
         // precharged; any open bank is a conservative wake-up candidate.
         if self.page_policy == PagePolicy::Closed {
             for rank in 0..ch.config().ranks_per_channel {
-                for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
-                    if bank.open_row().is_some() {
+                for (flat, &row) in ch.open_rows_of(rank).iter().enumerate() {
+                    if row != CLOSED_ROW {
                         let cmd = Command::pre(
                             rank,
                             flat / self.banks_per_group,
@@ -723,10 +730,10 @@ impl HostMc {
         let ranks = ch.config().ranks_per_channel;
         for rank in 0..ranks {
             let mut found: Option<Command> = None;
-            for (flat, bank) in ch.banks_of(rank).iter().enumerate() {
-                let Some(open) = bank.open_row() else {
+            for (flat, &open) in ch.open_rows_of(rank).iter().enumerate() {
+                if open == CLOSED_ROW {
                     continue;
-                };
+                }
                 let slot = (rank * self.banks_per_rank + flat) as u32;
                 if self.read_idx.wants(slot, open) || self.write_idx.wants(slot, open) {
                     continue;

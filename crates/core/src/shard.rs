@@ -20,7 +20,7 @@
 //! the lockstep suites keep their bit-identity contract.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use chopim_dram::{Channel, CommandKind, Cycle};
 use chopim_nda::controller::{NdaRankController, NdaTickResult};
@@ -29,6 +29,7 @@ use chopim_nda::isa::NdaInstr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::exchange::FlatFifo;
 use crate::policy::WriteIssuePolicy;
 use crate::runtime::OpHandle;
 use crate::sched::{HostMc, Issued, TxMeta};
@@ -90,6 +91,54 @@ struct LaunchInFlight {
     tag: OpHandle,
 }
 
+/// Dense sliding map over in-flight launch records.
+///
+/// Launch ids are assigned by the front-end from one global counter and
+/// delivered per shard in FIFO order, so the ids a shard sees are
+/// **strictly increasing** — a ring of `Option` slots indexed by
+/// `id - base` replaces the old `HashMap` with O(1) array accesses. Ids
+/// belonging to other channels leave `None` gaps; the base slides past
+/// the consumed-and-gap prefix on every removal, so the live span is
+/// bounded by the launch-in-flight window, not the id space.
+#[derive(Debug, Default)]
+struct LaunchSlab {
+    base: u64,
+    slots: VecDeque<Option<LaunchInFlight>>,
+}
+
+impl LaunchSlab {
+    fn insert(&mut self, id: u64, lf: LaunchInFlight) {
+        if self.slots.is_empty() {
+            // Re-anchor so cross-channel id gaps cost nothing while the
+            // shard has no launches in flight.
+            self.base = id;
+        }
+        debug_assert!(
+            id >= self.base + self.slots.len() as u64,
+            "launch ids must arrive strictly increasing"
+        );
+        while (self.slots.len() as u64) < id - self.base {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(lf));
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut LaunchInFlight> {
+        let idx = id.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn remove(&mut self, id: u64) -> Option<LaunchInFlight> {
+        let idx = id.checked_sub(self.base)? as usize;
+        let lf = self.slots.get_mut(idx)?.take();
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        lf
+    }
+}
+
 /// One channel's shard. See the module docs.
 pub(crate) struct ChannelShard {
     channel_idx: usize,
@@ -105,14 +154,19 @@ pub(crate) struct ChannelShard {
     local_of_rank: Vec<Option<usize>>,
     /// Global NDA index per shard-local NDA (stamps completion messages).
     global_idx: Vec<usize>,
-    launches: HashMap<u64, LaunchInFlight>,
-    /// `(session, op)` of every instruction delivered to a rank FSM and
-    /// not yet retired, keyed by instruction id: the completion-routing
-    /// tag stamped onto outbound completion messages.
-    completion_tags: HashMap<u64, OpHandle>,
+    launches: LaunchSlab,
+    /// `(instr id, (session, op))` of every instruction delivered to a
+    /// rank FSM and not yet retired, bucketed per shard-local NDA: the
+    /// completion-routing tag stamped onto outbound completion messages.
+    /// Instruction ids are *not* monotonic per shard (fair-share
+    /// arbitration interleaves ops) and the FSM retires out of launch
+    /// order (buffered-write drain), so each bucket is a small unordered
+    /// vector scanned linearly — bounded by the FSM queue depth.
+    completion_tags: Vec<Vec<(u64, OpHandle)>>,
     launch_events: BinaryHeap<Reverse<(Cycle, u64)>>,
-    /// Cross-boundary ingress FIFO (front-end appends at barriers).
-    pub(crate) inbox: VecDeque<(Cycle, ShardInbound)>,
+    /// Cross-boundary ingress FIFO: a flat arena the front-end's egress
+    /// buffer is swapped into at barriers (see [`crate::exchange`]).
+    pub(crate) inbox: FlatFifo<(Cycle, ShardInbound)>,
     /// Outbound fill completions produced this window.
     pub(crate) fills_out: Vec<FillMsg>,
     /// Outbound instruction completions produced this window.
@@ -124,6 +178,14 @@ pub(crate) struct ChannelShard {
     policy_rng: StdRng,
     params: ShardParams,
     pub(crate) now: Cycle,
+    /// Cached event horizon: the shard state as of the last executed
+    /// cycle provably generates no activity before this cycle (new inbox
+    /// messages can still arrive earlier — the front-end checks the
+    /// inbox stamp separately). Invalidated (set to `now`) by every
+    /// executed cycle; refreshed by [`horizon`](Self::horizon). The
+    /// computed-horizon barrier skip reads it via
+    /// [`quiet_until`](Self::quiet_until).
+    quiet_until: Cycle,
     ticks_executed: u64,
     cycles_skipped: u64,
     ff_streak: u32,
@@ -165,10 +227,10 @@ impl ChannelShard {
             nda_poke: vec![false; n],
             local_of_rank,
             global_idx,
-            launches: HashMap::new(),
-            completion_tags: HashMap::new(),
+            launches: LaunchSlab::default(),
+            completion_tags: (0..n).map(|_| Vec::new()).collect(),
             launch_events: BinaryHeap::new(),
-            inbox: VecDeque::new(),
+            inbox: FlatFifo::default(),
             fills_out: Vec::new(),
             completions_out: Vec::new(),
             policy_rng: StdRng::seed_from_u64(
@@ -177,6 +239,7 @@ impl ChannelShard {
             ),
             params,
             now: 0,
+            quiet_until: 0,
             ticks_executed: 0,
             cycles_skipped: 0,
             ff_streak: 0,
@@ -213,6 +276,25 @@ impl ChannelShard {
             .all(|(n, s)| n.fsm().fingerprint() == s.fingerprint())
     }
 
+    /// The cached horizon from the shard's last self-inspection: no
+    /// shard-internal event fires strictly before this cycle. The
+    /// front-end combines it with the inbox's first stamp to decide
+    /// whether the shard may skip a window barrier outright.
+    pub(crate) fn quiet_until(&self) -> Cycle {
+        self.quiet_until
+    }
+
+    /// Earliest-actionable stamp waiting in the ingress FIFO (head of
+    /// line: later messages cannot act before the front one).
+    pub(crate) fn inbox_first_stamp(&self) -> Option<Cycle> {
+        self.inbox.front().map(|&(t, _)| t)
+    }
+
+    /// Ingress-arena high-water mark (sizing telemetry).
+    pub(crate) fn inbox_high_water(&self) -> usize {
+        self.inbox.high_water()
+    }
+
     /// Run the shard up to (exclusive) `target`, fast-forwarding idle
     /// stretches when enabled. Messages produced land in the outboxes;
     /// the caller exchanges them at the window barrier.
@@ -220,6 +302,9 @@ impl ChannelShard {
         while self.now < target {
             self.tick_cycle();
             self.now += 1;
+            // An executed cycle may have scheduled arbitrarily early new
+            // events; any previously computed horizon is stale.
+            self.quiet_until = self.now;
             self.maybe_skip(target);
         }
     }
@@ -237,12 +322,12 @@ impl ChannelShard {
                 break;
             }
             self.launch_events.pop();
-            let lf = self.launches.get_mut(&id).expect("launch record");
+            let lf = self.launches.get_mut(id).expect("launch record");
             lf.writes_remaining -= 1;
             if lf.writes_remaining == 0 {
-                let lf = self.launches.remove(&id).expect("present");
+                let lf = self.launches.remove(id).expect("present");
                 self.nda_poke[lf.nda_local] = true;
-                self.completion_tags.insert(lf.instr.id, lf.tag);
+                self.completion_tags[lf.nda_local].push((lf.instr.id, lf.tag));
                 self.shadows[lf.nda_local]
                     .launch(lf.instr.clone())
                     .unwrap_or_else(|_| panic!("shadow queue overflow"));
@@ -455,7 +540,14 @@ impl ChannelShard {
             while let Some(id) = ndas[i].fsm_mut().pop_completed() {
                 let sid = shadows[i].pop_completed();
                 debug_assert_eq!(sid, Some(id));
-                let tag = completion_tags.remove(&id).expect("tagged instruction");
+                // Retirement is out of launch order (buffered-write
+                // drain), so scan the NDA's small tag bucket.
+                let tags = &mut completion_tags[i];
+                let at = tags
+                    .iter()
+                    .position(|&(tid, _)| tid == id)
+                    .expect("tagged instruction");
+                let (_, tag) = tags.swap_remove(at);
                 completions_out.push((now + params.completion_latency, id, global_idx[i], tag));
             }
         }
@@ -465,7 +557,14 @@ impl ChannelShard {
     /// cycle) at which any component of this shard could act, assuming
     /// no other agent touches it first. Conservative answers only waste
     /// a wake-up; no component may act strictly before its horizon.
+    /// Also refreshes the [`quiet_until`](Self::quiet_until) cache.
     pub(crate) fn horizon(&mut self) -> Cycle {
+        let h = self.horizon_inner();
+        self.quiet_until = h;
+        h
+    }
+
+    fn horizon_inner(&mut self) -> Cycle {
         let now = self.now;
         if self.nda_poke.iter().any(|&p| p) {
             return now;

@@ -33,24 +33,42 @@
 //!   (the host's status-poll pipeline).
 //!
 //! Because every shard→front-end path has a minimum delivery latency,
-//! the engine executes in **lookahead windows** of
+//! the exchange happens on a fixed **barrier grid** of
 //! `W = min(tCL + burst, completion_latency)` cycles: the front-end runs
 //! a window first (its outbound messages can even be consumed the same
 //! cycle, since shards run after it), then every shard runs the same
 //! window independently — serially or on a worker pool
 //! ([`ChopimConfig::sim_threads`]) — and the queues are exchanged at the
-//! barrier. Shards never observe each other mid-window and each carries
+//! barrier. On top of the grid each shard computes a **per-shard
+//! lookahead horizon** from its actual state (MC queues and wake hints,
+//! NDA FSM readiness, refresh timers, pending launch deliveries,
+//! undelivered inbox messages): a shard whose cached horizon clears the
+//! next barrier — and whose inbox holds nothing due before it — skips
+//! that barrier entirely, so a quiet channel costs one comparison per
+//! window instead of a tick-and-exchange.
+//! [`ChopimConfig::fixed_window`] (env `CHOPIM_FIXED_WINDOW=1`) disables
+//! the skipping; that pure fixed-window schedule is the lockstep oracle
+//! the ablation test compares computed horizons against. Shards never
+//! observe each other mid-window and each carries
 //! its own policy RNG, so the schedule is **deterministic by
 //! construction**: any thread count produces bit-identical
-//! [`SimReport`]s (enforced by `crates/exp/tests/shard_lockstep.rs`).
+//! [`SimReport`]s (enforced by `crates/exp/tests/shard_lockstep.rs`;
+//! `crates/core/tests/horizon_props.rs` property-checks horizon
+//! conservatism against the messages shards actually emit).
 //! When every component is idle at a barrier, the engine additionally
 //! leaps the whole machine to the global event horizon, preserving the
 //! fast-forward throughput on idle-heavy scenarios.
+//!
+//! The exchange itself is allocation-free in steady state (pinned by
+//! `crates/core/tests/alloc_steady_state.rs`): ingress rides
+//! double-buffered flat arenas that swap instead of copying, and
+//! shard→front-end fills/completions arrive as per-shard runs merged in
+//! one sort pass ([`MergeQueue`](crate::exchange::MergeQueue)).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+use chopim_dram::perfcount::{self, Counter};
 use chopim_dram::{Channel, Cycle, DramConfig, DramStats};
 use chopim_host::{CoreConfig, MixId, OooCore};
 use chopim_mapping::color::{ColoredAllocator, Region};
@@ -58,6 +76,7 @@ use chopim_mapping::{presets, AddressMapper, PartitionedMapping};
 use chopim_nda::controller::NdaRankController;
 
 use crate::energy::{self, EnergyParams};
+use crate::exchange::MergeQueue;
 use crate::par::ShardPool;
 use crate::policy::WriteIssuePolicy;
 use crate::report::SimReport;
@@ -159,6 +178,12 @@ fn sim_threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// `CHOPIM_FIXED_WINDOW=1` forces the pre-horizon fixed-window barrier
+/// schedule (the lockstep oracle); anything else keeps computed horizons.
+fn fixed_window_from_env() -> bool {
+    std::env::var("CHOPIM_FIXED_WINDOW").is_ok_and(|v| v == "1")
+}
+
 /// Top-level configuration.
 #[derive(Debug, Clone)]
 pub struct ChopimConfig {
@@ -223,6 +248,16 @@ pub struct ChopimConfig {
     /// bit-identical [`SimReport`]s — the engine's schedule does not
     /// depend on the thread count. Defaults to `CHOPIM_SIM_THREADS`.
     pub sim_threads: usize,
+    /// Disable per-shard computed horizons and execute every shard
+    /// through every lookahead window (the pre-horizon engine). With
+    /// computed horizons (the default), a shard whose cached event
+    /// horizon and pending ingress both lie at or beyond the window
+    /// barrier leaps the window without being dispatched at all. Both
+    /// modes produce bit-identical [`SimReport`]s (the leap is the same
+    /// provably-idle skip the in-window fast-forward performs), so this
+    /// is the lockstep oracle, not a behavior switch; it only matters
+    /// when `fast_forward` is on. Defaults to `CHOPIM_FIXED_WINDOW=1`.
+    pub fixed_window: bool,
 }
 
 impl Default for ChopimConfig {
@@ -249,6 +284,7 @@ impl Default for ChopimConfig {
             // II timing), so it costs no lookahead.
             completion_latency: 20,
             sim_threads: sim_threads_from_env(),
+            fixed_window: fixed_window_from_env(),
         }
     }
 }
@@ -287,15 +323,18 @@ pub struct ChopimSystem {
     cpu_cycles: u64,
     llc_outstanding: usize,
     /// Read fills on their way back to the cores: `(at, core, req)`.
-    fills: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
+    /// Shard runs are absorbed at barriers and sealed into pop order
+    /// with one sort (see [`crate::exchange`]).
+    fills: MergeQueue<(Cycle, usize, u64)>,
     /// NDA completions on their way to the runtime:
     /// `(at, instr, nda, (session, op))`.
-    completions: BinaryHeap<Reverse<(Cycle, u64, usize, OpHandle)>>,
+    completions: MergeQueue<(Cycle, u64, usize, OpHandle)>,
     /// Resident relaunching workloads, pumped by the drive loop.
     streams: Vec<StreamState>,
-    /// Per-channel outboxes: messages produced this window, appended to
-    /// the shard inboxes at the barrier.
-    egress: Vec<VecDeque<(Cycle, ShardInbound)>>,
+    /// Per-channel outboxes: flat buffers of messages produced this
+    /// window, swapped into the shard inboxes at the barrier (the
+    /// double-buffered arena — see [`crate::exchange`]).
+    egress: Vec<Vec<(Cycle, ShardInbound)>>,
     /// Per-channel ingress occupancy as of the last *grid-aligned*
     /// barrier (the front-end's admission view; shards publish their
     /// drain progress only on the window grid, which keeps admission
@@ -458,10 +497,10 @@ impl ChopimSystem {
             cpu_accum: 0,
             cpu_cycles: 0,
             llc_outstanding: 0,
-            fills: BinaryHeap::new(),
-            completions: BinaryHeap::new(),
+            fills: MergeQueue::default(),
+            completions: MergeQueue::default(),
             streams: Vec::new(),
-            egress: (0..nchannels).map(|_| VecDeque::new()).collect(),
+            egress: (0..nchannels).map(|_| Vec::new()).collect(),
             ingress_seen: vec![0; nchannels],
             ingress_unseen: vec![0; nchannels],
             launch_stage: VecDeque::new(),
@@ -557,6 +596,39 @@ impl ChopimSystem {
             .explain(&self.shards[ch].channel, self.now)
     }
 
+    /// Test support for the horizon property suite
+    /// (`tests/horizon_props.rs`): for every shard, the uncapped event
+    /// horizon it currently claims, paired with the earliest outbound
+    /// message stamp it actually produces when run `span` cycles forward
+    /// in isolation (no further front-end traffic; messages already in
+    /// its inbox still deliver). Conservatism demands `claim <= stamp`
+    /// for every produced message. Running the shards ahead desyncs
+    /// them from the front-end, so callers must discard the system
+    /// afterwards.
+    #[doc(hidden)]
+    pub fn probe_shard_horizon_conservatism(&mut self, span: Cycle) -> Vec<(Cycle, Option<Cycle>)> {
+        self.shards
+            .iter_mut()
+            .map(|sh| {
+                let claim = sh.horizon();
+                let fills_before = sh.fills_out.len();
+                let comps_before = sh.completions_out.len();
+                let target = sh.now + span;
+                sh.run_to(target);
+                let first = sh.fills_out[fills_before..]
+                    .iter()
+                    .map(|&(t, _, _)| t)
+                    .chain(
+                        sh.completions_out[comps_before..]
+                            .iter()
+                            .map(|&(t, _, _, _)| t),
+                    )
+                    .min();
+                (claim, first)
+            })
+            .collect()
+    }
+
     /// One-line internal state summary (debugging aid).
     pub fn debug_state(&self) -> String {
         format!(
@@ -597,7 +669,7 @@ impl ChopimSystem {
         self.ticks_executed += 1;
 
         // 1. NDA completions that became host-visible.
-        while let Some(&Reverse((t, id, nda, tag))) = self.completions.peek() {
+        while let Some(&(t, id, nda, tag)) = self.completions.peek() {
             if t > now {
                 break;
             }
@@ -608,7 +680,7 @@ impl ChopimSystem {
         }
 
         // 2. Read fills due at the cores.
-        while let Some(&Reverse((t, core, req))) = self.fills.peek() {
+        while let Some(&(t, core, req)) = self.fills.peek() {
             if t > now {
                 break;
             }
@@ -627,9 +699,13 @@ impl ChopimSystem {
 
         // 4. Stage at most one NDA instruction launch per cycle.
         if self.launch_stage.is_empty() {
-            let credit = &self.nda_credit;
-            self.launch_stage
-                .extend(self.runtime.next_launches(|i| credit[i], 1, now));
+            let Self {
+                runtime,
+                nda_credit,
+                launch_stage,
+                ..
+            } = self;
+            runtime.next_launches(|i| nda_credit[i], 1, now, launch_stage);
         }
         if let Some(head) = self.launch_stage.front() {
             let (ch, rank) = self.nda_local[head.nda_idx];
@@ -644,7 +720,7 @@ impl ChopimSystem {
                 let delay = Cycle::from(self.cfg.ingress_latency)
                     + Cycle::from(self.cfg.packetized_latency);
                 let local = self.shards[ch].local_of(rank);
-                self.egress[ch].push_back((
+                self.egress[ch].push((
                     now + delay,
                     ShardInbound::Launch {
                         id,
@@ -666,7 +742,7 @@ impl ChopimSystem {
                         row: ctrl_row,
                         col: (id as u32 * k + w) % self.cfg.dram.lines_per_row() as u32,
                     };
-                    self.egress[ch].push_back((
+                    self.egress[ch].push((
                         now + delay,
                         ShardInbound::Tx(HostTransaction {
                             addr,
@@ -728,7 +804,7 @@ impl ChopimSystem {
                 if used >= INGRESS_CAP {
                     return false;
                 }
-                egress[d.channel].push_back((now + delay, ShardInbound::Tx(tx)));
+                egress[d.channel].push((now + delay, ShardInbound::Tx(tx)));
                 if !tx.is_write {
                     *llc_outstanding += 1;
                 }
@@ -756,10 +832,10 @@ impl ChopimSystem {
             }
         }
         let mut h = Cycle::MAX;
-        if let Some(&Reverse((t, _, _, _))) = self.completions.peek() {
+        if let Some(&(t, _, _, _)) = self.completions.peek() {
             h = h.min(t);
         }
-        if let Some(&Reverse((t, _, _))) = self.fills.peek() {
+        if let Some(&(t, _, _)) = self.fills.peek() {
             h = h.min(t);
         }
         h.max(now)
@@ -810,34 +886,71 @@ impl ChopimSystem {
     /// depend on how `run` calls are sliced.
     fn advance_shards(&mut self, target: Cycle) {
         let on_grid = target.is_multiple_of(self.window);
+        let use_horizon = self.cfg.fast_forward && !self.cfg.fixed_window;
+        perfcount::bump(Counter::Barriers);
+        let mut exchanged = 0u64;
         for (ch, q) in self.egress.iter_mut().enumerate() {
+            exchanged += q.len() as u64;
             if !on_grid {
                 self.ingress_unseen[ch] += q.len();
             }
-            self.shards[ch].inbox.extend(q.drain(..));
+            // Double-buffer handoff: the shard gets the full buffer, the
+            // front-end keeps the shard's drained one for next window.
+            self.shards[ch].inbox.absorb(q);
         }
-        if let Some(pool) = &self.pool {
-            let shards = std::mem::take(&mut self.shards);
-            self.shards = pool.run(shards, target);
-        } else {
+        // Computed horizons: a shard whose cached event horizon and
+        // earliest pending ingress stamp both lie at or beyond the
+        // barrier provably does nothing this window — leap it to the
+        // target (the same exact skip the in-window fast-forward makes)
+        // instead of dispatching it.
+        let mut active = self.shards.len();
+        if use_horizon {
+            active = 0;
             for shard in &mut self.shards {
-                let prev = chopim_dram::perfcount::set_scope(1 + shard.channel_idx());
-                shard.run_to(target);
-                chopim_dram::perfcount::set_scope(prev);
+                if shard.quiet_until() >= target
+                    && shard.inbox_first_stamp().is_none_or(|t| t >= target)
+                {
+                    let prev = perfcount::set_scope(1 + shard.channel_idx());
+                    perfcount::add(Counter::HorizonLeapCycles, target - shard.now);
+                    shard.skip_to(target);
+                    perfcount::set_scope(prev);
+                } else {
+                    active += 1;
+                }
+            }
+        }
+        perfcount::add(Counter::WindowsExecuted, active as u64);
+        match &self.pool {
+            // With at most one shard left to run, pool dispatch is pure
+            // overhead; run it inline.
+            Some(pool) if active > 1 => pool.run(&mut self.shards, target),
+            _ => {
+                for shard in &mut self.shards {
+                    if shard.now < target {
+                        let prev = perfcount::set_scope(1 + shard.channel_idx());
+                        shard.run_to(target);
+                        perfcount::set_scope(prev);
+                    }
+                }
             }
         }
         for shard in &mut self.shards {
-            for (at, core, req) in shard.fills_out.drain(..) {
-                self.fills.push(Reverse((at, core, req)));
-            }
-            for (at, id, nda, tag) in shard.completions_out.drain(..) {
-                self.completions.push(Reverse((at, id, nda, tag)));
+            exchanged += (shard.fills_out.len() + shard.completions_out.len()) as u64;
+            self.fills.absorb_run(&mut shard.fills_out);
+            self.completions.absorb_run(&mut shard.completions_out);
+            if perfcount::ENABLED {
+                let prev = perfcount::set_scope(1 + shard.channel_idx());
+                perfcount::hi(Counter::ArenaHighWater, shard.inbox_high_water() as u64);
+                perfcount::set_scope(prev);
             }
             if on_grid {
                 self.ingress_seen[shard.channel_idx()] = shard.inbox.len();
                 self.ingress_unseen[shard.channel_idx()] = 0;
             }
         }
+        self.fills.seal();
+        self.completions.seal();
+        perfcount::add(Counter::MessagesExchanged, exchanged);
     }
 
     /// At a barrier (shards synced to `self.now`), leap the whole

@@ -40,7 +40,7 @@ pub mod system;
 pub mod timing;
 
 pub use addr::DramAddress;
-pub use bank::{Bank, BankState};
+pub use bank::{BankRef, BankState, Banks, CLOSED_ROW};
 pub use channel::Channel;
 pub use checker::{CheckError, TimingChecker};
 pub use command::{Command, CommandKind, Issuer};

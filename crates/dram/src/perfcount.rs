@@ -53,10 +53,25 @@ pub enum Counter {
     NdaMemoHit,
     /// NDA-controller memo misses.
     NdaMemoMiss,
+    /// Window barriers executed by the sharded engine (front-end scope).
+    Barriers,
+    /// Shard-windows actually ticked (a barrier over `N` shards where
+    /// `Q` were quiet counts `N - Q`).
+    WindowsExecuted,
+    /// Cross-shard messages exchanged at barriers (ingress + fills +
+    /// completions), front-end scope.
+    MessagesExchanged,
+    /// High-water mark of the flat exchange arenas (a [`hi`] counter:
+    /// the per-scope value is a maximum; the flat snapshot sums scopes,
+    /// so read this one from the per-scope table).
+    ArenaHighWater,
+    /// Cycles a shard leapt past a window barrier because its computed
+    /// horizon proved it quiet (per-shard scope).
+    HorizonLeapCycles,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 14;
 
 /// Counter labels, index-aligned with [`Counter`].
 pub const LABELS: [&str; NUM_COUNTERS] = [
@@ -69,6 +84,11 @@ pub const LABELS: [&str; NUM_COUNTERS] = [
     "horizon_scans",
     "nda_memo_hits",
     "nda_memo_misses",
+    "barriers",
+    "windows_executed",
+    "messages_exchanged",
+    "arena_high_water",
+    "horizon_leap_cycles",
 ];
 
 #[cfg(feature = "perf-counters")]
@@ -95,6 +115,12 @@ mod imp {
     pub fn add(c: super::Counter, n: u64) {
         let s = SCOPE.with(|s| s.get());
         COUNTERS[s][c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn hi(c: super::Counter, n: u64) {
+        let s = SCOPE.with(|s| s.get());
+        COUNTERS[s][c as usize].fetch_max(n, Ordering::Relaxed);
     }
 }
 
@@ -139,6 +165,16 @@ pub fn bump(c: Counter) {
 pub fn add(c: Counter, n: u64) {
     #[cfg(feature = "perf-counters")]
     imp::add(c, n);
+    #[cfg(not(feature = "perf-counters"))]
+    let _ = (c, n);
+}
+
+/// Raise `c` in the current scope to at least `n` (a high-water mark).
+/// No-op without the feature.
+#[inline(always)]
+pub fn hi(c: Counter, n: u64) {
+    #[cfg(feature = "perf-counters")]
+    imp::hi(c, n);
     #[cfg(not(feature = "perf-counters"))]
     let _ = (c, n);
 }
@@ -211,6 +247,16 @@ mod tests {
             snap[Counter::SchedEntriesScanned as usize],
             ("sched_entries_scanned", 3)
         );
+        reset();
+    }
+
+    #[test]
+    fn hi_keeps_the_maximum() {
+        reset();
+        hi(Counter::ArenaHighWater, 5);
+        hi(Counter::ArenaHighWater, 3);
+        hi(Counter::ArenaHighWater, 9);
+        assert_eq!(snapshot()[Counter::ArenaHighWater as usize].1, 9);
         reset();
     }
 

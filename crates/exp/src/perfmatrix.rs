@@ -93,6 +93,27 @@ pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
     };
     points.push(("wide_colocated_8ch", wide_col));
 
+    // The 16-channel tier of the same pair (32 NDA ranks): twice the
+    // shard count stresses the barrier/exchange machinery — per-shard
+    // horizons and the flat exchange have to hold their per-window cost
+    // flat as shards multiply, and the speedup gate gets a point with
+    // more shards than worker threads.
+    let mut wide_host_16 = ScenarioSpec::with_window(w);
+    wide_host_16.cfg.dram = DramConfig::table_ii().with_channels(16);
+    wide_host_16.cfg.mix = MixId::new(0);
+    points.push(("wide_host_16ch", wide_host_16));
+
+    let mut wide_col_16 = ScenarioSpec::with_window(w);
+    wide_col_16.cfg.dram = DramConfig::table_ii().with_channels(16);
+    wide_col_16.cfg.mix = MixId::new(0);
+    wide_col_16.workload = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 16384,
+        rows_per_instr: 8,
+        opts: LaunchOpts::default(),
+    };
+    points.push(("wide_colocated_16ch", wide_col_16));
+
     // Two tenants on the 8-channel machine: an SVRG-shaped session (the
     // average-gradient macro stream) and an elementwise-stream session,
     // submitted concurrently under fair-share arbitration, with the
@@ -136,6 +157,8 @@ mod tests {
                 "rank_partitioned",
                 "wide_host_8ch",
                 "wide_colocated_8ch",
+                "wide_host_16ch",
+                "wide_colocated_16ch",
                 "multi_tenant_2sess"
             ]
         );

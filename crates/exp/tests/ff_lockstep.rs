@@ -62,6 +62,8 @@ fn matrix_is_fully_covered() {
             "rank_partitioned",
             "wide_host_8ch",
             "wide_colocated_8ch",
+            "wide_host_16ch",
+            "wide_colocated_16ch",
             "multi_tenant_2sess"
         ],
         "new matrix scenario: add a lockstep test for it"
@@ -106,6 +108,16 @@ fn lockstep_wide_host_8ch() {
 #[test]
 fn lockstep_wide_colocated_8ch() {
     run_matrix_entry("wide_colocated_8ch");
+}
+
+#[test]
+fn lockstep_wide_host_16ch() {
+    run_matrix_entry("wide_host_16ch");
+}
+
+#[test]
+fn lockstep_wide_colocated_16ch() {
+    run_matrix_entry("wide_colocated_16ch");
 }
 
 #[test]
