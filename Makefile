@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard examples lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lockstep-snapshot docs examples lint
 
 all: test
 
@@ -40,6 +40,18 @@ lockstep:
 # shard execution must produce bit-identical SimReports.
 lockstep-shard:
 	cargo test --release -p chopim-exp --test shard_lockstep
+
+# Snapshot/resume + trace lockstep: resuming a mid-run image is
+# bit-identical under every engine mode; captured traces replay to
+# identical DramStats (what the CI `equivalence` job runs).
+lockstep-snapshot:
+	cargo test --release -p chopim-exp --test snapshot_lockstep
+
+# Workspace docs with warnings denied (undocumented public items and
+# broken intra-doc links fail) plus the doctests — the CI `docs` job.
+docs:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+	cargo test --doc
 
 # Build and run every example with CI-sized windows (what the CI
 # `examples` job does) — catches runtime-API drift in examples fast.

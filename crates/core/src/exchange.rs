@@ -53,20 +53,41 @@ impl<T> Default for FlatFifo<T> {
 }
 
 impl<T> FlatFifo<T> {
+    /// Unconsumed elements.
     pub fn len(&self) -> usize {
         self.buf.len() - self.head
     }
 
+    /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.head == self.buf.len()
     }
 
+    /// The next element to pop, if any.
     pub fn front(&self) -> Option<&T> {
         self.buf.get(self.head)
     }
 
+    /// Mutable access to the next element to pop, if any.
     pub fn front_mut(&mut self) -> Option<&mut T> {
         self.buf.get_mut(self.head)
+    }
+
+    /// The unconsumed elements in pop order (snapshot support: the
+    /// consumed prefix is dead state, so only this region is captured).
+    pub fn live(&self) -> &[T] {
+        &self.buf[self.head..]
+    }
+
+    /// Rebuild a FIFO from a captured live region and high-water mark
+    /// (snapshot support; the consumed prefix is not restored).
+    pub fn restore(items: Vec<T>, high_water: usize) -> Self {
+        let high_water = high_water.max(items.len());
+        Self {
+            buf: items,
+            head: 0,
+            high_water,
+        }
     }
 
     /// Consume the front element, returning a reference to it (the
@@ -129,12 +150,36 @@ impl<T: Ord> Default for MergeQueue<T> {
 }
 
 impl<T: Ord> MergeQueue<T> {
+    /// Unconsumed elements.
     pub fn len(&self) -> usize {
         self.buf.len() - self.head
     }
 
+    /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The unconsumed elements in buffer order (snapshot support). Only
+    /// meaningful together with [`is_dirty`](Self::is_dirty): a sealed
+    /// queue's live region is already in pop order.
+    pub fn live(&self) -> &[T] {
+        &self.buf[self.head..]
+    }
+
+    /// True while absorbed runs have not been sealed into pop order.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Rebuild a queue from a captured live region and dirty flag
+    /// (snapshot support).
+    pub fn restore(items: Vec<T>, dirty: bool) -> Self {
+        Self {
+            buf: items,
+            head: 0,
+            dirty,
+        }
     }
 
     /// Append a producer's run, leaving it empty (capacity retained).

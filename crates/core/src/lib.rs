@@ -15,7 +15,7 @@
 //!   conservative-lookahead windows — serially or on a worker pool
 //!   (`ChopimConfig::sim_threads`) with bit-identical results;
 //! * [`runtime`] — the §V runtime/API: colored system-row allocation,
-//!   per-tenant [`Session`](runtime::Session)s with builder-style op
+//!   per-tenant [`Session`]s with builder-style op
 //!   submission (with the Fig.-10 granularity knob), dependency-aware
 //!   op-graph staging, macro ops, host-mediated reduction;
 //! * [`energy`] — the Table-II energy model;
@@ -44,6 +44,18 @@
 //! assert_eq!(sys.runtime.read_vector(y)[0], 2.0);
 //! assert_eq!(sys.runtime.op_result(dot), Some(4.0 * (1 << 12) as f32));
 //! ```
+//!
+//! ## Snapshots and traces
+//!
+//! [`ChopimSystem::snapshot`](system::ChopimSystem::snapshot) captures
+//! the full deterministic machine state as a versioned binary image and
+//! [`ChopimSystem::resume`](system::ChopimSystem::resume) continues from
+//! it bit-identically (see `docs/SNAPSHOT_FORMAT.md`);
+//! `CHOPIM_TRACE=<path>` or
+//! [`ChopimConfig::trace_path`](system::ChopimConfig::trace_path)
+//! records a compact replayable event trace (`docs/TRACE_FORMAT.md`).
+
+#![warn(missing_docs)]
 
 pub mod energy;
 #[doc(hidden)]
@@ -67,7 +79,7 @@ pub mod prelude {
         LaunchOpts, MatId, OpBuilder, OpHandle, Runtime, Session, Sharing, VecId,
     };
     pub use crate::sched::{PagePolicy, SchedulerKind};
-    pub use crate::system::{ChopimConfig, ChopimSystem, StreamId, Waitable};
+    pub use crate::system::{ChopimConfig, ChopimSystem, SnapshotError, StreamId, Waitable};
     pub use chopim_dram::{DramConfig, IdleBucket, TimingParams};
     pub use chopim_host::{CoreConfig, MixId, WorkloadProfile};
     pub use chopim_mapping::color::Color;

@@ -38,12 +38,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
 use chopim_dram::DramConfig;
-use chopim_mapping::color::{Color, ColoredAllocator, Region};
+use chopim_mapping::color::{Color, ColoredAllocator, Region, SystemRow};
 use chopim_mapping::{AddressMapper, PartitionedMapping};
 use chopim_nda::isa::{NdaInstr, Opcode};
 use chopim_nda::operand::OperandLayout;
 use chopim_nda::pe;
+use chopim_nda::snapshot::{decode_instr, decode_layout, encode_instr, encode_layout};
 
 use crate::energy::PeActivity;
 
@@ -86,6 +88,56 @@ impl OpHandle {
 /// they are now per-session handles).
 #[deprecated(note = "use OpHandle")]
 pub type OpId = OpHandle;
+
+/// Serialize an op handle (snapshot support; shared with the shard and
+/// system codecs).
+#[cold]
+pub(crate) fn encode_handle(h: OpHandle, w: &mut ByteWriter) {
+    w.varint(u64::from(h.sess));
+    w.varint(u64::from(h.idx));
+}
+
+/// Decode an op handle written by [`encode_handle`]. Bounds against the
+/// session table are checked by the caller once all sessions exist
+/// (handles may forward-reference).
+#[cold]
+pub(crate) fn decode_handle(r: &mut ByteReader<'_>) -> Result<OpHandle, CodecError> {
+    Ok(OpHandle {
+        sess: r.varint_u32()?,
+        idx: r.varint_u32()?,
+    })
+}
+
+fn encode_opcode(op: Opcode, w: &mut ByteWriter) {
+    let idx = Opcode::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("opcode in ALL");
+    w.u8(idx as u8);
+}
+
+fn decode_opcode(r: &mut ByteReader<'_>) -> Result<Opcode, CodecError> {
+    Opcode::ALL
+        .get(r.u8()? as usize)
+        .copied()
+        .ok_or(CodecError::Corrupt("opcode"))
+}
+
+fn encode_f32s(vs: &[f32], w: &mut ByteWriter) {
+    w.varint(vs.len() as u64);
+    for &v in vs {
+        w.f32(v);
+    }
+}
+
+fn decode_f32s(r: &mut ByteReader<'_>) -> Result<Vec<f32>, CodecError> {
+    let n = r.varint_usize()?;
+    let mut vs = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        vs.push(r.f32()?);
+    }
+    Ok(vs)
+}
 
 /// How an array is distributed (paper Fig. 8: `nda::SHARED` vs
 /// `nda::PRIVATE`).
@@ -1135,6 +1187,15 @@ impl Runtime {
         self.op(h).done
     }
 
+    /// True when `h` names an existing session/op pair. Snapshot decode
+    /// validates handles held outside the runtime (staged launches,
+    /// in-flight completions, shard-side tags) through this.
+    pub(crate) fn handle_in_range(&self, h: OpHandle) -> bool {
+        self.sessions
+            .get(h.sess as usize)
+            .is_some_and(|s| (h.idx as usize) < s.ops.len())
+    }
+
     /// Reduction result of a completed DOT/NRM2.
     pub fn op_result(&self, h: OpHandle) -> Option<f32> {
         self.op(h).result
@@ -1214,6 +1275,373 @@ impl Runtime {
         self.sessions
             .iter()
             .all(|ss| ss.ops[ss.first_live..].iter().all(|o| o.done))
+    }
+
+    // ---- snapshot codec -------------------------------------------------
+
+    /// Serialize all mutable runtime state (snapshot support). Structural
+    /// fields rebuilt by the constructor from the configuration (`n_ndas`,
+    /// `mapper`, `cfg`, `nda_ranks`, `rank_partition`) are not stored.
+    #[cold]
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.varint(self.arrays.len() as u64);
+        for a in &self.arrays {
+            encode_f32s(&a.backing, w);
+            match &a.private {
+                None => w.bool(false),
+                Some(copies) => {
+                    w.bool(true);
+                    w.varint(copies.len() as u64);
+                    for c in copies {
+                        encode_f32s(c, w);
+                    }
+                }
+            }
+            w.varint(a.layouts.len() as u64);
+            for l in &a.layouts {
+                encode_layout(l, w);
+            }
+            w.varint(a.lines_per_rank);
+            match &a.region {
+                None => w.bool(false),
+                Some(rg) => {
+                    w.bool(true);
+                    w.varint(rg.rows.len() as u64);
+                    for row in &rg.rows {
+                        w.varint(u64::from(row.index));
+                    }
+                    w.varint(rg.row_bytes);
+                    match rg.color {
+                        None => w.bool(false),
+                        Some(c) => {
+                            w.bool(true);
+                            w.varint(u64::from(c.0));
+                        }
+                    }
+                }
+            }
+            w.varint(a.len as u64);
+            match a.shape {
+                None => w.bool(false),
+                Some((rows, cols)) => {
+                    w.bool(true);
+                    w.varint(rows as u64);
+                    w.varint(cols as u64);
+                }
+            }
+            w.varint(u64::from(a.color.0));
+        }
+        w.varint(self.sessions.len() as u64);
+        for ss in &self.sessions {
+            w.varint(ss.ops.len() as u64);
+            for op in &ss.ops {
+                match &op.kind {
+                    OpKind::Elementwise {
+                        op: oc,
+                        scalars,
+                        inputs,
+                        output,
+                    } => {
+                        w.u8(0);
+                        encode_opcode(*oc, w);
+                        encode_f32s(scalars, w);
+                        w.varint(inputs.len() as u64);
+                        for v in inputs {
+                            w.varint(v.0 as u64);
+                        }
+                        match output {
+                            None => w.bool(false),
+                            Some(v) => {
+                                w.bool(true);
+                                w.varint(v.0 as u64);
+                            }
+                        }
+                    }
+                    OpKind::Gemv { y, a, x } => {
+                        w.u8(1);
+                        w.varint(y.0 as u64);
+                        w.varint(a.0 as u64);
+                        w.varint(x.0 as u64);
+                    }
+                    OpKind::MacroAxpyRows { a_pvt, alphas, x } => {
+                        w.u8(2);
+                        w.varint(a_pvt.0 as u64);
+                        encode_f32s(alphas, w);
+                        w.varint(x.0 as u64);
+                    }
+                }
+                w.varint(op.pending.len() as u64);
+                for p in &op.pending {
+                    w.varint(p.nda_idx as u64);
+                    encode_instr(&p.instr, w);
+                    encode_handle(p.op, w);
+                    w.varint(p.chunk as u64);
+                }
+                w.varint(op.total_instrs);
+                w.varint(op.completed_instrs);
+                w.u32_slice(&op.chunk_sizes);
+                w.u32_slice(&op.chunk_completed);
+                w.varint(op.released_chunks as u64);
+                w.bool(op.barrier);
+                match op.result {
+                    None => w.bool(false),
+                    Some(v) => {
+                        w.bool(true);
+                        w.f32(v);
+                    }
+                }
+                w.bool(op.done);
+                w.varint(op.deps.len() as u64);
+                for &d in &op.deps {
+                    encode_handle(d, w);
+                }
+                w.bool(op.ordered);
+                w.varint(op.instr_base);
+                w.opt_cycle(op.first_staged_at);
+                w.opt_cycle(op.finished_at);
+            }
+            w.varint(ss.first_live as u64);
+            w.varint(ss.unordered_live as u64);
+        }
+        w.varint(self.rr_cursor as u64);
+        w.varint(self.next_instr);
+        self.allocator.encode_state(w);
+        w.u32_slice(&self.rp_next_row);
+        w.bool(self.pa_order_walk);
+        w.varint(self.pe_activity.fmas);
+        w.varint(self.pe_activity.buffer_accesses);
+        w.varint(self.pe_activity.scratch_accesses);
+        w.varint(self.host_comm_cycles);
+        w.varint(self.realignment_copies);
+        w.varint(u64::from(self.default_color.0));
+    }
+
+    /// Overwrite this (freshly constructed) runtime from bytes written by
+    /// [`encode_state`](Self::encode_state), validating every handle and
+    /// array reference against the decoded tables.
+    #[cold]
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let n_arrays = r.varint_usize()?;
+        self.arrays.clear();
+        self.arrays.reserve(n_arrays.min(r.remaining()));
+        for _ in 0..n_arrays {
+            let backing = decode_f32s(r)?;
+            let private = if r.bool()? {
+                let n = r.varint_usize()?;
+                if n != self.n_ndas {
+                    return Err(CodecError::Corrupt("private copy count"));
+                }
+                let mut copies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    copies.push(decode_f32s(r)?);
+                }
+                Some(copies)
+            } else {
+                None
+            };
+            let n_layouts = r.varint_usize()?;
+            if n_layouts != self.n_ndas {
+                return Err(CodecError::Corrupt("layout count"));
+            }
+            let mut layouts = Vec::with_capacity(n_layouts);
+            for _ in 0..n_layouts {
+                layouts.push(decode_layout(r)?);
+            }
+            let lines_per_rank = r.varint()?;
+            let region = if r.bool()? {
+                let n = r.varint_usize()?;
+                let mut rows = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    rows.push(SystemRow {
+                        index: r.varint_u32()?,
+                    });
+                }
+                let row_bytes = r.varint()?;
+                let color = if r.bool()? {
+                    Some(Color(r.varint_u32()?))
+                } else {
+                    None
+                };
+                Some(Region {
+                    rows,
+                    row_bytes,
+                    color,
+                })
+            } else {
+                None
+            };
+            let len = r.varint_usize()?;
+            let shape = if r.bool()? {
+                Some((r.varint_usize()?, r.varint_usize()?))
+            } else {
+                None
+            };
+            let color = Color(r.varint_u32()?);
+            self.arrays.push(ArrayData {
+                backing,
+                private,
+                layouts,
+                lines_per_rank,
+                region,
+                len,
+                shape,
+                color,
+            });
+        }
+        let n_sessions = r.varint_usize()?;
+        if n_sessions == 0 {
+            return Err(CodecError::Corrupt("no sessions"));
+        }
+        self.sessions.clear();
+        self.sessions.reserve(n_sessions.min(r.remaining()));
+        for _ in 0..n_sessions {
+            let n_ops = r.varint_usize()?;
+            let mut ops = Vec::with_capacity(n_ops.min(r.remaining()));
+            for _ in 0..n_ops {
+                let kind = match r.u8()? {
+                    0 => {
+                        let oc = decode_opcode(r)?;
+                        let scalars = decode_f32s(r)?;
+                        let n_in = r.varint_usize()?;
+                        let mut inputs = Vec::with_capacity(n_in.min(r.remaining()));
+                        for _ in 0..n_in {
+                            inputs.push(self.decode_vec_id(r)?);
+                        }
+                        let output = if r.bool()? {
+                            Some(self.decode_vec_id(r)?)
+                        } else {
+                            None
+                        };
+                        OpKind::Elementwise {
+                            op: oc,
+                            scalars,
+                            inputs,
+                            output,
+                        }
+                    }
+                    1 => OpKind::Gemv {
+                        y: self.decode_vec_id(r)?,
+                        a: self.decode_mat_id(r)?,
+                        x: self.decode_vec_id(r)?,
+                    },
+                    2 => OpKind::MacroAxpyRows {
+                        a_pvt: self.decode_vec_id(r)?,
+                        alphas: decode_f32s(r)?,
+                        x: self.decode_mat_id(r)?,
+                    },
+                    _ => return Err(CodecError::Corrupt("op kind tag")),
+                };
+                let n_pending = r.varint_usize()?;
+                let mut pending = VecDeque::with_capacity(n_pending.min(r.remaining()));
+                for _ in 0..n_pending {
+                    let nda_idx = r.varint_usize()?;
+                    if nda_idx >= self.n_ndas {
+                        return Err(CodecError::Corrupt("pending NDA index"));
+                    }
+                    pending.push_back(PendingLaunch {
+                        nda_idx,
+                        instr: decode_instr(r)?,
+                        op: decode_handle(r)?,
+                        chunk: r.varint_usize()?,
+                    });
+                }
+                let total_instrs = r.varint()?;
+                let completed_instrs = r.varint()?;
+                let chunk_sizes = r.u32_vec()?;
+                let chunk_completed = r.u32_vec()?;
+                if chunk_completed.len() != chunk_sizes.len() {
+                    return Err(CodecError::Corrupt("chunk table length"));
+                }
+                let released_chunks = r.varint_usize()?;
+                if released_chunks > chunk_sizes.len() {
+                    return Err(CodecError::Corrupt("released chunks"));
+                }
+                let barrier = r.bool()?;
+                let result = if r.bool()? { Some(r.f32()?) } else { None };
+                let done = r.bool()?;
+                let n_deps = r.varint_usize()?;
+                let mut deps = Vec::with_capacity(n_deps.min(r.remaining()));
+                for _ in 0..n_deps {
+                    deps.push(decode_handle(r)?);
+                }
+                ops.push(OpState {
+                    kind,
+                    pending,
+                    total_instrs,
+                    completed_instrs,
+                    chunk_sizes,
+                    chunk_completed,
+                    released_chunks,
+                    barrier,
+                    result,
+                    done,
+                    deps,
+                    ordered: r.bool()?,
+                    instr_base: r.varint()?,
+                    first_staged_at: r.opt_cycle()?,
+                    finished_at: r.opt_cycle()?,
+                });
+            }
+            let first_live = r.varint_usize()?;
+            let unordered_live = r.varint_usize()?;
+            if first_live > ops.len() || unordered_live > ops.len() {
+                return Err(CodecError::Corrupt("session watermarks"));
+            }
+            self.sessions.push(SessionState {
+                ops,
+                first_live,
+                unordered_live,
+            });
+        }
+        // Handles may forward-reference sessions, so validate them only
+        // now that the full table exists.
+        for ss in &self.sessions {
+            for op in &ss.ops {
+                for h in op.deps.iter().chain(op.pending.iter().map(|p| &p.op)) {
+                    let Some(target) = self.sessions.get(h.sess as usize) else {
+                        return Err(CodecError::Corrupt("handle session out of range"));
+                    };
+                    if h.idx as usize >= target.ops.len() {
+                        return Err(CodecError::Corrupt("handle op out of range"));
+                    }
+                }
+            }
+        }
+        self.rr_cursor = r.varint_usize()?;
+        if self.rr_cursor >= self.sessions.len() {
+            return Err(CodecError::Corrupt("round-robin cursor"));
+        }
+        self.next_instr = r.varint()?;
+        self.allocator.decode_state(r)?;
+        let rp = r.u32_vec()?;
+        if rp.len() != self.n_ndas {
+            return Err(CodecError::ConfigMismatch);
+        }
+        self.rp_next_row = rp;
+        self.pa_order_walk = r.bool()?;
+        self.pe_activity.fmas = r.varint()?;
+        self.pe_activity.buffer_accesses = r.varint()?;
+        self.pe_activity.scratch_accesses = r.varint()?;
+        self.host_comm_cycles = r.varint()?;
+        self.realignment_copies = r.varint()?;
+        self.default_color = Color(r.varint_u32()?);
+        Ok(())
+    }
+
+    fn decode_vec_id(&self, r: &mut ByteReader<'_>) -> Result<VecId, CodecError> {
+        let i = r.varint_usize()?;
+        if i >= self.arrays.len() {
+            return Err(CodecError::Corrupt("vector id out of range"));
+        }
+        Ok(VecId(i))
+    }
+
+    fn decode_mat_id(&self, r: &mut ByteReader<'_>) -> Result<MatId, CodecError> {
+        let i = r.varint_usize()?;
+        if i >= self.arrays.len() {
+            return Err(CodecError::Corrupt("matrix id out of range"));
+        }
+        Ok(MatId(i))
     }
 }
 

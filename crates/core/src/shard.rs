@@ -22,17 +22,19 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
 use chopim_dram::{Channel, CommandKind, Cycle};
 use chopim_nda::controller::{NdaRankController, NdaTickResult};
 use chopim_nda::fsm::NdaFsm;
 use chopim_nda::isa::NdaInstr;
+use chopim_nda::snapshot::{decode_instr, encode_instr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::exchange::FlatFifo;
 use crate::policy::WriteIssuePolicy;
-use crate::runtime::OpHandle;
-use crate::sched::{HostMc, Issued, TxMeta};
+use crate::runtime::{decode_handle, encode_handle, OpHandle};
+use crate::sched::{decode_tx, encode_tx, HostMc, Issued, TxMeta};
 
 /// A message from the front-end to a shard, delivered at its stamp.
 #[derive(Debug)]
@@ -81,6 +83,58 @@ pub(crate) struct ShardParams {
     /// NDA completion → host-visible delivery latency (the status-poll
     /// pipeline depth; also the shard→front-end lookahead floor).
     pub completion_latency: Cycle,
+    /// Record launch deliveries and completions into the shard's event
+    /// logs (trace capture; the DRAM command stream is recorded by the
+    /// channel's own trace buffer).
+    pub record_events: bool,
+}
+
+impl ShardInbound {
+    #[cold]
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ShardInbound::Tx(tx) => {
+                w.u8(0);
+                encode_tx(tx, w);
+            }
+            ShardInbound::Launch {
+                id,
+                nda_local,
+                instr,
+                writes,
+                tag,
+            } => {
+                w.u8(1);
+                w.varint(*id);
+                w.varint(*nda_local as u64);
+                encode_instr(instr, w);
+                w.varint(u64::from(*writes));
+                encode_handle(*tag, w);
+            }
+        }
+    }
+
+    #[cold]
+    pub(crate) fn decode(r: &mut ByteReader<'_>, n_ndas: usize) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => ShardInbound::Tx(decode_tx(r)?),
+            1 => {
+                let id = r.varint()?;
+                let nda_local = r.varint_usize()?;
+                if nda_local >= n_ndas {
+                    return Err(CodecError::Corrupt("launch NDA index out of range"));
+                }
+                ShardInbound::Launch {
+                    id,
+                    nda_local,
+                    instr: decode_instr(r)?,
+                    writes: r.varint_u32()?,
+                    tag: decode_handle(r)?,
+                }
+            }
+            _ => return Err(CodecError::Corrupt("shard inbound tag")),
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -171,6 +225,12 @@ pub(crate) struct ChannelShard {
     pub(crate) fills_out: Vec<FillMsg>,
     /// Outbound instruction completions produced this window.
     pub(crate) completions_out: Vec<CompletionMsg>,
+    /// Captured launch deliveries `(cycle, shard-local NDA, instr id)`
+    /// when `params.record_events` (trace capture; not snapshot state).
+    pub(crate) launch_log: Vec<(Cycle, u32, u64)>,
+    /// Captured instruction retirements `(cycle, instr id)` when
+    /// `params.record_events` (trace capture; not snapshot state).
+    pub(crate) completion_log: Vec<(Cycle, u64)>,
     /// Per-shard policy RNG: seeded from `(seed, channel)` so the draw
     /// stream is independent of every other shard — the precondition for
     /// ticking shards on a worker pool without perturbing stochastic
@@ -197,6 +257,29 @@ pub(crate) struct ChannelShard {
 }
 
 impl ChannelShard {
+    /// Start (or stop) recording launch deliveries and completions into
+    /// the shard's trace logs (see [`ShardParams::record_events`]).
+    pub(crate) fn set_record_events(&mut self, on: bool) {
+        self.params.record_events = on;
+    }
+
+    /// True when every op handle the shard holds (launch slab, FSM
+    /// completion tags, undelivered inbox launches) satisfies `ok`
+    /// (snapshot decode validates restored handles through this).
+    #[cold]
+    pub(crate) fn handles_ok(&self, ok: &dyn Fn(OpHandle) -> bool) -> bool {
+        self.launches.slots.iter().flatten().all(|lf| ok(lf.tag))
+            && self
+                .completion_tags
+                .iter()
+                .flatten()
+                .all(|&(_, tag)| ok(tag))
+            && self.inbox.live().iter().all(|(_, item)| match item {
+                ShardInbound::Launch { tag, .. } => ok(*tag),
+                ShardInbound::Tx(_) => true,
+            })
+    }
+
     /// Build the shard for `channel_idx`, owning `ndas` (paired with
     /// their global indexes, in rank order) behind `channel`.
     pub(crate) fn new(
@@ -233,6 +316,8 @@ impl ChannelShard {
             inbox: FlatFifo::default(),
             fills_out: Vec::new(),
             completions_out: Vec::new(),
+            launch_log: Vec::new(),
+            completion_log: Vec::new(),
             policy_rng: StdRng::seed_from_u64(
                 (seed ^ 0x9e37_79b9_7f4a_7c15)
                     .wrapping_add((channel_idx as u64).wrapping_mul(0xa24b_aed4_963e_e407)),
@@ -326,6 +411,10 @@ impl ChannelShard {
             lf.writes_remaining -= 1;
             if lf.writes_remaining == 0 {
                 let lf = self.launches.remove(id).expect("present");
+                if self.params.record_events {
+                    self.launch_log
+                        .push((now, lf.nda_local as u32, lf.instr.id));
+                }
                 self.nda_poke[lf.nda_local] = true;
                 self.completion_tags[lf.nda_local].push((lf.instr.id, lf.tag));
                 self.shadows[lf.nda_local]
@@ -470,6 +559,7 @@ impl ChannelShard {
             params,
             completions_out,
             completion_tags,
+            completion_log,
             global_idx,
             ..
         } = self;
@@ -540,6 +630,9 @@ impl ChannelShard {
             while let Some(id) = ndas[i].fsm_mut().pop_completed() {
                 let sid = shadows[i].pop_completed();
                 debug_assert_eq!(sid, Some(id));
+                if params.record_events {
+                    completion_log.push((now, id));
+                }
                 // Retirement is out of launch order (buffered-write
                 // drain), so scan the NDA's small tag bucket.
                 let tags = &mut completion_tags[i];
@@ -680,5 +773,188 @@ impl ChannelShard {
             self.ff_streak = (self.ff_streak + 1).min(6);
             self.ff_backoff = (1u32 << self.ff_streak) >> 1;
         }
+    }
+
+    // ---- snapshot codec -------------------------------------------------
+
+    /// Serialize all mutable shard state (snapshot support). Structural
+    /// fields derived from the configuration (`local_of_rank`,
+    /// `global_idx`, `params`) and the trace logs are not stored; the
+    /// fast-forward backoffs and the launch slab's `base` anchor *are*,
+    /// verbatim, so a resumed shard replays the exact tick/skip sequence.
+    #[cold]
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.varint(self.channel_idx as u64);
+        self.channel.encode_state(w);
+        self.mc.encode_state(w);
+        w.varint(self.ndas.len() as u64);
+        for nda in &self.ndas {
+            nda.encode_state(w);
+        }
+        for shadow in &self.shadows {
+            shadow.encode_state(w);
+        }
+        for &p in &self.nda_poke {
+            w.bool(p);
+        }
+        w.varint(self.launches.base);
+        w.varint(self.launches.slots.len() as u64);
+        for slot in &self.launches.slots {
+            match slot {
+                None => w.bool(false),
+                Some(lf) => {
+                    w.bool(true);
+                    encode_instr(&lf.instr, w);
+                    w.varint(lf.nda_local as u64);
+                    w.varint(u64::from(lf.writes_remaining));
+                    encode_handle(lf.tag, w);
+                }
+            }
+        }
+        for tags in &self.completion_tags {
+            w.varint(tags.len() as u64);
+            for &(id, tag) in tags {
+                w.varint(id);
+                encode_handle(tag, w);
+            }
+        }
+        let mut events: Vec<(Cycle, u64)> =
+            self.launch_events.iter().map(|&Reverse(e)| e).collect();
+        events.sort_unstable();
+        w.varint(events.len() as u64);
+        for (t, id) in events {
+            w.varint(t);
+            w.varint(id);
+        }
+        w.varint(self.inbox.high_water() as u64);
+        w.varint(self.inbox.len() as u64);
+        for (t, item) in self.inbox.live() {
+            w.varint(*t);
+            item.encode(w);
+        }
+        w.varint(self.fills_out.len() as u64);
+        for &(t, core, req) in &self.fills_out {
+            w.varint(t);
+            w.varint(core as u64);
+            w.varint(req);
+        }
+        w.varint(self.completions_out.len() as u64);
+        for &(t, id, gidx, tag) in &self.completions_out {
+            w.varint(t);
+            w.varint(id);
+            w.varint(gidx as u64);
+            encode_handle(tag, w);
+        }
+        for s in self.policy_rng.state() {
+            w.u64(s);
+        }
+        w.varint(self.now);
+        w.varint(self.quiet_until);
+        w.varint(self.ticks_executed);
+        w.varint(self.cycles_skipped);
+        w.varint(u64::from(self.ff_streak));
+        w.varint(u64::from(self.ff_backoff));
+        w.varint(u64::from(self.hint_backoff));
+        w.varint(u64::from(self.hint_penalty));
+    }
+
+    /// Overwrite this (freshly constructed) shard from bytes written by
+    /// [`encode_state`](Self::encode_state).
+    #[cold]
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.varint_usize()? != self.channel_idx {
+            return Err(CodecError::ConfigMismatch);
+        }
+        self.channel.decode_state(r)?;
+        self.mc.decode_state(r)?;
+        let n = self.ndas.len();
+        if r.varint_usize()? != n {
+            return Err(CodecError::ConfigMismatch);
+        }
+        for nda in self.ndas.iter_mut() {
+            nda.decode_state(r)?;
+        }
+        for shadow in self.shadows.iter_mut() {
+            shadow.decode_state(r)?;
+        }
+        for p in self.nda_poke.iter_mut() {
+            *p = r.bool()?;
+        }
+        let base = r.varint()?;
+        let n_slots = r.varint_usize()?;
+        let mut slots = VecDeque::with_capacity(n_slots.min(r.remaining()));
+        for _ in 0..n_slots {
+            slots.push_back(if r.bool()? {
+                let instr = decode_instr(r)?;
+                let nda_local = r.varint_usize()?;
+                if nda_local >= n {
+                    return Err(CodecError::Corrupt("launch NDA index out of range"));
+                }
+                Some(LaunchInFlight {
+                    instr,
+                    nda_local,
+                    writes_remaining: r.varint_u32()?,
+                    tag: decode_handle(r)?,
+                })
+            } else {
+                None
+            });
+        }
+        self.launches = LaunchSlab { base, slots };
+        for tags in self.completion_tags.iter_mut() {
+            tags.clear();
+            let k = r.varint_usize()?;
+            tags.reserve(k.min(r.remaining()));
+            for _ in 0..k {
+                tags.push((r.varint()?, decode_handle(r)?));
+            }
+        }
+        self.launch_events.clear();
+        let k = r.varint_usize()?;
+        for _ in 0..k {
+            let t = r.varint()?;
+            let id = r.varint()?;
+            self.launch_events.push(Reverse((t, id)));
+        }
+        let high_water = r.varint_usize()?;
+        let k = r.varint_usize()?;
+        let mut items = Vec::with_capacity(k.min(r.remaining()));
+        for _ in 0..k {
+            let t = r.varint()?;
+            items.push((t, ShardInbound::decode(r, n)?));
+        }
+        self.inbox = FlatFifo::restore(items, high_water);
+        let k = r.varint_usize()?;
+        self.fills_out.clear();
+        self.fills_out.reserve(k.min(r.remaining()));
+        for _ in 0..k {
+            self.fills_out
+                .push((r.varint()?, r.varint_usize()?, r.varint()?));
+        }
+        let k = r.varint_usize()?;
+        self.completions_out.clear();
+        self.completions_out.reserve(k.min(r.remaining()));
+        for _ in 0..k {
+            self.completions_out.push((
+                r.varint()?,
+                r.varint()?,
+                r.varint_usize()?,
+                decode_handle(r)?,
+            ));
+        }
+        let mut rng_state = [0u64; 4];
+        for s in rng_state.iter_mut() {
+            *s = r.u64()?;
+        }
+        self.policy_rng = StdRng::from_state(rng_state);
+        self.now = r.varint()?;
+        self.quiet_until = r.varint()?;
+        self.ticks_executed = r.varint()?;
+        self.cycles_skipped = r.varint()?;
+        self.ff_streak = r.varint_u32()?;
+        self.ff_backoff = r.varint_u32()?;
+        self.hint_backoff = r.varint_u32()?;
+        self.hint_penalty = r.varint_u32()?;
+        Ok(())
     }
 }

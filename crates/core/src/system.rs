@@ -18,7 +18,7 @@
 //! The machine is split along its natural hardware boundary into a
 //! **front-end** (the OoO cores, the runtime, launch staging, the
 //! CPU-clock divider, and shared-LLC accounting) and one
-//! [`ChannelShard`] per memory channel (the channel's device state, host
+//! `ChannelShard` per memory channel (the channel's device state, host
 //! MC, per-rank NDA controllers + shadow FSMs, launch records, and
 //! fast-forward state). All cross-boundary traffic is typed,
 //! cycle-stamped messages over bounded queues:
@@ -63,24 +63,28 @@
 //! `crates/core/tests/alloc_steady_state.rs`): ingress rides
 //! double-buffered flat arenas that swap instead of copying, and
 //! shard→front-end fills/completions arrive as per-shard runs merged in
-//! one sort pass ([`MergeQueue`](crate::exchange::MergeQueue)).
+//! one sort pass (`MergeQueue` in the `exchange` module).
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::Arc;
 
+use chopim_dram::codec::{fnv1a, read_framed, write_framed, ByteReader, ByteWriter, CodecError};
 use chopim_dram::perfcount::{self, Counter};
+use chopim_dram::trace::{encode_trace, TraceEvent};
 use chopim_dram::{Channel, Cycle, DramConfig, DramStats};
-use chopim_host::{CoreConfig, MixId, OooCore};
+use chopim_host::{CoreConfig, MixId, OooCore, OooCoreState};
 use chopim_mapping::color::{ColoredAllocator, Region};
 use chopim_mapping::{presets, AddressMapper, PartitionedMapping};
 use chopim_nda::controller::NdaRankController;
+use chopim_nda::snapshot::{decode_instr, encode_instr};
 
 use crate::energy::{self, EnergyParams};
 use crate::exchange::MergeQueue;
 use crate::par::ShardPool;
 use crate::policy::WriteIssuePolicy;
 use crate::report::SimReport;
-use crate::runtime::{OpHandle, PendingLaunch, Runtime, Session};
+use crate::runtime::{decode_handle, encode_handle, OpHandle, PendingLaunch, Runtime, Session};
 use crate::sched::{HostMc, HostTransaction, PagePolicy, SchedulerKind, TxMeta};
 use crate::shard::{ChannelShard, ShardInbound, ShardParams};
 
@@ -184,6 +188,15 @@ fn fixed_window_from_env() -> bool {
     std::env::var("CHOPIM_FIXED_WINDOW").is_ok_and(|v| v == "1")
 }
 
+/// `CHOPIM_TRACE=<path>` enables event-trace capture and names the file
+/// [`ChopimSystem::write_trace`] emits (see `docs/TRACE_FORMAT.md`).
+#[cold]
+fn trace_path_from_env() -> Option<PathBuf> {
+    std::env::var_os("CHOPIM_TRACE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
 /// Top-level configuration.
 #[derive(Debug, Clone)]
 pub struct ChopimConfig {
@@ -258,6 +271,14 @@ pub struct ChopimConfig {
     /// is the lockstep oracle, not a behavior switch; it only matters
     /// when `fast_forward` is on. Defaults to `CHOPIM_FIXED_WINDOW=1`.
     pub fixed_window: bool,
+    /// When set, the machine records its event trace (DRAM commands,
+    /// NDA launches, completions) from construction and encodes it to
+    /// this file in the `docs/TRACE_FORMAT.md` binary format on the
+    /// first [`ChopimSystem::report`] (or an explicit
+    /// [`ChopimSystem::write_trace`]). Defaults to
+    /// `CHOPIM_TRACE=<path>` (unset = no capture). Like the engine-mode
+    /// knobs, this never affects simulated behavior.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ChopimConfig {
@@ -285,6 +306,7 @@ impl Default for ChopimConfig {
             completion_latency: 20,
             sim_threads: sim_threads_from_env(),
             fixed_window: fixed_window_from_env(),
+            trace_path: trace_path_from_env(),
         }
     }
 }
@@ -357,6 +379,10 @@ pub struct ChopimSystem {
     /// Front-end cycles leapt over (diagnostics).
     cycles_skipped: u64,
     finalized: bool,
+    /// Whether [`write_trace`](Self::write_trace) already ran (capture
+    /// drains on encode, so [`report`](Self::report) must not flush an
+    /// empty second file over an explicit write).
+    trace_flushed: bool,
 }
 
 impl ChopimSystem {
@@ -435,6 +461,7 @@ impl ChopimSystem {
             verify_fsm: cfg.verify_fsm,
             packetized_latency: Cycle::from(cfg.packetized_latency),
             completion_latency: Cycle::from(cfg.completion_latency.max(1)),
+            record_events: false,
         };
         let shards: Vec<ChannelShard> = (0..cfg.dram.channels)
             .map(|c| {
@@ -483,7 +510,7 @@ impl ChopimSystem {
         };
         let window = cfg.lookahead();
         let cfg_queue_cap = cfg.nda_queue_cap;
-        Self {
+        let mut sys = Self {
             cfg,
             mapper,
             cores,
@@ -510,7 +537,12 @@ impl ChopimSystem {
             ticks_executed: 0,
             cycles_skipped: 0,
             finalized: false,
+            trace_flushed: false,
+        };
+        if sys.cfg.trace_path.is_some() {
+            sys.enable_trace_capture();
         }
+        sys
     }
 
     /// Cycles executed one-by-one vs. leapt over, summed over the
@@ -1146,12 +1178,25 @@ impl ChopimSystem {
     }
 
     /// Build the metrics report for the window `[0, now)`.
+    ///
+    /// The first call also flushes the captured event trace to
+    /// [`ChopimConfig::trace_path`] if one is configured; a write
+    /// failure warns on stderr rather than aborting the run.
     pub fn report(&mut self) -> SimReport {
         if !self.finalized {
             for shard in &mut self.shards {
                 shard.channel.stats.finalize(self.now);
             }
             self.finalized = true;
+            if let Err(e) = self.flush_trace_once() {
+                eprintln!(
+                    "[trace] failed to write {:?}: {e}",
+                    self.cfg
+                        .trace_path
+                        .as_deref()
+                        .unwrap_or(std::path::Path::new("?"))
+                );
+            }
         }
         let dram = self.mem_stats();
         let per_core_ipc: Vec<f64> = self.cores.iter().map(|c| c.ipc()).collect();
@@ -1240,4 +1285,449 @@ impl ChopimSystem {
                 .sum(),
         }
     }
+
+    // --- Snapshot / restore -------------------------------------------
+
+    /// Stable fingerprint of the *semantic* configuration: every knob
+    /// that shapes machine structure or simulated behavior, and none of
+    /// the engine-mode knobs (`sim_threads`, `fixed_window`,
+    /// `fast_forward`, `verify_fsm`, `trace_path`) — a snapshot captured
+    /// under one engine mode may legitimately resume under another,
+    /// since all modes produce bit-identical schedules.
+    #[cold]
+    fn snapshot_fingerprint(cfg: &ChopimConfig) -> u64 {
+        let desc = format!(
+            "dram={:016x} reserved={} policy={:?} mix={:?} profiles={:?} core={:?} seed={} \
+             launch_writes={} queue_cap={} rank_partition={} pa_order={} sched={:?} page={:?} \
+             packetized={} ingress={} completion={}",
+            cfg.dram.state_fingerprint(),
+            cfg.reserved_banks,
+            cfg.policy,
+            cfg.mix,
+            cfg.custom_profiles,
+            cfg.core,
+            cfg.seed,
+            cfg.launch_writes_per_instr,
+            cfg.nda_queue_cap,
+            cfg.rank_partition,
+            cfg.nda_pa_order_walk,
+            cfg.scheduler,
+            cfg.page_policy,
+            cfg.packetized_latency,
+            cfg.ingress_latency,
+            cfg.completion_latency,
+        );
+        fnv1a(desc.as_bytes())
+    }
+
+    /// Capture the complete deterministic machine state as a versioned,
+    /// checksummed binary image (`docs/SNAPSHOT_FORMAT.md`). Resuming
+    /// the image with [`resume`](Self::resume) — under *any* engine mode
+    /// — continues bit-identically to a run that never snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ActiveStreams`] if any op stream was spawned
+    /// (stream generators are opaque closures and cannot be captured);
+    /// [`SnapshotError::Finalized`] after [`report`](Self::report) has
+    /// finalized the statistics.
+    #[cold]
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        if !self.streams.is_empty() {
+            return Err(SnapshotError::ActiveStreams);
+        }
+        if self.finalized {
+            return Err(SnapshotError::Finalized);
+        }
+        let mut w = ByteWriter::new();
+        w.u64(Self::snapshot_fingerprint(&self.cfg));
+        w.varint(self.now);
+        w.u32(self.cpu_accum);
+        w.varint(self.cpu_cycles);
+        w.varint(self.llc_outstanding as u64);
+        w.bool(self.fills.is_dirty());
+        w.varint(self.fills.live().len() as u64);
+        for &(t, core, req) in self.fills.live() {
+            w.varint(t);
+            w.varint(core as u64);
+            w.varint(req);
+        }
+        w.bool(self.completions.is_dirty());
+        w.varint(self.completions.live().len() as u64);
+        for &(t, id, nda, tag) in self.completions.live() {
+            w.varint(t);
+            w.varint(id);
+            w.varint(nda as u64);
+            encode_handle(tag, &mut w);
+        }
+        for q in &self.egress {
+            w.varint(q.len() as u64);
+            for (t, item) in q {
+                w.varint(*t);
+                item.encode(&mut w);
+            }
+        }
+        for &v in &self.ingress_seen {
+            w.varint(v as u64);
+        }
+        for &v in &self.ingress_unseen {
+            w.varint(v as u64);
+        }
+        w.varint(self.launch_stage.len() as u64);
+        for pl in &self.launch_stage {
+            w.varint(pl.nda_idx as u64);
+            encode_instr(&pl.instr, &mut w);
+            encode_handle(pl.op, &mut w);
+            w.varint(pl.chunk as u64);
+        }
+        for &c in &self.nda_credit {
+            w.varint(c as u64);
+        }
+        w.varint(self.next_launch);
+        w.varint(self.nda_instrs_completed);
+        w.varint(self.ticks_executed);
+        w.varint(self.cycles_skipped);
+        w.varint(self.cores.len() as u64);
+        for core in &self.cores {
+            encode_core(&core.export_state(), &mut w);
+        }
+        self.runtime.encode_state(&mut w);
+        for shard in &self.shards {
+            shard.encode_state(&mut w);
+        }
+        Ok(write_framed(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, w.finish()))
+    }
+
+    /// Rebuild a machine from a [`snapshot`](Self::snapshot) image.
+    ///
+    /// `cfg` must agree with the capture's configuration on every
+    /// semantic knob (checked via the embedded fingerprint); the
+    /// engine-mode knobs (`sim_threads`, `fixed_window`, `fast_forward`,
+    /// `verify_fsm`, `trace_path`) are free — resuming one image under
+    /// serial, pooled, and fixed-window engines produces bit-identical
+    /// [`SimReport`]s.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`]: framing damage ([`CodecError::BadMagic`],
+    /// [`CodecError::BadVersion`], [`CodecError::BadChecksum`],
+    /// [`CodecError::Truncated`]), a configuration that does not match
+    /// the capture ([`CodecError::ConfigMismatch`]), or a payload whose
+    /// fields fail validation ([`CodecError::Corrupt`]).
+    #[cold]
+    pub fn resume(cfg: ChopimConfig, bytes: &[u8]) -> Result<Self, CodecError> {
+        let payload = read_framed(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes)?;
+        let mut sys = Self::new(cfg);
+        let mut r = ByteReader::new(payload);
+        if r.u64()? != Self::snapshot_fingerprint(&sys.cfg) {
+            return Err(CodecError::ConfigMismatch);
+        }
+        sys.now = r.varint()?;
+        sys.cpu_accum = r.u32()?;
+        sys.cpu_cycles = r.varint()?;
+        sys.llc_outstanding = r.varint_usize()?;
+        let dirty = r.bool()?;
+        let n = r.varint_usize()?;
+        let mut fills = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let t = r.varint()?;
+            let core = r.varint_usize()?;
+            let req = r.varint()?;
+            if core >= sys.cores.len() {
+                return Err(CodecError::Corrupt("fill core index out of range"));
+            }
+            fills.push((t, core, req));
+        }
+        sys.fills = MergeQueue::restore(fills, dirty);
+        let dirty = r.bool()?;
+        let n = r.varint_usize()?;
+        let mut comps = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let t = r.varint()?;
+            let id = r.varint()?;
+            let nda = r.varint_usize()?;
+            let tag = decode_handle(&mut r)?;
+            if nda >= sys.nda_local.len() {
+                return Err(CodecError::Corrupt("completion NDA index out of range"));
+            }
+            comps.push((t, id, nda, tag));
+        }
+        sys.completions = MergeQueue::restore(comps, dirty);
+        for ch in 0..sys.egress.len() {
+            let n_ndas = sys.shards[ch].ndas.len();
+            let n = r.varint_usize()?;
+            let mut q = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                let t = r.varint()?;
+                q.push((t, ShardInbound::decode(&mut r, n_ndas)?));
+            }
+            sys.egress[ch] = q;
+        }
+        for v in &mut sys.ingress_seen {
+            *v = r.varint_usize()?;
+        }
+        for v in &mut sys.ingress_unseen {
+            *v = r.varint_usize()?;
+        }
+        let n = r.varint_usize()?;
+        sys.launch_stage.clear();
+        for _ in 0..n {
+            let nda_idx = r.varint_usize()?;
+            if nda_idx >= sys.nda_local.len() {
+                return Err(CodecError::Corrupt("staged launch NDA index out of range"));
+            }
+            let instr = decode_instr(&mut r)?;
+            let op = decode_handle(&mut r)?;
+            let chunk = r.varint_usize()?;
+            sys.launch_stage.push_back(PendingLaunch {
+                nda_idx,
+                instr,
+                op,
+                chunk,
+            });
+        }
+        for c in &mut sys.nda_credit {
+            *c = r.varint_usize()?;
+            if *c > sys.cfg.nda_queue_cap {
+                return Err(CodecError::Corrupt("NDA launch credit over capacity"));
+            }
+        }
+        sys.next_launch = r.varint()?;
+        sys.nda_instrs_completed = r.varint()?;
+        sys.ticks_executed = r.varint()?;
+        sys.cycles_skipped = r.varint()?;
+        if r.varint_usize()? != sys.cores.len() {
+            return Err(CodecError::ConfigMismatch);
+        }
+        for core in &mut sys.cores {
+            let img = decode_core(&mut r)?;
+            core.import_state(&img);
+        }
+        sys.runtime.decode_state(&mut r)?;
+        for shard in &mut sys.shards {
+            shard.decode_state(&mut r)?;
+        }
+        if !r.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        // Handles outside the runtime were decoded before the runtime's
+        // own session table; validate them against it now.
+        let rt = &sys.runtime;
+        let ok = |h: OpHandle| rt.handle_in_range(h);
+        if !sys.completions.live().iter().all(|&(_, _, _, tag)| ok(tag))
+            || !sys.launch_stage.iter().all(|pl| ok(pl.op))
+            || !sys.egress.iter().flatten().all(|(_, item)| match item {
+                ShardInbound::Launch { tag, .. } => ok(*tag),
+                ShardInbound::Tx(_) => true,
+            })
+            || !sys.shards.iter().all(|s| s.handles_ok(&ok))
+        {
+            return Err(CodecError::Corrupt("op handle out of range"));
+        }
+        Ok(sys)
+    }
+
+    // --- Event-trace capture ------------------------------------------
+
+    /// Start recording the event trace: every DRAM command on every
+    /// channel, every NDA launch delivery, and every instruction
+    /// completion. Implied at construction when
+    /// [`ChopimConfig::trace_path`] is set. Capture only appends to
+    /// side logs — it never changes simulated behavior.
+    #[cold]
+    pub fn enable_trace_capture(&mut self) {
+        for shard in &mut self.shards {
+            shard.set_record_events(true);
+            shard.channel.enable_trace();
+        }
+    }
+
+    /// Drain the captured events, merged over channels into
+    /// non-decreasing cycle order (ties keep channel order, commands
+    /// before launches before completions — per-channel command order is
+    /// application order, which replay re-validates).
+    #[cold]
+    pub fn trace_events(&mut self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for (c, shard) in self.shards.iter_mut().enumerate() {
+            let channel = c as u32;
+            events.extend(
+                shard
+                    .channel
+                    .take_trace()
+                    .into_iter()
+                    .map(|(cycle, cmd, issuer)| TraceEvent::Cmd {
+                        cycle,
+                        channel,
+                        cmd,
+                        issuer,
+                    }),
+            );
+            events.extend(std::mem::take(&mut shard.launch_log).into_iter().map(
+                |(cycle, nda_local, instr_id)| TraceEvent::Launch {
+                    cycle,
+                    channel,
+                    nda_local,
+                    instr_id,
+                },
+            ));
+            events.extend(
+                std::mem::take(&mut shard.completion_log)
+                    .into_iter()
+                    .map(|(cycle, instr_id)| TraceEvent::Completion { cycle, instr_id }),
+            );
+        }
+        events.sort_by_key(|e| e.cycle());
+        events
+    }
+
+    /// Drain the captured events and encode them in the
+    /// `docs/TRACE_FORMAT.md` binary format (replayable with
+    /// [`chopim_dram::trace::replay_bytes`]).
+    #[cold]
+    pub fn trace_bytes(&mut self) -> Vec<u8> {
+        let events = self.trace_events();
+        encode_trace(self.cfg.dram.state_fingerprint(), self.now, &events)
+    }
+
+    /// Write the captured trace to [`ChopimConfig::trace_path`].
+    /// Returns the path written, or `None` when no path is configured.
+    /// Called automatically by the first [`report`](Self::report), so
+    /// explicit calls are only needed to flush mid-run. Encoding drains
+    /// the capture, so each call writes only events since the last one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-system error.
+    #[cold]
+    pub fn write_trace(&mut self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = self.cfg.trace_path.clone() else {
+            return Ok(None);
+        };
+        let bytes = self.trace_bytes();
+        std::fs::write(&path, bytes)?;
+        self.trace_flushed = true;
+        Ok(Some(path))
+    }
+
+    /// [`report`](Self::report)'s auto-flush: a no-op once
+    /// [`write_trace`](Self::write_trace) has run, since the drained
+    /// capture would otherwise overwrite the file with an empty trace.
+    #[cold]
+    fn flush_trace_once(&mut self) -> std::io::Result<Option<PathBuf>> {
+        if self.trace_flushed {
+            return Ok(None);
+        }
+        self.write_trace()
+    }
+}
+
+/// Snapshot container framing magic (`docs/SNAPSHOT_FORMAT.md`).
+const SNAPSHOT_MAGIC: [u8; 4] = *b"CHSS";
+/// Snapshot container format version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why [`ChopimSystem::snapshot`] refused to capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An op [stream](ChopimSystem::spawn_stream) was spawned. Stream
+    /// generators are opaque closures and cannot be serialized; capture
+    /// the snapshot before spawning streams.
+    ActiveStreams,
+    /// [`ChopimSystem::report`] already finalized the statistics; a
+    /// finalized machine cannot resume.
+    Finalized,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::ActiveStreams => {
+                write!(f, "cannot snapshot a machine with spawned op streams")
+            }
+            SnapshotError::Finalized => {
+                write!(f, "cannot snapshot after report() finalized statistics")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize an [`OooCoreState`] image (the host crate deliberately has
+/// no codec dependency, so the field-by-field encoding lives here).
+#[cold]
+fn encode_core(s: &OooCoreState, w: &mut ByteWriter) {
+    for word in s.rng {
+        w.u64(word);
+    }
+    w.varint(s.rob.len() as u64);
+    for &(is_miss, v) in &s.rob {
+        w.bool(is_miss);
+        w.varint(v);
+    }
+    w.varint(s.filled.len() as u64);
+    for &id in &s.filled {
+        w.varint(id);
+    }
+    w.varint(s.outstanding);
+    w.varint(s.next_id);
+    w.varint(s.until_next_miss);
+    w.varint(s.stream_pos);
+    w.varint(s.stream_left);
+    match s.pending_wb_line {
+        None => w.bool(false),
+        Some(line) => {
+            w.bool(true);
+            w.varint(line);
+        }
+    }
+    w.varint(s.retired);
+    w.varint(s.cycles);
+    w.varint(s.reads_sent);
+    w.varint(s.writes_sent);
+    w.varint(s.dispatch_stall_cycles);
+}
+
+/// Decode an [`OooCoreState`] image (mirrors [`encode_core`]).
+#[cold]
+fn decode_core(r: &mut ByteReader<'_>) -> Result<OooCoreState, CodecError> {
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.u64()?;
+    }
+    let n = r.varint_usize()?;
+    let mut rob = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        let is_miss = r.bool()?;
+        let v = r.varint()?;
+        rob.push((is_miss, v));
+    }
+    let n = r.varint_usize()?;
+    let mut filled = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        filled.push(r.varint()?);
+    }
+    let outstanding = r.varint()?;
+    let next_id = r.varint()?;
+    let until_next_miss = r.varint()?;
+    let stream_pos = r.varint()?;
+    let stream_left = r.varint()?;
+    let pending_wb_line = if r.bool()? { Some(r.varint()?) } else { None };
+    Ok(OooCoreState {
+        rng,
+        rob,
+        filled,
+        outstanding,
+        next_id,
+        until_next_miss,
+        stream_pos,
+        stream_left,
+        pending_wb_line,
+        retired: r.varint()?,
+        cycles: r.varint()?,
+        reads_sent: r.varint()?,
+        writes_sent: r.varint()?,
+        dispatch_stall_cycles: r.varint()?,
+    })
 }

@@ -1,0 +1,442 @@
+//! Hand-rolled binary codec for snapshots and traces.
+//!
+//! The workspace builds offline (no crates.io), so this is the in-tree
+//! replacement for a serialization crate, sized to exactly what the
+//! snapshot (`docs/SNAPSHOT_FORMAT.md`) and trace
+//! (`docs/TRACE_FORMAT.md`) formats need:
+//!
+//! * little-endian fixed-width integers,
+//! * LEB128 varints (unsigned, plus zigzag for signed deltas),
+//! * a framed container — 4-byte magic, `u32` version, `u64` payload
+//!   length, payload, FNV-1a checksum over everything before it,
+//! * typed decode errors so corrupt or truncated inputs are rejected
+//!   instead of misread.
+//!
+//! Encoders never fail; all fallibility lives on the [`ByteReader`] side.
+//!
+//! ```
+//! use chopim_dram::codec::{ByteReader, ByteWriter, read_framed, write_framed};
+//!
+//! let mut w = ByteWriter::new();
+//! w.varint(300);
+//! w.f32(1.5);
+//! let framed = write_framed(*b"DEMO", 1, w.finish());
+//! let payload = read_framed(*b"DEMO", 1, &framed).unwrap();
+//! let mut r = ByteReader::new(payload);
+//! assert_eq!(r.varint().unwrap(), 300);
+//! assert_eq!(r.f32().unwrap(), 1.5);
+//! assert!(r.is_empty());
+//! ```
+
+use crate::Cycle;
+
+/// Why a snapshot or trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the expected data (truncated file).
+    Truncated,
+    /// The 4-byte magic did not match the expected format.
+    BadMagic,
+    /// The format version is not one this build can read.
+    BadVersion(u32),
+    /// The FNV-1a trailer did not match the content (corruption).
+    BadChecksum,
+    /// A decoded value is structurally impossible (context in the str).
+    Corrupt(&'static str),
+    /// The snapshot/trace was captured under a different configuration.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadMagic => write!(f, "bad magic (not this format)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::BadChecksum => write!(f, "checksum mismatch (corrupt input)"),
+            CodecError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            CodecError::ConfigMismatch => write!(f, "configuration fingerprint mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes` — the checksum both binary formats use
+/// (same hash family the experiment grid already uses for point seeds).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Growable little-endian byte sink. Every `put` appends; call
+/// [`finish`](Self::finish) to take the buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` as its little-endian IEEE-754 bits (bit-exact
+    /// round-trip, NaN payloads included).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append an unsigned LEB128 varint (1 byte for values < 128).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Append a signed value as a zigzag-encoded varint (small magnitudes
+    /// of either sign stay short).
+    pub fn varint_signed(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append an `Option<Cycle>` (`None` ↦ 0, `Some(c)` ↦ `c + 1`, as a
+    /// varint). Cycles never reach `u64::MAX`, so the shift is lossless.
+    pub fn opt_cycle(&mut self, v: Option<Cycle>) {
+        match v {
+            None => self.varint(0),
+            Some(c) => self.varint(c + 1),
+        }
+    }
+
+    /// Append a cycle slice with a length prefix.
+    pub fn cycle_slice(&mut self, vs: &[Cycle]) {
+        self.varint(vs.len() as u64);
+        for &v in vs {
+            self.varint(v);
+        }
+    }
+
+    /// Append a `u32` slice with a length prefix.
+    pub fn u32_slice(&mut self, vs: &[u32]) {
+        self.varint(vs.len() as u64);
+        for &v in vs {
+            self.varint(u64::from(v));
+        }
+    }
+
+    /// Take the accumulated bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over an immutable byte slice; every read checks bounds and
+/// returns [`CodecError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f32` from its IEEE-754 bits.
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(u32::from_le_bytes(
+            self.take(4)?.try_into().unwrap(),
+        )))
+    }
+
+    /// Read an unsigned LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Corrupt("varint longer than 10 bytes"))
+    }
+
+    /// Read a zigzag-encoded signed varint.
+    pub fn varint_signed(&mut self) -> Result<i64, CodecError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Read a varint and narrow it to `u32`.
+    pub fn varint_u32(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.varint()?).map_err(|_| CodecError::Corrupt("u32 overflow"))
+    }
+
+    /// Read a varint and narrow it to `usize`.
+    pub fn varint_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.varint()?).map_err(|_| CodecError::Corrupt("usize overflow"))
+    }
+
+    /// Read a `bool` (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool byte not 0/1")),
+        }
+    }
+
+    /// Read an `Option<Cycle>` written by [`ByteWriter::opt_cycle`].
+    pub fn opt_cycle(&mut self) -> Result<Option<Cycle>, CodecError> {
+        Ok(match self.varint()? {
+            0 => None,
+            c => Some(c - 1),
+        })
+    }
+
+    /// Read a length-prefixed cycle vector.
+    pub fn cycle_vec(&mut self) -> Result<Vec<Cycle>, CodecError> {
+        let n = self.varint_usize()?;
+        // Bound preallocation by what the input could possibly hold
+        // (each element is ≥ 1 byte) so a corrupt length cannot OOM.
+        let mut vs = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            vs.push(self.varint()?);
+        }
+        Ok(vs)
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, CodecError> {
+        let n = self.varint_usize()?;
+        let mut vs = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            vs.push(self.varint_u32()?);
+        }
+        Ok(vs)
+    }
+}
+
+/// Wrap `payload` in the standard frame: `magic · version(u32) ·
+/// len(u64) · payload · fnv1a(u64)` with the checksum taken over every
+/// preceding byte. Both the snapshot and trace containers use this.
+pub fn write_framed(magic: [u8; 4], version: u32, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validate a frame written by [`write_framed`] and return its payload.
+///
+/// # Errors
+///
+/// [`CodecError::BadMagic`] / [`CodecError::BadVersion`] on a foreign or
+/// newer file, [`CodecError::Truncated`] when bytes are missing, and
+/// [`CodecError::BadChecksum`] when the trailer disagrees with the
+/// content.
+pub fn read_framed(magic: [u8; 4], version: u32, bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < 16 {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[..4] != magic {
+        return Err(CodecError::BadMagic);
+    }
+    let got_version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if got_version != version {
+        return Err(CodecError::BadVersion(got_version));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+    let end = 16usize.checked_add(len).ok_or(CodecError::Truncated)?;
+    if bytes.len() < end + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let want = u64::from_le_bytes(bytes[end..end + 8].try_into().unwrap());
+    if fnv1a(&bytes[..end]) != want {
+        return Err(CodecError::BadChecksum);
+    }
+    Ok(&bytes[16..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edges() {
+        let mut w = ByteWriter::new();
+        let vals = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &vals {
+            w.varint(v);
+        }
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        for &v in &vals {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn signed_varint_round_trip() {
+        let mut w = ByteWriter::new();
+        let vals = [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN];
+        for &v in &vals {
+            w.varint_signed(v);
+        }
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        for &v in &vals {
+            assert_eq!(r.varint_signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn fixed_width_and_options() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.f32(-0.0);
+        w.bool(true);
+        w.opt_cycle(None);
+        w.opt_cycle(Some(0));
+        w.opt_cycle(Some(41));
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_cycle().unwrap(), None);
+        assert_eq!(r.opt_cycle().unwrap(), Some(0));
+        assert_eq!(r.opt_cycle().unwrap(), Some(41));
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = ByteReader::new(&[0x80]);
+        assert_eq!(r.varint(), Err(CodecError::Truncated));
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn framing_detects_tampering() {
+        let framed = write_framed(*b"TEST", 3, vec![1, 2, 3, 4]);
+        assert_eq!(read_framed(*b"TEST", 3, &framed).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(read_framed(*b"ELSE", 3, &framed), Err(CodecError::BadMagic));
+        assert_eq!(
+            read_framed(*b"TEST", 4, &framed),
+            Err(CodecError::BadVersion(3))
+        );
+        assert_eq!(
+            read_framed(*b"TEST", 3, &framed[..framed.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+        let mut flipped = framed.clone();
+        flipped[17] ^= 0xff;
+        assert_eq!(
+            read_framed(*b"TEST", 3, &flipped),
+            Err(CodecError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn fnv1a_reference_vector() {
+        // Well-known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

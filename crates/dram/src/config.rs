@@ -144,6 +144,16 @@ impl DramConfig {
         (self.chips_per_rank * self.device_width_bits) as f64 * 2.0 / 8.0
     }
 
+    /// A fingerprint of the full configuration (geometry + timing),
+    /// embedded in snapshot and trace headers so a capture is never
+    /// restored or replayed against a different machine. Computed as
+    /// FNV-1a over the `Debug` rendering — stable across runs of the
+    /// same build, which is the compatibility level the binary formats
+    /// promise (see `docs/SNAPSHOT_FORMAT.md`).
+    pub fn state_fingerprint(&self) -> u64 {
+        crate::codec::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     /// Validate geometry invariants (powers of two where the address
     /// mapping requires them).
     ///

@@ -27,10 +27,13 @@
 //! assert!(mem.can_issue(0, &rd, Issuer::Host, t));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod bank;
 pub mod channel;
 pub mod checker;
+pub mod codec;
 pub mod command;
 pub mod config;
 pub mod perfcount;
@@ -38,6 +41,7 @@ pub mod rank;
 pub mod stats;
 pub mod system;
 pub mod timing;
+pub mod trace;
 
 pub use addr::DramAddress;
 pub use bank::{BankRef, BankState, Banks, CLOSED_ROW};

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::Cycle;
 
 /// Timing registers scoped to one bank group (the `_L` constraints).
@@ -19,6 +20,29 @@ pub struct BankGroupTiming {
     pub next_wr: Cycle,
     /// Earliest ACT in this bank group (tRRD_L).
     pub next_act: Cycle,
+}
+
+impl BankGroupTiming {
+    /// Serialize the three registers (snapshot support).
+    #[cold]
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.varint(self.next_rd);
+        w.varint(self.next_wr);
+        w.varint(self.next_act);
+    }
+
+    /// Overwrite the registers from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation from the reader.
+    #[cold]
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.next_rd = r.varint()?;
+        self.next_wr = r.varint()?;
+        self.next_act = r.varint()?;
+        Ok(())
+    }
 }
 
 /// One physical rank: the registers shared by every bank in the rank
@@ -114,6 +138,57 @@ impl Rank {
     #[inline]
     pub fn cmd_mux_busy(&self, now: Cycle) -> bool {
         self.last_host_cmd_at == Some(now) || self.last_nda_cmd_at == Some(now)
+    }
+
+    /// Serialize every register, including the tFAW window and both
+    /// memoization epochs (snapshot support). Epochs must survive a
+    /// round trip verbatim: schedulers key their plan memos on them.
+    #[cold]
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.varint(self.next_rd);
+        w.varint(self.next_wr);
+        w.varint(self.next_act);
+        w.varint(self.ext_next_rd);
+        w.varint(self.ext_next_wr);
+        w.opt_cycle(self.last_host_cmd_at);
+        w.opt_cycle(self.last_nda_cmd_at);
+        w.varint(self.faw_window.len() as u64);
+        for &t in &self.faw_window {
+            w.varint(t);
+        }
+        w.varint(self.refresh_done_at);
+        w.varint(self.refreshes);
+        w.varint(self.epoch);
+        w.varint(self.nda_epoch);
+    }
+
+    /// Overwrite this rank's registers from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a tFAW window longer than its hardware depth of four.
+    #[cold]
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.next_rd = r.varint()?;
+        self.next_wr = r.varint()?;
+        self.next_act = r.varint()?;
+        self.ext_next_rd = r.varint()?;
+        self.ext_next_wr = r.varint()?;
+        self.last_host_cmd_at = r.opt_cycle()?;
+        self.last_nda_cmd_at = r.opt_cycle()?;
+        let n = r.varint_usize()?;
+        if n > 4 {
+            return Err(CodecError::Corrupt("tFAW window deeper than 4"));
+        }
+        self.faw_window.clear();
+        for _ in 0..n {
+            self.faw_window.push_back(r.varint()?);
+        }
+        self.refresh_done_at = r.varint()?;
+        self.refreshes = r.varint()?;
+        self.epoch = r.varint()?;
+        self.nda_epoch = r.varint()?;
+        Ok(())
     }
 }
 

@@ -43,7 +43,10 @@ pub use grid::{labeled, SweepBuilder};
 pub use perfmatrix::{bench_window, perf_matrix};
 pub use result::{rows_to_csv, Metrics, SweepPoint, SweepResult};
 pub use runner::SweepRunner;
-pub use scenario::{run_scenario, run_two_session_dag, spawn_workload, ScenarioSpec, Workload};
+pub use scenario::{
+    capture_prefix, run_scenario, run_scenario_from, run_scenario_prefixed, run_two_session_dag,
+    spawn_spec_workload, spawn_workload, ScenarioSpec, Workload,
+};
 
 /// Everything needed to declare and run a sweep.
 pub mod prelude {

@@ -7,7 +7,7 @@ use std::sync::Mutex;
 use chopim_core::SimReport;
 
 use crate::result::{SweepPoint, SweepResult};
-use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::scenario::{capture_prefix, run_scenario, run_scenario_from, ScenarioSpec};
 
 /// Runs every point of a sweep and collects the results in grid order.
 ///
@@ -126,6 +126,25 @@ impl SweepRunner {
     /// Run the standard executor over the grid.
     pub fn run_reports(&self, specs: &[ScenarioSpec]) -> SweepResult<SimReport> {
         self.run(specs, run_scenario)
+    }
+
+    /// Warm-start sweep: simulate `base` once for `prefix` cycles (its
+    /// workload not yet spawned), snapshot, and fork every point from
+    /// the shared image ([`run_scenario_from`]). Every spec must agree
+    /// with `base` on the semantic machine configuration and seed —
+    /// sweep axes may vary the engine-mode knobs, the workload, and the
+    /// window. Bit-identical to running each point cold with the same
+    /// prefix ([`run_scenario_prefixed`](crate::scenario::run_scenario_prefixed)),
+    /// but the prefix is simulated
+    /// once instead of once per point.
+    pub fn run_warm_start(
+        &self,
+        base: &ScenarioSpec,
+        prefix: u64,
+        specs: &[ScenarioSpec],
+    ) -> SweepResult<SimReport> {
+        let image = capture_prefix(base, prefix);
+        self.run(specs, |spec| run_scenario_from(spec, &image))
     }
 }
 

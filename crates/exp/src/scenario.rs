@@ -292,19 +292,71 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SimReport {
     let mut cfg = spec.cfg.clone();
     cfg.seed = spec.seed;
     let mut sys = ChopimSystem::new(cfg);
+    spawn_spec_workload(&mut sys, spec.workload.clone());
+    sys.run(spec.window);
+    sys.report()
+}
 
-    match spec.workload.clone() {
+/// Spawn a spec's workload: one session and stream per tenant for
+/// [`Workload::MultiTenant`], the default session otherwise.
+pub fn spawn_spec_workload(sys: &mut ChopimSystem, workload: Workload) {
+    match workload {
         Workload::MultiTenant { tenants } => {
             for t in tenants {
                 let sess = sys.runtime.create_session();
-                spawn_workload(&mut sys, sess, t);
+                spawn_workload(sys, sess, t);
             }
         }
         w => {
             let sess = sys.runtime.default_session();
-            spawn_workload(&mut sys, sess, w);
+            spawn_workload(sys, sess, w);
         }
     }
+}
+
+/// Capture a warm-start image for `spec`: build its machine, run
+/// `prefix` cycles with the workload **not yet spawned** (the host mix
+/// and refresh machinery run and populate MC queues, core state, bank
+/// timing, and clock dividers), and snapshot. Op streams cannot be
+/// serialized, so the warm-up prefix is exactly the part of a scenario
+/// that precedes stream spawning; fork the image into full points with
+/// [`run_scenario_from`].
+pub fn capture_prefix(spec: &ScenarioSpec, prefix: u64) -> Vec<u8> {
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = spec.seed;
+    let mut sys = ChopimSystem::new(cfg);
+    sys.run(prefix);
+    sys.snapshot()
+        .expect("a machine without spawned streams must snapshot")
+}
+
+/// Execute one spec from a warm-start image instead of a cold machine:
+/// resume the snapshot, spawn the workload, run the window. The image
+/// must come from a [`capture_prefix`] whose spec agrees with this one
+/// on the semantic configuration and seed — only the engine-mode knobs
+/// (`sim_threads`, `fixed_window`, `fast_forward`, `verify_fsm`,
+/// `trace_path`) may differ. Bit-identical to
+/// [`run_scenario_prefixed`] with the same prefix (enforced by
+/// `tests/snapshot_lockstep.rs`).
+pub fn run_scenario_from(spec: &ScenarioSpec, image: &[u8]) -> SimReport {
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = spec.seed;
+    let mut sys = ChopimSystem::resume(cfg, image)
+        .expect("warm-start image must match the spec's semantic configuration");
+    spawn_spec_workload(&mut sys, spec.workload.clone());
+    sys.run(spec.window);
+    sys.report()
+}
+
+/// The cold-path oracle for [`run_scenario_from`]: build the machine,
+/// run `prefix` cycles before spawning the workload, then run the
+/// window.
+pub fn run_scenario_prefixed(spec: &ScenarioSpec, prefix: u64) -> SimReport {
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = spec.seed;
+    let mut sys = ChopimSystem::new(cfg);
+    sys.run(prefix);
+    spawn_spec_workload(&mut sys, spec.workload.clone());
     sys.run(spec.window);
     sys.report()
 }

@@ -314,6 +314,119 @@ impl OooCore {
     pub fn profile(&self) -> &WorkloadProfile {
         &self.profile
     }
+
+    /// Capture every mutable field as a plain-data image (snapshot
+    /// support). The configuration and workload profile are not part of
+    /// the image — a restore target is constructed from the same
+    /// `ChopimConfig`-derived parameters and only its dynamic state is
+    /// overwritten.
+    #[cold]
+    pub fn export_state(&self) -> OooCoreState {
+        OooCoreState {
+            rng: self.rng.state(),
+            rob: self
+                .rob
+                .iter()
+                .map(|s| match *s {
+                    RobSlot::Insts(n) => (false, u64::from(n)),
+                    RobSlot::Miss { id } => (true, id),
+                })
+                .collect(),
+            filled: self.filled.clone(),
+            outstanding: self.outstanding as u64,
+            next_id: self.next_id,
+            until_next_miss: self.until_next_miss,
+            stream_pos: self.stream_pos,
+            stream_left: self.stream_left,
+            pending_wb_line: self.pending_wb.map(|wb| wb.line),
+            retired: self.retired,
+            cycles: self.cycles,
+            reads_sent: self.reads_sent,
+            writes_sent: self.writes_sent,
+            dispatch_stall_cycles: self.dispatch_stall_cycles,
+        }
+    }
+
+    /// Overwrite this core's mutable state from an image captured by
+    /// [`export_state`](Self::export_state). ROB occupancy is recomputed
+    /// from the slot list, so an image can never desynchronize the two.
+    #[cold]
+    pub fn import_state(&mut self, s: &OooCoreState) {
+        self.rng = StdRng::from_state(s.rng);
+        self.rob = s
+            .rob
+            .iter()
+            .map(|&(is_miss, v)| {
+                if is_miss {
+                    RobSlot::Miss { id: v }
+                } else {
+                    RobSlot::Insts(v as u32)
+                }
+            })
+            .collect();
+        self.rob_occupancy = self
+            .rob
+            .iter()
+            .map(|slot| match slot {
+                RobSlot::Insts(n) => *n as usize,
+                RobSlot::Miss { .. } => 1,
+            })
+            .sum();
+        self.filled = s.filled.clone();
+        self.outstanding = s.outstanding as usize;
+        self.next_id = s.next_id;
+        self.until_next_miss = s.until_next_miss;
+        self.stream_pos = s.stream_pos;
+        self.stream_left = s.stream_left;
+        self.pending_wb = s.pending_wb_line.map(|line| MemRequest {
+            line,
+            is_write: true,
+            id: u64::MAX,
+        });
+        self.retired = s.retired;
+        self.cycles = s.cycles;
+        self.reads_sent = s.reads_sent;
+        self.writes_sent = s.writes_sent;
+        self.dispatch_stall_cycles = s.dispatch_stall_cycles;
+    }
+}
+
+/// A plain-data image of an [`OooCore`]'s mutable state.
+///
+/// The host crate deliberately has no dependency on the binary codec;
+/// higher layers serialize this struct field by field (see
+/// `docs/SNAPSHOT_FORMAT.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OooCoreState {
+    /// xoshiro256++ state words of the address-generator RNG.
+    pub rng: [u64; 4],
+    /// ROB slots front-to-back: `(true, id)` for an outstanding miss,
+    /// `(false, n)` for a batch of `n` plain instructions.
+    pub rob: Vec<(bool, u64)>,
+    /// Returned fills not yet retired.
+    pub filled: Vec<u64>,
+    /// Misses currently in flight.
+    pub outstanding: u64,
+    /// Next read-request id.
+    pub next_id: u64,
+    /// Instructions left before the next synthetic miss.
+    pub until_next_miss: u64,
+    /// Current position of the synthetic address stream.
+    pub stream_pos: u64,
+    /// Lines left in the current sequential run.
+    pub stream_left: u64,
+    /// Line of a deferred dirty writeback, if one is waiting to retry.
+    pub pending_wb_line: Option<u64>,
+    /// Instructions retired.
+    pub retired: u64,
+    /// CPU cycles simulated.
+    pub cycles: u64,
+    /// Reads sent to memory.
+    pub reads_sent: u64,
+    /// Writebacks sent to memory.
+    pub writes_sent: u64,
+    /// Cycles dispatch stalled with a half-full window.
+    pub dispatch_stall_cycles: u64,
 }
 
 #[cfg(test)]
@@ -411,6 +524,39 @@ mod tests {
         let b = run_fixed_latency(WorkloadProfile::milc(), 100, 10_000);
         assert_eq!(a.retired_instructions(), b.retired_instructions());
         assert_eq!(a.reads_sent(), b.reads_sent());
+    }
+
+    #[test]
+    fn export_import_resumes_bit_identically() {
+        // Drive a core half-way, image its state into a freshly
+        // constructed twin, then run both against identical memories and
+        // require identical request streams and counters.
+        let run = |core: &mut OooCore, cycles: u64| -> Vec<MemRequest> {
+            let mut sent = Vec::new();
+            for _ in 0..cycles {
+                let mut sink = |r: MemRequest| {
+                    sent.push(r);
+                    true
+                };
+                core.cpu_cycle(&mut sink);
+                while core.outstanding_misses() > 0 {
+                    let id = core.next_id - core.outstanding as u64;
+                    core.fill(id);
+                }
+            }
+            sent
+        };
+        let mut a = OooCore::new(CoreConfig::default(), WorkloadProfile::mcf_r(), 13);
+        run(&mut a, 5_000);
+        let img = a.export_state();
+        let mut b = OooCore::new(CoreConfig::default(), WorkloadProfile::mcf_r(), 13);
+        b.import_state(&img);
+        assert_eq!(b.export_state(), img, "image must survive a round trip");
+        let sa = run(&mut a, 5_000);
+        let sb = run(&mut b, 5_000);
+        assert_eq!(sa, sb);
+        assert_eq!(a.retired_instructions(), b.retired_instructions());
+        assert_eq!(a.ipc(), b.ipc());
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod core;
 pub mod mix;
 pub mod profile;
 
-pub use crate::core::{CoreConfig, MemRequest, OooCore};
+pub use crate::core::{CoreConfig, MemRequest, OooCore, OooCoreState};
 pub use crate::mix::MixId;
 pub use crate::profile::{MemIntensity, WorkloadProfile};

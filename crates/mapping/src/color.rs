@@ -9,6 +9,7 @@
 //! same color. Allocation itself is a free-list per color, the fragmentation
 //! behavior of which matches huge-page allocation as the paper argues.
 
+use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
 use chopim_dram::DramConfig;
 
 use crate::linear::LinearMapping;
@@ -206,6 +207,44 @@ impl ColoredAllocator {
     /// Total rows managed.
     pub fn total_rows(&self) -> u32 {
         self.total_rows
+    }
+
+    /// Serialize the allocator's free-list state (snapshot support). The
+    /// free-list *order* is captured verbatim: allocation pops from the
+    /// tail, so order determines every future placement decision.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.varint(self.row_bytes);
+        w.varint(self.color_bits.len() as u64);
+        w.varint(u64::from(self.total_rows));
+        for pool in [&self.host_free, &self.shared_free] {
+            for bucket in pool {
+                w.u32_slice(bucket);
+            }
+        }
+        w.varint(u64::from(self.allocated));
+    }
+
+    /// Overwrite this allocator's state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ConfigMismatch`] when the serialized geometry (row
+    /// size, color count, total rows) differs from this allocator's.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.varint()? != self.row_bytes
+            || r.varint_usize()? != self.color_bits.len()
+            || r.varint_u32()? != self.total_rows
+        {
+            return Err(CodecError::ConfigMismatch);
+        }
+        let ncolors = self.num_colors();
+        for pool in [&mut self.host_free, &mut self.shared_free] {
+            for bucket in pool.iter_mut().take(ncolors) {
+                *bucket = r.u32_vec()?;
+            }
+        }
+        self.allocated = r.varint_u32()?;
+        Ok(())
     }
 }
 

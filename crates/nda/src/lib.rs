@@ -27,6 +27,7 @@ pub mod isa;
 pub mod microcode;
 pub mod operand;
 pub mod pe;
+pub mod snapshot;
 pub mod wbuf;
 
 pub use controller::NdaRankController;

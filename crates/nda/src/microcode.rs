@@ -7,6 +7,8 @@
 //! Determinism is load-bearing: the host-side shadow FSM replays exactly
 //! this stream, which is what lets Chopim avoid NDA→host signaling.
 
+use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
+
 use crate::isa::NdaInstr;
 
 /// Lines per batch: one DRAM row per chip (1 KB per chip, Table II).
@@ -130,6 +132,54 @@ impl Program {
     /// A compact encoding of progress, for FSM fingerprints.
     pub fn position_key(&self) -> u64 {
         (self.phase as u64) << 48 | self.batch_start << 16 | (self.stream as u64) << 8 | self.line
+    }
+
+    /// Serialize the instruction plus the walk position (snapshot support).
+    #[cold]
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        crate::snapshot::encode_instr(&self.instr, w);
+        w.varint(self.phase as u64);
+        w.varint(self.batch_start);
+        w.varint(self.stream as u64);
+        w.varint(self.line);
+    }
+
+    /// Decode a program written by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Rejects positions outside the instruction's access stream (they
+    /// would make [`peek`](Self::peek)/[`advance`](Self::advance) panic).
+    #[cold]
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let instr = crate::snapshot::decode_instr(r)?;
+        let phase = r.varint_usize()?;
+        let batch_start = r.varint()?;
+        let stream = r.varint_usize()?;
+        let line = r.varint()?;
+        if phase > instr.phases.len() {
+            return Err(CodecError::Corrupt("program phase out of range"));
+        }
+        if phase == instr.phases.len() {
+            if batch_start != 0 || stream != 0 || line != 0 {
+                return Err(CodecError::Corrupt("finished program with position"));
+            }
+        } else {
+            let p = &instr.phases[phase];
+            if stream >= p.streams.len() || batch_start >= p.lines {
+                return Err(CodecError::Corrupt("program position out of range"));
+            }
+            if line >= BATCH_LINES.min(p.lines - batch_start) {
+                return Err(CodecError::Corrupt("program line out of batch"));
+            }
+        }
+        Ok(Self {
+            instr,
+            phase,
+            batch_start,
+            stream,
+            line,
+        })
     }
 }
 

@@ -7,7 +7,10 @@
 //! (`fast_forward = false`, the pre-event-horizon behavior) and once with
 //! event-horizon fast-forwarding — verifies the two produce bit-identical
 //! `SimReport`s, and emits `BENCH_chopim.json` with wall time and
-//! simulated cycles-per-second for both loops.
+//! simulated cycles-per-second for both loops. A final `warm_start` row
+//! measures the snapshot-based warm-start sweep (one captured prefix
+//! forked into every sweep point) against cold per-point prefix replay,
+//! again asserting bit-identical reports.
 //!
 //! Usage:
 //!
@@ -38,7 +41,10 @@
 use std::time::Instant;
 
 use chopim_dram::perfcount;
-use chopim_exp::{bench_window, perf_matrix, run_scenario, ScenarioSpec};
+use chopim_exp::{
+    bench_window, perf_matrix, run_scenario, run_scenario_prefixed, ScenarioSpec, SweepRunner,
+    Workload,
+};
 
 /// Serial-overhead floor for `--check`: each scenario's fast/naive
 /// speedup must stay within this factor of the checked-in baseline's.
@@ -61,6 +67,11 @@ const SPEEDUP_FLOORS: &[(&str, f64)] = &[
     ("colocated_svrg", 0.95),
     ("colocated_mix", 0.95),
     ("rank_partitioned", 0.95),
+    // Forking 4 points from one captured prefix must beat replaying the
+    // prefix per point; at the gate window the structural win is ~1.6x,
+    // and snapshot codec cost eating it down to parity is the regression
+    // this floor exists to catch.
+    ("warm_start", 1.2),
 ];
 
 /// Any scenario below this fast/naive ratio fails outright, named in the
@@ -193,6 +204,100 @@ fn measure(name: &'static str, spec: &ScenarioSpec) -> Measurement {
         cps_fast: cycles as f64 / (wall_ms_fast / 1e3),
         wall_ms_par: measure_par.then_some(wall_ms_par),
         cps_par: measure_par.then(|| cycles as f64 / (wall_ms_par / 1e3)),
+    }
+}
+
+/// The warm-start benchmark: one base machine simulated for a prefix,
+/// snapshotted, and forked into these sweep points (workload varies; the
+/// semantic machine configuration and seed stay fixed, as
+/// [`SweepRunner::run_warm_start`] requires). The base is the matrix's
+/// `host_only` machine — a busy host mix, so the shared prefix has real
+/// simulation cost to amortize (the default idle machine fast-forwards
+/// its prefix almost for free, which would measure only snapshot codec
+/// overhead).
+fn warm_start_specs(window: u64) -> (ScenarioSpec, Vec<ScenarioSpec>) {
+    let base = perf_matrix(window)
+        .into_iter()
+        .find(|(name, _)| *name == "host_only")
+        .expect("host_only is always in the matrix")
+        .1;
+    let workloads = [
+        Workload::HostOnly,
+        Workload::Gemv {
+            rows: 64,
+            cols: 256,
+        },
+        Workload::Gemv {
+            rows: 128,
+            cols: 256,
+        },
+        Workload::Gemv {
+            rows: 64,
+            cols: 512,
+        },
+    ];
+    let specs = workloads
+        .into_iter()
+        .map(|w| {
+            let mut s = base.clone();
+            s.workload = w;
+            s
+        })
+        .collect();
+    (base, specs)
+}
+
+/// Measure the snapshot/restore warm-start path against cold per-point
+/// prefix replay. "Naive" runs each sweep point from cycle 0 through a
+/// shared prefix plus its window ([`run_scenario_prefixed`]); "fast"
+/// simulates the prefix once, snapshots, and forks every point from the
+/// image ([`SweepRunner::run_warm_start`]). Reports must be
+/// bit-identical; the structural win is the `(points - 1) * prefix`
+/// cycles the warm path never simulates.
+fn measure_warm_start() -> Measurement {
+    let w = window();
+    let prefix = w;
+    let runner = SweepRunner::serial();
+    // Same warm-up rationale as `measure`.
+    {
+        let short = (w / 10).clamp(1, 10_000);
+        let (base, specs) = warm_start_specs(short);
+        let _ = runner.run_warm_start(&base, short, &specs);
+    }
+    let (base, specs) = warm_start_specs(w);
+    let mut wall_ms_cold = f64::INFINITY;
+    let mut wall_ms_warm = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps() {
+        let t0 = Instant::now();
+        let cold: Vec<_> = specs
+            .iter()
+            .map(|s| run_scenario_prefixed(s, prefix))
+            .collect();
+        let t_cold = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let warm = runner.run_warm_start(&base, prefix, &specs);
+        let t_warm = t1.elapsed().as_secs_f64() * 1e3;
+        for (point, cold_report) in warm.points.iter().zip(&cold) {
+            assert_eq!(
+                point.result, *cold_report,
+                "warm-start diverged from cold prefix replay; \
+                 run `cargo test -p chopim-exp --test snapshot_lockstep`"
+            );
+        }
+        wall_ms_cold = wall_ms_cold.min(t_cold);
+        wall_ms_warm = wall_ms_warm.min(t_warm);
+        cycles = cold.iter().map(|r| r.cycles).sum();
+    }
+    Measurement {
+        name: "warm_start",
+        cycles,
+        wall_ms_naive: wall_ms_cold,
+        wall_ms_fast: wall_ms_warm,
+        cps_naive: cycles as f64 / (wall_ms_cold / 1e3),
+        cps_fast: cycles as f64 / (wall_ms_warm / 1e3),
+        wall_ms_par: None,
+        cps_par: None,
     }
 }
 
@@ -432,7 +537,7 @@ fn main() {
         }
     }
 
-    let results: Vec<Measurement> = perf_matrix(window())
+    let mut results: Vec<Measurement> = perf_matrix(window())
         .iter()
         .map(|(name, spec)| {
             let m = measure(name, spec);
@@ -453,6 +558,16 @@ fn main() {
             m
         })
         .collect();
+
+    {
+        let m = measure_warm_start();
+        eprintln!(
+            "{:<18} {:>9} cycles  cold  {:>8.1} ms ({:>10.0} c/s)  warm {:>8.1} ms ({:>10.0} c/s)  speedup {:.2}x",
+            m.name, m.cycles, m.wall_ms_naive, m.cps_naive, m.wall_ms_fast, m.cps_fast,
+            m.speedup()
+        );
+        results.push(m);
+    }
 
     std::fs::write(&out_path, to_json(&results)).expect("write BENCH json");
     eprintln!("wrote {out_path}");

@@ -135,6 +135,22 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state words (for checkpointing; pair with
+        /// [`from_state`](Self::from_state)).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words captured by
+        /// [`state`](Self::state). An all-zero state is invalid for
+        /// xoshiro and falls back to the zero seed.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                return Self::from_u64(0);
+            }
+            StdRng { s }
+        }
+
         fn from_u64(seed: u64) -> Self {
             // splitmix64 expansion, the canonical xoshiro seeding method.
             let mut sm = seed;
