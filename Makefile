@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lockstep-snapshot docs examples lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lockstep-snapshot chaos docs examples lint
 
 all: test
 
@@ -46,6 +46,16 @@ lockstep-shard:
 # identical DramStats (what the CI `equivalence` job runs).
 lockstep-snapshot:
 	cargo test --release -p chopim-exp --test snapshot_lockstep
+
+# The fault plane end to end (the CI `chaos` job): active-plan lockstep
+# across thread counts/loops + snapshot-under-faults, recovery liveness
+# properties (no lost ops, capped backoff), and malformed-input fuzzing
+# of the CHSS/CHTR readers.
+chaos:
+	cargo test --release -p chopim-exp --test fault_lockstep
+	cargo test --release -p chopim-core --test fault_recovery_props
+	cargo test --release -p chopim-dram --test malformed_input_props
+	cargo test --release -p chopim-core --test malformed_snapshot_props
 
 # Workspace docs with warnings denied (undocumented public items and
 # broken intra-doc links fail) plus the doctests — the CI `docs` job.

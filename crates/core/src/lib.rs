@@ -72,15 +72,15 @@ pub mod system;
 pub mod prelude {
     pub use crate::energy::{EnergyParams, EnergyReport, PeActivity};
     pub use crate::policy::WriteIssuePolicy;
-    pub use crate::report::SimReport;
+    pub use crate::report::{FaultReport, SimReport};
     #[allow(deprecated)]
     pub use crate::runtime::OpId;
     pub use crate::runtime::{
-        LaunchOpts, MatId, OpBuilder, OpHandle, Runtime, Session, Sharing, VecId,
+        LaunchOpts, MatId, OpBuilder, OpHandle, OpStatus, Runtime, Session, Sharing, VecId,
     };
     pub use crate::sched::{PagePolicy, SchedulerKind};
     pub use crate::system::{ChopimConfig, ChopimSystem, SnapshotError, StreamId, Waitable};
-    pub use chopim_dram::{DramConfig, IdleBucket, TimingParams};
+    pub use chopim_dram::{DramConfig, FaultPlan, IdleBucket, TimingParams};
     pub use chopim_host::{CoreConfig, MixId, WorkloadProfile};
     pub use chopim_mapping::color::Color;
     pub use chopim_nda::isa::Opcode;

@@ -42,6 +42,49 @@ pub struct SimReport {
     /// rank controllers. Included here so the fast-forward lockstep tests
     /// verify the bulk stall accounting of skipped throttled windows.
     pub nda_write_throttle_stalls: u64,
+    /// Fault-injection and recovery counters (all zero when the
+    /// [`FaultPlan`](chopim_dram::FaultPlan) is empty). Part of the
+    /// report's `PartialEq`, so the lockstep suites also pin the fault
+    /// schedule and the recovery decisions bit-identically.
+    pub faults: FaultReport,
+}
+
+/// Injected-fault and recovery accounting for one simulation window.
+///
+/// The injection side (transient faults, hangs, dropped/delayed
+/// completions, rank deaths) is summed over shards; the recovery side
+/// (retries, timeouts, terminal op failures, quarantines, host
+/// fallbacks) comes from the runtime. ECC corrected/uncorrectable
+/// counts live in [`DramStats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Transient NDA compute faults injected (failed completions).
+    pub transient_faults: u64,
+    /// NDA FSM hangs injected (completion deferred by the hang time).
+    pub fsm_hangs: u64,
+    /// Completion messages dropped in transit.
+    pub completions_dropped: u64,
+    /// Completion messages delayed in transit.
+    pub completions_delayed: u64,
+    /// Permanent rank deaths fired.
+    pub rank_deaths: u64,
+    /// Instruction launches retried after a failure or timeout.
+    pub instr_retries: u64,
+    /// In-flight instructions that hit the launch timeout.
+    pub instr_timeouts: u64,
+    /// Ops concluded `Failed` (retry budget exhausted, no host fallback).
+    pub ops_failed: u64,
+    /// Ops concluded `TimedOut` (per-op deadline expired).
+    pub ops_timed_out: u64,
+    /// Ops aborted `DepFailed` (a dependency concluded unsuccessfully).
+    pub ops_dep_failed: u64,
+    /// Ops re-executed on the host after exhausting their retry budget.
+    pub host_fallbacks: u64,
+    /// NDAs quarantined after a rank-death completion.
+    pub ranks_quarantined: u64,
+    /// Largest retry backoff applied (cycles) — bounded by the
+    /// configured cap, which the recovery property suite asserts.
+    pub max_retry_backoff: u64,
 }
 
 impl SimReport {

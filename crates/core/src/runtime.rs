@@ -89,6 +89,67 @@ impl OpHandle {
 #[deprecated(note = "use OpHandle")]
 pub type OpId = OpHandle;
 
+/// Terminal status of an operation. Every submitted op reaches exactly
+/// one of these (the recovery property suite's no-lost-ops contract);
+/// [`Runtime::op_status`] returns `None` while the op is still live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpStatus {
+    /// The op finished and its results are visible (includes ops
+    /// re-executed on the host via [`OpBuilder::fallback_host`]).
+    Completed,
+    /// The op exhausted its retry budget on a faulted machine and has
+    /// no host fallback; results are undefined.
+    Failed,
+    /// The op's [`OpBuilder::deadline`] expired before it finished.
+    TimedOut,
+    /// A dependency (explicit [`OpBuilder::after`] edge) concluded
+    /// unsuccessfully, so this op was aborted instead of waiting
+    /// forever.
+    DepFailed,
+}
+
+impl OpStatus {
+    fn encode(this: Option<OpStatus>) -> u8 {
+        match this {
+            None => 0,
+            Some(OpStatus::Completed) => 1,
+            Some(OpStatus::Failed) => 2,
+            Some(OpStatus::TimedOut) => 3,
+            Some(OpStatus::DepFailed) => 4,
+        }
+    }
+
+    fn decode(tag: u8) -> Result<Option<OpStatus>, CodecError> {
+        Ok(match tag {
+            0 => None,
+            1 => Some(OpStatus::Completed),
+            2 => Some(OpStatus::Failed),
+            3 => Some(OpStatus::TimedOut),
+            4 => Some(OpStatus::DepFailed),
+            _ => return Err(CodecError::Corrupt("op status tag")),
+        })
+    }
+
+    /// True for every terminal state except [`OpStatus::Completed`].
+    pub fn is_failure(self) -> bool {
+        self != OpStatus::Completed
+    }
+}
+
+/// Runtime-side recovery accounting (folded into the report's
+/// `FaultReport`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecoveryCounters {
+    pub instr_retries: u64,
+    pub instr_timeouts: u64,
+    pub ops_failed: u64,
+    pub ops_timed_out: u64,
+    pub ops_dep_failed: u64,
+    pub host_fallbacks: u64,
+    pub ranks_quarantined: u64,
+    pub max_retry_backoff: u64,
+}
+
 /// Serialize an op handle (snapshot support; shared with the shard and
 /// system codecs).
 #[cold]
@@ -250,6 +311,20 @@ struct OpState {
     first_staged_at: Option<u64>,
     /// Cycle at which the op finished (set on the completing instruction).
     finished_at: Option<u64>,
+    /// Terminal status (`None` while live; always `Some` once `done`
+    /// under fault recovery).
+    status: Option<OpStatus>,
+    /// Instruction retries charged against this op's retry budget.
+    retries: u32,
+    /// Backoff hold: no launch of this op stages before this cycle
+    /// (`0` = no hold). The system folds the earliest hold into its
+    /// front-end horizon so expiry is cycle-exact on every engine.
+    retry_after: u64,
+    /// Absolute deadline armed by [`OpBuilder::deadline`].
+    deadline_at: Option<u64>,
+    /// Re-execute on the host instead of concluding `Failed` when the
+    /// retry budget runs out ([`OpBuilder::fallback_host`]).
+    fallback_host: bool,
 }
 
 /// One session's submission state.
@@ -299,6 +374,26 @@ pub struct Runtime {
     /// Realignment copies the runtime inserted for color mismatches.
     pub realignment_copies: u64,
     default_color: Color,
+    /// Fault recovery active (a non-empty `FaultPlan`): enables retry
+    /// staging holds, inflight-record completion resolution, and
+    /// quarantine redirection. `false` keeps every hot path on the
+    /// exact pre-fault-plane instruction sequence.
+    recovery: bool,
+    /// Retry budget per op before concluding `Failed` / falling back.
+    retry_limit: u32,
+    /// Base retry backoff in cycles (doubles per retry).
+    retry_backoff: u64,
+    /// Upper bound on the exponential backoff.
+    retry_backoff_cap: u64,
+    /// Per-NDA liveness; quarantined NDAs receive no further launches.
+    alive: Vec<bool>,
+    /// Count of live ops with an armed deadline (gates the per-cycle
+    /// deadline scan; zero keeps it free).
+    armed_deadlines: u32,
+    /// Front-end clock mirror (stamped by the system each cycle) so
+    /// submission-time deadline arming sees the current cycle.
+    pub(crate) clock: u64,
+    pub(crate) counters: RecoveryCounters,
 }
 
 impl Runtime {
@@ -328,7 +423,80 @@ impl Runtime {
             host_comm_cycles: 0,
             realignment_copies: 0,
             default_color: Color(0),
+            recovery: false,
+            retry_limit: 3,
+            retry_backoff: 64,
+            retry_backoff_cap: 4096,
+            alive: vec![true; n],
+            armed_deadlines: 0,
+            clock: 0,
+            counters: RecoveryCounters::default(),
         }
+    }
+
+    /// Configure the fault-recovery layer (called once by the system
+    /// from its `ChopimConfig`). `active` mirrors "the fault plan is
+    /// non-empty": when `false`, recovery stays fully dormant.
+    pub(crate) fn configure_recovery(
+        &mut self,
+        active: bool,
+        retry_limit: u32,
+        retry_backoff: u64,
+        retry_backoff_cap: u64,
+    ) {
+        self.recovery = active;
+        self.retry_limit = retry_limit;
+        self.retry_backoff = retry_backoff.max(1);
+        self.retry_backoff_cap = retry_backoff_cap.max(self.retry_backoff);
+    }
+
+    /// Runtime-side recovery counters (report support).
+    pub(crate) fn recovery_counters(&self) -> &RecoveryCounters {
+        &self.counters
+    }
+
+    /// True while NDA `nda` has not been quarantined by a rank-death
+    /// completion (see [`OpBuilder::fallback_host`] and `docs/FAULTS.md`).
+    pub fn nda_alive(&self, nda: usize) -> bool {
+        self.alive[nda]
+    }
+
+    /// Quarantine NDA `nda` permanently (rank-death completion):
+    /// subsequent launches re-shard across surviving ranks. Idempotent.
+    #[cold]
+    pub(crate) fn quarantine(&mut self, nda: usize) {
+        if self.alive[nda] {
+            self.alive[nda] = false;
+            self.counters.ranks_quarantined += 1;
+        }
+    }
+
+    /// The NDA `nda` launches should target: `nda` itself while alive,
+    /// else the next surviving NDA (wrapping). With every NDA dead the
+    /// original index is returned and the launch fails its retries out.
+    fn redirect(alive: &[bool], nda: usize) -> usize {
+        if alive[nda] {
+            return nda;
+        }
+        Self::redirect_cold(alive, nda)
+    }
+
+    /// [`redirect`](Self::redirect) against the current quarantine set
+    /// (system-side staging support).
+    pub(crate) fn redirect_live(&self, nda: usize) -> usize {
+        Self::redirect(&self.alive, nda)
+    }
+
+    #[cold]
+    fn redirect_cold(alive: &[bool], nda: usize) -> usize {
+        let n = alive.len();
+        for k in 1..n {
+            let c = (nda + k) % n;
+            if alive[c] {
+                return c;
+            }
+        }
+        nda
     }
 
     /// The default (always-present) session, for single-tenant code.
@@ -595,12 +763,23 @@ impl Runtime {
     }
 
     fn push_op(&mut self, sess: Session, op: OpState) -> OpHandle {
+        // Submitting behind an already-failed dependency: abort now
+        // rather than waiting on a parent that will never succeed.
+        let failed_dep = self.recovery
+            && op
+                .deps
+                .iter()
+                .any(|&d| self.op(d).status.is_some_and(OpStatus::is_failure));
         let h = self.next_handle(sess);
         let ss = &mut self.sessions[sess.id as usize];
         if !op.ordered {
             ss.unordered_live += 1;
         }
         ss.ops.push(op);
+        if failed_dep {
+            let now = self.clock;
+            self.conclude_and_cascade(h, OpStatus::DepFailed, now);
+        }
         h
     }
 
@@ -791,6 +970,11 @@ impl Runtime {
                 instr_base,
                 first_staged_at: None,
                 finished_at: None,
+                status: None,
+                retries: 0,
+                retry_after: 0,
+                deadline_at: None,
+                fallback_host: false,
             },
         )
     }
@@ -854,6 +1038,11 @@ impl Runtime {
                 instr_base,
                 first_staged_at: None,
                 finished_at: None,
+                status: None,
+                retries: 0,
+                retry_after: 0,
+                deadline_at: None,
+                fallback_host: false,
             },
         )
     }
@@ -949,6 +1138,11 @@ impl Runtime {
                 instr_base,
                 first_staged_at: None,
                 finished_at: None,
+                status: None,
+                retries: 0,
+                retry_after: 0,
+                deadline_at: None,
+                fallback_host: false,
             },
         )
     }
@@ -965,7 +1159,12 @@ impl Runtime {
     /// session has no live unordered ops — stops at the first blocked
     /// ordered op, which is the strict-order fast path: at most one op is
     /// examined per call for classic submission streams.
-    fn stage_candidate(&self, s: usize, space: &impl Fn(usize) -> usize) -> Option<usize> {
+    fn stage_candidate(
+        &self,
+        s: usize,
+        space: &impl Fn(usize) -> usize,
+        now: u64,
+    ) -> Option<usize> {
         let ss = &self.sessions[s];
         let mut prior_all_done = true;
         for i in ss.first_live..ss.ops.len() {
@@ -974,10 +1173,20 @@ impl Runtime {
                 continue;
             }
             let order_ok = !op.ordered || prior_all_done;
-            if order_ok && !op.pending.is_empty() && self.deps_done(&op.deps) {
+            // `retry_after` is 0 (always open) outside fault recovery.
+            if order_ok
+                && op.retry_after <= now
+                && !op.pending.is_empty()
+                && self.deps_done(&op.deps)
+            {
                 let head = op.pending.front().expect("nonempty");
                 let barrier_ok = !op.barrier || head.chunk <= op.released_chunks;
-                if barrier_ok && space(head.nda_idx) > 0 {
+                let target = if self.recovery {
+                    Self::redirect(&self.alive, head.nda_idx)
+                } else {
+                    head.nda_idx
+                };
+                if barrier_ok && space(target) > 0 {
                     return Some(i);
                 }
             }
@@ -1008,9 +1217,11 @@ impl Runtime {
         let n = self.sessions.len();
         for k in 0..n {
             let s = (self.rr_cursor + k) % n;
-            let Some(i) = self.stage_candidate(s, &space) else {
+            let Some(i) = self.stage_candidate(s, &space, now) else {
                 continue;
             };
+            let recovery = self.recovery;
+            let alive = &self.alive;
             let op = &mut self.sessions[s].ops[i];
             if op.first_staged_at.is_none() {
                 op.first_staged_at = Some(now);
@@ -1022,10 +1233,17 @@ impl Runtime {
                 if op.barrier && head.chunk > op.released_chunks {
                     break; // previous chunk not fully complete
                 }
-                if space(head.nda_idx) == 0 {
+                let target = if recovery {
+                    Self::redirect(alive, head.nda_idx)
+                } else {
+                    head.nda_idx
+                };
+                if space(target) == 0 {
                     break;
                 }
-                out.push_back(op.pending.pop_front().expect("checked"));
+                let mut launch = op.pending.pop_front().expect("checked");
+                launch.nda_idx = target;
+                out.push_back(launch);
             }
             // Fair share: the next session gets first claim next cycle.
             self.rr_cursor = (s + 1) % n;
@@ -1038,20 +1256,37 @@ impl Runtime {
     /// mutating anything. The event-horizon fast-forward consults this:
     /// all of its inputs (op completion flags, DAG edges, chunk barriers,
     /// queue space) only change inside executed ticks, so a `false`
-    /// answer stays `false` across skipped cycles.
-    pub fn launch_ready(&self, space: impl Fn(usize) -> usize) -> bool {
-        (0..self.sessions.len()).any(|s| self.stage_candidate(s, &space).is_some())
+    /// answer stays `false` across skipped cycles — except retry holds,
+    /// whose expiry cycles the system folds into its horizon via
+    /// `next_recovery_wake`.
+    pub fn launch_ready(&self, space: impl Fn(usize) -> usize, now: u64) -> bool {
+        (0..self.sessions.len()).any(|s| self.stage_candidate(s, &space, now).is_some())
     }
 
     /// Record the completion of instruction `id` of op `h`, finalizing
     /// the op when it is the last one. Returns `true` if the op just
-    /// finished.
+    /// finished. `id` must be the original (non-retried) instruction id;
+    /// under fault recovery the system resolves completions through its
+    /// in-flight records and calls
+    /// `instr_completed_via` with the
+    /// record's chunk instead (retried launches carry fresh ids).
     pub fn complete_instr(&mut self, h: OpHandle, id: u64, now: u64) -> bool {
         let n_ndas = self.n_ndas as u64;
+        let op = self.op(h);
+        debug_assert!(id >= op.instr_base && id - op.instr_base < op.total_instrs);
+        let chunk = ((id - op.instr_base) / n_ndas) as usize;
+        self.instr_completed_via(h, chunk, now)
+    }
+
+    /// Completion bookkeeping with the chunk resolved by the caller.
+    /// Returns `true` if the op just finished; a completion for an op
+    /// already concluded (timed out, failed) is ignored.
+    pub(crate) fn instr_completed_via(&mut self, h: OpHandle, chunk: usize, now: u64) -> bool {
         let finished = {
             let op = self.op_mut(h);
-            debug_assert!(id >= op.instr_base && id - op.instr_base < op.total_instrs);
-            let chunk = ((id - op.instr_base) / n_ndas) as usize;
+            if op.done {
+                return false; // late completion of a concluded op
+            }
             op.completed_instrs += 1;
             op.chunk_completed[chunk] += 1;
             if op.chunk_completed[chunk] == op.chunk_sizes[chunk] && chunk == op.released_chunks {
@@ -1069,6 +1304,12 @@ impl Runtime {
             let ss = &mut self.sessions[h.sess as usize];
             let op = &mut ss.ops[h.idx as usize];
             op.finished_at = Some(now);
+            op.status = Some(OpStatus::Completed);
+            if op.deadline_at.is_some() {
+                self.armed_deadlines -= 1;
+            }
+            let ss = &mut self.sessions[h.sess as usize];
+            let op = &mut ss.ops[h.idx as usize];
             if !op.ordered {
                 ss.unordered_live -= 1;
             }
@@ -1077,6 +1318,190 @@ impl Runtime {
             }
         }
         finished
+    }
+
+    /// Conclude op `h` with `status` outside the normal last-instruction
+    /// path (fault recovery): abandon un-issued work, mark the op done
+    /// (finalizing results first when `status` is `Completed`, i.e. a
+    /// host fallback), and unblock program order. Idempotent on done ops.
+    #[cold]
+    fn conclude(&mut self, h: OpHandle, status: OpStatus, now: u64) {
+        if self.op(h).done {
+            return;
+        }
+        match status {
+            OpStatus::Completed => self.finalize(h), // sets done
+            OpStatus::Failed => self.counters.ops_failed += 1,
+            OpStatus::TimedOut => self.counters.ops_timed_out += 1,
+            OpStatus::DepFailed => self.counters.ops_dep_failed += 1,
+        }
+        if self.op(h).deadline_at.is_some() {
+            self.armed_deadlines -= 1;
+        }
+        let ss = &mut self.sessions[h.sess as usize];
+        let op = &mut ss.ops[h.idx as usize];
+        op.done = true;
+        op.status = Some(status);
+        op.finished_at = Some(now);
+        op.pending.clear();
+        op.retry_after = 0;
+        if !op.ordered {
+            ss.unordered_live -= 1;
+        }
+        while ss.first_live < ss.ops.len() && ss.ops[ss.first_live].done {
+            ss.first_live += 1;
+        }
+    }
+
+    /// [`conclude`](Self::conclude), then propagate a failure along
+    /// explicit DAG edges: every live op depending (transitively) on a
+    /// failed op is aborted `DepFailed` rather than left waiting forever.
+    /// Plain program order does NOT propagate — a terminal op, failed or
+    /// not, unblocks its successors.
+    #[cold]
+    pub(crate) fn conclude_and_cascade(&mut self, h: OpHandle, status: OpStatus, now: u64) {
+        self.conclude(h, status, now);
+        if status == OpStatus::Completed {
+            return;
+        }
+        let mut work = vec![h];
+        let mut victims = Vec::new();
+        while let Some(f) = work.pop() {
+            victims.clear();
+            for (si, ss) in self.sessions.iter().enumerate() {
+                for (oi, op) in ss.ops.iter().enumerate().skip(ss.first_live) {
+                    if !op.done && op.deps.contains(&f) {
+                        victims.push(OpHandle {
+                            sess: si as u32,
+                            idx: oi as u32,
+                        });
+                    }
+                }
+            }
+            for &v in &victims {
+                self.conclude(v, OpStatus::DepFailed, now);
+                work.push(v);
+            }
+        }
+    }
+
+    /// Handle a failed or timed-out in-flight launch: retry with
+    /// bounded-exponential backoff while budget remains (the retried
+    /// launch gets a FRESH instruction id and goes back to the head of
+    /// the op's queue), otherwise conclude the op — re-executing on the
+    /// host first when [`OpBuilder::fallback_host`] opted in.
+    ///
+    /// `rank_death` marks a launch rejected because its target rank died
+    /// permanently. While a survivor exists the requeue is a *re-shard*,
+    /// not a retry against a flaky machine: staging redirects it to a
+    /// live rank, progress is certain, so it neither consumes the retry
+    /// budget nor backs off (a death can reject a whole queue of
+    /// launches at once, which would otherwise drain the budget of every
+    /// op with work on that rank). With no survivors the normal budget
+    /// applies, bounding the rejection loop.
+    #[cold]
+    pub(crate) fn instr_failed(&mut self, mut launch: PendingLaunch, now: u64, rank_death: bool) {
+        let h = launch.op;
+        if self.op(h).done {
+            return; // op already concluded; drop the straggler
+        }
+        if rank_death && self.alive.iter().any(|&a| a) {
+            self.counters.instr_retries += 1;
+            let fresh = self.take_instr_ids(1);
+            launch.instr.id = fresh;
+            self.op_mut(h).pending.push_front(launch);
+            return;
+        }
+        let retries = self.op(h).retries;
+        if retries < self.retry_limit {
+            let backoff = self
+                .retry_backoff
+                .checked_shl(retries)
+                .unwrap_or(u64::MAX)
+                .min(self.retry_backoff_cap);
+            self.counters.max_retry_backoff = self.counters.max_retry_backoff.max(backoff);
+            self.counters.instr_retries += 1;
+            let fresh = self.take_instr_ids(1);
+            launch.instr.id = fresh;
+            let op = self.op_mut(h);
+            op.retries += 1;
+            op.retry_after = now + backoff;
+            op.pending.push_front(launch);
+        } else if self.op(h).fallback_host {
+            self.counters.host_fallbacks += 1;
+            self.conclude_and_cascade(h, OpStatus::Completed, now);
+        } else {
+            self.conclude_and_cascade(h, OpStatus::Failed, now);
+        }
+    }
+
+    /// Expire per-op deadlines: every live op whose
+    /// [`OpBuilder::deadline`] has passed concludes `TimedOut` (failure
+    /// cascades along DAG edges). Free while no deadline is armed.
+    pub(crate) fn check_deadlines(&mut self, now: u64) {
+        if self.armed_deadlines == 0 {
+            return;
+        }
+        self.check_deadlines_cold(now);
+    }
+
+    #[cold]
+    fn check_deadlines_cold(&mut self, now: u64) {
+        let mut expired = Vec::new();
+        for (si, ss) in self.sessions.iter().enumerate() {
+            for (oi, op) in ss.ops.iter().enumerate().skip(ss.first_live) {
+                if !op.done && op.deadline_at.is_some_and(|d| d <= now) {
+                    expired.push(OpHandle {
+                        sess: si as u32,
+                        idx: oi as u32,
+                    });
+                }
+            }
+        }
+        for h in expired {
+            self.conclude_and_cascade(h, OpStatus::TimedOut, now);
+        }
+    }
+
+    /// Attach builder-level recovery options to a freshly submitted op.
+    fn apply_recovery_opts(&mut self, h: OpHandle, deadline: Option<u64>, fallback_host: bool) {
+        if deadline.is_none() && !fallback_host {
+            return;
+        }
+        let now = self.clock;
+        let op = self.op_mut(h);
+        op.fallback_host = fallback_host;
+        if let Some(cycles) = deadline {
+            if !op.done {
+                op.deadline_at = Some(now.saturating_add(cycles));
+                self.armed_deadlines += 1;
+            }
+        }
+    }
+
+    /// Earliest future cycle at which recovery state changes on its own:
+    /// a retry hold expiring or an armed deadline firing. The system
+    /// folds this into its front-end horizon so fast-forwarding engines
+    /// execute those cycles exactly. `None` when nothing is pending.
+    pub(crate) fn next_recovery_wake(&self, now: u64) -> Option<u64> {
+        if !self.recovery && self.armed_deadlines == 0 {
+            return None;
+        }
+        let mut wake = u64::MAX;
+        for ss in &self.sessions {
+            for op in &ss.ops[ss.first_live..] {
+                if op.done {
+                    continue;
+                }
+                if let Some(d) = op.deadline_at {
+                    wake = wake.min(d);
+                }
+                if op.retry_after > now && !op.pending.is_empty() {
+                    wake = wake.min(op.retry_after);
+                }
+            }
+        }
+        (wake != u64::MAX).then(|| wake.max(now))
     }
 
     /// Functionally execute the finished op on the backing store.
@@ -1182,9 +1607,16 @@ impl Runtime {
         self.pe_activity.scratch_accesses += s.scratch_accesses;
     }
 
-    /// True when the op has fully completed (results visible).
+    /// True when the op reached a terminal state (results visible only
+    /// when [`op_status`](Self::op_status) is `Completed`).
     pub fn op_done(&self, h: OpHandle) -> bool {
         self.op(h).done
+    }
+
+    /// Terminal status of op `h`, `None` while it is still live. Outside
+    /// fault recovery every finished op reads `Some(Completed)`.
+    pub fn op_status(&self, h: OpHandle) -> Option<OpStatus> {
+        self.op(h).status
     }
 
     /// True when `h` names an existing session/op pair. Snapshot decode
@@ -1399,6 +1831,11 @@ impl Runtime {
                 w.varint(op.instr_base);
                 w.opt_cycle(op.first_staged_at);
                 w.opt_cycle(op.finished_at);
+                w.u8(OpStatus::encode(op.status));
+                w.varint(u64::from(op.retries));
+                w.varint(op.retry_after);
+                w.opt_cycle(op.deadline_at);
+                w.bool(op.fallback_host);
             }
             w.varint(ss.first_live as u64);
             w.varint(ss.unordered_live as u64);
@@ -1414,6 +1851,18 @@ impl Runtime {
         w.varint(self.host_comm_cycles);
         w.varint(self.realignment_copies);
         w.varint(u64::from(self.default_color.0));
+        for &a in &self.alive {
+            w.bool(a);
+        }
+        w.varint(self.counters.instr_retries);
+        w.varint(self.counters.instr_timeouts);
+        w.varint(self.counters.ops_failed);
+        w.varint(self.counters.ops_timed_out);
+        w.varint(self.counters.ops_dep_failed);
+        w.varint(self.counters.host_fallbacks);
+        w.varint(self.counters.ranks_quarantined);
+        w.varint(self.counters.max_retry_backoff);
+        w.varint(self.clock);
     }
 
     /// Overwrite this (freshly constructed) runtime from bytes written by
@@ -1580,6 +2029,11 @@ impl Runtime {
                     instr_base: r.varint()?,
                     first_staged_at: r.opt_cycle()?,
                     finished_at: r.opt_cycle()?,
+                    status: OpStatus::decode(r.u8()?)?,
+                    retries: r.varint_u32()?,
+                    retry_after: r.varint()?,
+                    deadline_at: r.opt_cycle()?,
+                    fallback_host: r.bool()?,
                 });
             }
             let first_live = r.varint_usize()?;
@@ -1625,6 +2079,27 @@ impl Runtime {
         self.host_comm_cycles = r.varint()?;
         self.realignment_copies = r.varint()?;
         self.default_color = Color(r.varint_u32()?);
+        for a in &mut self.alive {
+            *a = r.bool()?;
+        }
+        self.counters.instr_retries = r.varint()?;
+        self.counters.instr_timeouts = r.varint()?;
+        self.counters.ops_failed = r.varint()?;
+        self.counters.ops_timed_out = r.varint()?;
+        self.counters.ops_dep_failed = r.varint()?;
+        self.counters.host_fallbacks = r.varint()?;
+        self.counters.ranks_quarantined = r.varint()?;
+        self.counters.max_retry_backoff = r.varint()?;
+        self.clock = r.varint()?;
+        // `armed_deadlines` is derived state: recount live armed ops.
+        self.armed_deadlines = 0;
+        for ss in &self.sessions {
+            for op in &ss.ops {
+                if !op.done && op.deadline_at.is_some() {
+                    self.armed_deadlines += 1;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -1676,6 +2151,8 @@ pub struct OpBuilder<'rt> {
     opts: LaunchOpts,
     deps: Vec<OpHandle>,
     ordered: bool,
+    deadline: Option<u64>,
+    fallback_host: bool,
 }
 
 impl<'rt> OpBuilder<'rt> {
@@ -1687,6 +2164,8 @@ impl<'rt> OpBuilder<'rt> {
             opts: LaunchOpts::default(),
             deps: Vec::new(),
             ordered: true,
+            deadline: None,
+            fallback_host: false,
         }
     }
 
@@ -1723,6 +2202,24 @@ impl<'rt> OpBuilder<'rt> {
         self
     }
 
+    /// Arm a per-op deadline: if the op has not finished `cycles` DRAM
+    /// cycles after submission it concludes
+    /// [`TimedOut`](OpStatus::TimedOut) (and the failure cascades along
+    /// explicit DAG edges).
+    pub fn deadline(mut self, cycles: u64) -> Self {
+        self.deadline = Some(cycles);
+        self
+    }
+
+    /// Graceful degradation opt-in: when the op exhausts its retry
+    /// budget on a faulted machine, re-execute it on the host cores
+    /// (concluding [`Completed`](OpStatus::Completed) with results
+    /// visible) instead of concluding [`Failed`](OpStatus::Failed).
+    pub fn fallback_host(mut self) -> Self {
+        self.fallback_host = true;
+        self
+    }
+
     /// Queue the op and return its handle.
     pub fn submit(self) -> OpHandle {
         let OpBuilder {
@@ -1732,8 +2229,10 @@ impl<'rt> OpBuilder<'rt> {
             opts,
             deps,
             ordered,
+            deadline,
+            fallback_host,
         } = self;
-        match kind {
+        let built = match kind {
             BuildKind::Elementwise {
                 op,
                 scalars,
@@ -1756,7 +2255,9 @@ impl<'rt> OpBuilder<'rt> {
                 deps,
                 ordered,
             ),
-        }
+        };
+        rt.apply_recovery_opts(built, deadline, fallback_host);
+        built
     }
 }
 

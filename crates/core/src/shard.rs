@@ -23,6 +23,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
+use chopim_dram::fault::{stream, FaultPlan};
+use chopim_dram::stats::ChannelStats;
 use chopim_dram::{Channel, CommandKind, Cycle};
 use chopim_nda::controller::{NdaRankController, NdaTickResult};
 use chopim_nda::fsm::NdaFsm;
@@ -65,8 +67,17 @@ pub(crate) enum ShardInbound {
 /// Outbound fill completion: `(deliver_at, core, request id)`.
 pub(crate) type FillMsg = (Cycle, usize, u64);
 /// Outbound instruction completion:
-/// `(deliver_at, instr id, global NDA, (session, op))`.
-pub(crate) type CompletionMsg = (Cycle, u64, usize, OpHandle);
+/// `(deliver_at, instr id, global NDA, (session, op), status)`.
+pub(crate) type CompletionMsg = (Cycle, u64, usize, OpHandle, u8);
+
+/// [`CompletionMsg`] status: the instruction retired successfully.
+pub(crate) const COMPLETION_OK: u8 = 0;
+/// [`CompletionMsg`] status: the instruction failed (transient compute
+/// fault, poisoned operand, or queue overflow under fault recovery).
+pub(crate) const COMPLETION_FAILED: u8 = 1;
+/// [`CompletionMsg`] status: the target rank died permanently; the
+/// front-end quarantines it and re-shards onto survivors.
+pub(crate) const COMPLETION_RANK_DEAD: u8 = 2;
 
 /// The configuration slice a shard needs (copied at construction so the
 /// shard is self-contained and `Send`).
@@ -87,6 +98,105 @@ pub(crate) struct ShardParams {
     /// logs (trace capture; the DRAM command stream is recorded by the
     /// channel's own trace buffer).
     pub record_events: bool,
+    /// Deterministic fault-injection plan (empty = zero overhead).
+    pub faults: FaultPlan,
+}
+
+/// Per-shard fault-injection state: the event counters the counter-based
+/// fault streams draw on, per-NDA poison/death flags, and the injected
+/// fault counters surfaced through `FaultReport`. Every mutation sits
+/// behind the single `active` test, so an empty plan costs one branch
+/// per event and nothing else.
+#[derive(Debug)]
+struct FaultState {
+    /// `!plan.is_empty()` — the one branch the zero-overhead path pays.
+    active: bool,
+    /// Shard-local index of the rank the plan kills, when it lives here.
+    death_local: Option<usize>,
+    death_processed: bool,
+    /// Column reads performed on this channel (bit-flip stream key).
+    col_reads: u64,
+    /// NDA instructions retired (transient/hang stream key).
+    instrs_retired: u64,
+    /// Completion messages sent (drop/delay stream key).
+    completions_sent: u64,
+    /// Per-NDA: an uncorrectable read poisons the next retirement.
+    poisoned: Vec<bool>,
+    /// Per-NDA: permanently dead (launches fail immediately).
+    dead: Vec<bool>,
+    transient_faults: u64,
+    fsm_hangs: u64,
+    completions_dropped: u64,
+    completions_delayed: u64,
+    rank_deaths: u64,
+}
+
+impl FaultState {
+    /// Draw the bit-flip/ECC streams for one column read. An
+    /// uncorrectable flip on an NDA read poisons `poison`'s next
+    /// retirement; host reads are counted only.
+    #[cold]
+    fn col_read(
+        &mut self,
+        plan: &FaultPlan,
+        channel_idx: usize,
+        stats: &mut ChannelStats,
+        poison: Option<usize>,
+    ) {
+        let ch = channel_idx as u64;
+        let n = self.col_reads;
+        self.col_reads += 1;
+        if plan.fires(plan.dram_bit_flip_period, ch, stream::BIT_FLIP, n) {
+            if plan.uncorrectable(ch, n) {
+                stats.ecc_uncorrectable += 1;
+                if let Some(i) = poison {
+                    self.poisoned[i] = true;
+                }
+            } else {
+                stats.ecc_corrected += 1;
+            }
+        }
+    }
+
+    /// Draw the transient/hang/drop/delay streams for one retirement.
+    /// Returns `false` when the completion message is dropped in
+    /// transit; otherwise `deliver`/`status` carry any injected delay
+    /// and failure.
+    #[cold]
+    fn retire(
+        &mut self,
+        plan: &FaultPlan,
+        channel_idx: usize,
+        nda: usize,
+        deliver: &mut Cycle,
+        status: &mut u8,
+    ) -> bool {
+        let ch = channel_idx as u64;
+        let n = self.instrs_retired;
+        self.instrs_retired += 1;
+        if self.poisoned[nda] {
+            self.poisoned[nda] = false;
+            *status = COMPLETION_FAILED;
+        } else if plan.fires(plan.nda_transient_period, ch, stream::TRANSIENT, n) {
+            self.transient_faults += 1;
+            *status = COMPLETION_FAILED;
+        }
+        if plan.fires(plan.nda_hang_period, ch, stream::HANG, n) {
+            self.fsm_hangs += 1;
+            *deliver += plan.nda_hang_cycles;
+        }
+        let m = self.completions_sent;
+        self.completions_sent += 1;
+        if plan.fires(plan.completion_drop_period, ch, stream::DROP, m) {
+            self.completions_dropped += 1;
+            return false;
+        }
+        if plan.fires(plan.completion_delay_period, ch, stream::DELAY, m) {
+            self.completions_delayed += 1;
+            *deliver += plan.completion_delay_cycles;
+        }
+        true
+    }
 }
 
 impl ShardInbound {
@@ -236,6 +346,8 @@ pub(crate) struct ChannelShard {
     /// ticking shards on a worker pool without perturbing stochastic
     /// write throttling.
     policy_rng: StdRng,
+    /// Fault-injection counters and flags (see [`FaultState`]).
+    fault: FaultState,
     params: ShardParams,
     pub(crate) now: Cycle,
     /// Cached event horizon: the shard state as of the last executed
@@ -301,6 +413,29 @@ impl ChannelShard {
             ctls.push(ctl);
         }
         let n = ctls.len();
+        let plan = params.faults;
+        let death_local = if plan.rank_death_cycle > 0 {
+            global_idx
+                .iter()
+                .position(|&g| g == plan.rank_death_nda as usize)
+        } else {
+            None
+        };
+        let fault = FaultState {
+            active: !plan.is_empty(),
+            death_local,
+            death_processed: false,
+            col_reads: 0,
+            instrs_retired: 0,
+            completions_sent: 0,
+            poisoned: vec![false; n],
+            dead: vec![false; n],
+            transient_faults: 0,
+            fsm_hangs: 0,
+            completions_dropped: 0,
+            completions_delayed: 0,
+            rank_deaths: 0,
+        };
         Self {
             channel_idx,
             channel,
@@ -322,6 +457,7 @@ impl ChannelShard {
                 (seed ^ 0x9e37_79b9_7f4a_7c15)
                     .wrapping_add((channel_idx as u64).wrapping_mul(0xa24b_aed4_963e_e407)),
             ),
+            fault,
             params,
             now: 0,
             quiet_until: 0,
@@ -401,6 +537,18 @@ impl ChannelShard {
         let now = self.now;
         self.ticks_executed += 1;
 
+        // 0. Permanent rank death fires at its planned cycle. The
+        // horizon folds the death cycle in, so every engine variant
+        // (naive, fast-forwarding, any thread count) executes this tick
+        // at exactly the same cycle.
+        if self.fault.active && !self.fault.death_processed {
+            if let Some(local) = self.fault.death_local {
+                if now >= self.params.faults.rank_death_cycle {
+                    self.process_rank_death(local, now);
+                }
+            }
+        }
+
         // 1. Launch deliveries whose control writes completed.
         while let Some(&Reverse((t, id))) = self.launch_events.peek() {
             if t > now {
@@ -411,18 +559,45 @@ impl ChannelShard {
             lf.writes_remaining -= 1;
             if lf.writes_remaining == 0 {
                 let lf = self.launches.remove(id).expect("present");
+                if self.fault.active && self.fault.dead[lf.nda_local] {
+                    // Delivery to a dead rank: fail the instruction
+                    // immediately so the front-end can re-shard it.
+                    self.completions_out.push((
+                        now + self.params.completion_latency,
+                        lf.instr.id,
+                        self.global_idx[lf.nda_local],
+                        lf.tag,
+                        COMPLETION_RANK_DEAD,
+                    ));
+                    continue;
+                }
                 if self.params.record_events {
                     self.launch_log
                         .push((now, lf.nda_local as u32, lf.instr.id));
                 }
                 self.nda_poke[lf.nda_local] = true;
-                self.completion_tags[lf.nda_local].push((lf.instr.id, lf.tag));
-                self.shadows[lf.nda_local]
-                    .launch(lf.instr.clone())
-                    .unwrap_or_else(|_| panic!("shadow queue overflow"));
-                self.ndas[lf.nda_local]
-                    .launch(lf.instr)
-                    .unwrap_or_else(|_| panic!("NDA queue overflow"));
+                match self.ndas[lf.nda_local].launch(lf.instr.clone()) {
+                    Ok(()) => {
+                        self.completion_tags[lf.nda_local].push((lf.instr.id, lf.tag));
+                        self.shadows[lf.nda_local]
+                            .launch(lf.instr)
+                            .unwrap_or_else(|_| panic!("shadow queue overflow"));
+                    }
+                    // Under fault recovery, optimistic credit return on
+                    // timeout makes queue overflow reachable: fail the
+                    // launch gracefully (the runtime retries it) instead
+                    // of bringing the machine down.
+                    Err(_) if self.fault.active => {
+                        self.completions_out.push((
+                            now + self.params.completion_latency,
+                            lf.instr.id,
+                            self.global_idx[lf.nda_local],
+                            lf.tag,
+                            COMPLETION_FAILED,
+                        ));
+                    }
+                    Err(_) => panic!("NDA queue overflow"),
+                }
             }
         }
 
@@ -478,6 +653,27 @@ impl ChannelShard {
         }
     }
 
+    /// Kill shard-local NDA `local` at `now`: every instruction it holds
+    /// (queued, running, or awaiting write-drain) fails with
+    /// [`COMPLETION_RANK_DEAD`] so the front-end quarantines the rank
+    /// and re-shards the work; the FSM and its shadow are aborted
+    /// identically so the replicated-FSM fingerprints stay equal.
+    #[cold]
+    fn process_rank_death(&mut self, local: usize, now: Cycle) {
+        self.fault.death_processed = true;
+        self.fault.dead[local] = true;
+        self.fault.rank_deaths += 1;
+        self.nda_poke[local] = false;
+        let gidx = self.global_idx[local];
+        let latency = self.params.completion_latency;
+        for (id, tag) in self.completion_tags[local].drain(..) {
+            self.completions_out
+                .push((now + latency, id, gidx, tag, COMPLETION_RANK_DEAD));
+        }
+        self.ndas[local].abort_all();
+        self.shadows[local].abort_all();
+    }
+
     fn mc_cycle(&mut self, now: Cycle) {
         // In fast-forward mode a valid wake-up hint proves the whole
         // controller tick is a no-op; the naive loop evaluates every
@@ -510,6 +706,16 @@ impl ChannelShard {
             }
         }
         if let Some(iss) = issued {
+            if self.fault.active && iss.cmd.kind == CommandKind::Rd {
+                // Host column read: draw the bit-flip/ECC streams
+                // (host-side uncorrectable errors are counted only).
+                self.fault.col_read(
+                    &self.params.faults,
+                    self.channel_idx,
+                    &mut self.channel.stats,
+                    None,
+                );
+            }
             // A host *row* command (ACT/PRE/PREA/REF) changed its target
             // rank's bank state: the rank's NDA plan may have changed
             // shape and become ready *earlier*, so its cached wake-up
@@ -550,12 +756,14 @@ impl ChannelShard {
         // idle and timing-blocked cycles RNG-free, a precondition for
         // skipping them in fast-forward mode.
         let Self {
+            channel_idx,
             ndas,
             nda_poke,
             shadows,
             mc,
             channel,
             policy_rng,
+            fault,
             params,
             completions_out,
             completion_tags,
@@ -590,6 +798,15 @@ impl ChannelShard {
             let policy = params.policy;
             let rng = &mut *policy_rng;
             let result = ndas[i].tick(channel, now, || policy.allow_write(oldest, rank, rng));
+            if fault.active {
+                if let NdaTickResult::Issued(cmd) = result {
+                    if cmd.kind == CommandKind::Rd {
+                        // NDA column read: an uncorrectable bit-flip
+                        // poisons this NDA's next retirement.
+                        fault.col_read(&params.faults, *channel_idx, &mut channel.stats, Some(i));
+                    }
+                }
+            }
             if let NdaTickResult::Issued(cmd) = result {
                 // An NDA *row* command changed bank state under the host
                 // scheduler: a queued transaction's plan may now be
@@ -641,7 +858,14 @@ impl ChannelShard {
                     .position(|&(tid, _)| tid == id)
                     .expect("tagged instruction");
                 let (_, tag) = tags.swap_remove(at);
-                completions_out.push((now + params.completion_latency, id, global_idx[i], tag));
+                let mut deliver = now + params.completion_latency;
+                let mut status = COMPLETION_OK;
+                if fault.active
+                    && !fault.retire(&params.faults, *channel_idx, i, &mut deliver, &mut status)
+                {
+                    continue; // completion message dropped in transit
+                }
+                completions_out.push((deliver, id, global_idx[i], tag, status));
             }
         }
     }
@@ -663,6 +887,16 @@ impl ChannelShard {
             return now;
         }
         let mut h = Cycle::MAX;
+        // A pending rank death is a shard event: folding its cycle here
+        // (and never skipping past it) is what guarantees every engine
+        // variant executes the death tick at exactly the planned cycle.
+        if self.fault.active && !self.fault.death_processed && self.fault.death_local.is_some() {
+            let d = self.params.faults.rank_death_cycle;
+            if d <= now {
+                return now;
+            }
+            h = d;
+        }
         if let Some(&Reverse((t, _))) = self.launch_events.peek() {
             h = h.min(t);
         }
@@ -839,11 +1073,12 @@ impl ChannelShard {
             w.varint(req);
         }
         w.varint(self.completions_out.len() as u64);
-        for &(t, id, gidx, tag) in &self.completions_out {
+        for &(t, id, gidx, tag, status) in &self.completions_out {
             w.varint(t);
             w.varint(id);
             w.varint(gidx as u64);
             encode_handle(tag, w);
+            w.u8(status);
         }
         for s in self.policy_rng.state() {
             w.u64(s);
@@ -856,6 +1091,23 @@ impl ChannelShard {
         w.varint(u64::from(self.ff_backoff));
         w.varint(u64::from(self.hint_backoff));
         w.varint(u64::from(self.hint_penalty));
+        // v2: fault-plane state (counters are stream keys — restoring
+        // them verbatim is what keeps resume-under-faults bit-identical).
+        w.varint(self.fault.col_reads);
+        w.varint(self.fault.instrs_retired);
+        w.varint(self.fault.completions_sent);
+        w.varint(self.fault.transient_faults);
+        w.varint(self.fault.fsm_hangs);
+        w.varint(self.fault.completions_dropped);
+        w.varint(self.fault.completions_delayed);
+        w.varint(self.fault.rank_deaths);
+        for &p in &self.fault.poisoned {
+            w.bool(p);
+        }
+        for &d in &self.fault.dead {
+            w.bool(d);
+        }
+        w.bool(self.fault.death_processed);
     }
 
     /// Overwrite this (freshly constructed) shard from bytes written by
@@ -935,12 +1187,17 @@ impl ChannelShard {
         self.completions_out.clear();
         self.completions_out.reserve(k.min(r.remaining()));
         for _ in 0..k {
-            self.completions_out.push((
+            let entry = (
                 r.varint()?,
                 r.varint()?,
                 r.varint_usize()?,
                 decode_handle(r)?,
-            ));
+                r.u8()?,
+            );
+            if entry.4 > COMPLETION_RANK_DEAD {
+                return Err(CodecError::Corrupt("completion status"));
+            }
+            self.completions_out.push(entry);
         }
         let mut rng_state = [0u64; 4];
         for s in rng_state.iter_mut() {
@@ -955,6 +1212,31 @@ impl ChannelShard {
         self.ff_backoff = r.varint_u32()?;
         self.hint_backoff = r.varint_u32()?;
         self.hint_penalty = r.varint_u32()?;
+        self.fault.col_reads = r.varint()?;
+        self.fault.instrs_retired = r.varint()?;
+        self.fault.completions_sent = r.varint()?;
+        self.fault.transient_faults = r.varint()?;
+        self.fault.fsm_hangs = r.varint()?;
+        self.fault.completions_dropped = r.varint()?;
+        self.fault.completions_delayed = r.varint()?;
+        self.fault.rank_deaths = r.varint()?;
+        for p in self.fault.poisoned.iter_mut() {
+            *p = r.bool()?;
+        }
+        for d in self.fault.dead.iter_mut() {
+            *d = r.bool()?;
+        }
+        self.fault.death_processed = r.bool()?;
         Ok(())
+    }
+
+    /// Fold this shard's injected-fault counters into `fr` (report
+    /// support; ECC counts flow through the channel's `DramStats`).
+    pub(crate) fn add_fault_counts(&self, fr: &mut crate::report::FaultReport) {
+        fr.transient_faults += self.fault.transient_faults;
+        fr.fsm_hangs += self.fault.fsm_hangs;
+        fr.completions_dropped += self.fault.completions_dropped;
+        fr.completions_delayed += self.fault.completions_delayed;
+        fr.rank_deaths += self.fault.rank_deaths;
     }
 }

@@ -72,7 +72,7 @@ use std::sync::Arc;
 use chopim_dram::codec::{fnv1a, read_framed, write_framed, ByteReader, ByteWriter, CodecError};
 use chopim_dram::perfcount::{self, Counter};
 use chopim_dram::trace::{encode_trace, TraceEvent};
-use chopim_dram::{Channel, Cycle, DramConfig, DramStats};
+use chopim_dram::{Channel, Cycle, DramConfig, DramStats, FaultPlan};
 use chopim_host::{CoreConfig, MixId, OooCore, OooCoreState};
 use chopim_mapping::color::{ColoredAllocator, Region};
 use chopim_mapping::{presets, AddressMapper, PartitionedMapping};
@@ -83,10 +83,10 @@ use crate::energy::{self, EnergyParams};
 use crate::exchange::MergeQueue;
 use crate::par::ShardPool;
 use crate::policy::WriteIssuePolicy;
-use crate::report::SimReport;
+use crate::report::{FaultReport, SimReport};
 use crate::runtime::{decode_handle, encode_handle, OpHandle, PendingLaunch, Runtime, Session};
 use crate::sched::{HostMc, HostTransaction, PagePolicy, SchedulerKind, TxMeta};
-use crate::shard::{ChannelShard, ShardInbound, ShardParams};
+use crate::shard::{ChannelShard, ShardInbound, ShardParams, COMPLETION_OK, COMPLETION_RANK_DEAD};
 
 /// What [`ChopimSystem::drive`] waits for.
 ///
@@ -279,6 +279,26 @@ pub struct ChopimConfig {
     /// `CHOPIM_TRACE=<path>` (unset = no capture). Like the engine-mode
     /// knobs, this never affects simulated behavior.
     pub trace_path: Option<PathBuf>,
+    /// Deterministic fault-injection plan (`docs/FAULTS.md`). The
+    /// default, [`FaultPlan::NONE`], injects nothing and keeps every
+    /// hot path byte-identical to the pre-fault-plane engine; a
+    /// non-empty plan also activates the runtime's recovery layer
+    /// (retries, in-flight timeouts, quarantine). Defaults to
+    /// `CHOPIM_FAULTS=<spec>` (unset = empty).
+    pub faults: FaultPlan,
+    /// Instruction retries per op before it concludes `Failed` (or
+    /// falls back to the host). Only read while `faults` is non-empty.
+    pub retry_limit: u32,
+    /// Base retry backoff in DRAM cycles; doubles per retry of the op.
+    pub retry_backoff: u64,
+    /// Upper bound on the exponential retry backoff, in DRAM cycles.
+    pub retry_backoff_cap: u64,
+    /// In-flight launch timeout in DRAM cycles: a launch whose
+    /// completion has not arrived this long after egress is treated as
+    /// lost (credit reclaimed, retry scheduled). `0` picks an
+    /// automatic value comfortably above the longest injected delay.
+    /// Only read while `faults` is non-empty.
+    pub instr_timeout: u64,
 }
 
 impl Default for ChopimConfig {
@@ -307,6 +327,11 @@ impl Default for ChopimConfig {
             sim_threads: sim_threads_from_env(),
             fixed_window: fixed_window_from_env(),
             trace_path: trace_path_from_env(),
+            faults: FaultPlan::from_env(),
+            retry_limit: 3,
+            retry_backoff: 64,
+            retry_backoff_cap: 4096,
+            instr_timeout: 0,
         }
     }
 }
@@ -320,6 +345,29 @@ impl ChopimConfig {
         let fill = Cycle::from(self.dram.timing.cl) + Cycle::from(self.dram.timing.bl);
         fill.min(Cycle::from(self.completion_latency.max(1))).max(1)
     }
+
+    /// The in-flight launch timeout actually applied: the configured
+    /// value, or (when 0) an automatic bound comfortably above the
+    /// longest injected completion delay plus the delivery latency.
+    fn effective_instr_timeout(&self) -> Cycle {
+        if self.instr_timeout > 0 {
+            return self.instr_timeout;
+        }
+        50_000
+            .max(self.faults.completion_delay_cycles.saturating_mul(4))
+            .max(self.faults.nda_hang_cycles.saturating_mul(4))
+    }
+}
+
+/// One launch the front-end egressed and has not yet seen conclude
+/// (fault recovery only): the completion resolves through this record —
+/// retried launches carry fresh instruction ids, so the record, not id
+/// arithmetic, recovers the op chunk — and if no completion arrives by
+/// `deadline` the launch is declared lost and retried.
+struct InflightRec {
+    deadline: Cycle,
+    id: u64,
+    launch: PendingLaunch,
 }
 
 /// The complete simulated machine.
@@ -349,8 +397,8 @@ pub struct ChopimSystem {
     /// with one sort (see [`crate::exchange`]).
     fills: MergeQueue<(Cycle, usize, u64)>,
     /// NDA completions on their way to the runtime:
-    /// `(at, instr, nda, (session, op))`.
-    completions: MergeQueue<(Cycle, u64, usize, OpHandle)>,
+    /// `(at, instr, nda, (session, op), status)`.
+    completions: MergeQueue<(Cycle, u64, usize, OpHandle, u8)>,
     /// Resident relaunching workloads, pumped by the drive loop.
     streams: Vec<StreamState>,
     /// Per-channel outboxes: flat buffers of messages produced this
@@ -368,6 +416,14 @@ pub struct ChopimSystem {
     /// `ingress_seen`.
     ingress_unseen: Vec<usize>,
     launch_stage: VecDeque<PendingLaunch>,
+    /// Fault recovery active (`cfg.faults` non-empty): completions
+    /// resolve through `inflight` records and timeouts fire. Cached so
+    /// the empty-plan hot path costs one branch.
+    recovery_active: bool,
+    /// Effective in-flight launch timeout (cycles).
+    instr_timeout: Cycle,
+    /// In-flight launch records, deadline-ordered (egress order).
+    inflight: VecDeque<InflightRec>,
     /// Per-NDA launch credits: queue capacity minus instructions sent
     /// and not yet known complete. A conservative (delayed) view of the
     /// rank FSM's queue space — the shard-side queue can never overflow.
@@ -455,6 +511,13 @@ impl ChopimSystem {
             }
         }
 
+        runtime.configure_recovery(
+            !cfg.faults.is_empty(),
+            cfg.retry_limit,
+            cfg.retry_backoff,
+            cfg.retry_backoff_cap,
+        );
+
         let params = ShardParams {
             policy: cfg.policy,
             fast_forward: cfg.fast_forward,
@@ -462,6 +525,7 @@ impl ChopimSystem {
             packetized_latency: Cycle::from(cfg.packetized_latency),
             completion_latency: Cycle::from(cfg.completion_latency.max(1)),
             record_events: false,
+            faults: cfg.faults,
         };
         let shards: Vec<ChannelShard> = (0..cfg.dram.channels)
             .map(|c| {
@@ -510,6 +574,8 @@ impl ChopimSystem {
         };
         let window = cfg.lookahead();
         let cfg_queue_cap = cfg.nda_queue_cap;
+        let recovery_active = !cfg.faults.is_empty();
+        let instr_timeout = cfg.effective_instr_timeout();
         let mut sys = Self {
             cfg,
             mapper,
@@ -531,6 +597,9 @@ impl ChopimSystem {
             ingress_seen: vec![0; nchannels],
             ingress_unseen: vec![0; nchannels],
             launch_stage: VecDeque::new(),
+            recovery_active,
+            instr_timeout,
+            inflight: VecDeque::new(),
             nda_credit: vec![cfg_queue_cap; n],
             next_launch: 0,
             nda_instrs_completed: 0,
@@ -653,7 +722,7 @@ impl ChopimSystem {
                     .chain(
                         sh.completions_out[comps_before..]
                             .iter()
-                            .map(|&(t, _, _, _)| t),
+                            .map(|&(t, _, _, _, _)| t),
                     )
                     .min();
                 (claim, first)
@@ -699,17 +768,39 @@ impl ChopimSystem {
     fn fe_tick(&mut self) {
         let now = self.now;
         self.ticks_executed += 1;
+        self.runtime.clock = now;
 
         // 1. NDA completions that became host-visible.
-        while let Some(&(t, id, nda, tag)) = self.completions.peek() {
+        while let Some(&(t, id, nda, tag, status)) = self.completions.peek() {
             if t > now {
                 break;
             }
             self.completions.pop();
-            self.nda_credit[nda] += 1;
-            self.nda_instrs_completed += 1;
-            let _ = self.runtime.complete_instr(tag, id, now);
+            if self.recovery_active {
+                self.resolve_completion(id, tag, status, now);
+            } else {
+                debug_assert_eq!(status, COMPLETION_OK);
+                self.nda_credit[nda] += 1;
+                self.nda_instrs_completed += 1;
+                let _ = self.runtime.complete_instr(tag, id, now);
+            }
         }
+
+        // 1b. In-flight launch timeouts (fault recovery): a launch whose
+        // completion is overdue is declared lost — its credit comes back
+        // and the runtime schedules a retry. Deadlines are egress-ordered,
+        // so only the queue front needs checking.
+        if self.recovery_active {
+            while self.inflight.front().is_some_and(|rec| rec.deadline <= now) {
+                let rec = self.inflight.pop_front().expect("checked");
+                self.nda_credit[rec.launch.nda_idx] += 1;
+                self.runtime.counters.instr_timeouts += 1;
+                self.runtime.instr_failed(rec.launch, now, false);
+            }
+        }
+        // Per-op deadlines (free while none are armed; independent of
+        // fault injection — `OpBuilder::deadline` works on any machine).
+        self.runtime.check_deadlines(now);
 
         // 2. Read fills due at the cores.
         while let Some(&(t, core, req)) = self.fills.peek() {
@@ -739,6 +830,24 @@ impl ChopimSystem {
             } = self;
             runtime.next_launches(|i| nda_credit[i], 1, now, launch_stage);
         }
+        if self.recovery_active {
+            // Staged heads can go stale under recovery: their op may have
+            // concluded (timeout/failure), or their target NDA may have
+            // been quarantined since staging.
+            while self
+                .launch_stage
+                .front()
+                .is_some_and(|h| self.runtime.op_done(h.op))
+            {
+                self.launch_stage.pop_front();
+            }
+            if let Some(cur) = self.launch_stage.front().map(|h| h.nda_idx) {
+                let red = self.runtime.redirect_live(cur);
+                if red != cur {
+                    self.launch_stage.front_mut().expect("checked").nda_idx = red;
+                }
+            }
+        }
         if let Some(head) = self.launch_stage.front() {
             let (ch, rank) = self.nda_local[head.nda_idx];
             let k = self.cfg.launch_writes_per_instr.max(1);
@@ -747,6 +856,13 @@ impl ChopimSystem {
             #[allow(clippy::collapsible_if)]
             if self.ingress_free(ch) > k as usize {
                 let head = self.launch_stage.pop_front().expect("checked");
+                if self.recovery_active {
+                    self.inflight.push_back(InflightRec {
+                        deadline: now + self.instr_timeout,
+                        id: head.instr.id,
+                        launch: head.clone(),
+                    });
+                }
                 let id = self.next_launch;
                 self.next_launch += 1;
                 let delay = Cycle::from(self.cfg.ingress_latency)
@@ -786,6 +902,31 @@ impl ChopimSystem {
                 }
                 self.nda_credit[head.nda_idx] -= 1;
             }
+        }
+    }
+
+    /// Resolve a delivered completion against the in-flight records
+    /// (fault recovery): the record — not instruction-id arithmetic —
+    /// recovers the op chunk, because retried launches carry fresh ids.
+    /// A completion with no record (its launch already timed out and was
+    /// resolved) is an orphan and is dropped; its credit came back at
+    /// timeout time.
+    #[cold]
+    fn resolve_completion(&mut self, id: u64, tag: OpHandle, status: u8, now: Cycle) {
+        let Some(pos) = self.inflight.iter().position(|rec| rec.id == id) else {
+            return;
+        };
+        let rec = self.inflight.remove(pos).expect("checked");
+        self.nda_credit[rec.launch.nda_idx] += 1;
+        if status == COMPLETION_OK {
+            self.nda_instrs_completed += 1;
+            let _ = self.runtime.instr_completed_via(tag, rec.launch.chunk, now);
+        } else {
+            if status == COMPLETION_RANK_DEAD {
+                self.runtime.quarantine(rec.launch.nda_idx);
+            }
+            self.runtime
+                .instr_failed(rec.launch, now, status == COMPLETION_RANK_DEAD);
         }
     }
 
@@ -859,16 +1000,24 @@ impl ChopimSystem {
         }
         {
             let credit = &self.nda_credit;
-            if self.runtime.launch_ready(|i| credit[i]) {
+            if self.runtime.launch_ready(|i| credit[i], now) {
                 return now;
             }
         }
         let mut h = Cycle::MAX;
-        if let Some(&(t, _, _, _)) = self.completions.peek() {
+        if let Some(&(t, _, _, _, _)) = self.completions.peek() {
             h = h.min(t);
         }
         if let Some(&(t, _, _)) = self.fills.peek() {
             h = h.min(t);
+        }
+        // Recovery wake sources must be cycle-exact on every engine:
+        // in-flight timeouts, retry-hold expiries, and armed deadlines.
+        if let Some(rec) = self.inflight.front() {
+            h = h.min(rec.deadline);
+        }
+        if let Some(w) = self.runtime.next_recovery_wake(now) {
+            h = h.min(w);
         }
         h.max(now)
     }
@@ -887,6 +1036,7 @@ impl ChopimSystem {
             core.advance_inert(steps);
         }
         self.now = target;
+        self.runtime.clock = target;
     }
 
     /// In fast-forward mode, leap the front-end to its horizon within
@@ -1283,7 +1433,27 @@ impl ChopimSystem {
                 .flat_map(|s| s.ndas.iter())
                 .map(|n| n.write_throttle_stalls)
                 .sum(),
+            faults: self.fault_report(),
         }
+    }
+
+    /// Injection counters summed over shards plus the runtime's
+    /// recovery-side accounting.
+    fn fault_report(&self) -> FaultReport {
+        let mut fr = FaultReport::default();
+        for shard in &self.shards {
+            shard.add_fault_counts(&mut fr);
+        }
+        let rc = self.runtime.recovery_counters();
+        fr.instr_retries = rc.instr_retries;
+        fr.instr_timeouts = rc.instr_timeouts;
+        fr.ops_failed = rc.ops_failed;
+        fr.ops_timed_out = rc.ops_timed_out;
+        fr.ops_dep_failed = rc.ops_dep_failed;
+        fr.host_fallbacks = rc.host_fallbacks;
+        fr.ranks_quarantined = rc.ranks_quarantined;
+        fr.max_retry_backoff = rc.max_retry_backoff;
+        fr
     }
 
     // --- Snapshot / restore -------------------------------------------
@@ -1299,7 +1469,7 @@ impl ChopimSystem {
         let desc = format!(
             "dram={:016x} reserved={} policy={:?} mix={:?} profiles={:?} core={:?} seed={} \
              launch_writes={} queue_cap={} rank_partition={} pa_order={} sched={:?} page={:?} \
-             packetized={} ingress={} completion={}",
+             packetized={} ingress={} completion={} faults={:?} retry={}/{}/{} timeout={}",
             cfg.dram.state_fingerprint(),
             cfg.reserved_banks,
             cfg.policy,
@@ -1316,6 +1486,11 @@ impl ChopimSystem {
             cfg.packetized_latency,
             cfg.ingress_latency,
             cfg.completion_latency,
+            cfg.faults,
+            cfg.retry_limit,
+            cfg.retry_backoff,
+            cfg.retry_backoff_cap,
+            cfg.effective_instr_timeout(),
         );
         fnv1a(desc.as_bytes())
     }
@@ -1354,11 +1529,12 @@ impl ChopimSystem {
         }
         w.bool(self.completions.is_dirty());
         w.varint(self.completions.live().len() as u64);
-        for &(t, id, nda, tag) in self.completions.live() {
+        for &(t, id, nda, tag, status) in self.completions.live() {
             w.varint(t);
             w.varint(id);
             w.varint(nda as u64);
             encode_handle(tag, &mut w);
+            w.u8(status);
         }
         for q in &self.egress {
             w.varint(q.len() as u64);
@@ -1379,6 +1555,15 @@ impl ChopimSystem {
             encode_instr(&pl.instr, &mut w);
             encode_handle(pl.op, &mut w);
             w.varint(pl.chunk as u64);
+        }
+        w.varint(self.inflight.len() as u64);
+        for rec in &self.inflight {
+            w.varint(rec.deadline);
+            w.varint(rec.id);
+            w.varint(rec.launch.nda_idx as u64);
+            encode_instr(&rec.launch.instr, &mut w);
+            encode_handle(rec.launch.op, &mut w);
+            w.varint(rec.launch.chunk as u64);
         }
         for &c in &self.nda_credit {
             w.varint(c as u64);
@@ -1447,10 +1632,14 @@ impl ChopimSystem {
             let id = r.varint()?;
             let nda = r.varint_usize()?;
             let tag = decode_handle(&mut r)?;
+            let status = r.u8()?;
             if nda >= sys.nda_local.len() {
                 return Err(CodecError::Corrupt("completion NDA index out of range"));
             }
-            comps.push((t, id, nda, tag));
+            if status > COMPLETION_RANK_DEAD {
+                return Err(CodecError::Corrupt("completion status"));
+            }
+            comps.push((t, id, nda, tag, status));
         }
         sys.completions = MergeQueue::restore(comps, dirty);
         for ch in 0..sys.egress.len() {
@@ -1486,6 +1675,34 @@ impl ChopimSystem {
                 chunk,
             });
         }
+        let n = r.varint_usize()?;
+        sys.inflight.clear();
+        let mut last_deadline = 0;
+        for _ in 0..n {
+            let deadline = r.varint()?;
+            if deadline < last_deadline {
+                return Err(CodecError::Corrupt("inflight deadlines out of order"));
+            }
+            last_deadline = deadline;
+            let id = r.varint()?;
+            let nda_idx = r.varint_usize()?;
+            if nda_idx >= sys.nda_local.len() {
+                return Err(CodecError::Corrupt("inflight NDA index out of range"));
+            }
+            let instr = decode_instr(&mut r)?;
+            let op = decode_handle(&mut r)?;
+            let chunk = r.varint_usize()?;
+            sys.inflight.push_back(InflightRec {
+                deadline,
+                id,
+                launch: PendingLaunch {
+                    nda_idx,
+                    instr,
+                    op,
+                    chunk,
+                },
+            });
+        }
         for c in &mut sys.nda_credit {
             *c = r.varint_usize()?;
             if *c > sys.cfg.nda_queue_cap {
@@ -1514,8 +1731,13 @@ impl ChopimSystem {
         // own session table; validate them against it now.
         let rt = &sys.runtime;
         let ok = |h: OpHandle| rt.handle_in_range(h);
-        if !sys.completions.live().iter().all(|&(_, _, _, tag)| ok(tag))
+        if !sys
+            .completions
+            .live()
+            .iter()
+            .all(|&(_, _, _, tag, _)| ok(tag))
             || !sys.launch_stage.iter().all(|pl| ok(pl.op))
+            || !sys.inflight.iter().all(|rec| ok(rec.launch.op))
             || !sys.egress.iter().flatten().all(|(_, item)| match item {
                 ShardInbound::Launch { tag, .. } => ok(*tag),
                 ShardInbound::Tx(_) => true,
@@ -1624,8 +1846,10 @@ impl ChopimSystem {
 
 /// Snapshot container framing magic (`docs/SNAPSHOT_FORMAT.md`).
 const SNAPSHOT_MAGIC: [u8; 4] = *b"CHSS";
-/// Snapshot container format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot container format version. v2 added the fault plane:
+/// completion status bytes, in-flight launch records, per-op recovery
+/// state, and per-shard fault counters.
+const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why [`ChopimSystem::snapshot`] refused to capture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

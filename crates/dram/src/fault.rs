@@ -1,0 +1,268 @@
+//! Deterministic seeded fault plane.
+//!
+//! A [`FaultPlan`] describes *when* faults fire, not *where the clock
+//! is*: every stream is keyed on a monotonically increasing event
+//! counter (column reads performed, NDA instructions retired,
+//! completion messages sent) hashed together with the plan seed and the
+//! channel index. Because those counters advance identically whether
+//! the engine ticks cycle-by-cycle or fast-forwards across provably
+//! idle regions, and are owned entirely by the shard that draws from
+//! them, the fault schedule is bit-identical across serial and
+//! multi-threaded execution and across the naive and fast simulation
+//! loops. The only cycle-keyed fault — permanent rank death — is folded
+//! into the shard horizon so every engine variant ticks at exactly the
+//! death cycle.
+//!
+//! An empty plan (the default) is a single `bool` test on each event
+//! path; the fault bodies are `#[cold]` and never execute, keeping the
+//! fault plane strictly zero-overhead when disabled.
+
+/// Fault stream discriminators: each fault class draws from its own
+/// hash stream so enabling one class never perturbs another.
+pub mod stream {
+    /// DRAM bit-flips, keyed on NDA column reads.
+    pub const BIT_FLIP: u64 = 0;
+    /// Correctable-vs-uncorrectable draw for a fired bit-flip.
+    pub const UNCORRECTABLE: u64 = 1;
+    /// Transient NDA compute faults, keyed on instruction retirements.
+    pub const TRANSIENT: u64 = 2;
+    /// NDA FSM hangs, keyed on instruction retirements.
+    pub const HANG: u64 = 3;
+    /// Dropped completion messages, keyed on completions sent.
+    pub const DROP: u64 = 4;
+    /// Delayed completion messages, keyed on completions sent.
+    pub const DELAY: u64 = 5;
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// All `*_period` knobs are mean-free *periods* over their event
+/// counter: `0` disables the stream entirely, `p > 0` fires whenever
+/// the per-(seed, channel, stream) hash of the current counter value is
+/// divisible by `p` — roughly one fault per `p` events, scattered
+/// pseudo-randomly rather than strictly periodic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every fault stream.
+    pub seed: u64,
+    /// Mean period (in NDA column reads) between injected DRAM
+    /// bit-flips; `0` disables.
+    pub dram_bit_flip_period: u64,
+    /// Percentage (0–100) of injected bit-flips that the ECC model
+    /// detects but cannot correct; the rest are silently corrected.
+    pub uncorrectable_pct: u8,
+    /// Mean period (in retired NDA instructions) between transient
+    /// compute faults (the instruction's completion reports failure);
+    /// `0` disables.
+    pub nda_transient_period: u64,
+    /// Mean period (in retired NDA instructions) between FSM hangs;
+    /// `0` disables.
+    pub nda_hang_period: u64,
+    /// Extra cycles a hang delays the affected completion by.
+    pub nda_hang_cycles: u64,
+    /// Mean period (in completions sent) between dropped completion
+    /// messages; `0` disables.
+    pub completion_drop_period: u64,
+    /// Mean period (in completions sent) between delayed completion
+    /// messages; `0` disables.
+    pub completion_delay_period: u64,
+    /// Extra cycles a delayed completion is deferred by.
+    pub completion_delay_cycles: u64,
+    /// Cycle at which one NDA rank dies permanently; `0` means never.
+    pub rank_death_cycle: u64,
+    /// Global NDA index (over the machine's rank-major NDA numbering)
+    /// of the rank that dies at [`FaultPlan::rank_death_cycle`].
+    pub rank_death_nda: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        dram_bit_flip_period: 0,
+        uncorrectable_pct: 0,
+        nda_transient_period: 0,
+        nda_hang_period: 0,
+        nda_hang_cycles: 0,
+        completion_drop_period: 0,
+        completion_delay_period: 0,
+        completion_delay_cycles: 0,
+        rank_death_cycle: 0,
+        rank_death_nda: 0,
+    };
+
+    /// `true` when no fault stream is enabled — the simulation takes
+    /// the zero-overhead path.
+    pub fn is_empty(&self) -> bool {
+        self.dram_bit_flip_period == 0
+            && self.nda_transient_period == 0
+            && self.nda_hang_period == 0
+            && self.completion_drop_period == 0
+            && self.completion_delay_period == 0
+            && self.rank_death_cycle == 0
+    }
+
+    /// Parse the `CHOPIM_FAULTS` environment knob. The syntax is a
+    /// comma-separated key list mirroring the plan fields:
+    ///
+    /// ```text
+    /// bitflip=1000,uncorrectable=10,transient=500,hang=1000:200,
+    /// drop=2000,delay=1000:64,rankdeath=50000:3,seed=7
+    /// ```
+    ///
+    /// `hang`, `delay`, and `rankdeath` take a `period:amount` /
+    /// `cycle:nda` pair. Unknown keys and malformed numbers are
+    /// ignored (the knob is a debugging aid, not a config file).
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("CHOPIM_FAULTS") {
+            Ok(s) => Self::parse(&s),
+            Err(_) => FaultPlan::NONE,
+        }
+    }
+
+    /// Parse the compact `key=value` syntax accepted by
+    /// [`FaultPlan::from_env`].
+    pub fn parse(s: &str) -> FaultPlan {
+        let mut plan = FaultPlan::NONE;
+        for part in s.split(',') {
+            let part = part.trim();
+            let Some((key, val)) = part.split_once('=') else {
+                continue;
+            };
+            let (first, second) = match val.split_once(':') {
+                Some((a, b)) => (a, Some(b)),
+                None => (val, None),
+            };
+            let Ok(first) = first.trim().parse::<u64>() else {
+                continue;
+            };
+            let second = second.and_then(|x| x.trim().parse::<u64>().ok());
+            match key.trim() {
+                "seed" => plan.seed = first,
+                "bitflip" => plan.dram_bit_flip_period = first,
+                "uncorrectable" => plan.uncorrectable_pct = first.min(100) as u8,
+                "transient" => plan.nda_transient_period = first,
+                "hang" => {
+                    plan.nda_hang_period = first;
+                    plan.nda_hang_cycles = second.unwrap_or(100);
+                }
+                "drop" => plan.completion_drop_period = first,
+                "delay" => {
+                    plan.completion_delay_period = first;
+                    plan.completion_delay_cycles = second.unwrap_or(64);
+                }
+                "rankdeath" => {
+                    plan.rank_death_cycle = first;
+                    plan.rank_death_nda = second.unwrap_or(0).min(u32::MAX as u64) as u32;
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// Draw from stream `stream` at event count `n` on channel
+    /// `channel`: returns `true` when a fault with mean period
+    /// `period` fires. `period == 0` never fires.
+    #[inline]
+    pub fn fires(&self, period: u64, channel: u64, stream: u64, n: u64) -> bool {
+        period > 0 && fault_hash(self.seed, channel, stream, n).is_multiple_of(period)
+    }
+
+    /// Whether a fired bit-flip at read count `n` is uncorrectable
+    /// under the plan's ECC model.
+    #[inline]
+    pub fn uncorrectable(&self, channel: u64, n: u64) -> bool {
+        fault_hash(self.seed, channel, stream::UNCORRECTABLE, n) % 100
+            < self.uncorrectable_pct as u64
+    }
+}
+
+/// SplitMix64-style stateless hash of (seed, channel, stream, n): the
+/// per-stream fault schedule. Stateless and counter-keyed, so any
+/// engine variant that counts the same events draws the same faults.
+#[inline]
+pub fn fault_hash(seed: u64, channel: u64, stream: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(channel.wrapping_mul(0xa24b_aed4_963e_e407))
+        .wrapping_add(stream.wrapping_mul(0xd6e8_feb8_6659_fd93))
+        .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::NONE;
+        assert!(p.is_empty());
+        for n in 0..1000 {
+            assert!(!p.fires(p.dram_bit_flip_period, 0, stream::BIT_FLIP, n));
+        }
+    }
+
+    #[test]
+    fn parse_compact_syntax() {
+        let p = FaultPlan::parse(
+            "bitflip=1000,uncorrectable=10,transient=500,hang=1000:200,\
+             drop=2000,delay=1000:64,rankdeath=50000:3,seed=7",
+        );
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.dram_bit_flip_period, 1000);
+        assert_eq!(p.uncorrectable_pct, 10);
+        assert_eq!(p.nda_transient_period, 500);
+        assert_eq!(p.nda_hang_period, 1000);
+        assert_eq!(p.nda_hang_cycles, 200);
+        assert_eq!(p.completion_drop_period, 2000);
+        assert_eq!(p.completion_delay_period, 1000);
+        assert_eq!(p.completion_delay_cycles, 64);
+        assert_eq!(p.rank_death_cycle, 50_000);
+        assert_eq!(p.rank_death_nda, 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn parse_ignores_garbage() {
+        let p = FaultPlan::parse("nonsense,=,x=,bitflip=abc,transient=9");
+        assert_eq!(p.nda_transient_period, 9);
+        assert_eq!(p.dram_bit_flip_period, 0);
+    }
+
+    #[test]
+    fn fire_rate_tracks_period() {
+        let p = FaultPlan {
+            nda_transient_period: 100,
+            ..FaultPlan::NONE
+        };
+        let fired = (0..100_000u64)
+            .filter(|&n| p.fires(p.nda_transient_period, 1, stream::TRANSIENT, n))
+            .count();
+        // Mean period 100 over 100k events: expect ~1000 fires.
+        assert!((600..1600).contains(&fired), "fired {fired}");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let p = FaultPlan {
+            seed: 3,
+            nda_transient_period: 50,
+            completion_drop_period: 50,
+            ..FaultPlan::NONE
+        };
+        let a: Vec<bool> = (0..512)
+            .map(|n| p.fires(50, 0, stream::TRANSIENT, n))
+            .collect();
+        let b: Vec<bool> = (0..512).map(|n| p.fires(50, 0, stream::DROP, n)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -36,6 +36,7 @@ pub mod checker;
 pub mod codec;
 pub mod command;
 pub mod config;
+pub mod fault;
 pub mod perfcount;
 pub mod rank;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use channel::Channel;
 pub use checker::{CheckError, TimingChecker};
 pub use command::{Command, CommandKind, Issuer};
 pub use config::DramConfig;
+pub use fault::FaultPlan;
 pub use rank::{BankGroupTiming, Rank};
 pub use stats::{DramStats, IdleBucket, IdleHistogram, RankStats};
 pub use system::{DataReady, DramSystem, IssueError};

@@ -276,6 +276,10 @@ pub struct ChannelStats {
     pub host_cols: u64,
     /// NDA column commands total.
     pub nda_cols: u64,
+    /// Injected bit-flips the ECC model corrected on this channel.
+    pub ecc_corrected: u64,
+    /// Injected bit-flips the ECC model detected but could not correct.
+    pub ecc_uncorrectable: u64,
 }
 
 impl ChannelStats {
@@ -285,6 +289,8 @@ impl ChannelStats {
             ranks: (0..ranks).map(|_| RankStats::default()).collect(),
             host_cols: 0,
             nda_cols: 0,
+            ecc_corrected: 0,
+            ecc_uncorrectable: 0,
         }
     }
 
@@ -378,6 +384,8 @@ impl ChannelStats {
         }
         w.varint(self.host_cols);
         w.varint(self.nda_cols);
+        w.varint(self.ecc_corrected);
+        w.varint(self.ecc_uncorrectable);
     }
 
     /// Overwrite the counters from a snapshot.
@@ -396,6 +404,8 @@ impl ChannelStats {
         }
         self.host_cols = r.varint()?;
         self.nda_cols = r.varint()?;
+        self.ecc_corrected = r.varint()?;
+        self.ecc_uncorrectable = r.varint()?;
         Ok(())
     }
 }
@@ -423,6 +433,10 @@ pub struct DramStats {
     pub nda_data_cycles: u64,
     /// Rank I/O direction turnarounds, summed over ranks.
     pub turnarounds: u64,
+    /// Injected bit-flips the ECC model corrected, summed over channels.
+    pub ecc_corrected: u64,
+    /// Injected bit-flips detected as uncorrectable, summed over channels.
+    pub ecc_uncorrectable: u64,
 }
 
 impl DramStats {
@@ -432,6 +446,8 @@ impl DramStats {
     /// system view through this, so the two always aggregate identically.
     pub fn add_channel(&mut self, ch: &ChannelStats) {
         self.turnarounds += ch.turnarounds();
+        self.ecc_corrected += ch.ecc_corrected;
+        self.ecc_uncorrectable += ch.ecc_uncorrectable;
         for r in &ch.ranks {
             self.reads_host += r.reads_host;
             self.writes_host += r.writes_host;

@@ -135,6 +135,28 @@ pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
     };
     points.push(("multi_tenant_2sess", multi));
 
+    // The wide co-located point under an active fault plane: transient
+    // compute faults, FSM hangs, dropped and delayed completions, plus a
+    // mid-window rank death — the recovery machinery (retry staging,
+    // inflight timeout scan, quarantine re-shard) all on the hot path.
+    // The lockstep suites pin its schedule across thread counts and
+    // loop variants; `chopim-perf` measures what the fault plane costs
+    // when it is actually firing.
+    let mut faulty = ScenarioSpec::with_window(w);
+    faulty.cfg.dram = DramConfig::table_ii().with_channels(8);
+    faulty.cfg.mix = MixId::new(0);
+    faulty.cfg.faults =
+        FaultPlan::parse("seed=7,transient=600,hang=900:120,drop=1100,delay=700:48");
+    faulty.cfg.faults.rank_death_cycle = w / 2;
+    faulty.cfg.faults.rank_death_nda = 3;
+    faulty.workload = Workload::MacroAxpyRows {
+        rows: 64,
+        d: 16384,
+        rows_per_instr: 8,
+        opts: LaunchOpts::default(),
+    };
+    points.push(("faulty_colocated_8ch", faulty));
+
     points
 }
 
@@ -159,11 +181,28 @@ mod tests {
                 "wide_colocated_8ch",
                 "wide_host_16ch",
                 "wide_colocated_16ch",
-                "multi_tenant_2sess"
+                "multi_tenant_2sess",
+                "faulty_colocated_8ch"
             ]
         );
         for (_, spec) in &m {
             assert_eq!(spec.window, 1000);
+        }
+    }
+
+    #[test]
+    fn faulty_scenario_has_active_plan() {
+        let m = perf_matrix(20_000);
+        let (_, spec) = m
+            .iter()
+            .find(|(n, _)| *n == "faulty_colocated_8ch")
+            .unwrap();
+        assert!(!spec.cfg.faults.is_empty());
+        assert_eq!(spec.cfg.faults.rank_death_cycle, 10_000);
+        for (name, spec) in &m {
+            if *name != "faulty_colocated_8ch" {
+                assert!(spec.cfg.faults.is_empty(), "{name} should be fault-free");
+            }
         }
     }
 }

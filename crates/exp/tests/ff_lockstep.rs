@@ -64,7 +64,8 @@ fn matrix_is_fully_covered() {
             "wide_colocated_8ch",
             "wide_host_16ch",
             "wide_colocated_16ch",
-            "multi_tenant_2sess"
+            "multi_tenant_2sess",
+            "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a lockstep test for it"
     );
@@ -123,6 +124,10 @@ fn lockstep_wide_colocated_16ch() {
 #[test]
 fn lockstep_multi_tenant_2sess() {
     run_matrix_entry("multi_tenant_2sess");
+}
+#[test]
+fn lockstep_faulty_colocated_8ch() {
+    run_matrix_entry("faulty_colocated_8ch");
 }
 
 /// The two-session dependency-graph scenario (cross-session `.after()`

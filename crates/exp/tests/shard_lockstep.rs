@@ -74,10 +74,16 @@ fn matrix_is_fully_covered() {
             "wide_colocated_8ch",
             "wide_host_16ch",
             "wide_colocated_16ch",
-            "multi_tenant_2sess"
+            "multi_tenant_2sess",
+            "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a shard-lockstep test for it"
     );
+}
+
+#[test]
+fn shard_lockstep_faulty_colocated_8ch() {
+    run_matrix_entry("faulty_colocated_8ch");
 }
 
 #[test]

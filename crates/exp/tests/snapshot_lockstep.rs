@@ -104,7 +104,8 @@ fn matrix_is_fully_covered() {
             "wide_colocated_8ch",
             "wide_host_16ch",
             "wide_colocated_16ch",
-            "multi_tenant_2sess"
+            "multi_tenant_2sess",
+            "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a snapshot-lockstep test for it"
     );
@@ -163,6 +164,10 @@ fn snapshot_lockstep_wide_colocated_16ch() {
 #[test]
 fn snapshot_lockstep_multi_tenant_2sess() {
     run_matrix_entry("multi_tenant_2sess");
+}
+#[test]
+fn snapshot_lockstep_faulty_colocated_8ch() {
+    run_matrix_entry("faulty_colocated_8ch");
 }
 
 /// Build the two-session DAG machine (the first half of

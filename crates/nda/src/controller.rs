@@ -128,6 +128,19 @@ impl NdaRankController {
         self.fsm.launch(instr)
     }
 
+    /// Permanently abandon all queued, running, and buffered work
+    /// (rank-death support): aborts the FSM and clears the cached
+    /// desired access and wake-up hint so the controller reads as idle
+    /// immediately — `desired_access` returns `None` and
+    /// `next_event_cycle` returns [`Cycle::MAX`].
+    pub fn abort_all(&mut self) {
+        self.fsm.abort_all();
+        self.want = None;
+        self.want_valid = true;
+        self.ready_hint = None;
+        self.plan_epoch = MEMO_INVALID;
+    }
+
     /// Drop the cached wake-up time because the host issued a command to
     /// this rank (its timing registers or bank state changed; the plan
     /// memo self-invalidates through the rank epoch).

@@ -111,6 +111,19 @@ impl NdaFsm {
         self.completed.pop_front()
     }
 
+    /// Abandon all queued, running, and buffered work (permanent rank
+    /// death): the queue, active program, write buffer, and completion
+    /// bookkeeping are discarded, leaving the FSM idle forever. Applied
+    /// identically to an FSM and its shadow so fingerprints stay equal.
+    pub fn abort_all(&mut self) {
+        self.queue.clear();
+        self.program = None;
+        self.wbuf.clear();
+        self.wr_outstanding.clear();
+        self.program_done.clear();
+        self.completed.clear();
+    }
+
     /// Count of instructions completed so far.
     pub fn completed_count(&self) -> u64 {
         self.completed_count

@@ -133,6 +133,13 @@ impl WriteBuffer {
         self.draining
     }
 
+    /// Discard all buffered writes and leave any drain phase (rank-death
+    /// abort support). The cumulative `drained` counter is preserved.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.draining = false;
+    }
+
     /// Serialize all buffer state (snapshot support). The watermark
     /// configuration is included so a restore against a differently
     /// configured buffer is rejected rather than silently accepted.

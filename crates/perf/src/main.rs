@@ -30,6 +30,13 @@
 //!   the engine), while mere runner slowness affects both loops alike.
 //!   Windows must match (throughput and speedups both scale with the
 //!   window).
+//! * `--check` additionally enforces the fault plane's zero-overhead
+//!   contract: with the default empty `FaultPlan`, every scenario's
+//!   absolute fast-loop throughput must stay ≥ 0.98x of the baseline's
+//!   `cps_fast` (hard on the machine that produced the baseline,
+//!   advisory elsewhere). The `faulty_colocated_8ch` scenario runs with
+//!   an *active* plan, so its row tracks what injection + recovery cost
+//!   when actually firing.
 //! * The wide 8- and 16-channel scenarios additionally run with a
 //!   4-thread shard worker pool (`sim_threads = 4`); the harness asserts
 //!   the parallel report is bit-identical to the serial one and records
@@ -77,6 +84,17 @@ const SPEEDUP_FLOORS: &[(&str, f64)] = &[
 /// Any scenario below this fast/naive ratio fails outright, named in the
 /// floors table or not.
 const ABSOLUTE_FLOOR: f64 = 0.95;
+
+/// Zero-overhead floor for the fault plane: with the default (empty)
+/// `FaultPlan`, every scenario's absolute fast-loop throughput must stay
+/// within this factor of the checked-in baseline's `cps_fast`. The
+/// fast/naive ratio cannot see a tax that hits both loops alike, so this
+/// is the gate that catches fault-plane checks leaking onto the
+/// faults-off hot path. Absolute cycles/sec only transfer on the machine
+/// that produced the baseline, so the gate is enforced when the
+/// machine's hardware-thread count matches the baseline's and advisory
+/// (warning only) otherwise.
+const FAULT_OVERHEAD_FLOOR: f64 = 0.98;
 
 /// Worker threads for the parallel measurement of the wide scenarios.
 const PAR_THREADS: usize = 4;
@@ -384,10 +402,17 @@ fn to_json(results: &[Measurement]) -> String {
     out
 }
 
-/// Extract `"speedup": <number>` per `"name": "<scenario>"` from a
+/// One scenario row parsed from a baseline file.
+struct BaselineRow {
+    name: String,
+    speedup: f64,
+    cps_fast: Option<f64>,
+}
+
+/// Extract `"speedup"`/`"cps_fast"` per `"name": "<scenario>"` from a
 /// baseline file without a JSON dependency: the harness wrote the file,
 /// so the layout (one scenario object per line) is known.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(name) = field_str(line, "name") else {
@@ -396,7 +421,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
         let Some(speedup) = field_num(line, "speedup") else {
             continue;
         };
-        out.push((name, speedup));
+        out.push(BaselineRow {
+            name,
+            speedup,
+            cps_fast: field_num(line, "cps_fast"),
+        });
     }
     out
 }
@@ -438,19 +467,46 @@ fn check(results: &[Measurement], baseline_path: &str) -> Result<(), String> {
     if baseline.is_empty() {
         return Err(format!("no scenarios parsed from {baseline_path}"));
     }
+    // Absolute throughput only transfers on the machine that produced
+    // the baseline; use the recorded hardware-thread count as the
+    // same-machine signature.
+    let same_machine = text
+        .lines()
+        .find_map(|l| field_num(l, "hardware_threads"))
+        .is_some_and(|t| {
+            t as usize
+                == std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+        });
     let mut failures = Vec::new();
-    for (name, base_speedup) in &baseline {
+    for row in &baseline {
+        let name = &row.name;
         let Some(m) = results.iter().find(|m| m.name == name) else {
             failures.push(format!("scenario `{name}` missing from this run"));
             continue;
         };
-        if m.speedup() < base_speedup * SERIAL_FLOOR_FACTOR {
+        if m.speedup() < row.speedup * SERIAL_FLOOR_FACTOR {
             failures.push(format!(
                 "`{name}` regressed: speedup {:.2}x < {SERIAL_FLOOR_FACTOR} x baseline {:.2}x \
                  (serial-overhead floor)",
                 m.speedup(),
-                base_speedup,
+                row.speedup,
             ));
+        }
+        if let Some(base_cps) = row.cps_fast {
+            if m.cps_fast < base_cps * FAULT_OVERHEAD_FLOOR {
+                let msg = format!(
+                    "`{name}` throughput {:.0} c/s < {FAULT_OVERHEAD_FLOOR} x baseline {:.0} c/s \
+                     (fault-plane zero-overhead floor)",
+                    m.cps_fast, base_cps,
+                );
+                if same_machine {
+                    failures.push(msg);
+                } else {
+                    eprintln!("perf gate: WARNING {msg} (different machine; advisory)");
+                }
+            }
         }
     }
     // Parallel-vs-serial floor on the wide scenarios, scaled to the
