@@ -10,7 +10,8 @@ test:
 
 # Simulation-throughput harness: runs the scenario matrix with the naive
 # and event-horizon loops, writes BENCH_chopim.json.
-# Window: CHOPIM_BENCH_CYCLES (default 60000).
+# Window: CHOPIM_BENCH_CYCLES (default 60000). Subset a run with
+# `cargo run --release -p chopim-perf -- --filter <regex>`.
 perf:
 	cargo run --release -p chopim-perf
 

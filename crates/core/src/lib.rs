@@ -17,7 +17,9 @@
 //! * [`runtime`] — the §V runtime/API: colored system-row allocation,
 //!   per-tenant [`Session`]s with builder-style op
 //!   submission (with the Fig.-10 granularity knob), dependency-aware
-//!   op-graph staging, macro ops, host-mediated reduction;
+//!   op-graph staging, macro ops, host-mediated reduction, QoS-class
+//!   arbitration over an O(active) ready index, and a batched-submission
+//!   executor with admission control ([`runtime::JobGraph`]);
 //! * [`energy`] — the Table-II energy model;
 //! * [`report`] — the metrics the figures plot.
 //!
@@ -72,11 +74,12 @@ pub mod system;
 pub mod prelude {
     pub use crate::energy::{EnergyParams, EnergyReport, PeActivity};
     pub use crate::policy::WriteIssuePolicy;
-    pub use crate::report::{FaultReport, SimReport};
+    pub use crate::report::{FaultReport, SimReport, TenantReport};
     #[allow(deprecated)]
     pub use crate::runtime::OpId;
     pub use crate::runtime::{
-        LaunchOpts, MatId, OpBuilder, OpHandle, OpStatus, Runtime, Session, Sharing, VecId,
+        JobGraph, LaunchOpts, MatId, OpBuilder, OpHandle, OpStatus, QosClass, Runtime, Session,
+        Sharing, SubmitError, TenantLimits, Ticket, VecId,
     };
     pub use crate::sched::{PagePolicy, SchedulerKind};
     pub use crate::system::{ChopimConfig, ChopimSystem, SnapshotError, StreamId, Waitable};

@@ -47,6 +47,40 @@ pub struct SimReport {
     /// report's `PartialEq`, so the lockstep suites also pin the fault
     /// schedule and the recovery decisions bit-identically.
     pub faults: FaultReport,
+    /// Per-tenant metering, one entry per session in session order
+    /// (session 0 is the implicit default session). Part of the report's
+    /// `PartialEq`: the lockstep suites pin admission decisions and the
+    /// per-tenant stall/wait split bit-identically.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// Per-tenant (per-session) executor metering for one simulation window.
+///
+/// Cycle accounting splits an op's resident time at its first launch:
+/// `cycles_resident = launch_wait_cycles + service_cycles` for completed
+/// ops. Ops never staged by window end accrue only `launch_wait`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantReport {
+    /// Session id this row meters.
+    pub session: u32,
+    /// Ops submitted (runtime-inserted realignment copies included).
+    pub ops_submitted: u64,
+    /// Ops that reached the `Completed` terminal state.
+    pub ops_completed: u64,
+    /// Ops that reached a non-`Completed` terminal state (failed, timed
+    /// out, dep-failed — host fallbacks count as completed).
+    pub ops_failed: u64,
+    /// Job graphs refused with `QueueFull` (admission backpressure).
+    pub jobs_rejected: u64,
+    /// Cycles terminal ops spent live (submission to conclusion), summed.
+    pub cycles_resident: u64,
+    /// Cycles admitted job graphs spent queued behind the in-flight cap.
+    pub admission_wait_cycles: u64,
+    /// Cycles terminal ops waited from submission to first launch
+    /// (arbitration + dependency + credit stalls).
+    pub launch_wait_cycles: u64,
+    /// Cycles terminal ops spent from first launch to conclusion.
+    pub service_cycles: u64,
 }
 
 /// Injected-fault and recovery accounting for one simulation window.

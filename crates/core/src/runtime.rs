@@ -30,15 +30,27 @@
 //! [`OpBuilder::after`] edges, which may reference handles from *any*
 //! session. Dependent ops stage only when every parent has retired.
 //!
-//! Across sessions, [`Runtime::next_launches`] arbitrates fairly: a
-//! deterministic round-robin cursor rotates over sessions with a
-//! releasable op, so no ready tenant is starved by another tenant's
-//! backlog.
+//! Across sessions, [`Runtime::next_launches`] arbitrates by QoS class
+//! ([`QosClass`]): latency-sensitive sessions take strict priority, and
+//! batch sessions share the remainder by weighted virtual time — integer
+//! arithmetic only, so schedules stay bit-identical across engines and
+//! snapshot/resume. Arbitration cost is O(active), not O(sessions):
+//! sessions live in a ready index (per-band heaps plus per-NDA credit
+//! waitlists and a retry wake heap) and are touched only when an event —
+//! submit, dependency retirement, credit return, retry expiry, fault
+//! quarantine, job admission — can actually change what they may stage.
+//!
+//! On top of direct submission sits a batched executor:
+//! [`Runtime::submit_job`] accepts a declarative [`JobGraph`] under
+//! per-tenant admission control ([`TenantLimits`]) and returns a
+//! [`Ticket`]; per-tenant metering surfaces in `SimReport::tenants`.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
+use chopim_dram::perfcount::{self, Counter};
 use chopim_dram::DramConfig;
 use chopim_mapping::color::{Color, ColoredAllocator, Region, SystemRow};
 use chopim_mapping::{AddressMapper, PartitionedMapping};
@@ -48,6 +60,7 @@ use chopim_nda::pe;
 use chopim_nda::snapshot::{decode_instr, decode_layout, encode_instr, encode_layout};
 
 use crate::energy::PeActivity;
+use crate::report::TenantReport;
 
 /// Handle to a runtime-managed vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -232,6 +245,301 @@ impl Default for LaunchOpts {
     }
 }
 
+/// QoS scheduling class of a session — the arbitration key of
+/// [`Runtime::next_launches`] (see [`Runtime::set_qos`]).
+///
+/// Classes form two strict bands: every stageable `LatencySensitive`
+/// session is served before any `Batch` session. Within a band sessions
+/// are ordered by an integer virtual-time deficit scheduler — each
+/// released launch charges the session `QUANTUM / weight`, so a weight-2
+/// tenant is served twice as often as a weight-1 tenant under
+/// contention. No floats, no wall-clock: schedules are bit-identical
+/// across engines, thread counts, and snapshot/resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosClass {
+    /// Strict-priority band, round-robin among latency-sensitive peers.
+    /// A saturating latency-sensitive tenant can starve batch traffic by
+    /// design — cap its submission rate if that matters.
+    LatencySensitive,
+    /// Weighted fair share of whatever the latency-sensitive band
+    /// leaves. The default class (weight 1) is plain fair round-robin.
+    Batch {
+        /// Relative share, clamped to `1..=1024`.
+        weight: u32,
+    },
+}
+
+impl Default for QosClass {
+    fn default() -> Self {
+        QosClass::Batch { weight: 1 }
+    }
+}
+
+impl QosClass {
+    /// Scheduler band: 0 = latency-sensitive, 1 = batch.
+    fn band(self) -> usize {
+        match self {
+            QosClass::LatencySensitive => 0,
+            QosClass::Batch { .. } => 1,
+        }
+    }
+
+    fn weight(self) -> u64 {
+        match self {
+            QosClass::LatencySensitive => 1,
+            QosClass::Batch { weight } => u64::from(weight.clamp(1, 1024)),
+        }
+    }
+
+    fn encode(self, w: &mut ByteWriter) {
+        match self {
+            QosClass::LatencySensitive => w.u8(0),
+            QosClass::Batch { weight } => {
+                w.u8(1);
+                w.varint(u64::from(weight));
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => QosClass::LatencySensitive,
+            1 => QosClass::Batch {
+                weight: r.varint_u32()?,
+            },
+            _ => return Err(CodecError::Corrupt("qos class tag")),
+        })
+    }
+}
+
+/// Virtual-time charge per released launch at weight 1. Weights divide
+/// this, so even the maximum weight (1024) still charges 1024 per launch
+/// — virtual time strictly advances and no batch tenant can be starved
+/// by a heavier batch peer.
+const QUANTUM: u64 = 1 << 20;
+
+/// Admission-control limits of one session (executor API; see
+/// [`Runtime::set_tenant_limits`]). The defaults admit everything — the
+/// pre-executor behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Maximum live (submitted, not yet terminal) ops, realignment
+    /// copies included. A job graph that would exceed this is queued
+    /// instead of admitted.
+    pub max_inflight_ops: u32,
+    /// Queued (accepted, not yet admitted) job graphs the session may
+    /// hold; submitting past it fails with [`SubmitError::QueueFull`].
+    pub queue_depth: u32,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        Self {
+            max_inflight_ops: u32::MAX,
+            queue_depth: 0,
+        }
+    }
+}
+
+/// Handle to a job graph accepted by [`Runtime::submit_job`]. Resolves
+/// through [`Runtime::ticket_done`] once every op the graph produced
+/// (realignment copies included) reached a terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    sess: u32,
+    job: u32,
+}
+
+impl Ticket {
+    /// The session the job was submitted to.
+    pub fn session(self) -> Session {
+        Session { id: self.sess }
+    }
+}
+
+/// Why [`Runtime::submit_job`] refused a job graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The session is at its in-flight cap and its job queue (bounded by
+    /// [`TenantLimits::queue_depth`]) is full. Deterministic
+    /// backpressure — resubmit after the queue drains.
+    QueueFull,
+}
+
+/// What one node of a [`JobGraph`] launches. Mirrors the [`OpBuilder`]
+/// call surface but is fully serializable, so queued jobs survive
+/// snapshots.
+#[derive(Debug, Clone)]
+enum JobKind {
+    Elementwise {
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+    },
+    Gemv {
+        y: VecId,
+        a: MatId,
+        x: VecId,
+    },
+    AxpyRows {
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct JobNode {
+    kind: JobKind,
+    opts: LaunchOpts,
+    /// Intra-graph parents (indices of earlier nodes).
+    parents: Vec<u32>,
+    /// External parents (already-submitted ops, any session).
+    after_ops: Vec<OpHandle>,
+    ordered: bool,
+}
+
+/// A declarative batch of ops submitted as one unit through the
+/// executor ([`Runtime::submit_job`]): nodes plus DAG edges, resolved
+/// into real submissions at admission time. Building a graph performs no
+/// runtime work, so graphs can be held in the bounded admission queue
+/// and admitted later (queued graphs serialize into snapshots).
+#[derive(Debug, Clone, Default)]
+pub struct JobGraph {
+    nodes: Vec<JobNode>,
+}
+
+impl JobGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes (ops the graph submits, before realignment).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, kind: JobKind) -> usize {
+        self.nodes.push(JobNode {
+            kind,
+            opts: LaunchOpts::default(),
+            parents: Vec::new(),
+            after_ops: Vec::new(),
+            ordered: true,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add an elementwise Table-I node; returns its node index.
+    pub fn elementwise(
+        &mut self,
+        op: Opcode,
+        scalars: Vec<f32>,
+        inputs: Vec<VecId>,
+        output: Option<VecId>,
+    ) -> usize {
+        self.push(JobKind::Elementwise {
+            op,
+            scalars,
+            inputs,
+            output,
+        })
+    }
+
+    /// Add a `y = A x` node; returns its node index.
+    pub fn gemv(&mut self, y: VecId, a: MatId, x: VecId) -> usize {
+        self.push(JobKind::Gemv { y, a, x })
+    }
+
+    /// Add a `parallel_for` macro node; returns its node index.
+    pub fn axpy_rows(
+        &mut self,
+        a_pvt: VecId,
+        alphas: Vec<f32>,
+        x: MatId,
+        samples_per_instr: usize,
+    ) -> usize {
+        self.push(JobKind::AxpyRows {
+            a_pvt,
+            alphas,
+            x,
+            samples_per_instr,
+        })
+    }
+
+    /// DAG edge inside the graph: `node` waits for `parent`, an earlier
+    /// node index of this graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `parent < node < len()`.
+    pub fn after(&mut self, node: usize, parent: usize) -> &mut Self {
+        assert!(
+            parent < node && node < self.nodes.len(),
+            "edge must point backward within the graph"
+        );
+        self.nodes[node].parents.push(parent as u32);
+        self
+    }
+
+    /// DAG edge to an op submitted outside the graph.
+    pub fn after_op(&mut self, node: usize, parent: OpHandle) -> &mut Self {
+        self.nodes[node].after_ops.push(parent);
+        self
+    }
+
+    /// Opt `node` out of session program order (gated by its edges
+    /// alone).
+    pub fn unordered(&mut self, node: usize) -> &mut Self {
+        self.nodes[node].ordered = false;
+        self
+    }
+
+    /// Replace `node`'s launch options.
+    pub fn opts(&mut self, node: usize, opts: LaunchOpts) -> &mut Self {
+        self.nodes[node].opts = opts;
+        self
+    }
+}
+
+/// One job accepted by the executor: still queued behind admission
+/// control, or admitted as the session-op range `[base, end)`
+/// (realignment copies included).
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued(JobGraph),
+    Admitted { base: u32, end: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct JobRecord {
+    state: JobState,
+    enqueued_at: u64,
+}
+
+/// Where a session currently lives in the ready index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum SchedState {
+    /// Not indexed: nothing to stage, or every candidate is gated on an
+    /// event (dep retirement, completion) that re-notifies the session.
+    #[default]
+    Untracked,
+    /// In its band heap, exactly one live entry (keyed by `heap_stamp`;
+    /// older entries are stale and dropped on pop).
+    Ready,
+    /// Waiting on a credit return (on a per-NDA waitlist) and/or a retry
+    /// expiry (on the wake heap).
+    Parked,
+}
+
 #[derive(Debug)]
 struct ArrayData {
     backing: Vec<f32>,
@@ -325,6 +633,13 @@ struct OpState {
     /// Re-execute on the host instead of concluding `Failed` when the
     /// retry budget runs out ([`OpBuilder::fallback_host`]).
     fallback_host: bool,
+    /// Cycle at which the op was submitted (tenant metering).
+    submitted_at: u64,
+    /// Reverse DAG edges: ops that listed this op in their `deps` while
+    /// it was live. Drives targeted dep-retirement notification of the
+    /// ready index and the failure cascade. Derived state — rebuilt on
+    /// snapshot resume, never serialized.
+    dependents: Vec<OpHandle>,
 }
 
 /// One session's submission state.
@@ -339,6 +654,25 @@ struct SessionState {
     /// staging scan can stop at the first blocked ordered op — the
     /// classic strict-order fast path.
     unordered_live: usize,
+    /// QoS class (arbitration band and weight).
+    qos: QosClass,
+    /// Virtual-time tag of the deficit scheduler (monotone per band).
+    vtime: u64,
+    /// Ready-index membership.
+    sched: SchedState,
+    /// Validates this session's live band-heap entry; entries carrying
+    /// an older stamp are stale and dropped on pop.
+    heap_stamp: u32,
+    /// Live (submitted, not terminal) ops — the admission-control gauge.
+    live_ops: u32,
+    /// Admission-control limits (executor API).
+    limits: TenantLimits,
+    /// Every job the executor accepted (the ticket table).
+    jobs: Vec<JobRecord>,
+    /// Indices into `jobs` still awaiting admission, FIFO.
+    job_queue: VecDeque<u32>,
+    /// Per-tenant metering, surfaced as `SimReport::tenants`.
+    meter: TenantReport,
 }
 
 /// The Chopim runtime: arrays, colored allocation, sessions, op-graph
@@ -347,9 +681,24 @@ struct SessionState {
 pub struct Runtime {
     arrays: Vec<ArrayData>,
     sessions: Vec<SessionState>,
-    /// Fair-share round-robin cursor over sessions: the session after the
-    /// one that last released a launch gets first claim next time.
-    rr_cursor: usize,
+    /// Ready-session index: one min-heap per QoS band over
+    /// `(vtime, session, stamp)`, lazily validated (see `SchedState`).
+    ready: [BinaryHeap<Reverse<(u64, u32, u32)>>; 2],
+    /// Per-band virtual clock: the floor for sessions (re)entering the
+    /// band, so a long-idle tenant cannot monopolize on ancient credit.
+    vnow: [u64; 2],
+    /// Per-NDA waitlists of sessions parked on a credit return.
+    waitlists: Vec<Vec<u32>>,
+    /// Retry-hold wake-ups: `(cycle, session)` min-heap (stale entries
+    /// tolerated — only still-parked sessions get woken).
+    wake: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Sessions whose queued jobs may now fit, drained FIFO by
+    /// `pre_stage` at the next executed cycle.
+    admit_pending: VecDeque<u32>,
+    /// Ops that reached a terminal state since the last drain — the
+    /// completion-event feed stream resubmission pops instead of polling
+    /// every stream every cycle.
+    finished_ops: VecDeque<OpHandle>,
     next_instr: u64,
     /// Number of NDA ranks (one NDA per rank).
     n_ndas: usize,
@@ -409,7 +758,12 @@ impl Runtime {
         Self {
             arrays: Vec::new(),
             sessions: vec![SessionState::default()],
-            rr_cursor: 0,
+            ready: [BinaryHeap::new(), BinaryHeap::new()],
+            vnow: [0; 2],
+            waitlists: vec![Vec::new(); n],
+            wake: BinaryHeap::new(),
+            admit_pending: VecDeque::new(),
+            finished_ops: VecDeque::new(),
             next_instr: 0,
             n_ndas: n,
             allocator,
@@ -468,6 +822,11 @@ impl Runtime {
         if self.alive[nda] {
             self.alive[nda] = false;
             self.counters.ranks_quarantined += 1;
+            // Redirect targets changed: every credit-parked session must
+            // re-classify against the survivor set.
+            for n in 0..self.waitlists.len() {
+                self.credit_returned(n);
+            }
         }
     }
 
@@ -762,7 +1121,7 @@ impl Runtime {
         }
     }
 
-    fn push_op(&mut self, sess: Session, op: OpState) -> OpHandle {
+    fn push_op(&mut self, sess: Session, mut op: OpState) -> OpHandle {
         // Submitting behind an already-failed dependency: abort now
         // rather than waiting on a parent that will never succeed.
         let failed_dep = self.recovery
@@ -771,11 +1130,30 @@ impl Runtime {
                 .iter()
                 .any(|&d| self.op(d).status.is_some_and(OpStatus::is_failure));
         let h = self.next_handle(sess);
+        op.submitted_at = self.clock;
+        // Reverse edges: live parents notify this op's session when they
+        // retire (and the failure cascade walks straight to it).
+        for k in 0..op.deps.len() {
+            let d = op.deps[k];
+            if !self.op(d).done {
+                self.op_mut(d).dependents.push(h);
+            }
+        }
         let ss = &mut self.sessions[sess.id as usize];
         if !op.ordered {
             ss.unordered_live += 1;
         }
+        if ss.live_ops == 0 {
+            // Idle → busy arrival: catch the session's virtual time up
+            // to the band clock so a long-idle tenant cannot cash in
+            // service it never contended for. (Wakes from credit parks
+            // keep their earned lead — see `ready_notify`.)
+            ss.vtime = ss.vtime.max(self.vnow[ss.qos.band()]);
+        }
+        ss.live_ops += 1;
+        ss.meter.ops_submitted += 1;
         ss.ops.push(op);
+        self.ready_notify(sess.id as usize);
         if failed_dep {
             let now = self.clock;
             self.conclude_and_cascade(h, OpStatus::DepFailed, now);
@@ -975,6 +1353,8 @@ impl Runtime {
                 retry_after: 0,
                 deadline_at: None,
                 fallback_host: false,
+                submitted_at: 0,
+                dependents: Vec::new(),
             },
         )
     }
@@ -1043,6 +1423,8 @@ impl Runtime {
                 retry_after: 0,
                 deadline_at: None,
                 fallback_host: false,
+                submitted_at: 0,
+                dependents: Vec::new(),
             },
         )
     }
@@ -1143,12 +1525,184 @@ impl Runtime {
                 retry_after: 0,
                 deadline_at: None,
                 fallback_host: false,
+                submitted_at: 0,
+                dependents: Vec::new(),
             },
         )
     }
 
+    /// Oracle-only (the release launch loop uses the borrow-splitting
+    /// [`deps_done_in`] instead).
+    #[cfg(debug_assertions)]
     fn deps_done(&self, deps: &[OpHandle]) -> bool {
         deps.iter().all(|&d| self.op(d).done)
+    }
+
+    /// Enter session `s` into its band heap unless it is already there.
+    /// Cheap and idempotent — called from every event that can make a
+    /// session stageable. Premature entries are harmless: the next
+    /// `next_launches` pop re-classifies (and re-parks) them without
+    /// staging anything.
+    ///
+    /// Deliberately does **not** floor the session's virtual time to the
+    /// band clock: a backlogged session woken from a credit park keeps
+    /// the service lead its weight earned it (flooring here would reset
+    /// weighted shares to round-robin every time credits run dry). The
+    /// idle→busy floor lives at op arrival instead — see `push_op`.
+    fn ready_notify(&mut self, s: usize) {
+        let ss = &mut self.sessions[s];
+        if ss.sched == SchedState::Ready {
+            return;
+        }
+        let band = ss.qos.band();
+        ss.sched = SchedState::Ready;
+        ss.heap_stamp = ss.heap_stamp.wrapping_add(1);
+        self.ready[band].push(Reverse((ss.vtime, s as u32, ss.heap_stamp)));
+        perfcount::bump(Counter::ReadyIndexOps);
+    }
+
+    /// A credit for NDA `nda` returned to the front-end: wake every
+    /// session parked on its waitlist. O(woken), not O(sessions); stale
+    /// entries (sessions that moved on) are dropped here.
+    pub(crate) fn credit_returned(&mut self, nda: usize) {
+        if self.waitlists[nda].is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.waitlists[nda]);
+        for s in list.drain(..) {
+            perfcount::bump(Counter::ReadyIndexOps);
+            if self.sessions[s as usize].sched == SchedState::Parked {
+                self.ready_notify(s as usize);
+            }
+        }
+        // Hand the emptied buffer back so the hot path never reallocates.
+        self.waitlists[nda] = list;
+    }
+
+    /// Per-executed-cycle index maintenance, run by the front-end just
+    /// before staging: expire retry wake-ups and admit queued jobs that
+    /// now fit. Both queues are empty on the steady-state path, so this
+    /// costs two branch tests.
+    pub(crate) fn pre_stage(&mut self, now: u64) {
+        while let Some(&Reverse((t, s))) = self.wake.peek() {
+            if t > now {
+                break;
+            }
+            self.wake.pop();
+            perfcount::bump(Counter::ReadyIndexOps);
+            if self.sessions[s as usize].sched == SchedState::Parked {
+                self.ready_notify(s as usize);
+            }
+        }
+        while let Some(s) = self.admit_pending.pop_front() {
+            self.drain_admissions(s as usize, now);
+        }
+    }
+
+    /// True while job admissions are pending: the front-end horizon must
+    /// not skip past the next executed cycle while they drain.
+    pub(crate) fn has_pending_admissions(&self) -> bool {
+        !self.admit_pending.is_empty()
+    }
+
+    /// Classify session `s` against real queue `space`: return its
+    /// stageable candidate op if one exists; otherwise park the session
+    /// on every blocking credit waitlist and/or the retry wake heap
+    /// (the two gates whose opening is a timer or a credit return, not a
+    /// notifying op event), or leave it untracked when every remaining
+    /// gate (dep retirement, barrier advance, completion) re-notifies it
+    /// anyway. Mirrors the `stage_candidate` scan exactly.
+    fn classify_and_park(
+        &mut self,
+        s: usize,
+        space: &impl Fn(usize) -> usize,
+        now: u64,
+    ) -> Option<usize> {
+        let recovery = self.recovery;
+        let mut wake_at = u64::MAX;
+        let mut parked = false;
+        let found = {
+            let sessions = &self.sessions;
+            let alive = &self.alive;
+            let waitlists = &mut self.waitlists;
+            let ss = &sessions[s];
+            let mut prior_all_done = true;
+            let mut found = None;
+            for i in ss.first_live..ss.ops.len() {
+                let op = &ss.ops[i];
+                if op.done {
+                    continue;
+                }
+                let order_ok = !op.ordered || prior_all_done;
+                if order_ok && !op.pending.is_empty() && deps_done_in(sessions, &op.deps) {
+                    let head = op.pending.front().expect("nonempty");
+                    let barrier_ok = !op.barrier || head.chunk <= op.released_chunks;
+                    if barrier_ok {
+                        if op.retry_after > now {
+                            // Expiry is a timer, not a notifying event:
+                            // arm an explicit wake-up.
+                            wake_at = wake_at.min(op.retry_after);
+                            parked = true;
+                        } else {
+                            let target = if recovery {
+                                Self::redirect(alive, head.nda_idx)
+                            } else {
+                                head.nda_idx
+                            };
+                            if space(target) > 0 {
+                                found = Some(i);
+                                break;
+                            }
+                            // Credit-blocked: only a return on this NDA
+                            // (or a quarantine flush) opens it.
+                            waitlists[target].push(s as u32);
+                            perfcount::bump(Counter::ReadyIndexOps);
+                            parked = true;
+                        }
+                    }
+                }
+                prior_all_done = false;
+                if ss.unordered_live == 0 {
+                    // Everything later is ordered behind this op: stop.
+                    break;
+                }
+            }
+            found
+        };
+        if found.is_some() {
+            return found;
+        }
+        if parked {
+            self.sessions[s].sched = SchedState::Parked;
+            if wake_at != u64::MAX {
+                self.wake.push(Reverse((wake_at, s as u32)));
+                perfcount::bump(Counter::ReadyIndexOps);
+            }
+        } else {
+            self.sessions[s].sched = SchedState::Untracked;
+        }
+        None
+    }
+
+    /// Debug oracle: the session `next_launches` must serve — the
+    /// stageable session with the minimum `(band, vtime, id)` key, found
+    /// by scanning *every* session the way the pre-index scheduler did.
+    /// Continuously validates ready-index notification coverage in debug
+    /// builds (gated to small machines; `qos_sched_props` leans on it).
+    #[cfg(debug_assertions)]
+    fn oracle_pick(&self, space: &impl Fn(usize) -> usize, now: u64) -> Option<usize> {
+        let mut best: Option<((usize, u64, usize), usize)> = None;
+        for s in 0..self.sessions.len() {
+            if self.stage_candidate(s, space, now).is_none() {
+                continue;
+            }
+            let ss = &self.sessions[s];
+            let key = (ss.qos.band(), ss.vtime, s);
+            if best.as_ref().is_none_or(|&(bk, _)| key < bk) {
+                best = Some((key, s));
+            }
+        }
+        best.map(|(_, s)| s)
     }
 
     /// The op in session `s` whose head launch is releasable right now
@@ -1159,6 +1713,10 @@ impl Runtime {
     /// session has no live unordered ops — stops at the first blocked
     /// ordered op, which is the strict-order fast path: at most one op is
     /// examined per call for classic submission streams.
+    ///
+    /// Oracle-only: the release-build launch loop inlines this scan
+    /// (borrow-split over the session table) in `next_launches`.
+    #[cfg(debug_assertions)]
     fn stage_candidate(
         &self,
         s: usize,
@@ -1200,12 +1758,20 @@ impl Runtime {
     }
 
     /// Pop launches that are ready to go to the channel into `out`,
-    /// arbitrating fairly across sessions (round-robin from the rotating
-    /// cursor) and respecting DAG edges, program order, and chunk
+    /// arbitrating across sessions by QoS band and virtual time (see
+    /// [`QosClass`]) and respecting DAG edges, program order, and chunk
     /// barriers. The system calls this each cycle with available FSM
     /// queue space per NDA and its (reused) staging queue — releasing a
     /// launch must not allocate on the steady-state path; `now` stamps
     /// first-launch staging for DAG observability.
+    ///
+    /// Cost is O(active): the pick pops the ready index instead of
+    /// scanning sessions. Each pop either stages (and re-indexes the
+    /// session), drops a stale entry, or re-parks a session that was
+    /// woken optimistically — every pop is paid for by the event that
+    /// inserted the entry, so the amortized per-window cost tracks event
+    /// traffic, not tenant count. In debug builds a full-scan oracle
+    /// cross-checks every pick on machines up to 64 sessions.
     pub fn next_launches(
         &mut self,
         space: impl Fn(usize) -> usize,
@@ -1213,54 +1779,90 @@ impl Runtime {
         now: u64,
         out: &mut std::collections::VecDeque<PendingLaunch>,
     ) {
+        #[cfg(debug_assertions)]
+        let oracle = (self.sessions.len() <= 64).then(|| self.oracle_pick(&space, now));
         let start = out.len();
-        let n = self.sessions.len();
-        for k in 0..n {
-            let s = (self.rr_cursor + k) % n;
-            let Some(i) = self.stage_candidate(s, &space, now) else {
-                continue;
-            };
-            let recovery = self.recovery;
-            let alive = &self.alive;
-            let op = &mut self.sessions[s].ops[i];
-            if op.first_staged_at.is_none() {
-                op.first_staged_at = Some(now);
-            }
-            while out.len() - start < max {
-                let Some(head) = op.pending.front() else {
-                    break;
-                };
-                if op.barrier && head.chunk > op.released_chunks {
-                    break; // previous chunk not fully complete
+        let mut staged: Option<usize> = None;
+        'bands: for band in 0..2 {
+            while let Some(&Reverse((_, sess, stamp))) = self.ready[band].peek() {
+                perfcount::bump(Counter::SchedSessionsScanned);
+                perfcount::bump(Counter::ReadyIndexOps);
+                self.ready[band].pop();
+                let s = sess as usize;
+                if self.sessions[s].sched != SchedState::Ready
+                    || self.sessions[s].heap_stamp != stamp
+                {
+                    continue; // stale entry
                 }
-                let target = if recovery {
-                    Self::redirect(alive, head.nda_idx)
-                } else {
-                    head.nda_idx
+                self.sessions[s].sched = SchedState::Untracked; // entry consumed
+                let Some(i) = self.classify_and_park(s, &space, now) else {
+                    continue; // woken but blocked: classify re-parked it
                 };
-                if space(target) == 0 {
-                    break;
+                // Serve this session: advance the band's virtual clock to
+                // its tag and release up to `max` launches from the
+                // candidate op.
+                self.vnow[band] = self.vnow[band].max(self.sessions[s].vtime);
+                let recovery = self.recovery;
+                let mut released = 0u64;
+                {
+                    let alive = &self.alive;
+                    let op = &mut self.sessions[s].ops[i];
+                    if op.first_staged_at.is_none() {
+                        op.first_staged_at = Some(now);
+                    }
+                    while out.len() - start < max {
+                        let Some(head) = op.pending.front() else {
+                            break;
+                        };
+                        if op.barrier && head.chunk > op.released_chunks {
+                            break; // previous chunk not fully complete
+                        }
+                        let target = if recovery {
+                            Self::redirect(alive, head.nda_idx)
+                        } else {
+                            head.nda_idx
+                        };
+                        if space(target) == 0 {
+                            break;
+                        }
+                        let mut launch = op.pending.pop_front().expect("checked");
+                        launch.nda_idx = target;
+                        out.push_back(launch);
+                        released += 1;
+                    }
                 }
-                let mut launch = op.pending.pop_front().expect("checked");
-                launch.nda_idx = target;
-                out.push_back(launch);
+                // Charge virtual time and re-index the session.
+                let weight = self.sessions[s].qos.weight();
+                self.sessions[s].vtime = self.sessions[s]
+                    .vtime
+                    .saturating_add(released * (QUANTUM / weight));
+                if self.classify_and_park(s, &space, now).is_some() {
+                    self.ready_notify(s);
+                }
+                staged = Some(s);
+                break 'bands; // one op per call; candidates guarantee progress
             }
-            // Fair share: the next session gets first claim next cycle.
-            self.rr_cursor = (s + 1) % n;
-            break; // one op per call; candidates guarantee progress
         }
+        #[cfg(debug_assertions)]
+        if let Some(oracle) = oracle {
+            debug_assert_eq!(
+                staged, oracle,
+                "ready-index pick diverged from the full-scan oracle"
+            );
+        }
+        let _ = staged;
     }
 
-    /// True when [`next_launches`](Self::next_launches) would release at
-    /// least one launch — the same gating logic, evaluated without
-    /// mutating anything. The event-horizon fast-forward consults this:
-    /// all of its inputs (op completion flags, DAG edges, chunk barriers,
-    /// queue space) only change inside executed ticks, so a `false`
-    /// answer stays `false` across skipped cycles — except retry holds,
-    /// whose expiry cycles the system folds into its horizon via
-    /// `next_recovery_wake`.
-    pub fn launch_ready(&self, space: impl Fn(usize) -> usize, now: u64) -> bool {
-        (0..self.sessions.len()).any(|s| self.stage_candidate(s, &space, now).is_some())
+    /// True when a session sits in the ready index — the O(1)
+    /// conservative gate the event-horizon fast-forward consults. It may
+    /// answer `true` for a session that turns out to be blocked (the
+    /// next executed tick's [`next_launches`](Self::next_launches) pop
+    /// re-parks it, after which the answer is `false` again), but never
+    /// `false` when a launch could stage: every event that creates
+    /// stageability notifies the index. Extra executed cycles never
+    /// change staging decisions — the lockstep suites pin this.
+    pub fn launch_ready(&self, _space: impl Fn(usize) -> usize, _now: u64) -> bool {
+        !self.ready[0].is_empty() || !self.ready[1].is_empty()
     }
 
     /// Record the completion of instruction `id` of op `h`, finalizing
@@ -1316,8 +1918,61 @@ impl Runtime {
             while ss.first_live < ss.ops.len() && ss.ops[ss.first_live].done {
                 ss.first_live += 1;
             }
+            self.on_op_terminal(h, now);
+        } else {
+            // A barrier may have advanced (or program order may still be
+            // waiting on more completions): re-enter the session so the
+            // next tick can stage its newly-open work.
+            self.ready_notify(h.sess as usize);
         }
         finished
+    }
+
+    /// Terminal bookkeeping shared by the completion and conclusion
+    /// paths: tenant metering, admission-control accounting, the
+    /// finished-op event feed, and ready-index notification of the
+    /// session and every registered dependent.
+    fn on_op_terminal(&mut self, h: OpHandle, now: u64) {
+        let s = h.sess as usize;
+        {
+            let ss = &mut self.sessions[s];
+            let op = &ss.ops[h.idx as usize];
+            let completed = op.status == Some(OpStatus::Completed);
+            let submitted = op.submitted_at;
+            let first_staged = op.first_staged_at;
+            let m = &mut ss.meter;
+            if completed {
+                m.ops_completed += 1;
+            } else {
+                m.ops_failed += 1;
+            }
+            m.cycles_resident += now.saturating_sub(submitted);
+            match first_staged {
+                Some(fs) => {
+                    m.launch_wait_cycles += fs.saturating_sub(submitted);
+                    m.service_cycles += now.saturating_sub(fs);
+                }
+                None => m.launch_wait_cycles += now.saturating_sub(submitted),
+            }
+            ss.live_ops -= 1;
+            if !ss.job_queue.is_empty() {
+                self.admit_pending.push_back(h.sess);
+            }
+        }
+        self.finished_ops.push_back(h);
+        self.ready_notify(s);
+        let n_dep = self.op(h).dependents.len();
+        for k in 0..n_dep {
+            let d = self.op(h).dependents[k];
+            self.ready_notify(d.sess as usize);
+        }
+    }
+
+    /// Pop the next op that reached a terminal state since the last
+    /// drain (the completion-event feed behind stream resubmission).
+    /// Pops in deterministic conclusion order.
+    pub(crate) fn pop_finished(&mut self) -> Option<OpHandle> {
+        self.finished_ops.pop_front()
     }
 
     /// Conclude op `h` with `status` outside the normal last-instruction
@@ -1351,13 +2006,16 @@ impl Runtime {
         while ss.first_live < ss.ops.len() && ss.ops[ss.first_live].done {
             ss.first_live += 1;
         }
+        self.on_op_terminal(h, now);
     }
 
     /// [`conclude`](Self::conclude), then propagate a failure along
     /// explicit DAG edges: every live op depending (transitively) on a
     /// failed op is aborted `DepFailed` rather than left waiting forever.
     /// Plain program order does NOT propagate — a terminal op, failed or
-    /// not, unblocks its successors.
+    /// not, unblocks its successors. The walk follows the reverse edges
+    /// registered at submission, so its cost is the victim set, not the
+    /// global op table.
     #[cold]
     pub(crate) fn conclude_and_cascade(&mut self, h: OpHandle, status: OpStatus, now: u64) {
         self.conclude(h, status, now);
@@ -1368,14 +2026,9 @@ impl Runtime {
         let mut victims = Vec::new();
         while let Some(f) = work.pop() {
             victims.clear();
-            for (si, ss) in self.sessions.iter().enumerate() {
-                for (oi, op) in ss.ops.iter().enumerate().skip(ss.first_live) {
-                    if !op.done && op.deps.contains(&f) {
-                        victims.push(OpHandle {
-                            sess: si as u32,
-                            idx: oi as u32,
-                        });
-                    }
+            for &d in &self.op(f).dependents {
+                if !self.op(d).done {
+                    victims.push(d);
                 }
             }
             for &v in &victims {
@@ -1410,6 +2063,7 @@ impl Runtime {
             let fresh = self.take_instr_ids(1);
             launch.instr.id = fresh;
             self.op_mut(h).pending.push_front(launch);
+            self.ready_notify(h.sess as usize);
             return;
         }
         let retries = self.op(h).retries;
@@ -1427,6 +2081,9 @@ impl Runtime {
             op.retries += 1;
             op.retry_after = now + backoff;
             op.pending.push_front(launch);
+            // The session re-parks itself onto the wake heap at the next
+            // pop, which keeps the hold's expiry in the horizon.
+            self.ready_notify(h.sess as usize);
         } else if self.op(h).fallback_host {
             self.counters.host_fallbacks += 1;
             self.conclude_and_cascade(h, OpStatus::Completed, now);
@@ -1484,22 +2141,24 @@ impl Runtime {
     /// folds this into its front-end horizon so fast-forwarding engines
     /// execute those cycles exactly. `None` when nothing is pending.
     pub(crate) fn next_recovery_wake(&self, now: u64) -> Option<u64> {
-        if !self.recovery && self.armed_deadlines == 0 {
-            return None;
-        }
         let mut wake = u64::MAX;
-        for ss in &self.sessions {
-            for op in &ss.ops[ss.first_live..] {
-                if op.done {
-                    continue;
-                }
-                if let Some(d) = op.deadline_at {
-                    wake = wake.min(d);
-                }
-                if op.retry_after > now && !op.pending.is_empty() {
-                    wake = wake.min(op.retry_after);
+        if self.armed_deadlines > 0 {
+            for ss in &self.sessions {
+                for op in &ss.ops[ss.first_live..] {
+                    if !op.done {
+                        if let Some(d) = op.deadline_at {
+                            wake = wake.min(d);
+                        }
+                    }
                 }
             }
+        }
+        // Retry holds live on the wake heap (a session whose hold is not
+        // yet parked there is still Ready, which already pins the
+        // horizon to `now` via `launch_ready`). Stale entries only make
+        // the horizon conservative — they are drained by `pre_stage`.
+        if let Some(&Reverse((t, _))) = self.wake.peek() {
+            wake = wake.min(t);
         }
         (wake != u64::MAX).then(|| wake.max(now))
     }
@@ -1709,6 +2368,207 @@ impl Runtime {
             .all(|ss| ss.ops[ss.first_live..].iter().all(|o| o.done))
     }
 
+    // ---- executor: QoS classes, admission, job queue --------------------
+
+    /// Set `sess`'s QoS class. Takes effect at the next arbitration
+    /// decision; the session keeps its virtual-time position, floored to
+    /// the new band's clock so it cannot cash in credit accumulated in
+    /// the other band.
+    pub fn set_qos(&mut self, sess: Session, class: QosClass) {
+        let s = sess.id as usize;
+        let band = class.band();
+        let vt = self.sessions[s].vtime.max(self.vnow[band]);
+        let ss = &mut self.sessions[s];
+        ss.qos = class;
+        ss.vtime = vt;
+        if ss.sched == SchedState::Ready {
+            // Re-home the live heap entry into the new band; the old
+            // entry's stamp goes stale and is dropped on pop.
+            ss.heap_stamp = ss.heap_stamp.wrapping_add(1);
+            let stamp = ss.heap_stamp;
+            self.ready[band].push(Reverse((vt, s as u32, stamp)));
+            perfcount::bump(Counter::ReadyIndexOps);
+        }
+    }
+
+    /// The QoS class of `sess`.
+    pub fn qos(&self, sess: Session) -> QosClass {
+        self.sessions[sess.id as usize].qos
+    }
+
+    /// Set `sess`'s admission-control limits. Loosening the in-flight
+    /// cap re-arms admission for already-queued jobs.
+    pub fn set_tenant_limits(&mut self, sess: Session, limits: TenantLimits) {
+        let s = sess.id as usize;
+        self.sessions[s].limits = limits;
+        if !self.sessions[s].job_queue.is_empty() {
+            self.admit_pending.push_back(s as u32);
+        }
+    }
+
+    /// The admission-control limits of `sess`.
+    pub fn tenant_limits(&self, sess: Session) -> TenantLimits {
+        self.sessions[sess.id as usize].limits
+    }
+
+    /// Submit a [`JobGraph`] through the executor's admission control.
+    ///
+    /// If the session's job queue is empty and the graph fits under its
+    /// in-flight cap, the graph is admitted (ops submitted) immediately.
+    /// Otherwise it is queued FIFO — admission resumes as the session's
+    /// live ops retire — up to [`TenantLimits::queue_depth`] graphs;
+    /// past that the submission is refused with
+    /// [`SubmitError::QueueFull`]. Every decision depends only on
+    /// runtime state, so it is bit-identical across engines and
+    /// snapshot/resume.
+    pub fn submit_job(&mut self, sess: Session, graph: JobGraph) -> Result<Ticket, SubmitError> {
+        let s = sess.id as usize;
+        let job = self.sessions[s].jobs.len() as u32;
+        let nodes = graph.nodes.len() as u32;
+        let enqueued_at = self.clock;
+        let ss = &self.sessions[s];
+        // Queued jobs admit strictly FIFO: a graph may not overtake the
+        // queue even if it would fit right now.
+        let fits = ss.job_queue.is_empty()
+            && ss.live_ops.saturating_add(nodes) <= ss.limits.max_inflight_ops;
+        if fits {
+            self.sessions[s].jobs.push(JobRecord {
+                state: JobState::Admitted { base: 0, end: 0 },
+                enqueued_at,
+            });
+            let (base, end) = self.admit_graph(sess, graph);
+            self.sessions[s].jobs[job as usize].state = JobState::Admitted { base, end };
+            Ok(Ticket { sess: sess.id, job })
+        } else if (ss.job_queue.len() as u32) < ss.limits.queue_depth {
+            let ss = &mut self.sessions[s];
+            ss.jobs.push(JobRecord {
+                state: JobState::Queued(graph),
+                enqueued_at,
+            });
+            ss.job_queue.push_back(job);
+            Ok(Ticket { sess: sess.id, job })
+        } else {
+            self.sessions[s].meter.jobs_rejected += 1;
+            Err(SubmitError::QueueFull)
+        }
+    }
+
+    /// Resolve a graph's nodes into real submissions; returns the
+    /// session-op range `[base, end)` they produced (realignment copies
+    /// included — they land inside the range).
+    fn admit_graph(&mut self, sess: Session, graph: JobGraph) -> (u32, u32) {
+        let base = self.sessions[sess.id as usize].ops.len() as u32;
+        let mut handles: Vec<OpHandle> = Vec::with_capacity(graph.nodes.len());
+        for node in graph.nodes {
+            let mut deps = node.after_ops;
+            for &p in &node.parents {
+                deps.push(handles[p as usize]);
+            }
+            let h = match node.kind {
+                JobKind::Elementwise {
+                    op,
+                    scalars,
+                    inputs,
+                    output,
+                } => self.submit_elementwise(
+                    sess,
+                    op,
+                    scalars,
+                    inputs,
+                    output,
+                    node.opts,
+                    deps,
+                    node.ordered,
+                ),
+                JobKind::Gemv { y, a, x } => {
+                    self.submit_gemv(sess, y, a, x, node.opts, deps, node.ordered)
+                }
+                JobKind::AxpyRows {
+                    a_pvt,
+                    alphas,
+                    x,
+                    samples_per_instr,
+                } => self.submit_axpy_rows(
+                    sess,
+                    a_pvt,
+                    alphas,
+                    x,
+                    samples_per_instr,
+                    node.opts,
+                    deps,
+                    node.ordered,
+                ),
+            };
+            handles.push(h);
+        }
+        let end = self.sessions[sess.id as usize].ops.len() as u32;
+        (base, end)
+    }
+
+    /// Admit queued jobs of session `s` FIFO while they fit under the
+    /// in-flight cap. Off the steady-state path (sessions enter
+    /// `admit_pending` only when they hold queued jobs).
+    #[cold]
+    fn drain_admissions(&mut self, s: usize, now: u64) {
+        loop {
+            let ss = &self.sessions[s];
+            let Some(&job) = ss.job_queue.front() else {
+                return;
+            };
+            let JobState::Queued(ref g) = ss.jobs[job as usize].state else {
+                self.sessions[s].job_queue.pop_front();
+                continue;
+            };
+            if ss.live_ops.saturating_add(g.nodes.len() as u32) > ss.limits.max_inflight_ops {
+                return;
+            }
+            let ss = &mut self.sessions[s];
+            ss.job_queue.pop_front();
+            let rec = &mut ss.jobs[job as usize];
+            let enqueued = rec.enqueued_at;
+            let state = std::mem::replace(&mut rec.state, JobState::Admitted { base: 0, end: 0 });
+            let JobState::Queued(graph) = state else {
+                unreachable!("checked above")
+            };
+            ss.meter.admission_wait_cycles += now.saturating_sub(enqueued);
+            let (base, end) = self.admit_graph(Session { id: s as u32 }, graph);
+            self.sessions[s].jobs[job as usize].state = JobState::Admitted { base, end };
+        }
+    }
+
+    /// True once `t`'s graph was admitted (left the job queue).
+    pub fn ticket_admitted(&self, t: Ticket) -> bool {
+        matches!(
+            self.sessions[t.sess as usize].jobs[t.job as usize].state,
+            JobState::Admitted { .. }
+        )
+    }
+
+    /// True once every op `t`'s graph produced reached a terminal state.
+    /// Queued (not yet admitted) tickets are never done.
+    pub fn ticket_done(&self, t: Ticket) -> bool {
+        let ss = &self.sessions[t.sess as usize];
+        match ss.jobs[t.job as usize].state {
+            JobState::Queued(_) => false,
+            JobState::Admitted { base, end } => {
+                ss.ops[base as usize..end as usize].iter().all(|o| o.done)
+            }
+        }
+    }
+
+    /// Per-tenant metering rows for `SimReport::tenants`, session order.
+    pub(crate) fn tenant_reports(&self) -> Vec<TenantReport> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, ss)| {
+                let mut t = ss.meter.clone();
+                t.session = i as u32;
+                t
+            })
+            .collect()
+    }
+
     // ---- snapshot codec -------------------------------------------------
 
     /// Serialize all mutable runtime state (snapshot support). Structural
@@ -1836,11 +2696,45 @@ impl Runtime {
                 w.varint(op.retry_after);
                 w.opt_cycle(op.deadline_at);
                 w.bool(op.fallback_host);
+                w.varint(op.submitted_at);
             }
             w.varint(ss.first_live as u64);
             w.varint(ss.unordered_live as u64);
+            ss.qos.encode(w);
+            w.varint(ss.vtime);
+            w.varint(u64::from(ss.limits.max_inflight_ops));
+            w.varint(u64::from(ss.limits.queue_depth));
+            encode_meter(&ss.meter, w);
+            w.varint(ss.jobs.len() as u64);
+            for job in &ss.jobs {
+                w.varint(job.enqueued_at);
+                match &job.state {
+                    JobState::Queued(g) => {
+                        w.u8(0);
+                        encode_job_graph(g, w);
+                    }
+                    JobState::Admitted { base, end } => {
+                        w.u8(1);
+                        w.varint(u64::from(*base));
+                        w.varint(u64::from(*end));
+                    }
+                }
+            }
+            w.varint(ss.job_queue.len() as u64);
+            for &j in &ss.job_queue {
+                w.varint(u64::from(j));
+            }
         }
-        w.varint(self.rr_cursor as u64);
+        w.varint(self.vnow[0]);
+        w.varint(self.vnow[1]);
+        w.varint(self.admit_pending.len() as u64);
+        for &s in &self.admit_pending {
+            w.varint(u64::from(s));
+        }
+        w.varint(self.finished_ops.len() as u64);
+        for &h in &self.finished_ops {
+            encode_handle(h, w);
+        }
         w.varint(self.next_instr);
         self.allocator.encode_state(w);
         w.u32_slice(&self.rp_next_row);
@@ -2034,6 +2928,8 @@ impl Runtime {
                     retry_after: r.varint()?,
                     deadline_at: r.opt_cycle()?,
                     fallback_host: r.bool()?,
+                    submitted_at: r.varint()?,
+                    dependents: Vec::new(),
                 });
             }
             let first_live = r.varint_usize()?;
@@ -2041,29 +2937,105 @@ impl Runtime {
             if first_live > ops.len() || unordered_live > ops.len() {
                 return Err(CodecError::Corrupt("session watermarks"));
             }
+            let qos = QosClass::decode(r)?;
+            let vtime = r.varint()?;
+            let limits = TenantLimits {
+                max_inflight_ops: r.varint_u32()?,
+                queue_depth: r.varint_u32()?,
+            };
+            let meter = decode_meter(r)?;
+            let n_jobs = r.varint_usize()?;
+            let mut jobs = Vec::with_capacity(n_jobs.min(r.remaining()));
+            for _ in 0..n_jobs {
+                let enqueued_at = r.varint()?;
+                let state = match r.u8()? {
+                    0 => JobState::Queued(self.decode_job_graph(r)?),
+                    1 => {
+                        let base = r.varint_u32()?;
+                        let end = r.varint_u32()?;
+                        if base > end || end as usize > ops.len() {
+                            return Err(CodecError::Corrupt("admitted job range"));
+                        }
+                        JobState::Admitted { base, end }
+                    }
+                    _ => return Err(CodecError::Corrupt("job state tag")),
+                };
+                jobs.push(JobRecord { state, enqueued_at });
+            }
+            let n_queued = r.varint_usize()?;
+            let mut job_queue = VecDeque::with_capacity(n_queued.min(r.remaining()));
+            for _ in 0..n_queued {
+                let j = r.varint_u32()?;
+                if j as usize >= jobs.len() {
+                    return Err(CodecError::Corrupt("job queue index"));
+                }
+                job_queue.push_back(j);
+            }
             self.sessions.push(SessionState {
                 ops,
                 first_live,
                 unordered_live,
+                qos,
+                vtime,
+                sched: SchedState::Untracked,
+                heap_stamp: 0,
+                live_ops: 0,
+                limits,
+                jobs,
+                job_queue,
+                meter,
             });
         }
         // Handles may forward-reference sessions, so validate them only
-        // now that the full table exists.
+        // now that the full table exists (queued job graphs carry
+        // external-parent handles too).
+        fn check_handle(sessions: &[SessionState], h: OpHandle) -> Result<(), CodecError> {
+            let Some(target) = sessions.get(h.sess as usize) else {
+                return Err(CodecError::Corrupt("handle session out of range"));
+            };
+            if h.idx as usize >= target.ops.len() {
+                return Err(CodecError::Corrupt("handle op out of range"));
+            }
+            Ok(())
+        }
         for ss in &self.sessions {
             for op in &ss.ops {
                 for h in op.deps.iter().chain(op.pending.iter().map(|p| &p.op)) {
-                    let Some(target) = self.sessions.get(h.sess as usize) else {
-                        return Err(CodecError::Corrupt("handle session out of range"));
-                    };
-                    if h.idx as usize >= target.ops.len() {
-                        return Err(CodecError::Corrupt("handle op out of range"));
+                    check_handle(&self.sessions, *h)?;
+                }
+            }
+            for job in &ss.jobs {
+                if let JobState::Queued(g) = &job.state {
+                    for n in &g.nodes {
+                        for &h in &n.after_ops {
+                            check_handle(&self.sessions, h)?;
+                        }
                     }
                 }
             }
         }
-        self.rr_cursor = r.varint_usize()?;
-        if self.rr_cursor >= self.sessions.len() {
-            return Err(CodecError::Corrupt("round-robin cursor"));
+        self.vnow[0] = r.varint()?;
+        self.vnow[1] = r.varint()?;
+        let n_admit = r.varint_usize()?;
+        self.admit_pending.clear();
+        for _ in 0..n_admit {
+            let s = r.varint_u32()?;
+            if s as usize >= self.sessions.len() {
+                return Err(CodecError::Corrupt("admit-pending session"));
+            }
+            self.admit_pending.push_back(s);
+        }
+        let n_finished = r.varint_usize()?;
+        self.finished_ops.clear();
+        for _ in 0..n_finished {
+            let h = decode_handle(r)?;
+            let Some(target) = self.sessions.get(h.sess as usize) else {
+                return Err(CodecError::Corrupt("finished-op session"));
+            };
+            if h.idx as usize >= target.ops.len() {
+                return Err(CodecError::Corrupt("finished-op index"));
+            }
+            self.finished_ops.push_back(h);
         }
         self.next_instr = r.varint()?;
         self.allocator.decode_state(r)?;
@@ -2100,6 +3072,51 @@ impl Runtime {
                 }
             }
         }
+        // The ready index, reverse-dependency edges, and live-op gauges
+        // are likewise derived — rebuild rather than serialize them.
+        let mut dep_edges: Vec<(OpHandle, OpHandle)> = Vec::new();
+        for (s, ss) in self.sessions.iter_mut().enumerate() {
+            ss.live_ops = ss.ops.iter().filter(|o| !o.done).count() as u32;
+            ss.sched = SchedState::Untracked;
+            ss.heap_stamp = 0;
+            for (i, op) in ss.ops.iter().enumerate() {
+                if op.done {
+                    continue;
+                }
+                let h = OpHandle {
+                    sess: s as u32,
+                    idx: i as u32,
+                };
+                for &d in &op.deps {
+                    dep_edges.push((d, h));
+                }
+            }
+        }
+        for (d, h) in dep_edges {
+            if !self.op(d).done {
+                self.op_mut(d).dependents.push(h);
+            }
+        }
+        self.ready[0].clear();
+        self.ready[1].clear();
+        self.wake.clear();
+        for wl in &mut self.waitlists {
+            wl.clear();
+        }
+        // Classify every session against infinite queue space: sessions
+        // whose candidate is retry-held get exact wake-ups; the rest of
+        // the stageable ones enter Ready. A Ready entry that proves
+        // credit-blocked at the next real staging pass re-parks itself —
+        // premature entries cost executed cycles, never events, so the
+        // resumed report stays bit-identical.
+        for s in 0..self.sessions.len() {
+            if self
+                .classify_and_park(s, &|_| usize::MAX, self.clock)
+                .is_some()
+            {
+                self.ready_notify(s);
+            }
+        }
         Ok(())
     }
 
@@ -2118,6 +3135,185 @@ impl Runtime {
         }
         Ok(MatId(i))
     }
+
+    #[cold]
+    fn decode_job_graph(&self, r: &mut ByteReader<'_>) -> Result<JobGraph, CodecError> {
+        let n_nodes = r.varint_usize()?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(r.remaining()));
+        for node in 0..n_nodes {
+            let kind = match r.u8()? {
+                0 => {
+                    let op = decode_opcode(r)?;
+                    let scalars = decode_f32s(r)?;
+                    let n_in = r.varint_usize()?;
+                    let mut inputs = Vec::with_capacity(n_in.min(r.remaining()));
+                    for _ in 0..n_in {
+                        inputs.push(self.decode_vec_id(r)?);
+                    }
+                    let output = if r.bool()? {
+                        Some(self.decode_vec_id(r)?)
+                    } else {
+                        None
+                    };
+                    JobKind::Elementwise {
+                        op,
+                        scalars,
+                        inputs,
+                        output,
+                    }
+                }
+                1 => JobKind::Gemv {
+                    y: self.decode_vec_id(r)?,
+                    a: self.decode_mat_id(r)?,
+                    x: self.decode_vec_id(r)?,
+                },
+                2 => {
+                    let a_pvt = self.decode_vec_id(r)?;
+                    let alphas = decode_f32s(r)?;
+                    let x = self.decode_mat_id(r)?;
+                    let samples_per_instr = r.varint_usize()?;
+                    if samples_per_instr == 0 {
+                        return Err(CodecError::Corrupt("samples per instr"));
+                    }
+                    JobKind::AxpyRows {
+                        a_pvt,
+                        alphas,
+                        x,
+                        samples_per_instr,
+                    }
+                }
+                _ => return Err(CodecError::Corrupt("job node kind tag")),
+            };
+            let opts = LaunchOpts {
+                granularity_lines: if r.bool()? { Some(r.varint()?) } else { None },
+                barrier_per_chunk: r.bool()?,
+            };
+            let n_parents = r.varint_usize()?;
+            let mut parents = Vec::with_capacity(n_parents.min(r.remaining()));
+            for _ in 0..n_parents {
+                let p = r.varint_u32()?;
+                if p as usize >= node {
+                    return Err(CodecError::Corrupt("job node parent"));
+                }
+                parents.push(p);
+            }
+            let n_after = r.varint_usize()?;
+            let mut after_ops = Vec::with_capacity(n_after.min(r.remaining()));
+            for _ in 0..n_after {
+                after_ops.push(decode_handle(r)?);
+            }
+            let ordered = r.bool()?;
+            nodes.push(JobNode {
+                kind,
+                opts,
+                parents,
+                after_ops,
+                ordered,
+            });
+        }
+        Ok(JobGraph { nodes })
+    }
+}
+
+#[cold]
+fn encode_job_graph(g: &JobGraph, w: &mut ByteWriter) {
+    w.varint(g.nodes.len() as u64);
+    for n in &g.nodes {
+        match &n.kind {
+            JobKind::Elementwise {
+                op,
+                scalars,
+                inputs,
+                output,
+            } => {
+                w.u8(0);
+                encode_opcode(*op, w);
+                encode_f32s(scalars, w);
+                w.varint(inputs.len() as u64);
+                for v in inputs {
+                    w.varint(v.0 as u64);
+                }
+                match output {
+                    None => w.bool(false),
+                    Some(v) => {
+                        w.bool(true);
+                        w.varint(v.0 as u64);
+                    }
+                }
+            }
+            JobKind::Gemv { y, a, x } => {
+                w.u8(1);
+                w.varint(y.0 as u64);
+                w.varint(a.0 as u64);
+                w.varint(x.0 as u64);
+            }
+            JobKind::AxpyRows {
+                a_pvt,
+                alphas,
+                x,
+                samples_per_instr,
+            } => {
+                w.u8(2);
+                w.varint(a_pvt.0 as u64);
+                encode_f32s(alphas, w);
+                w.varint(x.0 as u64);
+                w.varint(*samples_per_instr as u64);
+            }
+        }
+        match n.opts.granularity_lines {
+            None => w.bool(false),
+            Some(g) => {
+                w.bool(true);
+                w.varint(g);
+            }
+        }
+        w.bool(n.opts.barrier_per_chunk);
+        w.varint(n.parents.len() as u64);
+        for &p in &n.parents {
+            w.varint(u64::from(p));
+        }
+        w.varint(n.after_ops.len() as u64);
+        for &h in &n.after_ops {
+            encode_handle(h, w);
+        }
+        w.bool(n.ordered);
+    }
+}
+
+#[cold]
+fn encode_meter(m: &TenantReport, w: &mut ByteWriter) {
+    // `session` is positional (re-stamped by `tenant_reports`), not
+    // serialized.
+    w.varint(m.ops_submitted);
+    w.varint(m.ops_completed);
+    w.varint(m.ops_failed);
+    w.varint(m.jobs_rejected);
+    w.varint(m.cycles_resident);
+    w.varint(m.admission_wait_cycles);
+    w.varint(m.launch_wait_cycles);
+    w.varint(m.service_cycles);
+}
+
+#[cold]
+fn decode_meter(r: &mut ByteReader<'_>) -> Result<TenantReport, CodecError> {
+    Ok(TenantReport {
+        session: 0,
+        ops_submitted: r.varint()?,
+        ops_completed: r.varint()?,
+        ops_failed: r.varint()?,
+        jobs_rejected: r.varint()?,
+        cycles_resident: r.varint()?,
+        admission_wait_cycles: r.varint()?,
+        launch_wait_cycles: r.varint()?,
+        service_cycles: r.varint()?,
+    })
+}
+
+/// `deps_done` over a borrowed session table (borrow-splitting helper
+/// for [`Runtime::classify_and_park`]).
+fn deps_done_in(sessions: &[SessionState], deps: &[OpHandle]) -> bool {
+    deps.iter()
+        .all(|&d| sessions[d.sess as usize].ops[d.idx as usize].done)
 }
 
 /// What a launch call builds (resolved at [`OpBuilder::submit`]).

@@ -65,7 +65,7 @@
 //! shard→front-end fills/completions arrive as per-shard runs merged in
 //! one sort pass (`MergeQueue` in the `exchange` module).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -401,6 +401,11 @@ pub struct ChopimSystem {
     completions: MergeQueue<(Cycle, u64, usize, OpHandle, u8)>,
     /// Resident relaunching workloads, pumped by the drive loop.
     streams: Vec<StreamState>,
+    /// In-flight op → stream index: completion routing for stream
+    /// resubmission. The drive loop drains the runtime's finished-op
+    /// feed through this map instead of polling every stream every
+    /// cycle, so the pump is O(completions), not O(streams).
+    stream_of: HashMap<OpHandle, u32>,
     /// Per-channel outboxes: flat buffers of messages produced this
     /// window, swapped into the shard inboxes at the barrier (the
     /// double-buffered arena — see [`crate::exchange`]).
@@ -593,6 +598,7 @@ impl ChopimSystem {
             fills: MergeQueue::default(),
             completions: MergeQueue::default(),
             streams: Vec::new(),
+            stream_of: HashMap::new(),
             egress: (0..nchannels).map(|_| Vec::new()).collect(),
             ingress_seen: vec![0; nchannels],
             ingress_unseen: vec![0; nchannels],
@@ -781,6 +787,7 @@ impl ChopimSystem {
             } else {
                 debug_assert_eq!(status, COMPLETION_OK);
                 self.nda_credit[nda] += 1;
+                self.runtime.credit_returned(nda);
                 self.nda_instrs_completed += 1;
                 let _ = self.runtime.complete_instr(tag, id, now);
             }
@@ -794,6 +801,7 @@ impl ChopimSystem {
             while self.inflight.front().is_some_and(|rec| rec.deadline <= now) {
                 let rec = self.inflight.pop_front().expect("checked");
                 self.nda_credit[rec.launch.nda_idx] += 1;
+                self.runtime.credit_returned(rec.launch.nda_idx);
                 self.runtime.counters.instr_timeouts += 1;
                 self.runtime.instr_failed(rec.launch, now, false);
             }
@@ -820,7 +828,11 @@ impl ChopimSystem {
             self.cpu_step(now);
         }
 
-        // 4. Stage at most one NDA instruction launch per cycle.
+        // 4. Stage at most one NDA instruction launch per cycle. The
+        // pre-stage pass first expires retry wake-ups and drains pending
+        // job admissions, so ops admitted by a completion this very cycle
+        // are stageable in the same arbitration pass.
+        self.runtime.pre_stage(now);
         if self.launch_stage.is_empty() {
             let Self {
                 runtime,
@@ -918,6 +930,7 @@ impl ChopimSystem {
         };
         let rec = self.inflight.remove(pos).expect("checked");
         self.nda_credit[rec.launch.nda_idx] += 1;
+        self.runtime.credit_returned(rec.launch.nda_idx);
         if status == COMPLETION_OK {
             self.nda_instrs_completed += 1;
             let _ = self.runtime.instr_completed_via(tag, rec.launch.chunk, now);
@@ -996,6 +1009,9 @@ impl ChopimSystem {
             return now;
         }
         if !self.launch_stage.is_empty() {
+            return now;
+        }
+        if self.runtime.has_pending_admissions() {
             return now;
         }
         {
@@ -1173,16 +1189,30 @@ impl ChopimSystem {
         self.advance_shards(self.now);
     }
 
-    /// Pump every active stream: a stream whose current op has retired
-    /// submits its next op immediately, so staging resumes on the very
-    /// next front-end cycle — the same cadence the old `run_relaunching`
-    /// loop enforced, generalized to any number of concurrent tenants.
-    fn pump_streams(streams: &mut [StreamState], rt: &mut Runtime) {
-        for st in streams.iter_mut().filter(|s| s.active) {
-            if rt.op_done(st.cur) {
-                st.completions += 1;
-                st.cur = (st.make)(rt, st.sess);
+    /// Pump streams off the runtime's finished-op feed: a stream whose
+    /// current op has retired submits its next op immediately, so
+    /// staging resumes on the very next front-end cycle — the same
+    /// cadence the old poll-every-stream loop enforced, but costed per
+    /// completion event instead of per stream per cycle (the pump is
+    /// what keeps thousand-stream scenarios O(active)). An op that
+    /// concludes instantly inside its own resubmission re-enters the
+    /// feed, so chains drain in one call.
+    fn pump_streams(
+        streams: &mut [StreamState],
+        stream_of: &mut HashMap<OpHandle, u32>,
+        rt: &mut Runtime,
+    ) {
+        while let Some(h) = rt.pop_finished() {
+            let Some(si) = stream_of.remove(&h) else {
+                continue;
+            };
+            let st = &mut streams[si as usize];
+            if !st.active {
+                continue;
             }
+            st.completions += 1;
+            st.cur = (st.make)(rt, st.sess);
+            stream_of.insert(st.cur, si);
         }
     }
 
@@ -1195,7 +1225,7 @@ impl ChopimSystem {
     /// — and shards always end synced to `self.now`.
     fn drive_loop(&mut self, end: Cycle, ctrl: &mut dyn FnMut(&mut Runtime) -> bool) {
         'outer: while self.now < end {
-            Self::pump_streams(&mut self.streams, &mut self.runtime);
+            Self::pump_streams(&mut self.streams, &mut self.stream_of, &mut self.runtime);
             if ctrl(&mut self.runtime) {
                 break;
             }
@@ -1203,7 +1233,7 @@ impl ChopimSystem {
             while self.now < target {
                 self.fe_tick();
                 self.now += 1;
-                Self::pump_streams(&mut self.streams, &mut self.runtime);
+                Self::pump_streams(&mut self.streams, &mut self.stream_of, &mut self.runtime);
                 if ctrl(&mut self.runtime) {
                     self.advance_shards(self.now);
                     break 'outer;
@@ -1211,7 +1241,7 @@ impl ChopimSystem {
                 self.fe_maybe_skip(target);
             }
             self.advance_shards(self.now);
-            Self::pump_streams(&mut self.streams, &mut self.runtime);
+            Self::pump_streams(&mut self.streams, &mut self.stream_of, &mut self.runtime);
             if ctrl(&mut self.runtime) {
                 break;
             }
@@ -1263,7 +1293,9 @@ impl ChopimSystem {
             completions: 0,
             active: true,
         });
-        StreamId(self.streams.len() - 1)
+        let id = self.streams.len() - 1;
+        self.stream_of.insert(cur, id as u32);
+        StreamId(id)
     }
 
     /// Ops the stream has completed so far (the in-flight op counts only
@@ -1277,6 +1309,7 @@ impl ChopimSystem {
     /// count.
     pub fn stop_stream(&mut self, id: StreamId) -> u64 {
         self.streams[id.0].active = false;
+        self.stream_of.remove(&self.streams[id.0].cur);
         self.streams[id.0].completions
     }
 
@@ -1434,6 +1467,7 @@ impl ChopimSystem {
                 .map(|n| n.write_throttle_stalls)
                 .sum(),
             faults: self.fault_report(),
+            tenants: self.runtime.tenant_reports(),
         }
     }
 
@@ -1848,8 +1882,12 @@ impl ChopimSystem {
 const SNAPSHOT_MAGIC: [u8; 4] = *b"CHSS";
 /// Snapshot container format version. v2 added the fault plane:
 /// completion status bytes, in-flight launch records, per-op recovery
-/// state, and per-shard fault counters.
-const SNAPSHOT_VERSION: u32 = 2;
+/// state, and per-shard fault counters. v3 added the thousand-tenant
+/// runtime: per-op submission stamps, per-session QoS class /
+/// virtual-time / admission limits / job table / metering, the per-band
+/// virtual clocks, pending admissions, and the finished-op feed (the
+/// ready index itself is derived and rebuilt on resume).
+const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why [`ChopimSystem::snapshot`] refused to capture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

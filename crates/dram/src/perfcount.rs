@@ -68,10 +68,18 @@ pub enum Counter {
     /// Cycles a shard leapt past a window barrier because its computed
     /// horizon proved it quiet (per-shard scope).
     HorizonLeapCycles,
+    /// Sessions examined by runtime launch arbitration
+    /// (`next_launches` heap pops). The O(active) proof: this stays ≪
+    /// sessions × launch windows on thousand-tenant scenarios, where the
+    /// pre-index rotating scan was exactly sessions × windows.
+    SchedSessionsScanned,
+    /// Ready-index maintenance operations (heap pushes/pops, waitlist
+    /// parks, wake-heap arms, credit-return wakes).
+    ReadyIndexOps,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 14;
+pub const NUM_COUNTERS: usize = 16;
 
 /// Counter labels, index-aligned with [`Counter`].
 pub const LABELS: [&str; NUM_COUNTERS] = [
@@ -89,6 +97,8 @@ pub const LABELS: [&str; NUM_COUNTERS] = [
     "messages_exchanged",
     "arena_high_water",
     "horizon_leap_cycles",
+    "sched_sessions_scanned",
+    "ready_index_ops",
 ];
 
 #[cfg(feature = "perf-counters")]

@@ -44,8 +44,8 @@ pub use perfmatrix::{bench_window, perf_matrix};
 pub use result::{rows_to_csv, Metrics, SweepPoint, SweepResult};
 pub use runner::SweepRunner;
 pub use scenario::{
-    capture_prefix, run_scenario, run_scenario_from, run_scenario_prefixed, run_two_session_dag,
-    spawn_spec_workload, spawn_workload, ScenarioSpec, Workload,
+    capture_prefix, fleet_qos, run_scenario, run_scenario_from, run_scenario_prefixed,
+    run_two_session_dag, spawn_spec_workload, spawn_workload, ScenarioSpec, Workload,
 };
 
 /// Everything needed to declare and run a sweep.

@@ -135,6 +135,34 @@ pub fn perf_matrix(w: u64) -> Vec<(&'static str, ScenarioSpec)> {
     };
     points.push(("multi_tenant_2sess", multi));
 
+    // Mid-scale QoS point: 32 streaming tenants with mixed classes
+    // (latency-sensitive + weighted batch) on a 4-channel machine. Small
+    // enough that the lockstep suites' debug-build oracle (which
+    // re-derives every arbitration pick by scanning all sessions) stays
+    // active, pinning the ready index against the naive scheduler.
+    let mut qos = ScenarioSpec::with_window(w);
+    qos.cfg.dram = DramConfig::table_ii().with_channels(4);
+    qos.workload = Workload::TenantFleet {
+        tenants: 32,
+        shared_vectors: 8,
+        elems: 1 << 13,
+    };
+    points.push(("multi_tenant_qos", qos));
+
+    // The headline thousand-tenant point: 1000 streaming sessions with
+    // mixed QoS classes on the 8-channel machine, host idle. Arbitration
+    // cost must stay O(active) — `sched_sessions_scanned` per launch
+    // window, not O(sessions); the pre-index rotating scan made this
+    // point quadratic-ish and unmeasurable.
+    let mut fleet = ScenarioSpec::with_window(w);
+    fleet.cfg.dram = DramConfig::table_ii().with_channels(8);
+    fleet.workload = Workload::TenantFleet {
+        tenants: 1000,
+        shared_vectors: 16,
+        elems: 1 << 12,
+    };
+    points.push(("multi_tenant_1k", fleet));
+
     // The wide co-located point under an active fault plane: transient
     // compute faults, FSM hangs, dropped and delayed completions, plus a
     // mid-window rank death — the recovery machinery (retry staging,
@@ -182,6 +210,8 @@ mod tests {
                 "wide_host_16ch",
                 "wide_colocated_16ch",
                 "multi_tenant_2sess",
+                "multi_tenant_qos",
+                "multi_tenant_1k",
                 "faulty_colocated_8ch"
             ]
         );

@@ -129,6 +129,21 @@ pub enum Workload {
         /// One inner workload per tenant.
         tenants: Vec<Workload>,
     },
+    /// A fleet of identical streaming tenants under mixed QoS classes —
+    /// the thousand-tenant scaling axis. Each tenant is its own
+    /// [`Session`] streaming an in-place `SCAL` over one of
+    /// `shared_vectors` shared resident vectors (vector `t %
+    /// shared_vectors`), with a deterministic class rotation: every
+    /// 32nd tenant is `LatencySensitive`, the rest are `Batch` with
+    /// weights rotating through {1, 2, 4}.
+    TenantFleet {
+        /// Number of sessions (each with one resident stream).
+        tenants: usize,
+        /// Shared resident vectors the fleet's streams rotate over.
+        shared_vectors: usize,
+        /// Elements per shared vector.
+        elems: usize,
+    },
 }
 
 impl Workload {
@@ -277,6 +292,21 @@ pub fn spawn_workload(sys: &mut ChopimSystem, sess: Session, workload: Workload)
             });
         }
         Workload::MultiTenant { .. } => panic!("MultiTenant tenants must be leaf workloads"),
+        Workload::TenantFleet { .. } => {
+            panic!("TenantFleet spawns its own sessions; use spawn_spec_workload")
+        }
+    }
+}
+
+/// The deterministic QoS class of fleet tenant `t` (see
+/// [`Workload::TenantFleet`]).
+pub fn fleet_qos(t: usize) -> QosClass {
+    if t.is_multiple_of(32) {
+        QosClass::LatencySensitive
+    } else {
+        QosClass::Batch {
+            weight: [1, 2, 4][t % 3],
+        }
     }
 }
 
@@ -305,6 +335,28 @@ pub fn spawn_spec_workload(sys: &mut ChopimSystem, workload: Workload) {
             for t in tenants {
                 let sess = sys.runtime.create_session();
                 spawn_workload(sys, sess, t);
+            }
+        }
+        Workload::TenantFleet {
+            tenants,
+            shared_vectors,
+            elems,
+        } => {
+            let vecs: Vec<VecId> = (0..shared_vectors.max(1))
+                .map(|_| sys.runtime.vector(elems, Sharing::Shared))
+                .collect();
+            let data = init_data(elems);
+            for &v in &vecs {
+                sys.runtime.write_vector(v, &data);
+            }
+            for t in 0..tenants {
+                let sess = sys.runtime.create_session();
+                sys.runtime.set_qos(sess, fleet_qos(t));
+                let x = vecs[t % vecs.len()];
+                sys.spawn_stream(sess, move |rt, s| {
+                    s.elementwise(rt, Opcode::Scal, vec![0.99], vec![], Some(x))
+                        .submit()
+                });
             }
         }
         w => {

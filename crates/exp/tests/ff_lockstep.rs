@@ -65,6 +65,8 @@ fn matrix_is_fully_covered() {
             "wide_host_16ch",
             "wide_colocated_16ch",
             "multi_tenant_2sess",
+            "multi_tenant_qos",
+            "multi_tenant_1k",
             "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a lockstep test for it"
@@ -125,6 +127,35 @@ fn lockstep_wide_colocated_16ch() {
 fn lockstep_multi_tenant_2sess() {
     run_matrix_entry("multi_tenant_2sess");
 }
+
+/// 32 mixed-QoS streaming tenants: the debug-build arbitration oracle is
+/// active at this scale, so this point pins the ready index against a
+/// full-scan re-derivation of every pick on top of naive/fast identity.
+#[test]
+fn lockstep_multi_tenant_qos() {
+    let matrix = perf_matrix(window().min(20_000));
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == "multi_tenant_qos")
+        .expect("scenario in matrix");
+    for seed in [1, 7] {
+        assert_lockstep(name, spec, seed);
+    }
+}
+
+/// The thousand-tenant headline point, windowed down: the ready index,
+/// per-NDA waitlists, and the finished-op stream pump all carry real
+/// load here, and the fast path must still skip bit-identically.
+#[test]
+fn lockstep_multi_tenant_1k() {
+    let matrix = perf_matrix(window().min(12_000));
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == "multi_tenant_1k")
+        .expect("scenario in matrix");
+    assert_lockstep(name, spec, 1);
+}
+
 #[test]
 fn lockstep_faulty_colocated_8ch() {
     run_matrix_entry("faulty_colocated_8ch");

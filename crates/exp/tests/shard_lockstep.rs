@@ -75,6 +75,8 @@ fn matrix_is_fully_covered() {
             "wide_host_16ch",
             "wide_colocated_16ch",
             "multi_tenant_2sess",
+            "multi_tenant_qos",
+            "multi_tenant_1k",
             "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a shard-lockstep test for it"
@@ -124,6 +126,33 @@ fn shard_lockstep_wide_host_8ch() {
 #[test]
 fn shard_lockstep_multi_tenant_2sess() {
     run_matrix_entry("multi_tenant_2sess");
+}
+
+/// 32 mixed-QoS streaming tenants on a 4-channel machine: credit
+/// returns (which wake parked sessions) arrive from different shards,
+/// so worker interleaving must not perturb QoS arbitration.
+#[test]
+fn shard_lockstep_multi_tenant_qos() {
+    let matrix = perf_matrix(window().min(20_000));
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == "multi_tenant_qos")
+        .expect("scenario in matrix");
+    for seed in [1, 7] {
+        assert_thread_lockstep(name, spec, seed);
+    }
+}
+
+/// The thousand-tenant headline point, windowed down: the ready-index
+/// schedule over 1000 sessions must be thread-count independent.
+#[test]
+fn shard_lockstep_multi_tenant_1k() {
+    let matrix = perf_matrix(window().min(12_000));
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == "multi_tenant_1k")
+        .expect("scenario in matrix");
+    assert_thread_lockstep(name, spec, 1);
 }
 
 #[test]

@@ -105,6 +105,8 @@ fn matrix_is_fully_covered() {
             "wide_host_16ch",
             "wide_colocated_16ch",
             "multi_tenant_2sess",
+            "multi_tenant_qos",
+            "multi_tenant_1k",
             "faulty_colocated_8ch"
         ],
         "new matrix scenario: add a snapshot-lockstep test for it"
@@ -165,6 +167,22 @@ fn snapshot_lockstep_wide_colocated_16ch() {
 fn snapshot_lockstep_multi_tenant_2sess() {
     run_matrix_entry("multi_tenant_2sess");
 }
+
+#[test]
+fn snapshot_lockstep_multi_tenant_qos() {
+    run_matrix_entry("multi_tenant_qos");
+}
+
+#[test]
+fn snapshot_lockstep_multi_tenant_1k() {
+    let matrix = perf_matrix(window().min(8_000));
+    let (name, spec) = matrix
+        .iter()
+        .find(|(n, _)| *n == "multi_tenant_1k")
+        .expect("scenario in matrix");
+    assert_snapshot_lockstep(name, spec, 1);
+}
+
 #[test]
 fn snapshot_lockstep_faulty_colocated_8ch() {
     run_matrix_entry("faulty_colocated_8ch");
@@ -248,6 +266,120 @@ fn snapshot_mid_flight_dag() {
                 oracle,
                 finish(resumed, a2, b2),
                 "{label} mid-flight resume diverged (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Build a three-tenant machine with the QoS runtime state fully
+/// populated: mixed classes, direct submissions on two sessions, and an
+/// executor session whose in-flight cap admits its first job graph and
+/// parks the second in the admission queue.
+fn qos_machine(mut cfg: ChopimConfig, seed: u64) -> (ChopimSystem, Ticket, Ticket) {
+    cfg.seed = seed;
+    let mut sys = ChopimSystem::new(cfg);
+    let lat = sys.runtime.default_session();
+    let heavy = sys.runtime.create_session();
+    let light = sys.runtime.create_session();
+    sys.runtime.set_qos(lat, QosClass::LatencySensitive);
+    sys.runtime.set_qos(heavy, QosClass::Batch { weight: 4 });
+    // `light` keeps the default Batch { weight: 1 }.
+    let n = 1 << 14;
+    let x = sys.runtime.vector(n, Sharing::Shared);
+    let y = sys.runtime.vector(n, Sharing::Shared);
+    let u = sys.runtime.vector(n, Sharing::Shared);
+    let w = sys.runtime.vector(n, Sharing::Shared);
+    let data: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.25 - 12.0).collect();
+    sys.runtime.write_vector(x, &data);
+    let _ = lat
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(y))
+        .submit();
+    let _ = lat
+        .elementwise(&mut sys.runtime, Opcode::Scal, vec![0.5], vec![], Some(y))
+        .submit();
+    let _ = light
+        .elementwise(&mut sys.runtime, Opcode::Copy, vec![], vec![x], Some(w))
+        .submit();
+    // Cap of 2 in-flight ops: the two-node graph is admitted whole, the
+    // follow-up job must wait in the queue until it retires.
+    sys.runtime.set_tenant_limits(
+        heavy,
+        TenantLimits {
+            max_inflight_ops: 2,
+            queue_depth: 4,
+        },
+    );
+    let mut g1 = JobGraph::new();
+    let c = g1.elementwise(Opcode::Copy, vec![], vec![x], Some(u));
+    let a = g1.elementwise(Opcode::Axpy, vec![1.0], vec![u], Some(y));
+    g1.after(a, c);
+    let t1 = sys
+        .runtime
+        .submit_job(heavy, g1)
+        .expect("fits under the cap");
+    let mut g2 = JobGraph::new();
+    g2.elementwise(Opcode::Scal, vec![0.75], vec![], Some(u));
+    let t2 = sys.runtime.submit_job(heavy, g2).expect("queue has room");
+    (sys, t1, t2)
+}
+
+/// Snapshot with the QoS scheduler mid-stride: ready-index entries live,
+/// virtual times charged, per-tenant meters non-zero, one executor job
+/// admitted and another parked in the admission queue. Resuming under
+/// every engine mode must admit, schedule, and retire identically to the
+/// straight run — including the `SimReport.tenants` metering.
+#[test]
+fn snapshot_mid_flight_qos_executor() {
+    // Off the lookahead-window grid, early enough that the queued job is
+    // still waiting on the admitted one.
+    const SPLIT: u64 = 777;
+    let base_cfg = || ChopimConfig {
+        dram: DramConfig::table_ii().with_channels(4),
+        mix: MixId::new(2),
+        ..ChopimConfig::default()
+    };
+    let finish = |mut sys: ChopimSystem, t1: Ticket, t2: Ticket| {
+        sys.run(60_000);
+        assert!(sys.runtime.ticket_done(t1), "admitted job must retire");
+        assert!(
+            sys.runtime.ticket_done(t2),
+            "queued job must be admitted and retire"
+        );
+        assert!(sys.runtime.quiescent());
+        sys.report()
+    };
+    for seed in [1, 7] {
+        let (mut sys, t1, t2) = qos_machine(base_cfg(), seed);
+        sys.run(SPLIT);
+        let oracle = finish(sys, t1, t2);
+
+        let (mut sys, t1, t2) = qos_machine(base_cfg(), seed);
+        sys.run(SPLIT);
+        assert!(
+            sys.runtime.ticket_admitted(t1),
+            "first job admitted at submit"
+        );
+        assert!(
+            !sys.runtime.ticket_admitted(t2),
+            "second job must still be queued at the capture point"
+        );
+        let image = sys.snapshot().expect("no streams spawned");
+        drop(sys);
+
+        for (label, threads, fixed) in [
+            ("serial", 1usize, false),
+            ("2-thread", 2, false),
+            ("fixed-window", 1, true),
+        ] {
+            let mut cfg = base_cfg();
+            cfg.seed = seed;
+            cfg.sim_threads = threads;
+            cfg.fixed_window = fixed;
+            let resumed = ChopimSystem::resume(cfg, &image).expect("image must resume");
+            assert_eq!(
+                oracle,
+                finish(resumed, t1, t2),
+                "{label} QoS/executor mid-flight resume diverged (seed {seed})"
             );
         }
     }

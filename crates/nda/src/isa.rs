@@ -101,12 +101,17 @@ pub struct Phase {
 }
 
 /// One launched NDA instruction for one rank.
+///
+/// Phases are behind an `Arc`: an instruction is cloned on every launch
+/// (the shard hands one copy to the rank FSM and may keep another in
+/// its in-flight records), and a refcount bump keeps that hot-path
+/// clone allocation-free. The microcode is immutable once built.
 #[derive(Debug, Clone)]
 pub struct NdaInstr {
     /// Operation (for reporting and functional execution).
     pub op: Opcode,
     /// Microcode phases.
-    pub phases: Vec<Phase>,
+    pub phases: Arc<[Phase]>,
     /// Runtime-assigned id for completion tracking.
     pub id: u64,
 }
@@ -153,7 +158,7 @@ impl NdaInstr {
             .collect();
         Self {
             op,
-            phases: vec![Phase { streams, lines }],
+            phases: vec![Phase { streams, lines }].into(),
             id,
         }
     }
@@ -176,7 +181,7 @@ impl NdaInstr {
         };
         Self {
             op: Opcode::Gemv,
-            phases: vec![phase(x, false), phase(a, false), phase(y, true)],
+            phases: vec![phase(x, false), phase(a, false), phase(y, true)].into(),
             id,
         }
     }

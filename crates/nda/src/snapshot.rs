@@ -68,7 +68,7 @@ pub fn encode_instr(i: &NdaInstr, w: &mut ByteWriter) {
         .expect("opcode in ALL") as u8;
     w.u8(op);
     w.varint(i.phases.len() as u64);
-    for p in &i.phases {
+    for p in i.phases.iter() {
         w.varint(p.lines);
         w.varint(p.streams.len() as u64);
         for s in &p.streams {
@@ -109,7 +109,11 @@ pub fn decode_instr(r: &mut ByteReader<'_>) -> Result<NdaInstr, CodecError> {
         phases.push(Phase { streams, lines });
     }
     let id = r.varint()?;
-    Ok(NdaInstr { op, phases, id })
+    Ok(NdaInstr {
+        op,
+        phases: phases.into(),
+        id,
+    })
 }
 
 #[cfg(test)]

@@ -16,8 +16,16 @@
 //!
 //! ```text
 //! chopim-perf [--out BENCH_chopim.json] [--check BENCH_baseline.json]
+//!             [--filter REGEX] [--verbose]
 //! ```
 //!
+//! * `--filter REGEX` measures only the scenarios whose name matches the
+//!   pattern (a small regex dialect: literals, `.`, `*`, and `^`/`$`
+//!   anchors; unanchored patterns match any substring). The gate then
+//!   only checks the measured rows — baseline rows outside the filter
+//!   are skipped, not reported missing — so CI smoke jobs can gate a
+//!   handful of representative scenarios without paying for the full
+//!   matrix.
 //! * `CHOPIM_BENCH_CYCLES` sets the measurement window (default 60 000).
 //! * `CHOPIM_PERF_REPS` sets repetitions per loop (default 3); the
 //!   minimum wall time wins, and naive/fast runs alternate so transient
@@ -74,6 +82,15 @@ const SPEEDUP_FLOORS: &[(&str, f64)] = &[
     ("colocated_svrg", 0.95),
     ("colocated_mix", 0.95),
     ("rank_partitioned", 0.95),
+    // The QoS fleet points: host-idle machines whose NDA plane is
+    // saturated by streaming tenants. The headline claim is that the
+    // indexed arbiter keeps per-launch cost O(active) — at 1000
+    // sessions the fast loop must at minimum hold parity with the
+    // naive loop (the pre-index rotating scan sank well below it), and
+    // `--verbose` shows `sched_sessions_scanned` staying proportional
+    // to launches, not tenants.
+    ("multi_tenant_qos", 1.0),
+    ("multi_tenant_1k", 1.0),
     // Forking 4 points from one captured prefix must beat replaying the
     // prefix per point; at the gate window the structural win is ~1.6x,
     // and snapshot codec cost eating it down to parity is the regression
@@ -402,6 +419,52 @@ fn to_json(results: &[Measurement]) -> String {
     out
 }
 
+/// Match `text` against the `--filter` pattern: a small regex dialect
+/// with literal characters, `.` (any char), `*` (zero or more of the
+/// preceding atom), and `^`/`$` anchors. Unanchored patterns match any
+/// substring, so `--filter multi_tenant` selects both fleet scenarios
+/// while `--filter '^host_only$'` selects exactly one. Hand-rolled
+/// because the workspace takes no external dependencies.
+fn pattern_matches(pat: &str, text: &str) -> bool {
+    let (pat, anchor_start) = match pat.strip_prefix('^') {
+        Some(rest) => (rest, true),
+        None => (pat, false),
+    };
+    let (pat, anchor_end) = match pat.strip_suffix('$') {
+        Some(rest) => (rest, true),
+        None => (pat, false),
+    };
+    let p: Vec<char> = pat.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    fn match_here(p: &[char], t: &[char], anchor_end: bool) -> bool {
+        match p {
+            [] => !anchor_end || t.is_empty(),
+            [c, '*', rest @ ..] => {
+                // Greedy-enough backtracking: try consuming 0.. chars.
+                let mut i = 0;
+                loop {
+                    if match_here(rest, &t[i..], anchor_end) {
+                        return true;
+                    }
+                    if i < t.len() && (*c == '.' || t[i] == *c) {
+                        i += 1;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            [c, rest @ ..] => {
+                !t.is_empty() && (*c == '.' || t[0] == *c) && match_here(rest, &t[1..], anchor_end)
+            }
+        }
+    }
+    if anchor_start {
+        match_here(&p, &t, anchor_end)
+    } else {
+        (0..=t.len()).any(|i| match_here(&p, &t[i..], anchor_end))
+    }
+}
+
 /// One scenario row parsed from a baseline file.
 struct BaselineRow {
     name: String,
@@ -447,7 +510,7 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn check(results: &[Measurement], baseline_path: &str) -> Result<(), String> {
+fn check(results: &[Measurement], baseline_path: &str, filter: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     // Speedups scale with the window (fixed per-run costs amortize), so
@@ -483,6 +546,11 @@ fn check(results: &[Measurement], baseline_path: &str) -> Result<(), String> {
     for row in &baseline {
         let name = &row.name;
         let Some(m) = results.iter().find(|m| m.name == name) else {
+            // Under `--filter` the run deliberately measured a subset;
+            // baseline rows outside the filter are skipped, not missing.
+            if filter.is_some_and(|f| !pattern_matches(f, name)) {
+                continue;
+            }
             failures.push(format!("scenario `{name}` missing from this run"));
             continue;
         };
@@ -569,6 +637,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_chopim.json".to_string();
     let mut baseline: Option<String> = None;
+    let mut filter: Option<String> = None;
     let mut verbose = false;
     let mut i = 0;
     while i < args.len() {
@@ -581,20 +650,39 @@ fn main() {
                 baseline = Some(args.get(i + 1).expect("--check needs a path").clone());
                 i += 2;
             }
+            "--filter" => {
+                filter = Some(args.get(i + 1).expect("--filter needs a pattern").clone());
+                i += 2;
+            }
             "--verbose" => {
                 verbose = true;
                 i += 1;
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: chopim-perf [--out FILE] [--check BASELINE] [--verbose]");
+                eprintln!(
+                    "usage: chopim-perf [--out FILE] [--check BASELINE] \
+                     [--filter REGEX] [--verbose]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let selected = |name: &str| filter.as_deref().is_none_or(|f| pattern_matches(f, name));
 
-    let mut results: Vec<Measurement> = perf_matrix(window())
+    let matrix = perf_matrix(window());
+    if !matrix.iter().any(|(name, _)| selected(name)) && !selected("warm_start") {
+        eprintln!(
+            "--filter `{}` matches no scenario; the matrix has: {} warm_start",
+            filter.as_deref().unwrap_or(""),
+            matrix.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    }
+
+    let mut results: Vec<Measurement> = matrix
         .iter()
+        .filter(|(name, _)| selected(name))
         .map(|(name, spec)| {
             let m = measure(name, spec);
             eprintln!(
@@ -615,7 +703,7 @@ fn main() {
         })
         .collect();
 
-    {
+    if selected("warm_start") {
         let m = measure_warm_start();
         eprintln!(
             "{:<18} {:>9} cycles  cold  {:>8.1} ms ({:>10.0} c/s)  warm {:>8.1} ms ({:>10.0} c/s)  speedup {:.2}x",
@@ -629,7 +717,7 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     if let Some(path) = baseline {
-        match check(&results, &path) {
+        match check(&results, &path, filter.as_deref()) {
             Ok(()) => eprintln!(
                 "perf gate: OK (speedups >= {SERIAL_FLOOR_FACTOR} x {path} and above floors)"
             ),
@@ -638,5 +726,26 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pattern_matches;
+
+    #[test]
+    fn filter_dialect() {
+        assert!(pattern_matches("multi_tenant", "multi_tenant_1k"));
+        assert!(pattern_matches("tenant", "multi_tenant_qos"));
+        assert!(pattern_matches("^host_only$", "host_only"));
+        assert!(!pattern_matches("^host_only$", "colocated_host_only"));
+        assert!(!pattern_matches("^only", "host_only"));
+        assert!(pattern_matches("only$", "host_only"));
+        assert!(pattern_matches("h.st", "host_idle"));
+        assert!(pattern_matches("^w.*16ch$", "wide_host_16ch"));
+        assert!(!pattern_matches("^w.*16ch$", "wide_host_8ch"));
+        assert!(pattern_matches("", "anything"));
+        assert!(pattern_matches("a*", "bbb"));
+        assert!(!pattern_matches("zz*", "bbb"));
     }
 }
