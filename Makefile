@@ -1,7 +1,7 @@
 # Convenience entry points. Everything here is plain cargo underneath so
 # local runs and CI are identical.
 
-.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lockstep-snapshot chaos docs examples lint
+.PHONY: all test perf perf-check perf-verbose perf-micro lockstep lockstep-shard lockstep-snapshot chaos docs examples lint lint-chopim checked-release
 
 all: test
 
@@ -77,3 +77,17 @@ examples:
 
 lint:
 	cargo clippy --all-targets -- -D warnings && cargo fmt --check
+	$(MAKE) lint-chopim
+
+# Project-specific source lints (see docs/LINTS.md): determinism,
+# snapshot completeness, shard-boundary discipline, cold-path
+# annotations, and forbid(unsafe_code) — enforced by crates/lint.
+lint-chopim:
+	cargo run --release -p chopim-lint -- .
+
+# Lockstep suites under a release profile with debug-assertions and
+# overflow-checks on: every debug_assert oracle (ready-index vs full
+# scan, horizon conservatism) and arithmetic overflow fires at release
+# optimisation levels too.
+checked-release:
+	cargo test --profile release-checked -p chopim-exp --test ff_lockstep --test shard_lockstep --test snapshot_lockstep

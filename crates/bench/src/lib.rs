@@ -8,6 +8,8 @@
 //! `CHOPIM_SWEEP_OUT=<dir>` to also dump each sweep as `<dir>/<name>.csv`,
 //! and `CHOPIM_SWEEP_THREADS` to pin the worker count.
 
+#![forbid(unsafe_code)]
+
 use chopim_core::prelude::*;
 use chopim_exp::prelude::*;
 

@@ -27,7 +27,108 @@
 //! reproduces exactly the `BinaryHeap` min-pop order (ascending on the
 //! full tuple), because no pushes happen between barriers.
 
+use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
 use chopim_dram::perfcount::{self, Counter};
+use chopim_dram::Cycle;
+use chopim_nda::isa::NdaInstr;
+use chopim_nda::snapshot::{decode_instr, encode_instr};
+
+use crate::sched::{decode_tx, encode_tx, HostTransaction};
+
+// The shared cross-boundary vocabulary, re-exported so shard-side code
+// names `exchange` (the typed message layer) rather than the front-end
+// `runtime` module. This module is the one place both sides' types meet.
+pub use crate::runtime::OpHandle;
+pub(crate) use crate::runtime::{decode_handle, encode_handle};
+
+/// A message from the front-end to a shard, delivered at its stamp.
+#[derive(Debug)]
+pub(crate) enum ShardInbound {
+    /// A memory transaction bound for the host MC queues. Waits for MC
+    /// queue space at the head of the FIFO (head-of-line, preserving
+    /// order).
+    Tx(HostTransaction),
+    /// The payload side-band of a launch: registers the in-flight record
+    /// before the launch's control-register writes (which follow in the
+    /// same FIFO) start completing. Never waits for MC space.
+    Launch {
+        /// Launch id shared with the write transactions' `TxMeta`.
+        id: u64,
+        /// Target NDA, shard-local index.
+        nda_local: usize,
+        /// The instruction delivered when every write completes.
+        instr: NdaInstr,
+        /// Control-register writes carrying this launch.
+        writes: u32,
+        /// Owning `(session, op)`: stamped back onto the instruction's
+        /// completion message so the front-end routes it straight to the
+        /// right tenant's op without a global lookup.
+        tag: OpHandle,
+    },
+}
+
+/// Outbound fill completion: `(deliver_at, core, request id)`.
+pub(crate) type FillMsg = (Cycle, usize, u64);
+/// Outbound instruction completion:
+/// `(deliver_at, instr id, global NDA, (session, op), status)`.
+pub(crate) type CompletionMsg = (Cycle, u64, usize, OpHandle, u8);
+
+/// [`CompletionMsg`] status: the instruction retired successfully.
+pub(crate) const COMPLETION_OK: u8 = 0;
+/// [`CompletionMsg`] status: the instruction failed (transient compute
+/// fault, poisoned operand, or queue overflow under fault recovery).
+pub(crate) const COMPLETION_FAILED: u8 = 1;
+/// [`CompletionMsg`] status: the target rank died permanently; the
+/// front-end quarantines it and re-shards onto survivors.
+pub(crate) const COMPLETION_RANK_DEAD: u8 = 2;
+
+impl ShardInbound {
+    #[cold]
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ShardInbound::Tx(tx) => {
+                w.u8(0);
+                encode_tx(tx, w);
+            }
+            ShardInbound::Launch {
+                id,
+                nda_local,
+                instr,
+                writes,
+                tag,
+            } => {
+                w.u8(1);
+                w.varint(*id);
+                w.varint(*nda_local as u64);
+                encode_instr(instr, w);
+                w.varint(u64::from(*writes));
+                encode_handle(*tag, w);
+            }
+        }
+    }
+
+    #[cold]
+    pub(crate) fn decode(r: &mut ByteReader<'_>, n_ndas: usize) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => ShardInbound::Tx(decode_tx(r)?),
+            1 => {
+                let id = r.varint()?;
+                let nda_local = r.varint_usize()?;
+                if nda_local >= n_ndas {
+                    return Err(CodecError::Corrupt("launch NDA index out of range"));
+                }
+                ShardInbound::Launch {
+                    id,
+                    nda_local,
+                    instr: decode_instr(r)?,
+                    writes: r.varint_u32()?,
+                    tag: decode_handle(r)?,
+                }
+            }
+            _ => return Err(CodecError::Corrupt("shard inbound tag")),
+        })
+    }
+}
 
 /// A contiguous FIFO: a flat buffer plus a consumed-prefix index.
 ///

@@ -57,6 +57,7 @@
 //! [`ChopimConfig::trace_path`](system::ChopimConfig::trace_path)
 //! records a compact replayable event trace (`docs/TRACE_FORMAT.md`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;

@@ -62,6 +62,7 @@ pub struct SimReport {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TenantReport {
     /// Session id this row meters.
+    // chopim-lint: allow(snapshot) -- positional: tenant_reports re-stamps it from the vector index; decode_meter writes 0
     pub session: u32,
     /// Ops submitted (runtime-inserted realignment copies included).
     pub ops_submitted: u64,

@@ -46,7 +46,7 @@
 //! [`Ticket`]; per-tenant metering surfaces in `SimReport::tenants`.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
@@ -122,6 +122,7 @@ pub enum OpStatus {
 }
 
 impl OpStatus {
+    #[cold]
     fn encode(this: Option<OpStatus>) -> u8 {
         match this {
             None => 0,
@@ -132,6 +133,7 @@ impl OpStatus {
         }
     }
 
+    #[cold]
     fn decode(tag: u8) -> Result<Option<OpStatus>, CodecError> {
         Ok(match tag {
             0 => None,
@@ -182,6 +184,7 @@ pub(crate) fn decode_handle(r: &mut ByteReader<'_>) -> Result<OpHandle, CodecErr
     })
 }
 
+#[cold]
 fn encode_opcode(op: Opcode, w: &mut ByteWriter) {
     let idx = Opcode::ALL
         .iter()
@@ -190,6 +193,7 @@ fn encode_opcode(op: Opcode, w: &mut ByteWriter) {
     w.u8(idx as u8);
 }
 
+#[cold]
 fn decode_opcode(r: &mut ByteReader<'_>) -> Result<Opcode, CodecError> {
     Opcode::ALL
         .get(r.u8()? as usize)
@@ -197,6 +201,7 @@ fn decode_opcode(r: &mut ByteReader<'_>) -> Result<Opcode, CodecError> {
         .ok_or(CodecError::Corrupt("opcode"))
 }
 
+#[cold]
 fn encode_f32s(vs: &[f32], w: &mut ByteWriter) {
     w.varint(vs.len() as u64);
     for &v in vs {
@@ -204,6 +209,7 @@ fn encode_f32s(vs: &[f32], w: &mut ByteWriter) {
     }
 }
 
+#[cold]
 fn decode_f32s(r: &mut ByteReader<'_>) -> Result<Vec<f32>, CodecError> {
     let n = r.varint_usize()?;
     let mut vs = Vec::with_capacity(n.min(r.remaining()));
@@ -291,6 +297,7 @@ impl QosClass {
         }
     }
 
+    #[cold]
     fn encode(self, w: &mut ByteWriter) {
         match self {
             QosClass::LatencySensitive => w.u8(0),
@@ -301,6 +308,7 @@ impl QosClass {
         }
     }
 
+    #[cold]
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         Ok(match r.u8()? {
             0 => QosClass::LatencySensitive,
@@ -683,14 +691,17 @@ pub struct Runtime {
     sessions: Vec<SessionState>,
     /// Ready-session index: one min-heap per QoS band over
     /// `(vtime, session, stamp)`, lazily validated (see `SchedState`).
+    // chopim-lint: allow(snapshot) -- derived scheduling index; decode_state rebuilds it from the restored op states
     ready: [BinaryHeap<Reverse<(u64, u32, u32)>>; 2],
     /// Per-band virtual clock: the floor for sessions (re)entering the
     /// band, so a long-idle tenant cannot monopolize on ancient credit.
     vnow: [u64; 2],
     /// Per-NDA waitlists of sessions parked on a credit return.
+    // chopim-lint: allow(snapshot) -- derived wait index; decode_state rebuilds it from the restored dependency edges
     waitlists: Vec<Vec<u32>>,
     /// Retry-hold wake-ups: `(cycle, session)` min-heap (stale entries
     /// tolerated — only still-parked sessions get woken).
+    // chopim-lint: allow(snapshot) -- derived wake index; decode_state rebuilds it from the restored deadlines
     wake: BinaryHeap<Reverse<(u64, u32)>>,
     /// Sessions whose queued jobs may now fit, drained FIFO by
     /// `pre_stage` at the next executed cycle.
@@ -701,14 +712,19 @@ pub struct Runtime {
     finished_ops: VecDeque<OpHandle>,
     next_instr: u64,
     /// Number of NDA ranks (one NDA per rank).
+    // chopim-lint: allow(snapshot) -- construction-time constant from config; decode_state only validates counts against it
     n_ndas: usize,
     allocator: ColoredAllocator,
+    // chopim-lint: allow(snapshot) -- configuration: resume rebuilds the Runtime from the same ChopimConfig before decoding state
     mapper: Arc<PartitionedMapping>,
+    // chopim-lint: allow(snapshot) -- configuration: resume rebuilds the Runtime from the same ChopimConfig before decoding state
     cfg: DramConfig,
     /// NDA-rank list as `(channel, rank)` — all ranks in Chopim mode, the
     /// upper half in rank-partitioning mode.
+    // chopim-lint: allow(snapshot) -- rank placement derived deterministically from config at construction
     nda_ranks: Vec<(usize, usize)>,
     /// Rank-partition mode: layouts synthesized on dedicated ranks.
+    // chopim-lint: allow(snapshot) -- partitioning mode derived from config at construction
     rank_partition: bool,
     /// Ablation: walk operands in physical-address order (lines rotating
     /// across banks) instead of Chopim's contiguous-column layout walk.
@@ -727,17 +743,22 @@ pub struct Runtime {
     /// staging holds, inflight-record completion resolution, and
     /// quarantine redirection. `false` keeps every hot path on the
     /// exact pre-fault-plane instruction sequence.
+    // chopim-lint: allow(snapshot) -- recovery policy set by configure_recovery from config at construction
     recovery: bool,
     /// Retry budget per op before concluding `Failed` / falling back.
+    // chopim-lint: allow(snapshot) -- recovery policy set by configure_recovery from config at construction
     retry_limit: u32,
     /// Base retry backoff in cycles (doubles per retry).
+    // chopim-lint: allow(snapshot) -- recovery policy set by configure_recovery from config at construction
     retry_backoff: u64,
     /// Upper bound on the exponential backoff.
+    // chopim-lint: allow(snapshot) -- recovery policy set by configure_recovery from config at construction
     retry_backoff_cap: u64,
     /// Per-NDA liveness; quarantined NDAs receive no further launches.
     alive: Vec<bool>,
     /// Count of live ops with an armed deadline (gates the per-cycle
     /// deadline scan; zero keeps it free).
+    // chopim-lint: allow(snapshot) -- derived timeout index; decode_state re-arms it from the restored in-flight ops
     armed_deadlines: u32,
     /// Front-end clock mirror (stamped by the system each cycle) so
     /// submission-time deadline arming sees the current cycle.
@@ -929,7 +950,7 @@ impl Runtime {
         let rpc = self.cfg.ranks_per_channel;
         for sysrow in &region.rows {
             // Collect each rank's (bank, row) chunks for this system row.
-            let mut seen: HashMap<(usize, u16, u32), ()> = HashMap::new();
+            let mut seen: BTreeSet<(usize, u16, u32)> = BTreeSet::new();
             let base_pa = u64::from(sysrow.index) * self.cfg.system_row_bytes();
             for l in 0..row_lines {
                 let d = self.mapper.map_pa(base_pa + l * 64);
@@ -940,7 +961,7 @@ impl Runtime {
                     .position(|&(c, r)| (c, r) == (d.channel, d.rank));
                 let Some(idx) = idx else { continue };
                 let key = (g, d.flat_bank(bpg) as u16, d.row);
-                if seen.insert(key, ()).is_none() {
+                if seen.insert(key) {
                     chunk_lists[idx].push((d.flat_bank(bpg) as u16, d.row));
                 }
             }
@@ -3120,6 +3141,7 @@ impl Runtime {
         Ok(())
     }
 
+    #[cold]
     fn decode_vec_id(&self, r: &mut ByteReader<'_>) -> Result<VecId, CodecError> {
         let i = r.varint_usize()?;
         if i >= self.arrays.len() {
@@ -3128,6 +3150,7 @@ impl Runtime {
         Ok(VecId(i))
     }
 
+    #[cold]
     fn decode_mat_id(&self, r: &mut ByteReader<'_>) -> Result<MatId, CodecError> {
         let i = r.varint_usize()?;
         if i >= self.arrays.len() {

@@ -34,7 +34,7 @@
 //!   enough to call after every idle tick.
 
 use std::cell::Cell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
@@ -209,6 +209,7 @@ fn kind_from_u8(v: u8) -> Result<CommandKind, CodecError> {
 
 /// Serialize a queued host transaction (snapshot support; shared with
 /// the shard inbox and front-end egress codecs).
+#[cold]
 pub(crate) fn encode_tx(tx: &HostTransaction, w: &mut ByteWriter) {
     w.varint(tx.addr.channel as u64);
     w.varint(tx.addr.rank as u64);
@@ -233,6 +234,7 @@ pub(crate) fn encode_tx(tx: &HostTransaction, w: &mut ByteWriter) {
 }
 
 /// Decode a transaction written by [`encode_tx`].
+#[cold]
 pub(crate) fn decode_tx(r: &mut ByteReader<'_>) -> Result<HostTransaction, CodecError> {
     let addr = DramAddress {
         channel: r.varint_usize()?,
@@ -288,6 +290,7 @@ impl Hasher for SlotRowHasher {
     }
 }
 
+// chopim-lint: allow(determinism) -- keyed probes and len() only, never iterated; the custom hasher keeps lookups O(1) on the command-issue path
 type DemandMap = HashMap<u64, u32, BuildHasherDefault<SlotRowHasher>>;
 
 /// Incrementally maintained per-(rank,bank) aggregates for one queue.
@@ -354,18 +357,28 @@ impl QueueIndex {
 pub struct HostMc {
     read_q: VecDeque<QTx>,
     write_q: VecDeque<QTx>,
+    // chopim-lint: allow(snapshot) -- derived index; decode_state rebuilds demand/occ via on_push while re-queueing
     read_idx: QueueIndex,
+    // chopim-lint: allow(snapshot) -- derived index; decode_state rebuilds demand/occ via on_push while re-queueing
     write_idx: QueueIndex,
+    // chopim-lint: allow(snapshot) -- fixed queue capacity from construction; decode_state only bounds-checks against it
     read_cap: usize,
+    // chopim-lint: allow(snapshot) -- fixed queue capacity from construction; decode_state only bounds-checks against it
     write_cap: usize,
     drain: bool,
+    // chopim-lint: allow(snapshot) -- write-drain watermark fixed at construction from queue capacity
     drain_hi: usize,
+    // chopim-lint: allow(snapshot) -- write-drain watermark fixed at construction from queue capacity
     drain_lo: usize,
     refresh_due: Vec<Cycle>,
     refresh_pending: Vec<bool>,
+    // chopim-lint: allow(snapshot) -- geometry constant from construction; decode_state uses it to validate addresses
     banks_per_group: usize,
+    // chopim-lint: allow(snapshot) -- geometry constant from construction; decode_state uses it to validate addresses
     banks_per_rank: usize,
+    // chopim-lint: allow(snapshot) -- configuration applied by set_scheduler at shard build time
     scheduler: SchedulerKind,
+    // chopim-lint: allow(snapshot) -- configuration applied by set_page_policy at shard build time
     page_policy: PagePolicy,
     /// Cached "rank of the oldest queued read" (`None` = recompute); the
     /// inner value is the predictor answer itself. Invalidated on every
@@ -589,7 +602,7 @@ impl HostMc {
             (&self.read_q, &self.read_idx),
             (&self.write_q, &self.write_idx),
         ] {
-            let mut demand: HashMap<u64, u32> = HashMap::new();
+            let mut demand: BTreeMap<u64, u32> = BTreeMap::new();
             let mut occ = vec![0u32; idx.occ.len()];
             for e in q {
                 let slot = self.slot_of(&e.tx.addr);

@@ -25,7 +25,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use chopim_dram::codec::{ByteReader, ByteWriter, CodecError};
 use chopim_dram::fault::{stream, FaultPlan};
 use chopim_dram::stats::ChannelStats;
-use chopim_dram::{Channel, CommandKind, Cycle};
+use chopim_dram::{Channel, CommandKind, Cycle, DramConfig};
 use chopim_nda::controller::{NdaRankController, NdaTickResult};
 use chopim_nda::fsm::NdaFsm;
 use chopim_nda::isa::NdaInstr;
@@ -33,51 +33,12 @@ use chopim_nda::snapshot::{decode_instr, encode_instr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::exchange::FlatFifo;
+use crate::exchange::{
+    decode_handle, encode_handle, CompletionMsg, FillMsg, FlatFifo, OpHandle, ShardInbound,
+    COMPLETION_FAILED, COMPLETION_OK, COMPLETION_RANK_DEAD,
+};
 use crate::policy::WriteIssuePolicy;
-use crate::runtime::{decode_handle, encode_handle, OpHandle};
-use crate::sched::{decode_tx, encode_tx, HostMc, Issued, TxMeta};
-
-/// A message from the front-end to a shard, delivered at its stamp.
-#[derive(Debug)]
-pub(crate) enum ShardInbound {
-    /// A memory transaction bound for the host MC queues. Waits for MC
-    /// queue space at the head of the FIFO (head-of-line, preserving
-    /// order).
-    Tx(crate::sched::HostTransaction),
-    /// The payload side-band of a launch: registers the in-flight record
-    /// before the launch's control-register writes (which follow in the
-    /// same FIFO) start completing. Never waits for MC space.
-    Launch {
-        /// Launch id shared with the write transactions' `TxMeta`.
-        id: u64,
-        /// Target NDA, shard-local index.
-        nda_local: usize,
-        /// The instruction delivered when every write completes.
-        instr: NdaInstr,
-        /// Control-register writes carrying this launch.
-        writes: u32,
-        /// Owning `(session, op)`: stamped back onto the instruction's
-        /// completion message so the front-end routes it straight to the
-        /// right tenant's op without a global lookup.
-        tag: OpHandle,
-    },
-}
-
-/// Outbound fill completion: `(deliver_at, core, request id)`.
-pub(crate) type FillMsg = (Cycle, usize, u64);
-/// Outbound instruction completion:
-/// `(deliver_at, instr id, global NDA, (session, op), status)`.
-pub(crate) type CompletionMsg = (Cycle, u64, usize, OpHandle, u8);
-
-/// [`CompletionMsg`] status: the instruction retired successfully.
-pub(crate) const COMPLETION_OK: u8 = 0;
-/// [`CompletionMsg`] status: the instruction failed (transient compute
-/// fault, poisoned operand, or queue overflow under fault recovery).
-pub(crate) const COMPLETION_FAILED: u8 = 1;
-/// [`CompletionMsg`] status: the target rank died permanently; the
-/// front-end quarantines it and re-shards onto survivors.
-pub(crate) const COMPLETION_RANK_DEAD: u8 = 2;
+use crate::sched::{HostMc, Issued, PagePolicy, SchedulerKind, TxMeta};
 
 /// The configuration slice a shard needs (copied at construction so the
 /// shard is self-contained and `Send`).
@@ -199,54 +160,6 @@ impl FaultState {
     }
 }
 
-impl ShardInbound {
-    #[cold]
-    pub(crate) fn encode(&self, w: &mut ByteWriter) {
-        match self {
-            ShardInbound::Tx(tx) => {
-                w.u8(0);
-                encode_tx(tx, w);
-            }
-            ShardInbound::Launch {
-                id,
-                nda_local,
-                instr,
-                writes,
-                tag,
-            } => {
-                w.u8(1);
-                w.varint(*id);
-                w.varint(*nda_local as u64);
-                encode_instr(instr, w);
-                w.varint(u64::from(*writes));
-                encode_handle(*tag, w);
-            }
-        }
-    }
-
-    #[cold]
-    pub(crate) fn decode(r: &mut ByteReader<'_>, n_ndas: usize) -> Result<Self, CodecError> {
-        Ok(match r.u8()? {
-            0 => ShardInbound::Tx(decode_tx(r)?),
-            1 => {
-                let id = r.varint()?;
-                let nda_local = r.varint_usize()?;
-                if nda_local >= n_ndas {
-                    return Err(CodecError::Corrupt("launch NDA index out of range"));
-                }
-                ShardInbound::Launch {
-                    id,
-                    nda_local,
-                    instr: decode_instr(r)?,
-                    writes: r.varint_u32()?,
-                    tag: decode_handle(r)?,
-                }
-            }
-            _ => return Err(CodecError::Corrupt("shard inbound tag")),
-        })
-    }
-}
-
 #[derive(Debug)]
 struct LaunchInFlight {
     instr: NdaInstr,
@@ -315,8 +228,10 @@ pub(crate) struct ChannelShard {
     nda_poke: Vec<bool>,
     /// Shard-local NDA index per rank (`None` = rank has no NDA, e.g.
     /// host-only ranks never occur but rank-partitioning asymmetries do).
+    // chopim-lint: allow(snapshot) -- static shard topology computed by build from the nda_ranks config
     local_of_rank: Vec<Option<usize>>,
     /// Global NDA index per shard-local NDA (stamps completion messages).
+    // chopim-lint: allow(snapshot) -- static shard topology computed by build from the nda_ranks config
     global_idx: Vec<usize>,
     launches: LaunchSlab,
     /// `(instr id, (session, op))` of every instruction delivered to a
@@ -337,9 +252,11 @@ pub(crate) struct ChannelShard {
     pub(crate) completions_out: Vec<CompletionMsg>,
     /// Captured launch deliveries `(cycle, shard-local NDA, instr id)`
     /// when `params.record_events` (trace capture; not snapshot state).
+    // chopim-lint: allow(snapshot) -- diagnostic event log (record_events); capture sessions never span a snapshot
     pub(crate) launch_log: Vec<(Cycle, u32, u64)>,
     /// Captured instruction retirements `(cycle, instr id)` when
     /// `params.record_events` (trace capture; not snapshot state).
+    // chopim-lint: allow(snapshot) -- diagnostic event log (record_events); capture sessions never span a snapshot
     pub(crate) completion_log: Vec<(Cycle, u64)>,
     /// Per-shard policy RNG: seeded from `(seed, channel)` so the draw
     /// stream is independent of every other shard — the precondition for
@@ -348,6 +265,7 @@ pub(crate) struct ChannelShard {
     policy_rng: StdRng,
     /// Fault-injection counters and flags (see [`FaultState`]).
     fault: FaultState,
+    // chopim-lint: allow(snapshot) -- ShardParams config copy; resume reconstructs every shard from the same config
     params: ShardParams,
     pub(crate) now: Cycle,
     /// Cached event horizon: the shard state as of the last executed
@@ -394,7 +312,54 @@ impl ChannelShard {
 
     /// Build the shard for `channel_idx`, owning `ndas` (paired with
     /// their global indexes, in rank order) behind `channel`.
-    pub(crate) fn new(
+    /// Build the shard for channel `channel_idx` from configuration
+    /// alone: the channel device, its host MC (scheduler and page
+    /// policy applied), and the rank controllers for every NDA rank
+    /// living on this channel. Constructing the shard-internal parts
+    /// here keeps `HostMc`/`NdaRankController` out of the front-end's
+    /// vocabulary — the front-end hands over config, not machinery.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        channel_idx: usize,
+        dram: &DramConfig,
+        scheduler: SchedulerKind,
+        page_policy: PagePolicy,
+        nda_ranks: &[(usize, usize)],
+        nda_queue_cap: usize,
+        seed: u64,
+        params: ShardParams,
+    ) -> Self {
+        let mut mc = HostMc::new(
+            dram.ranks_per_channel,
+            dram.bankgroups,
+            dram.banks_per_group,
+            dram.timing.refi,
+        );
+        mc.set_scheduler(scheduler);
+        mc.set_page_policy(page_policy);
+        let ndas: Vec<(usize, NdaRankController)> = nda_ranks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(ch, _))| ch == channel_idx)
+            .map(|(g, &(ch, r))| {
+                (
+                    g,
+                    NdaRankController::new(ch, r, dram.banks_per_group, nda_queue_cap),
+                )
+            })
+            .collect();
+        Self::new(
+            channel_idx,
+            Channel::new(dram),
+            mc,
+            ndas,
+            nda_queue_cap,
+            seed,
+            params,
+        )
+    }
+
+    fn new(
         channel_idx: usize,
         channel: Channel,
         mc: HostMc,
@@ -1232,6 +1197,7 @@ impl ChannelShard {
 
     /// Fold this shard's injected-fault counters into `fr` (report
     /// support; ECC counts flow through the channel's `DramStats`).
+    #[cold]
     pub(crate) fn add_fault_counts(&self, fr: &mut crate::report::FaultReport) {
         fr.transient_faults += self.fault.transient_faults;
         fr.fsm_hangs += self.fault.fsm_hangs;

@@ -348,6 +348,7 @@ impl TimingChecker {
     /// # Errors
     ///
     /// The first violation found.
+    #[cold]
     pub fn check_trace(
         config: &DramConfig,
         trace: impl IntoIterator<Item = (Cycle, Command, Issuer)>,

@@ -28,6 +28,8 @@
 //! assert!(r.is_empty());
 //! ```
 
+#![warn(clippy::cast_possible_truncation)]
+
 use crate::Cycle;
 
 /// Why a snapshot or trace failed to decode.
@@ -218,18 +220,22 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) yields 4 bytes"),
+        ))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) yields 8 bytes"),
+        ))
     }
 
     /// Read an `f32` from its IEEE-754 bits.
     pub fn f32(&mut self) -> Result<f32, CodecError> {
         Ok(f32::from_bits(u32::from_le_bytes(
-            self.take(4)?.try_into().unwrap(),
+            self.take(4)?.try_into().expect("take(4) yields 4 bytes"),
         )))
     }
 
@@ -331,17 +337,17 @@ pub fn read_framed(magic: [u8; 4], version: u32, bytes: &[u8]) -> Result<&[u8], 
     if bytes[..4] != magic {
         return Err(CodecError::BadMagic);
     }
-    let got_version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let got_version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
     if got_version != version {
         return Err(CodecError::BadVersion(got_version));
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
     let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
     let end = 16usize.checked_add(len).ok_or(CodecError::Truncated)?;
     if bytes.len() < end + 8 {
         return Err(CodecError::Truncated);
     }
-    let want = u64::from_le_bytes(bytes[end..end + 8].try_into().unwrap());
+    let want = u64::from_le_bytes(bytes[end..end + 8].try_into().expect("8-byte slice"));
     if fnv1a(&bytes[..end]) != want {
         return Err(CodecError::BadChecksum);
     }

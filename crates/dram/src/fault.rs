@@ -188,6 +188,7 @@ impl FaultPlan {
 /// per-stream fault schedule. Stateless and counter-keyed, so any
 /// engine variant that counts the same events draws the same faults.
 #[inline]
+// chopim-lint: allow(coldpath) -- hot despite the name: drawn per event while a plan is active, and #[inline] so `fires` folds to arithmetic
 pub fn fault_hash(seed: u64, channel: u64, stream: u64, n: u64) -> u64 {
     let mut z = seed
         .wrapping_add(channel.wrapping_mul(0xa24b_aed4_963e_e407))

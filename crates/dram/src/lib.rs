@@ -27,6 +27,7 @@
 //! assert!(mem.can_issue(0, &rd, Issuer::Host, t));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

@@ -201,6 +201,7 @@ pub fn reset() {
 
 /// Snapshot `(label, value)` for every counter, summed over all scopes
 /// (the flat, pre-shard view); empty without the feature.
+#[cold]
 pub fn snapshot() -> Vec<(&'static str, u64)> {
     #[cfg(feature = "perf-counters")]
     {

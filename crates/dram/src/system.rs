@@ -95,12 +95,14 @@ impl DramSystem {
 
     /// Record every successfully issued command (for offline validation
     /// with [`crate::TimingChecker`]). Costs memory; meant for tests.
+    #[cold]
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
     }
 
     /// Take the recorded trace (entries are `(channel, cycle, command,
     /// issuer)`).
+    #[cold]
     pub fn take_trace(&mut self) -> Vec<(usize, Cycle, Command, Issuer)> {
         self.trace.take().unwrap_or_default()
     }

@@ -19,6 +19,8 @@
 //! [`DramStats`] exactly — so replay doubles as an end-to-end check of
 //! both the trace and the encoder.
 
+#![warn(clippy::cast_possible_truncation)]
+
 use crate::codec::{read_framed, write_framed, ByteReader, ByteWriter, CodecError};
 use crate::command::{Command, CommandKind, Issuer};
 use crate::config::DramConfig;
@@ -220,6 +222,7 @@ fn run_len(events: &[TraceEvent], i: usize) -> usize {
 /// # Panics
 ///
 /// Panics in debug builds when `events` is not sorted by cycle.
+#[cold]
 pub fn encode_trace(config_fingerprint: u64, end_cycle: Cycle, events: &[TraceEvent]) -> Vec<u8> {
     debug_assert!(
         events.windows(2).all(|w| w[0].cycle() <= w[1].cycle()),
@@ -300,6 +303,7 @@ pub fn encode_trace(config_fingerprint: u64, end_cycle: Cycle, events: &[TraceEv
 ///
 /// All [`CodecError`] variants: wrong magic/version, truncation, a
 /// checksum mismatch, or structurally impossible record fields.
+#[cold]
 pub fn decode_trace(bytes: &[u8]) -> Result<Trace, CodecError> {
     let payload = read_framed(TRACE_MAGIC, TRACE_VERSION, bytes)?;
     let mut r = ByteReader::new(payload);

@@ -33,6 +33,8 @@
 //! assert!(dot.result.cycles >= 5_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod perfmatrix;
 pub mod result;

@@ -105,11 +105,16 @@ impl SweepRunner {
                     }
                     let r = f(&specs[i]);
                     report(&specs[i]);
-                    collected.lock().unwrap().push((i, r));
+                    collected
+                        .lock()
+                        .expect("sweep worker panicked while holding the lock")
+                        .push((i, r));
                 });
             }
         });
-        let mut indexed = collected.into_inner().unwrap();
+        let mut indexed = collected
+            .into_inner()
+            .expect("sweep worker panicked while holding the lock");
         assert_eq!(indexed.len(), n, "every point must produce a result");
         indexed.sort_unstable_by_key(|(i, _)| *i);
         let points = specs

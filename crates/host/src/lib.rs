@@ -25,6 +25,8 @@
 //! core.cpu_cycle(&mut |r| { reqs.push(r); true });
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod core;
 pub mod mix;
 pub mod profile;

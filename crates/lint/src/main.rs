@@ -1,0 +1,47 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! chopim-lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Scans `crates/*/src/**/*.rs` under the root (default `.`), runs all
+//! passes, prints `path:line: [pass] message` per finding, and exits
+//! nonzero if anything survives suppression.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use chopim_lint::Workspace;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "chopim-lint: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let diags = ws.run();
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "chopim-lint: {} files clean ({} suppressions, all reasoned)",
+            ws.files.len(),
+            ws.files.iter().map(|f| f.directives.len()).sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("chopim-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,537 @@
+//! Item scanner: structs, functions, impl blocks, attributes, test
+//! spans, and `use` spans, recovered from the token stream by brace
+//! tracking.
+//!
+//! This is deliberately not a parser. It recognizes the handful of item
+//! shapes the passes need — `fn` definitions with their attributes and
+//! body spans, `struct` definitions with named fields, `impl` self
+//! types, `#[cfg(test)]` / `mod tests` regions, and `use` declarations —
+//! and treats everything else as opaque tokens. That keeps it a few
+//! hundred lines, dependency-free, and robust to any code it does not
+//! understand (unknown constructs simply contribute no items).
+
+use crate::lexer::{lex, Directive, SpannedTok, Tok};
+
+/// A scanned `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item carries `#[cold]`.
+    pub has_cold: bool,
+    /// Token index range of the signature (from after the name to the
+    /// body's opening brace or the trailing `;`).
+    pub sig: (usize, usize),
+    /// Token index range of the body, brace-exclusive. Empty for
+    /// body-less trait method declarations.
+    pub body: (usize, usize),
+    /// Self type when defined inside an `impl` block.
+    pub self_ty: Option<String>,
+    /// Whether the fn sits inside a `#[cfg(test)]`-gated region or
+    /// carries the attribute itself.
+    pub in_test: bool,
+}
+
+/// A scanned `struct` item with named fields (tuple and unit structs
+/// contribute no fields).
+#[derive(Debug)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-indexed line of the `struct` keyword.
+    pub line: u32,
+    /// `(field name, 1-indexed line)` per named field.
+    pub fields: Vec<(String, u32)>,
+    /// Whether the struct sits inside a `#[cfg(test)]`-gated region.
+    pub in_test: bool,
+}
+
+/// One fully scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Token stream.
+    pub toks: Vec<SpannedTok>,
+    /// Suppression directives.
+    pub directives: Vec<Directive>,
+    /// All `fn` items.
+    pub fns: Vec<FnItem>,
+    /// All `struct` items.
+    pub structs: Vec<StructItem>,
+    /// Line ranges (inclusive) covered by test-gated regions.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Token index ranges covered by `use` declarations.
+    pub use_spans: Vec<(usize, usize)>,
+    /// Identifiers appearing in crate/file-level inner attributes
+    /// (`#![...]`), flattened.
+    pub inner_attrs: Vec<String>,
+}
+
+impl ScannedFile {
+    /// True when `line` falls inside a test-gated region.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// True when token index `i` falls inside a `use` declaration.
+    pub fn tok_in_use(&self, i: usize) -> bool {
+        self.use_spans.iter().any(|&(a, b)| i >= a && i < b)
+    }
+
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match &self.toks[i].tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Find the token index just past the `}` matching the `{` at `open`.
+fn match_brace(toks: &[SpannedTok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Scan one attribute starting at `#` (index `i`); returns (idents
+/// inside it, index past the closing `]`, is_inner).
+fn scan_attr(toks: &[SpannedTok], i: usize) -> (Vec<String>, usize, bool) {
+    let mut j = i + 1;
+    let inner = matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('!')));
+    if inner {
+        j += 1;
+    }
+    let mut idents = Vec::new();
+    if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+        return (idents, j, inner);
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j + 1, inner);
+                }
+            }
+            Tok::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, j, inner)
+}
+
+/// Parse the named fields of a struct whose `{` is at `open`.
+fn scan_fields(toks: &[SpannedTok], open: usize, close: usize) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    // `close` points past the matching `}`.
+    let end = close - 1;
+    while i < end {
+        // Skip field attributes.
+        while matches!(toks[i].tok, Tok::Punct('#')) {
+            let (_, next, _) = scan_attr(toks, i);
+            i = next;
+        }
+        if i >= end {
+            break;
+        }
+        // Skip visibility: `pub`, `pub(crate)`, `pub(in path)`.
+        if let Tok::Ident(s) = &toks[i].tok {
+            if s == "pub" {
+                i += 1;
+                if i < end && matches!(toks[i].tok, Tok::Punct('(')) {
+                    let mut depth = 0usize;
+                    while i < end {
+                        match toks[i].tok {
+                            Tok::Punct('(') => depth += 1,
+                            Tok::Punct(')') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name followed by `:`.
+        let (name, line) = match &toks[i].tok {
+            Tok::Ident(s) => (s.clone(), toks[i].line),
+            _ => break,
+        };
+        i += 1;
+        if i >= end || !matches!(toks[i].tok, Tok::Punct(':')) {
+            break;
+        }
+        fields.push((name, line));
+        // Skip the type up to the field-separating comma: a comma only
+        // separates fields when every bracket depth (including angle
+        // depth) is zero. `->` must not close an angle.
+        let mut round = 0i32;
+        let mut square = 0i32;
+        let mut curly = 0i32;
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while i < end {
+            match toks[i].tok {
+                Tok::Punct('(') => round += 1,
+                Tok::Punct(')') => round -= 1,
+                Tok::Punct('[') => square += 1,
+                Tok::Punct(']') => square -= 1,
+                Tok::Punct('{') => curly += 1,
+                Tok::Punct('}') => curly -= 1,
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') if !prev_dash && angle > 0 => angle -= 1,
+                Tok::Punct(',') if round == 0 && square == 0 && curly == 0 && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            prev_dash = matches!(toks[i].tok, Tok::Punct('-'));
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extract the impl self type from the header tokens between `impl` and
+/// its `{`: the last path identifier at angle depth zero (handles
+/// `impl Foo`, `impl Trait for Foo`, `impl<'a> Foo<'a>`).
+fn impl_self_ty(toks: &[SpannedTok], start: usize, open: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<String> = None;
+    let mut prev_dash = false;
+    for t in &toks[start..open] {
+        match &t.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') if !prev_dash && angle > 0 => angle -= 1,
+            Tok::Ident(s)
+                if angle == 0 && s != "for" && s != "where" && s != "dyn" && s != "impl" =>
+            {
+                last = Some(s.clone());
+            }
+            _ => {}
+        }
+        prev_dash = matches!(t.tok, Tok::Punct('-'));
+    }
+    last
+}
+
+/// Scan `src` (at workspace-relative `path`) into items.
+pub fn scan(path: &str, src: &str) -> ScannedFile {
+    let lexed = lex(src);
+    let toks = lexed.toks;
+    let mut f = ScannedFile {
+        path: path.to_string(),
+        directives: lexed.directives,
+        fns: Vec::new(),
+        structs: Vec::new(),
+        test_spans: Vec::new(),
+        use_spans: Vec::new(),
+        inner_attrs: Vec::new(),
+        toks: Vec::new(),
+    };
+
+    // Impl stack entries: (self type, token index past the impl's `}`).
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    // Test-region ends (token index past `}`), for nesting.
+    let mut test_ends: Vec<usize> = Vec::new();
+
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        impls.retain(|&(_, end)| i < end);
+        test_ends.retain(|&end| i < end);
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                let (idents, next, inner) = scan_attr(&toks, i);
+                if inner {
+                    f.inner_attrs.extend(idents);
+                } else {
+                    if idents.iter().any(|s| s == "cfg") && idents.iter().any(|s| s == "test") {
+                        pending_cfg_test = true;
+                    }
+                    pending_attrs.extend(idents);
+                }
+                i = next;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "use" => {
+                let start = i;
+                while i < toks.len() && !matches!(toks[i].tok, Tok::Punct(';')) {
+                    i += 1;
+                }
+                f.use_spans.push((start, i));
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i += 1;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                let start = i;
+                let mut j = i + 1;
+                while j < toks.len() && !matches!(toks[j].tok, Tok::Punct('{') | Tok::Punct(';')) {
+                    j += 1;
+                }
+                if j < toks.len() && matches!(toks[j].tok, Tok::Punct('{')) {
+                    let end = match_brace(&toks, j);
+                    impls.push((impl_self_ty(&toks, start + 1, j), end));
+                    if pending_cfg_test {
+                        f.test_spans
+                            .push((toks[i].line, toks[end.min(toks.len()) - 1].line));
+                        test_ends.push(end);
+                    }
+                    pending_attrs.clear();
+                    pending_cfg_test = false;
+                    i = j + 1; // descend into the impl body
+                    continue;
+                }
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i = j;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                let name = toks.get(i + 1).and_then(|t| match &t.tok {
+                    Tok::Ident(s) => Some(s.clone()),
+                    _ => None,
+                });
+                let mut j = i + 1;
+                while j < toks.len() && !matches!(toks[j].tok, Tok::Punct('{') | Tok::Punct(';')) {
+                    j += 1;
+                }
+                if j < toks.len() && matches!(toks[j].tok, Tok::Punct('{')) {
+                    let end = match_brace(&toks, j);
+                    if pending_cfg_test || name.as_deref() == Some("tests") {
+                        f.test_spans
+                            .push((toks[i].line, toks[end.min(toks.len()) - 1].line));
+                        test_ends.push(end);
+                    }
+                    pending_attrs.clear();
+                    pending_cfg_test = false;
+                    i = j + 1; // descend into the module body
+                    continue;
+                }
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i = j;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                let name = match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => s.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let line = toks[i].line;
+                let mut j = i + 2;
+                // Skip generics/where to the body opener, tracking angle
+                // depth so `where T: Iterator<Item = u8>` commas and
+                // parens do not confuse the search.
+                while j < toks.len()
+                    && !matches!(
+                        toks[j].tok,
+                        Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
+                    )
+                {
+                    j += 1;
+                }
+                let mut fields = Vec::new();
+                if j < toks.len() && matches!(toks[j].tok, Tok::Punct('{')) {
+                    let end = match_brace(&toks, j);
+                    fields = scan_fields(&toks, j, end);
+                    i = end;
+                } else if j < toks.len() && matches!(toks[j].tok, Tok::Punct('(')) {
+                    // Tuple struct: skip to the trailing `;`.
+                    while j < toks.len() && !matches!(toks[j].tok, Tok::Punct(';')) {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+                f.structs.push(StructItem {
+                    name,
+                    line,
+                    fields,
+                    in_test: !test_ends.is_empty() || pending_cfg_test,
+                });
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let name = match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => s.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let line = toks[i].line;
+                let sig_start = i + 2;
+                let mut j = sig_start;
+                while j < toks.len() && !matches!(toks[j].tok, Tok::Punct('{') | Tok::Punct(';')) {
+                    j += 1;
+                }
+                let (body, past) = if j < toks.len() && matches!(toks[j].tok, Tok::Punct('{')) {
+                    let end = match_brace(&toks, j);
+                    ((j + 1, end.saturating_sub(1)), end)
+                } else {
+                    ((j, j), j + 1)
+                };
+                f.fns.push(FnItem {
+                    name,
+                    line,
+                    has_cold: pending_attrs.iter().any(|s| s == "cold"),
+                    sig: (sig_start, j),
+                    body,
+                    self_ty: impls.last().and_then(|(t, _)| t.clone()),
+                    in_test: !test_ends.is_empty() || pending_cfg_test,
+                });
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i = past;
+                continue;
+            }
+            Tok::Ident(kw)
+                if matches!(
+                    kw.as_str(),
+                    "pub" | "crate" | "in" | "const" | "static" | "async" | "unsafe" | "extern"
+                ) =>
+            {
+                // Qualifiers between an attribute and its item must not
+                // drop the pending attributes (`#[cold] pub fn ...`).
+                i += 1;
+                continue;
+            }
+            Tok::Ident(_) => {
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i += 1;
+                continue;
+            }
+            Tok::Punct(';') => {
+                // End of a non-fn item (const, static, type alias):
+                // its attributes must not leak onto the next item.
+                pending_attrs.clear();
+                pending_cfg_test = false;
+                i += 1;
+                continue;
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+    }
+    f.toks = toks;
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_fn_with_cold_and_impl_ty() {
+        let f = scan(
+            "x.rs",
+            "impl Foo { #[cold] fn encode_state(&self) { self.a; } fn hot(&self) {} }",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "encode_state");
+        assert!(f.fns[0].has_cold);
+        assert_eq!(f.fns[0].self_ty.as_deref(), Some("Foo"));
+        assert!(!f.fns[1].has_cold);
+    }
+
+    #[test]
+    fn scans_struct_fields_with_generics() {
+        let f = scan(
+            "x.rs",
+            "pub struct S<T> { pub a: HashMap<u64, u32>, b: Box<dyn FnMut(&mut R) -> bool>, c: [u8; 4] }",
+        );
+        let names: Vec<_> = f.structs[0].fields.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn test_mod_spans_cover_contents() {
+        let f = scan(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\n",
+        );
+        assert!(!f.fns[0].in_test);
+        assert!(f.fns[1].in_test);
+        assert!(f.line_in_test(4));
+        assert!(!f.line_in_test(1));
+    }
+
+    #[test]
+    fn use_spans_marked() {
+        let f = scan(
+            "x.rs",
+            "use std::collections::HashMap;\nfn f() { HashMap::new(); }",
+        );
+        let first_hm = f
+            .toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("HashMap".into()))
+            .unwrap();
+        assert!(f.tok_in_use(first_hm));
+        let second_hm = f
+            .toks
+            .iter()
+            .skip(first_hm + 1)
+            .position(|t| t.tok == Tok::Ident("HashMap".into()))
+            .unwrap()
+            + first_hm
+            + 1;
+        assert!(!f.tok_in_use(second_hm));
+    }
+
+    #[test]
+    fn inner_attr_collected() {
+        let f = scan("x.rs", "#![forbid(unsafe_code)]\nfn f() {}");
+        assert!(f.inner_attrs.iter().any(|s| s == "forbid"));
+        assert!(f.inner_attrs.iter().any(|s| s == "unsafe_code"));
+    }
+
+    #[test]
+    fn tuple_struct_has_no_fields() {
+        let f = scan("x.rs", "struct T(u32, u64);\nstruct U;\nstruct V { w: u8 }");
+        assert_eq!(f.structs.len(), 3);
+        assert!(f.structs[0].fields.is_empty());
+        assert!(f.structs[1].fields.is_empty());
+        assert_eq!(f.structs[2].fields.len(), 1);
+    }
+}

@@ -30,6 +30,8 @@
 //! assert_eq!(map.unmap(&d), 0x4000_0040 >> 6 << 6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod color;
 pub mod drama;
 pub mod layout;

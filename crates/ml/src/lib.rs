@@ -18,6 +18,8 @@
 //! * [`cg`] / [`sc`] — conjugate gradient and a streamcluster kernel
 //!   expressed as NDA op streams (the "app" points of Figs. 13/14).
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod dataset;
 pub mod logreg;

@@ -109,9 +109,8 @@ impl LogReg {
             let best = p
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(c, _)| c)
-                .unwrap();
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(c, _)| c);
             if best == ds.y[i] {
                 correct += 1;
             }

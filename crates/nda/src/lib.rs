@@ -21,6 +21,8 @@
 //! * [`controller`] — the rank-local NDA memory controller that turns the
 //!   FSM's desired access into legal ACT/PRE/RD/WR commands.
 
+#![forbid(unsafe_code)]
+
 pub mod controller;
 pub mod fsm;
 pub mod isa;

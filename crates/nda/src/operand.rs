@@ -24,6 +24,7 @@ pub struct OperandLayout {
     /// Cache lines per chunk (one DRAM row per rank: 128 for Table II).
     lines_per_chunk: u32,
     /// Number of consecutive chunks whose lines interleave round-robin.
+    // chopim-lint: allow(snapshot) -- decode_layout reads it as `group` and restores it through with_interleave
     interleave_group: u32,
 }
 

@@ -16,6 +16,7 @@ use crate::isa::{NdaInstr, Opcode, Phase, Stream};
 use crate::operand::OperandLayout;
 
 /// Serialize an operand layout (chunk list + walk parameters).
+#[cold]
 pub fn encode_layout(l: &OperandLayout, w: &mut ByteWriter) {
     let chunks = l.chunks();
     w.varint(chunks.len() as u64);
@@ -34,6 +35,7 @@ pub fn encode_layout(l: &OperandLayout, w: &mut ByteWriter) {
 /// Rejects layouts violating the constructor invariants (empty chunk
 /// list, zero strides, group not dividing the chunk count) as
 /// [`CodecError::Corrupt`] instead of panicking.
+#[cold]
 pub fn decode_layout(r: &mut ByteReader<'_>) -> Result<Arc<OperandLayout>, CodecError> {
     let n = r.varint_usize()?;
     let mut chunks = Vec::with_capacity(n.min(r.remaining()));

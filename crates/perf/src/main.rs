@@ -53,6 +53,8 @@
 //!   failure), ≥1.2x advisory (warning only) with 4-7, skipped below 4,
 //!   where the pool cannot physically win.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use chopim_dram::perfcount;

@@ -189,7 +189,11 @@ pub mod rngs {
         fn from_seed(seed: Self::Seed) -> Self {
             let mut s = [0u64; 4];
             for (i, chunk) in seed.chunks_exact(8).enumerate() {
-                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+                s[i] = u64::from_le_bytes(
+                    chunk
+                        .try_into()
+                        .expect("chunks_exact(8) yields 8-byte chunks"),
+                );
             }
             if s.iter().all(|&w| w == 0) {
                 return Self::from_u64(0);
